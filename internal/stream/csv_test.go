@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"privreg/internal/vec"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	data := "0.5,1,0,0\n-0.2,0,1,0\n0.9,0,0,1\n"
+	pts, err := ReadCSV(strings.NewReader(data), NewCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Y != 0.5 || pts[1].Y != -0.2 {
+		t.Fatalf("responses wrong: %v %v", pts[0].Y, pts[1].Y)
+	}
+	if len(pts[0].X) != 3 || pts[0].X[0] != 1 {
+		t.Fatalf("covariates wrong: %v", pts[0].X)
+	}
+}
+
+func TestReadCSVHeaderResponseColumnAndLimit(t *testing.T) {
+	data := "x1,x2,label\n1,0,0.3\n0,1,0.7\n1,1,0.9\n"
+	opts := CSVOptions{ResponseColumn: 2, HasHeader: true, Normalize: true, MaxRecords: 2}
+	pts, err := ReadCSV(strings.NewReader(data), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("MaxRecords ignored: %d", len(pts))
+	}
+	if pts[0].Y != 0.3 || pts[0].X[0] != 1 || pts[0].X[1] != 0 {
+		t.Fatalf("header/response handling wrong: %+v", pts[0])
+	}
+}
+
+func TestReadCSVNormalization(t *testing.T) {
+	data := "5,3,4\n" // y=5 (clamped to 1), x=(3,4) normalized to unit norm
+	pts, err := ReadCSV(strings.NewReader(data), NewCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Y != 1 {
+		t.Fatalf("response not clamped: %v", pts[0].Y)
+	}
+	if math.Abs(vec.Norm2(pts[0].X)-1) > 1e-12 {
+		t.Fatalf("covariate not normalized: %v", pts[0].X)
+	}
+	// Without normalization values pass through unchanged.
+	raw, err := ReadCSV(strings.NewReader(data), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0].Y != 5 || raw[0].X[1] != 4 {
+		t.Fatalf("normalization applied when disabled: %+v", raw[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(nil, NewCSVOptions()); err == nil {
+		t.Fatal("nil reader should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), NewCSVOptions()); err == nil {
+		t.Fatal("ragged records should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,abc\n"), NewCSVOptions()); err == nil {
+		t.Fatal("non-numeric field should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1\n"), NewCSVOptions()); err == nil {
+		t.Fatal("single-column data should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n"), CSVOptions{ResponseColumn: 5}); err == nil {
+		t.Fatal("out-of-range response column should error")
+	}
+	// Empty input yields no points and no error.
+	pts, err := ReadCSV(strings.NewReader(""), NewCSVOptions())
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("empty input: %v, %v", pts, err)
+	}
+}
+
+func TestReplayCyclesAndCopies(t *testing.T) {
+	pts, err := ReadCSV(strings.NewReader("0.1,1,0\n0.2,0,1\n"), NewCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dim() != 2 || rep.Len() != 2 {
+		t.Fatalf("Dim/Len wrong: %d %d", rep.Dim(), rep.Len())
+	}
+	a := rep.Next()
+	b := rep.Next()
+	c := rep.Next() // cycles back to the first point
+	if a.Y != 0.1 || b.Y != 0.2 || c.Y != 0.1 {
+		t.Fatalf("replay order wrong: %v %v %v", a.Y, b.Y, c.Y)
+	}
+	// Mutating a returned covariate must not corrupt the stored data.
+	a.X[0] = 99
+	rep.Next() // advance past the second point again
+	d := rep.Next()
+	if d.X[0] == 99 {
+		t.Fatal("replay leaked internal storage")
+	}
+	if _, err := NewReplay(nil); err == nil {
+		t.Fatal("empty replay should error")
+	}
+}

@@ -1,0 +1,238 @@
+// Package tree implements the Tree Mechanism (also called the binary
+// mechanism) of Dwork et al. and Chan et al. for differentially private
+// continual release of vector sums, as described in Appendix C of "Private
+// Incremental Regression" (Algorithm TREEMECH), together with the Hybrid
+// Mechanism that removes the need to know the stream length in advance, and a
+// naive per-step mechanism used as an ablation baseline.
+//
+// Given a stream of vectors υ_1, ..., υ_T with a bound Δ₂ on the L2 distance
+// between any two domain elements, the Tree Mechanism releases at each timestep
+// t a private estimate of the prefix sum Σ_{i≤t} υ_i whose error grows only
+// polylogarithmically in T (Proposition C.1), while the whole output sequence
+// is (ε, δ)-differentially private with respect to changing one stream element.
+// Space usage is O(d log T): only one partial sum per tree level is retained.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"privreg/internal/dp"
+	"privreg/internal/randx"
+)
+
+// Mechanism is the common interface of the continual-sum mechanisms in this
+// package. Add consumes the next stream element and returns the private
+// estimate of the running sum after that element.
+type Mechanism interface {
+	// Add appends v to the stream and returns the private running-sum estimate.
+	// The returned slice is owned by the caller.
+	Add(v []float64) ([]float64, error)
+	// Sum returns the private running-sum estimate at the current timestep
+	// without consuming a new element. Before any Add it returns the zero vector.
+	Sum() []float64
+	// Len returns the number of elements consumed so far.
+	Len() int
+	// NoiseSigma returns the per-node (or per-step) Gaussian noise standard
+	// deviation used internally. Exposed for diagnostics and tests.
+	NoiseSigma() float64
+}
+
+// Tree is the Tree Mechanism for a stream of known maximum length.
+type Tree struct {
+	dim         int
+	maxT        int
+	levels      int
+	sensitivity float64
+	sigma       float64
+	src         *randx.Source
+
+	t int
+	// alpha[j] is the in-progress (noise-free) partial sum at level j
+	// (covering a dyadic range of length 2^j that has not yet been "closed").
+	alpha [][]float64
+	// beta[j] is the noisy version of alpha[j], published when the range closed.
+	beta [][]float64
+	// current private running sum, recomputed at every Add.
+	sum []float64
+}
+
+// Config collects the parameters of a Tree Mechanism instance.
+type Config struct {
+	// Dim is the dimension of the stream elements.
+	Dim int
+	// MaxLen is the maximum stream length T. The mechanism refuses elements
+	// beyond MaxLen; use the Hybrid mechanism when T is unknown.
+	MaxLen int
+	// Sensitivity is Δ₂ = max_{υ,υ'∈Z} ‖υ - υ'‖₂, the L2 diameter of the domain.
+	Sensitivity float64
+	// Privacy is the (ε, δ) guarantee for the entire output sequence.
+	Privacy dp.Params
+}
+
+// New returns a Tree Mechanism for streams of length at most cfg.MaxLen.
+//
+// Following Algorithm 4 of the paper, every tree node is perturbed with
+// N(0, σ² I_d) noise with σ = Δ₂ · L · sqrt(2 ln(2/δ)) / ε, where
+// L = ⌈log₂ MaxLen⌉ + 1 is the number of tree levels (the paper writes log T for
+// this quantity). Each stream element contributes to at most L nodes, so by the
+// Gaussian mechanism and L-fold composition over levels the full sequence of
+// node values — and hence every prefix-sum output, which is a post-processing of
+// them — is (ε, δ)-differentially private.
+func New(cfg Config, src *randx.Source) (*Tree, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("tree: dimension must be positive, got %d", cfg.Dim)
+	}
+	if cfg.MaxLen <= 0 {
+		return nil, fmt.Errorf("tree: max length must be positive, got %d", cfg.MaxLen)
+	}
+	if cfg.Sensitivity < 0 {
+		return nil, errors.New("tree: negative sensitivity")
+	}
+	if err := cfg.Privacy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Privacy.Delta == 0 {
+		return nil, errors.New("tree: the Tree Mechanism with Gaussian noise requires delta > 0")
+	}
+	if src == nil {
+		return nil, errors.New("tree: nil randomness source")
+	}
+	levels := numLevels(cfg.MaxLen)
+	sigma := cfg.Sensitivity * float64(levels) * math.Sqrt(2*math.Log(2/cfg.Privacy.Delta)) / cfg.Privacy.Epsilon
+	tr := &Tree{
+		dim:         cfg.Dim,
+		maxT:        cfg.MaxLen,
+		levels:      levels,
+		sensitivity: cfg.Sensitivity,
+		sigma:       sigma,
+		src:         src,
+		alpha:       make([][]float64, levels),
+		beta:        make([][]float64, levels),
+		sum:         make([]float64, cfg.Dim),
+	}
+	for j := 0; j < levels; j++ {
+		tr.alpha[j] = make([]float64, cfg.Dim)
+		tr.beta[j] = make([]float64, cfg.Dim)
+	}
+	return tr, nil
+}
+
+// numLevels returns the number of dyadic levels needed for streams of length n.
+func numLevels(n int) int {
+	l := 1
+	for p := 1; p < n; p <<= 1 {
+		l++
+	}
+	return l
+}
+
+// Dim returns the dimension of the stream elements.
+func (tr *Tree) Dim() int { return tr.dim }
+
+// MaxLen returns the configured maximum stream length.
+func (tr *Tree) MaxLen() int { return tr.maxT }
+
+// Len returns the number of elements consumed so far.
+func (tr *Tree) Len() int { return tr.t }
+
+// Levels returns the number of dyadic levels of the tree (⌈log₂ MaxLen⌉ + 1).
+func (tr *Tree) Levels() int { return tr.levels }
+
+// NoiseSigma returns the per-node Gaussian noise standard deviation.
+func (tr *Tree) NoiseSigma() float64 { return tr.sigma }
+
+// Add consumes the next stream element and returns the private running sum.
+func (tr *Tree) Add(v []float64) ([]float64, error) {
+	if len(v) != tr.dim {
+		return nil, fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), tr.dim)
+	}
+	if tr.t >= tr.maxT {
+		return nil, fmt.Errorf("tree: stream length exceeds configured maximum %d", tr.maxT)
+	}
+	tr.t++
+	t := tr.t
+
+	// i is the index of the lowest set bit of t: the level at which a dyadic
+	// range closes at this timestep.
+	i := lowestSetBit(t)
+	if i >= tr.levels {
+		// Cannot happen for t <= maxT, but guard anyway.
+		i = tr.levels - 1
+	}
+
+	// a_i ← Σ_{j<i} a_j + υ_t  (fold the lower in-progress sums into level i).
+	ai := tr.alpha[i]
+	for j := 0; j < i; j++ {
+		aj := tr.alpha[j]
+		for k := range ai {
+			ai[k] += aj[k]
+		}
+	}
+	for k := range ai {
+		ai[k] += v[k]
+	}
+	// Zero the lower levels.
+	for j := 0; j < i; j++ {
+		zero(tr.alpha[j])
+		zero(tr.beta[j])
+	}
+	// Publish the noisy partial sum for level i.
+	bi := tr.beta[i]
+	for k := range bi {
+		bi[k] = ai[k] + tr.src.Normal(0, tr.sigma)
+	}
+
+	// s_t ← Σ_{j : Bin_j(t) ≠ 0} b_j.
+	zero(tr.sum)
+	for j := 0; j < tr.levels; j++ {
+		if t&(1<<uint(j)) != 0 {
+			bj := tr.beta[j]
+			for k := range tr.sum {
+				tr.sum[k] += bj[k]
+			}
+		}
+	}
+	return tr.Sum(), nil
+}
+
+// Sum returns a copy of the current private running-sum estimate.
+func (tr *Tree) Sum() []float64 {
+	out := make([]float64, tr.dim)
+	copy(out, tr.sum)
+	return out
+}
+
+// ErrorBound returns a high-probability bound on the Euclidean error of the
+// running-sum estimate at any single timestep, per Proposition C.1: with
+// probability at least 1-β the error is at most
+//
+//	σ · ( √(L·d) + √(2 L ln(1/β)) )
+//
+// where L is the number of tree levels (at most L noisy nodes are summed, each
+// with independent N(0, σ² I_d) noise, so the error is a Gaussian vector with
+// total variance at most L·σ² per coordinate).
+func (tr *Tree) ErrorBound(beta float64) float64 {
+	if beta <= 0 || beta >= 1 {
+		panic("tree: ErrorBound requires beta in (0,1)")
+	}
+	l := float64(tr.levels)
+	d := float64(tr.dim)
+	return tr.sigma * (math.Sqrt(l*d) + math.Sqrt(2*l*math.Log(1/beta)))
+}
+
+func lowestSetBit(t int) int {
+	i := 0
+	for t&1 == 0 {
+		t >>= 1
+		i++
+	}
+	return i
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

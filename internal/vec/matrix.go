@@ -1,0 +1,417 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("vec: negative matrix dimension")
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix whose rows are copies of the given vectors.
+// All rows must have the same dimension.
+func NewMatrixFromRows(rows []Vector) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	d := len(rows[0])
+	m := NewMatrix(len(rows), d)
+	for i, r := range rows {
+		if len(r) != d {
+			panic(dimErr("NewMatrixFromRows", d, len(r)))
+		}
+		copy(m.data[i*d:(i+1)*d], r)
+	}
+	return m
+}
+
+// Identity returns the d x d identity matrix.
+func Identity(d int) *Matrix {
+	m := NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the entry at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the entry at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Incr adds v to the entry at row i, column j.
+func (m *Matrix) Incr(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("vec: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a Vector sharing the matrix's storage.
+func (m *Matrix) Row(i int) Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("vec: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return Vector(m.data[i*m.cols : (i+1)*m.cols])
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("vec: col %d out of range for %dx%d matrix", j, m.rows, m.cols))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Zero sets every entry of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Data returns the underlying row-major storage of m. Callers must treat the
+// returned slice as read-only unless they own the matrix.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// CopyFrom copies the entries of src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic("vec: CopyFrom shape mismatch")
+	}
+	copy(m.data, src.data)
+}
+
+// AddInPlace sets m = m + b. Shapes must match.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic("vec: AddInPlace shape mismatch")
+	}
+	for i := range m.data {
+		m.data[i] += b.data[i]
+	}
+}
+
+// SubInPlace sets m = m - b. Shapes must match.
+func (m *Matrix) SubInPlace(b *Matrix) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic("vec: SubInPlace shape mismatch")
+	}
+	for i := range m.data {
+		m.data[i] -= b.data[i]
+	}
+}
+
+// ScaleInPlace multiplies every entry of m by c.
+func (m *Matrix) ScaleInPlace(c float64) {
+	for i := range m.data {
+		m.data[i] *= c
+	}
+}
+
+// MulVec returns m * x as a new vector of dimension Rows().
+func (m *Matrix) MulVec(x Vector) Vector {
+	if m.cols != len(x) {
+		panic(dimErr("MulVec", m.cols, len(x)))
+	}
+	out := make(Vector, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecTo computes dst = m * x without allocating. dst must have dimension Rows().
+func (m *Matrix) MulVecTo(dst, x Vector) {
+	if m.cols != len(x) {
+		panic(dimErr("MulVecTo", m.cols, len(x)))
+	}
+	if len(dst) != m.rows {
+		panic(dimErr("MulVecTo dst", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT returns mᵀ * x as a new vector of dimension Cols().
+func (m *Matrix) MulVecT(x Vector) Vector {
+	if m.rows != len(x) {
+		panic(dimErr("MulVecT", m.rows, len(x)))
+	}
+	out := make(Vector, m.cols)
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out[j] += v * xi
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m * b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(dimErr("Mul", m.cols, b.rows))
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k := 0; k < m.cols; k++ {
+			a := mrow[k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j := range orow {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// AddOuterInPlace adds the rank-one update alpha * x xᵀ to the square matrix m.
+// The matrix must be Dim(x) x Dim(x).
+func (m *Matrix) AddOuterInPlace(alpha float64, x Vector) {
+	if m.rows != len(x) || m.cols != len(x) {
+		panic("vec: AddOuterInPlace requires a d x d matrix for a d-vector")
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := alpha * x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := range row {
+			row[j] += xi * x[j]
+		}
+	}
+}
+
+// Outer returns the outer product x yᵀ as a new len(x) x len(y) matrix.
+func Outer(x, y Vector) *Matrix {
+	out := NewMatrix(len(x), len(y))
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := out.data[i*out.cols : (i+1)*out.cols]
+		for j, yj := range y {
+			row[j] = xi * yj
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	return Norm2(Vector(m.data))
+}
+
+// MaxAbs returns the largest absolute entry of m.
+func (m *Matrix) MaxAbs() float64 {
+	var s float64
+	for _, x := range m.data {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// SymmetrizeInPlace replaces the square matrix m by (m + mᵀ)/2. This is used to
+// repair the symmetry of privately perturbed second-moment matrices before they
+// are consumed by the optimizer.
+func (m *Matrix) SymmetrizeInPlace() {
+	if m.rows != m.cols {
+		panic("vec: SymmetrizeInPlace requires a square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			v := (m.data[i*m.cols+j] + m.data[j*m.cols+i]) / 2
+			m.data[i*m.cols+j] = v
+			m.data[j*m.cols+i] = v
+		}
+	}
+}
+
+// Trace returns the trace of the square matrix m.
+func (m *Matrix) Trace() float64 {
+	if m.rows != m.cols {
+		panic("vec: Trace requires a square matrix")
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		s += m.data[i*m.cols+i]
+	}
+	return s
+}
+
+// SpectralNormUpperBound returns an inexpensive upper bound on the spectral norm
+// of m, namely min(sqrt(‖m‖_1 ‖m‖_inf), ‖m‖_F). It is used to bound step sizes.
+func (m *Matrix) SpectralNormUpperBound() float64 {
+	// ‖m‖_inf: max row sum of absolute values.
+	var rowMax float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			s += math.Abs(v)
+		}
+		if s > rowMax {
+			rowMax = s
+		}
+	}
+	// ‖m‖_1: max column sum of absolute values.
+	colSums := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			colSums[j] += math.Abs(v)
+		}
+	}
+	var colMax float64
+	for _, s := range colSums {
+		if s > colMax {
+			colMax = s
+		}
+	}
+	holder := math.Sqrt(rowMax * colMax)
+	fro := m.FrobeniusNorm()
+	if fro < holder {
+		return fro
+	}
+	return holder
+}
+
+// PowerIterationSpectralNorm estimates the spectral norm (largest singular value)
+// of m by running iters rounds of power iteration on mᵀm, starting from v0.
+// If v0 is nil a deterministic all-ones start vector is used. The estimate is a
+// lower bound that converges to the true value as iters grows.
+func (m *Matrix) PowerIterationSpectralNorm(iters int, v0 Vector) float64 {
+	if m.cols == 0 || m.rows == 0 {
+		return 0
+	}
+	v := v0
+	if v == nil {
+		v = make(Vector, m.cols)
+		v.Fill(1)
+	} else {
+		v = v.Clone()
+	}
+	if v.Normalize() == 0 {
+		v.Fill(1)
+		v.Normalize()
+	}
+	var sigma float64
+	for k := 0; k < iters; k++ {
+		u := m.MulVec(v)
+		sigma = Norm2(u)
+		if sigma == 0 {
+			return 0
+		}
+		v = m.MulVecT(u)
+		if v.Normalize() == 0 {
+			return sigma
+		}
+	}
+	return sigma
+}
+
+// Equal reports whether a and b have the same shape and entries within tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a small matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d", m.rows, m.cols)
+	if m.rows*m.cols <= 64 {
+		s += " ["
+		for i := 0; i < m.rows; i++ {
+			if i > 0 {
+				s += "; "
+			}
+			for j := 0; j < m.cols; j++ {
+				if j > 0 {
+					s += " "
+				}
+				s += fmt.Sprintf("%.4g", m.At(i, j))
+			}
+		}
+		s += "]"
+	}
+	return s
+}

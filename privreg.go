@@ -1,0 +1,324 @@
+package privreg
+
+import (
+	"errors"
+	"fmt"
+
+	"privreg/internal/core"
+	"privreg/internal/dp"
+	"privreg/internal/erm"
+	"privreg/internal/loss"
+	"privreg/internal/randx"
+	"privreg/internal/vec"
+)
+
+// Privacy is an (ε, δ) differential-privacy budget for the entire output
+// sequence of an estimator.
+type Privacy struct {
+	// Epsilon is the privacy-loss bound; must be positive.
+	Epsilon float64
+	// Delta is the failure probability of the ε bound; must lie in [0, 1) and
+	// be strictly positive for the regression mechanisms (they use Gaussian
+	// noise).
+	Delta float64
+}
+
+func (p Privacy) params() dp.Params { return dp.Params{Epsilon: p.Epsilon, Delta: p.Delta} }
+
+// Loss selects the per-datapoint loss of the generic incremental ERM mechanism.
+type Loss int
+
+// Supported losses for NewGenericERM and NewNaiveRecompute.
+const (
+	// SquaredLoss is (y - <x, θ>)², the linear-regression loss.
+	SquaredLoss Loss = iota
+	// LogisticLoss is ln(1 + exp(-y<x, θ>)), the logistic-regression loss with
+	// labels in {-1, +1}.
+	LogisticLoss
+	// HingeLoss is max(0, 1 - y<x, θ>), the SVM loss.
+	HingeLoss
+)
+
+func (l Loss) function() (loss.Function, error) {
+	switch l {
+	case SquaredLoss:
+		return loss.Squared{}, nil
+	case LogisticLoss:
+		return loss.Logistic{}, nil
+	case HingeLoss:
+		return loss.Hinge{}, nil
+	default:
+		return nil, fmt.Errorf("privreg: unknown loss %d", int(l))
+	}
+}
+
+// Estimator is a streaming private (or baseline) ERM mechanism. Feed the stream
+// one labelled point at a time with Observe; Estimate returns the current
+// parameter estimate for the prefix observed so far. Estimates are lazy
+// post-processing of already-private state, so Estimate may be called at any
+// subset of timesteps (or repeatedly) without affecting the privacy guarantee.
+type Estimator interface {
+	// Name identifies the mechanism.
+	Name() string
+	// Observe feeds the next covariate/response pair. Covariates are clipped to
+	// the unit Euclidean ball and responses to [-1, 1], the normalization the
+	// privacy analysis assumes.
+	Observe(x []float64, y float64) error
+	// Estimate returns the current estimate θ_t, an element of the constraint
+	// set.
+	Estimate() ([]float64, error)
+	// Len returns the number of observations so far.
+	Len() int
+}
+
+// Config is the common configuration of every estimator constructor.
+type Config struct {
+	// Privacy is the total (ε, δ) budget for the whole stream. Ignored by the
+	// non-private baseline.
+	Privacy Privacy
+	// Horizon is the stream length T (an upper bound is fine). Required unless
+	// UnknownHorizon is set on a regression mechanism.
+	Horizon int
+	// Constraint is the constraint set C the estimates must lie in. Required.
+	Constraint Constraint
+	// Domain describes the covariate domain X. Required by
+	// NewProjectedRegression (its Gaussian width sizes the sketch); optional
+	// elsewhere.
+	Domain Domain
+	// Seed seeds all randomness (noise and projections) for reproducibility.
+	// Two estimators built with the same seed and fed the same stream produce
+	// identical outputs.
+	Seed int64
+	// WarmStart makes the per-timestep optimizer start from the previous
+	// estimate rather than from scratch.
+	WarmStart bool
+	// UnknownHorizon switches the regression mechanisms to the Hybrid
+	// continual-sum mechanism so that Horizon only acts as an optimization
+	// heuristic, not a hard limit.
+	UnknownHorizon bool
+	// MaxIterations caps the per-estimate optimizer iterations (0 = default).
+	MaxIterations int
+	// Tau overrides the recomputation period of NewGenericERM (0 = the paper's
+	// theory-optimal choice).
+	Tau int
+	// ProjectionDim overrides the sketch dimension m of NewProjectedRegression
+	// (0 = Gordon's rule).
+	ProjectionDim int
+}
+
+func (cfg Config) validate(needDomain bool) error {
+	if !cfg.Constraint.valid() {
+		return errors.New("privreg: Config.Constraint is required")
+	}
+	if cfg.Horizon <= 0 && !cfg.UnknownHorizon {
+		return errors.New("privreg: Config.Horizon must be positive (or set UnknownHorizon)")
+	}
+	if needDomain && !cfg.Domain.valid() {
+		return errors.New("privreg: Config.Domain is required by this mechanism")
+	}
+	if needDomain && cfg.Domain.valid() && cfg.Domain.Dim() != cfg.Constraint.Dim() {
+		return errors.New("privreg: Config.Domain and Config.Constraint dimensions differ")
+	}
+	return nil
+}
+
+func (cfg Config) horizonOrDefault() int {
+	if cfg.Horizon > 0 {
+		return cfg.Horizon
+	}
+	// A generous default used only for optimizer heuristics when the horizon is
+	// unknown.
+	return 1 << 20
+}
+
+// estimatorAdapter adapts an internal core.Estimator to the public Estimator
+// interface (plain []float64 at the boundary).
+type estimatorAdapter struct {
+	inner core.Estimator
+}
+
+func (a estimatorAdapter) Name() string { return a.inner.Name() }
+
+func (a estimatorAdapter) Observe(x []float64, y float64) error {
+	return a.inner.Observe(loss.Point{X: vec.Vector(x), Y: y})
+}
+
+func (a estimatorAdapter) Estimate() ([]float64, error) {
+	theta, err := a.inner.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	return []float64(theta), nil
+}
+
+func (a estimatorAdapter) Len() int { return a.inner.Len() }
+
+// NewGradientRegression returns Algorithm PRIVINCREG1: private incremental
+// least-squares regression via a Tree-Mechanism private gradient function.
+// Excess empirical risk grows as ≈ √d (Theorem 4.2), independent of the stream
+// length up to polylog factors.
+func NewGradientRegression(cfg Config) (Estimator, error) {
+	if err := cfg.validate(false); err != nil {
+		return nil, err
+	}
+	src := randx.NewSource(cfg.Seed)
+	inner, err := core.NewGradientRegression(cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), src, core.RegressionOptions{
+		MaxIterations: cfg.MaxIterations,
+		WarmStart:     cfg.WarmStart,
+		UseHybridTree: cfg.UnknownHorizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return estimatorAdapter{inner: inner}, nil
+}
+
+// NewProjectedRegression returns Algorithm PRIVINCREG2: private incremental
+// least-squares regression in a Gaussian random sketch sized by the Gaussian
+// widths of the covariate domain and the constraint set, with the solution
+// lifted back to the original space. Excess empirical risk grows as
+// ≈ T^{1/3}·(w(X)+w(C))^{2/3} (Theorem 5.7) — dimension-free for sparse
+// covariates with an L1-ball constraint.
+func NewProjectedRegression(cfg Config) (Estimator, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	src := randx.NewSource(cfg.Seed)
+	inner, err := core.NewProjectedRegression(cfg.Domain.set, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), src, core.ProjectedOptions{
+		RegressionOptions: core.RegressionOptions{
+			MaxIterations: cfg.MaxIterations,
+			WarmStart:     cfg.WarmStart,
+			UseHybridTree: cfg.UnknownHorizon,
+		},
+		ProjectionDim: cfg.ProjectionDim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return estimatorAdapter{inner: inner}, nil
+}
+
+// NewRobustProjectedRegression returns the §5.2 extension of
+// NewProjectedRegression for streams where only covariates accepted by the
+// oracle belong to the small-Gaussian-width domain described by cfg.Domain;
+// rejected points are neutralized before touching private state. The utility
+// guarantee then applies to the risk restricted to accepted points.
+func NewRobustProjectedRegression(cfg Config, oracle func(x []float64) bool) (Estimator, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	if oracle == nil {
+		return nil, errors.New("privreg: nil domain oracle")
+	}
+	src := randx.NewSource(cfg.Seed)
+	inner, err := core.NewRobustProjectedRegression(cfg.Domain.set, cfg.Constraint.set,
+		func(x vec.Vector) bool { return oracle([]float64(x)) },
+		cfg.Privacy.params(), cfg.horizonOrDefault(), src, core.ProjectedOptions{
+			RegressionOptions: core.RegressionOptions{
+				MaxIterations: cfg.MaxIterations,
+				WarmStart:     cfg.WarmStart,
+				UseHybridTree: cfg.UnknownHorizon,
+			},
+			ProjectionDim: cfg.ProjectionDim,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return estimatorAdapter{inner: inner}, nil
+}
+
+// NewGenericERM returns Mechanism PRIVINCERM: the generic transformation of a
+// private batch ERM algorithm into a private incremental one, applicable to any
+// of the supported losses. Excess empirical risk grows as ≈ (Td)^{1/3} for
+// convex losses (Theorem 3.1).
+func NewGenericERM(cfg Config, l Loss) (Estimator, error) {
+	if err := cfg.validate(false); err != nil {
+		return nil, err
+	}
+	f, err := l.function()
+	if err != nil {
+		return nil, err
+	}
+	src := randx.NewSource(cfg.Seed)
+	inner, err := core.NewGenericERM(f, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), src, core.GenericOptions{
+		Tau:   cfg.Tau,
+		Batch: erm.PrivateBatchOptions{Iterations: cfg.MaxIterations},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return estimatorAdapter{inner: inner}, nil
+}
+
+// NewNaiveRecompute returns the naive private baseline that re-solves a private
+// batch ERM problem at every timestep, splitting the budget over all T
+// releases. Provided for comparison; its excess risk carries an extra ≈ √T
+// factor.
+func NewNaiveRecompute(cfg Config, l Loss) (Estimator, error) {
+	if err := cfg.validate(false); err != nil {
+		return nil, err
+	}
+	f, err := l.function()
+	if err != nil {
+		return nil, err
+	}
+	src := randx.NewSource(cfg.Seed)
+	inner, err := core.NewNaiveRecompute(f, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), src, erm.PrivateBatchOptions{Iterations: cfg.MaxIterations})
+	if err != nil {
+		return nil, err
+	}
+	return estimatorAdapter{inner: inner}, nil
+}
+
+// NewNonPrivateBaseline returns the exact (non-private) incremental constrained
+// least-squares solver: the utility ceiling every private mechanism is compared
+// against.
+func NewNonPrivateBaseline(cfg Config) (Estimator, error) {
+	if err := cfg.validate(false); err != nil {
+		return nil, err
+	}
+	inner := core.NewNonPrivateIncremental(cfg.Constraint.set, cfg.MaxIterations)
+	return estimatorAdapter{inner: inner}, nil
+}
+
+// ExcessRisk returns the excess empirical squared-loss risk of estimate on the
+// given prefix: Σ(y_i - <x_i, θ>)² minus the minimum achievable over the
+// constraint set. It is the quantity bounded by Definition 1 of the paper and
+// is what EXPERIMENTS.md reports.
+func ExcessRisk(cons Constraint, xs [][]float64, ys []float64, estimate []float64) (float64, error) {
+	if !cons.valid() {
+		return 0, errors.New("privreg: invalid constraint")
+	}
+	if len(xs) != len(ys) {
+		return 0, errors.New("privreg: covariate and response counts differ")
+	}
+	state := erm.NewLeastSquaresState(cons.Dim(), cons.set)
+	for i, x := range xs {
+		state.Observe(vec.Vector(x), ys[i])
+	}
+	exact := state.Minimize(0)
+	excess := state.Risk(vec.Vector(estimate)) - state.Risk(exact)
+	if excess < 0 {
+		excess = 0
+	}
+	return excess, nil
+}
+
+// GaussianWidthOf estimates the Gaussian width of a constraint set by Monte
+// Carlo; exposed because width is the key quantity users need when deciding
+// between NewGradientRegression and NewProjectedRegression.
+func GaussianWidthOf(cons Constraint, samples int, seed int64) (float64, error) {
+	if !cons.valid() {
+		return 0, errors.New("privreg: invalid constraint")
+	}
+	if samples <= 0 {
+		samples = 200
+	}
+	src := randx.NewSource(seed)
+	var sum float64
+	for i := 0; i < samples; i++ {
+		g := vec.Vector(src.NormalVector(cons.Dim(), 1))
+		sum += cons.set.SupportFunction(g)
+	}
+	return sum / float64(samples), nil
+}
