@@ -2,12 +2,14 @@ package privreg
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"privreg/internal/constraint"
 	"privreg/internal/dp"
 	"privreg/internal/experiments"
 	"privreg/internal/randx"
+	"privreg/internal/sketch"
 	"privreg/internal/tree"
 	"privreg/internal/vec"
 )
@@ -98,6 +100,10 @@ func BenchmarkAblationProjScaling(b *testing.B) { runExperiment(b, "A3") }
 // transformation (DESIGN.md ablation 4).
 func BenchmarkAblationTau(b *testing.B) { runExperiment(b, "A4") }
 
+// BenchmarkAblationSketchBackend compares the dense and SRHT sketch backends
+// inside PRIVINCREG2 on identical streams (DESIGN.md ablation 5).
+func BenchmarkAblationSketchBackend(b *testing.B) { runExperiment(b, "A5") }
+
 // --- micro-benchmarks -------------------------------------------------------
 
 // BenchmarkTreeMechanismAdd measures the per-element cost of the Tree Mechanism
@@ -120,6 +126,80 @@ func BenchmarkTreeMechanismAdd(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := mech.Add(v); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTreeMechanismAddTo measures the allocation-free fast path of the
+// Tree Mechanism. The allocs/op column must read 0 (guarded by
+// TestTreeAddToZeroAlloc); compare against BenchmarkTreeMechanismAdd to see
+// the cost of the allocating wrapper.
+func BenchmarkTreeMechanismAddTo(b *testing.B) {
+	for _, dim := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			src := randx.NewSource(1)
+			mech, err := tree.New(tree.Config{
+				Dim: dim, MaxLen: b.N + 1, Sensitivity: 2,
+				Privacy: dp.Params{Epsilon: 1, Delta: 1e-6},
+			}, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := make([]float64, dim)
+			v[0] = 1
+			dst := make([]float64, dim)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := mech.AddTo(dst, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSketchApply compares the two sketch backends on the rescaled apply
+// (the per-point hot operation of PRIVINCREG2) at the acceptance workload
+// d=512, m=64: the dense Gaussian matvec is O(m·d) while the SRHT runs in
+// O(d log d), so the SRHT should win by well over 3× here.
+func BenchmarkSketchApply(b *testing.B) {
+	const m, d = 64, 512
+	for _, backend := range []sketch.Backend{sketch.BackendDense, sketch.BackendSRHT} {
+		b.Run(fmt.Sprintf("%s/d=%d/m=%d", backend, d, m), func(b *testing.B) {
+			src := randx.NewSource(10)
+			tf, err := sketch.New(backend, m, d, src.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := vec.Vector(src.SparseVector(d, 8))
+			dst := vec.NewVector(m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tf.ScaledApplyTo(dst, x)
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentWorkers runs the same experiment sweep serially and on
+// the default worker pool; the speedup column of docs/PERFORMANCE.md comes
+// from here. The output tables are byte-identical either way (guarded by
+// TestParallelWorkersDeterministic).
+func BenchmarkExperimentWorkers(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("E6/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := experiments.Options{Quick: true, Trials: 8, Seed: 1, Epsilon: 1, Delta: 1e-6, Workers: workers}
+				res, err := experiments.Run("E6", opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Table == nil || len(res.Table.Rows) == 0 {
+					b.Fatal("empty table")
 				}
 			}
 		})

@@ -9,9 +9,16 @@
 //	privreg-bench -experiment E4 -trials 5   # one experiment, more repetitions
 //	privreg-bench -list                      # list experiment IDs
 //	privreg-bench -experiment all -quick     # reduced sweeps (seconds, not minutes)
+//	privreg-bench -experiment E6 -workers 1  # disable the sweep worker pool
+//	privreg-bench -experiment all -json      # machine-readable results on stdout
+//
+// The process exits non-zero whenever any experiment fails, so CI smoke runs
+// gate on it. With -json, stdout carries exactly one JSON document (errors go
+// to stderr) for downstream perf-trajectory tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,14 +27,56 @@ import (
 	"privreg/internal/experiments"
 )
 
+// jsonResult is the machine-readable form of one experiment result.
+type jsonResult struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	Table  jsonTable          `json:"table"`
+	Slopes map[string]float64 `json:"slopes,omitempty"`
+	Notes  []string           `json:"notes,omitempty"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Seed        int64        `json:"seed"`
+	Trials      int          `json:"trials"`
+	Quick       bool         `json:"quick"`
+	Workers     int          `json:"workers"`
+	Epsilon     float64      `json:"epsilon"`
+	Delta       float64      `json:"delta"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Results     []jsonResult `json:"results"`
+	Error       string       `json:"error,omitempty"`
+}
+
+func toJSONResult(r *experiments.Result) jsonResult {
+	out := jsonResult{ID: r.ID, Title: r.Title, Slopes: r.Slopes, Notes: r.Notes}
+	if r.Table != nil {
+		out.Table = jsonTable{Title: r.Table.Title, Columns: r.Table.Columns, Rows: r.Table.Rows}
+	}
+	return out
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID to run (E1..E10, A1..A4) or \"all\"")
+		experiment = flag.String("experiment", "all", "experiment ID to run (E1..E10, A1..A5) or \"all\"")
 		trials     = flag.Int("trials", 0, "independent repetitions per configuration (0 = default)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		quick      = flag.Bool("quick", false, "run reduced sweeps")
 		epsilon    = flag.Float64("epsilon", 1.0, "privacy parameter ε")
 		delta      = flag.Float64("delta", 1e-6, "privacy parameter δ")
+		workers    = flag.Int("workers", 0, "worker pool size for sweeps (0 = GOMAXPROCS; results are identical for any value)")
+		asJSON     = flag.Bool("json", false, "emit machine-readable JSON results on stdout")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
@@ -37,7 +86,7 @@ func main() {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("  %s\n", e.ID)
 		}
-		return
+		return 0
 	}
 
 	opts := experiments.Options{
@@ -46,25 +95,59 @@ func main() {
 		Quick:   *quick,
 		Epsilon: *epsilon,
 		Delta:   *delta,
+		Workers: *workers,
 	}
 
 	start := time.Now()
+	var results []*experiments.Result
+	var runErr error
 	if *experiment == "all" {
-		results, err := experiments.All(opts)
-		for _, r := range results {
-			fmt.Println(r)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
+		results, runErr = experiments.All(opts)
 	} else {
-		r, err := experiments.Run(*experiment, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		var r *experiments.Result
+		r, runErr = experiments.Run(*experiment, opts)
+		if r != nil {
+			results = append(results, r)
 		}
+	}
+	elapsed := time.Since(start)
+
+	if *asJSON {
+		report := jsonReport{
+			Seed:        *seed,
+			Trials:      *trials,
+			Quick:       *quick,
+			Workers:     *workers,
+			Epsilon:     *epsilon,
+			Delta:       *delta,
+			WallSeconds: elapsed.Seconds(),
+		}
+		for _, r := range results {
+			report.Results = append(report.Results, toJSONResult(r))
+		}
+		if runErr != nil {
+			report.Error = runErr.Error()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "error:", runErr)
+			return 1
+		}
+		return 0
+	}
+
+	for _, r := range results {
 		fmt.Println(r)
 	}
-	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "error:", runErr)
+		return 1
+	}
+	fmt.Printf("total wall time: %s\n", elapsed.Round(time.Millisecond))
+	return 0
 }

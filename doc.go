@@ -34,6 +34,24 @@
 // bound in the paper are included. See README.md for a tour and
 // EXPERIMENTS.md for the paper-versus-measured record.
 //
+// # Performance
+//
+// The streaming hot path is engineered for sustained throughput (see
+// docs/PERFORMANCE.md for the benchmark record):
+//
+//   - NewProjectedRegression accepts a sketch backend via Config.SketchBackend:
+//     the paper's dense Gaussian projection (O(m·d) per point, the default),
+//     the subsampled randomized Hadamard transform (SketchSRHT, O(d log d) per
+//     point — several times faster once d ≳ 64), or SketchAuto to pick by
+//     dimension. Both backends satisfy the same norm-preservation guarantee.
+//   - Per-timestep updates are allocation-free in steady state: the Tree
+//     Mechanism exposes AddTo/SumInto buffer variants, Gaussian noise is drawn
+//     with a vectorized sampler, and the mechanisms reuse internal buffers for
+//     clamping, projection and outer products.
+//   - The experiment harness runs independent sweep cells on a bounded worker
+//     pool (experiments.Options.Workers, default GOMAXPROCS) with results that
+//     are byte-identical to a serial run for any fixed seed.
+//
 // Quick start:
 //
 //	cons := privreg.L2Constraint(10, 1.0)

@@ -1,0 +1,3 @@
+module privreg
+
+go 1.22

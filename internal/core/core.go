@@ -59,16 +59,24 @@ var ErrStreamFull = errors.New("core: stream length exceeds the configured horiz
 // bounds valid even for mildly out-of-range inputs.
 func clampPoint(p loss.Point) loss.Point {
 	x := p.X.Clone()
-	if n := vec.Norm2(x); n > 1 {
-		x.Scale(1 / n)
+	y := clampInto(x, p.X, p.Y)
+	return loss.Point{X: x, Y: y}
+}
+
+// clampInto is the allocation-free form of clampPoint used on the per-timestep
+// hot paths: it copies x into dst (same dimension), rescales dst into the unit
+// Euclidean ball, and returns y clamped into [-1, 1].
+func clampInto(dst, x vec.Vector, y float64) float64 {
+	dst.CopyFrom(x)
+	if n := vec.Norm2(dst); n > 1 {
+		dst.Scale(1 / n)
 	}
-	y := p.Y
 	if y > 1 {
 		y = 1
 	} else if y < -1 {
 		y = -1
 	}
-	return loss.Point{X: x, Y: y}
+	return y
 }
 
 // TrivialConstant is the data-independent mechanism discussed in Section 1.1:

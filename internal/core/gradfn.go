@@ -100,12 +100,3 @@ func flattenOuter(dst []float64, x vec.Vector) {
 		}
 	}
 }
-
-// scaledCopy returns alpha * x as a fresh slice.
-func scaledCopy(x vec.Vector, alpha float64) []float64 {
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = alpha * v
-	}
-	return out
-}

@@ -69,10 +69,13 @@ type GradientRegression struct {
 	sumXY  tree.Mechanism
 	sumXXT tree.Mechanism
 	// gradErr is the α' scale of Definition 5 for the current horizon.
-	gradErr  float64
-	d        int
-	n        int
-	prev     vec.Vector
+	gradErr float64
+	d       int
+	n       int
+	prev    vec.Vector
+	// Reusable per-timestep buffers keeping Observe allocation-free.
+	xWork    vec.Vector
+	xyWork   []float64
 	flatWork []float64
 }
 
@@ -134,6 +137,8 @@ func NewGradientRegression(c constraint.Set, p dp.Params, horizon int, src *rand
 		sumXXT:   sumXXT,
 		d:        d,
 		prev:     c.Project(vec.NewVector(d)),
+		xWork:    vec.NewVector(d),
+		xyWork:   make([]float64, d),
 		flatWork: make([]float64, d*d),
 	}
 	g.gradErr = g.gradientErrorScale()
@@ -167,19 +172,25 @@ func (g *GradientRegression) gradientErrorScale() float64 {
 func (g *GradientRegression) Name() string { return "priv-inc-reg1" }
 
 // Observe implements Estimator: fold the point into both private running sums.
+// The steady-state path performs no heap allocation — clamping, the x·y
+// scaling, and the x xᵀ flattening all reuse per-mechanism buffers, and the
+// Tree Mechanism updates go through the allocation-free AddTo entry point.
 func (g *GradientRegression) Observe(p loss.Point) error {
 	if !g.opts.UseHybridTree && g.n >= g.horizon {
 		return ErrStreamFull
 	}
-	p = clampPoint(p)
 	if len(p.X) != g.d {
 		return fmt.Errorf("core: covariate dimension %d does not match constraint dimension %d", len(p.X), g.d)
 	}
-	if _, err := g.sumXY.Add(scaledCopy(p.X, p.Y)); err != nil {
+	y := clampInto(g.xWork, p.X, p.Y)
+	for i, v := range g.xWork {
+		g.xyWork[i] = y * v
+	}
+	if err := g.sumXY.AddTo(nil, g.xyWork); err != nil {
 		return err
 	}
-	flattenOuter(g.flatWork, p.X)
-	if _, err := g.sumXXT.Add(g.flatWork); err != nil {
+	flattenOuter(g.flatWork, g.xWork)
+	if err := g.sumXXT.AddTo(nil, g.flatWork); err != nil {
 		return err
 	}
 	g.n++

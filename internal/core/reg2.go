@@ -35,6 +35,10 @@ type ProjectedOptions struct {
 	// DisableCovariateScaling turns off the ‖x‖/‖Φx‖ rescaling of covariates
 	// (footnote 15 of the paper). Used by BenchmarkAblationProjScaling.
 	DisableCovariateScaling bool
+	// Sketch selects the projection backend: the paper's dense Gaussian matrix
+	// (the zero-value default), the O(d log d) SRHT fast path, or automatic
+	// selection by dimension. See sketch.Backend.
+	Sketch sketch.Backend
 	// Lift configures the lifting solver of Step 9.
 	Lift sketch.LiftOptions
 }
@@ -60,7 +64,7 @@ type ProjectedRegression struct {
 	width     float64
 	gamma     float64
 	m         int
-	projector *sketch.Projector
+	projector sketch.Transform
 	projSet   constraint.Set
 
 	sumXY   tree.Mechanism
@@ -71,6 +75,10 @@ type ProjectedRegression struct {
 	n        int
 	prevProj vec.Vector
 	prevLift vec.Vector
+	// Reusable per-timestep buffers keeping Observe allocation-free.
+	xWork    vec.Vector
+	pxWork   vec.Vector
+	pxyWork  []float64
 	flatWork []float64
 }
 
@@ -116,7 +124,7 @@ func NewProjectedRegression(xDomain, c constraint.Set, p dp.Params, horizon int,
 		m = 1
 	}
 
-	projector, err := sketch.NewProjector(m, d, src.Split())
+	projector, err := sketch.New(opts.Sketch, m, d, src.Split())
 	if err != nil {
 		return nil, err
 	}
@@ -166,6 +174,9 @@ func NewProjectedRegression(xDomain, c constraint.Set, p dp.Params, horizon int,
 		d:         d,
 		prevProj:  projSet.Project(vec.NewVector(m)),
 		prevLift:  c.Project(vec.NewVector(d)),
+		xWork:     vec.NewVector(d),
+		pxWork:    vec.NewVector(m),
+		pxyWork:   make([]float64, m),
 		flatWork:  make([]float64, m*m),
 	}
 	r.gradErr = r.gradientErrorScale()
@@ -207,20 +218,31 @@ func (r *ProjectedRegression) Width() float64 { return r.width }
 
 // Projector exposes the fixed random projection (useful for the adaptive-stream
 // experiments, which need a probe into the projected geometry).
-func (r *ProjectedRegression) Projector() *sketch.Projector { return r.projector }
+func (r *ProjectedRegression) Projector() sketch.Transform { return r.projector }
 
-// Observe implements Estimator.
+// SketchBackend reports which sketch backend the mechanism constructed.
+func (r *ProjectedRegression) SketchBackend() string {
+	if _, ok := r.projector.(*sketch.SRHT); ok {
+		return "srht"
+	}
+	return "dense"
+}
+
+// Observe implements Estimator. The steady-state path performs no heap
+// allocation: the clamped covariate, projected covariate, and flattened outer
+// product all live in reusable buffers, and the Tree Mechanism updates go
+// through the allocation-free AddTo entry point.
 func (r *ProjectedRegression) Observe(p loss.Point) error {
 	if !r.opts.UseHybridTree && r.n >= r.horizon {
 		return ErrStreamFull
 	}
-	p = clampPoint(p)
 	if len(p.X) != r.d {
 		return fmt.Errorf("core: covariate dimension %d does not match constraint dimension %d", len(p.X), r.d)
 	}
-	var px vec.Vector
+	y := clampInto(r.xWork, p.X, p.Y)
+	px := r.pxWork
 	if r.opts.DisableCovariateScaling {
-		px = r.projector.Apply(p.X)
+		r.projector.ApplyTo(px, r.xWork)
 		// Without the rescaling the projected covariate can exceed unit norm,
 		// which would break the stated sensitivity; clip to preserve privacy at
 		// the cost of bias (this is exactly the trade-off the ablation probes).
@@ -228,13 +250,16 @@ func (r *ProjectedRegression) Observe(p loss.Point) error {
 			px.Scale(1 / n)
 		}
 	} else {
-		px = r.projector.ScaledApply(p.X)
+		r.projector.ScaledApplyTo(px, r.xWork)
 	}
-	if _, err := r.sumXY.Add(scaledCopy(px, p.Y)); err != nil {
+	for i, v := range px {
+		r.pxyWork[i] = y * v
+	}
+	if err := r.sumXY.AddTo(nil, r.pxyWork); err != nil {
 		return err
 	}
 	flattenOuter(r.flatWork, px)
-	if _, err := r.sumXXT.Add(r.flatWork); err != nil {
+	if err := r.sumXXT.AddTo(nil, r.flatWork); err != nil {
 		return err
 	}
 	r.n++

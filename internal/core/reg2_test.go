@@ -250,8 +250,11 @@ func TestFlattenOuterAndMatrixFromFlat(t *testing.T) {
 	if m.At(0, 1) != 4 || m.At(1, 0) != 4 {
 		t.Fatalf("matrixFromFlat did not symmetrize: %v", m)
 	}
-	s := scaledCopy(vec.Vector{1, 2}, -3)
-	if s[0] != -3 || s[1] != -6 {
-		t.Fatalf("scaledCopy = %v", s)
+	dst := vec.NewVector(2)
+	if y := clampInto(dst, vec.Vector{3, 4}, 7); y != 1 {
+		t.Fatalf("clampInto y = %v, want 1", y)
+	}
+	if n := vec.Norm2(dst); n > 1+1e-12 {
+		t.Fatalf("clampInto did not rescale into the unit ball: norm %v", n)
 	}
 }

@@ -37,6 +37,11 @@ type Options struct {
 	Quick bool
 	// Epsilon and Delta are the privacy budget (defaults 1.0 and 1e-6).
 	Epsilon, Delta float64
+	// Workers bounds the worker pool that independent (configuration, trial)
+	// cells of each sweep run on. Non-positive selects GOMAXPROCS. Every cell
+	// derives its randomness from Seed alone and results are reduced in a fixed
+	// order, so the output tables are byte-identical for any Workers value.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -116,6 +121,7 @@ func Registry() []struct {
 		{"A2", AblationWarmStart},
 		{"A3", AblationProjScaling},
 		{"A4", AblationTau},
+		{"A5", AblationSketchBackend},
 	}
 }
 

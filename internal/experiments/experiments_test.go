@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -68,6 +69,66 @@ func TestTreeExperimentReportsSlopes(t *testing.T) {
 	}
 	if len(res.Slopes) == 0 {
 		t.Fatal("no fitted slopes reported")
+	}
+}
+
+// TestParallelWorkersDeterministic is the contract of the parallel harness:
+// for a fixed seed, running an experiment on one worker and on many workers
+// must produce byte-identical rendered results. Every sweep cell derives its
+// randomness from the seed alone and the reduction order is fixed, so worker
+// count and goroutine scheduling can only affect wall-clock time.
+func TestParallelWorkersDeterministic(t *testing.T) {
+	ids := []string{"E1", "E4", "E6", "A1", "A5"}
+	if !testing.Short() {
+		ids = nil
+		for _, e := range Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		serialOpts := quickOpts()
+		serialOpts.Trials = 2
+		serialOpts.Workers = 1
+		parallelOpts := serialOpts
+		parallelOpts.Workers = 8
+		serial, err := Run(id, serialOpts)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		parallel, err := Run(id, parallelOpts)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Fatalf("%s: parallel run differs from serial run\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+				id, serial.String(), parallel.String())
+		}
+	}
+}
+
+// TestParallelMapOrderingAndErrors pins down the pool semantics: results come
+// back in index order and the lowest-indexed error wins regardless of worker
+// count.
+func TestParallelMapOrderingAndErrors(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		got, err := parallelMap(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+		_, err = parallelMap(workers, 50, func(i int) (int, error) {
+			if i == 13 || i == 31 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 13 failed" {
+			t.Fatalf("workers=%d: expected lowest-index error 'job 13 failed', got %v", workers, err)
+		}
 	}
 }
 

@@ -30,36 +30,48 @@ func Table1Row1GenericConvex(opts Options) (*Result, error) {
 	cons := constraint.NewL2Ball(d, 1)
 	table := metrics.NewTable("Generic transformation on logistic loss (d="+fmt.Sprint(d)+")",
 		"T", "tau", "excess(generic)", "excess(trivial)", "bound(Thm3.1-1)")
+	type trialOut struct {
+		gen, triv float64
+		tau       int
+	}
+	outs, err := parallelMap(opts.workers(), len(horizons)*opts.Trials, func(k int) (trialOut, error) {
+		horizon, trial := horizons[k/opts.Trials], k%opts.Trials
+		src := randx.NewSource(opts.Seed + int64(31*horizon+trial))
+		truth := denseTruth(d, 0.8, src)
+		gen, err := stream.NewClassification(truth, 0.3, src.Split())
+		if err != nil {
+			return trialOut{}, err
+		}
+		data := stream.Collect(gen, horizon)
+		mech, err := core.NewGenericERM(f, cons, opts.privacy(), horizon, src.Split(), core.GenericOptions{
+			Batch: erm.PrivateBatchOptions{Iterations: 60},
+		})
+		if err != nil {
+			return trialOut{}, err
+		}
+		exc, err := genericExcess(mech, f, cons, data)
+		if err != nil {
+			return trialOut{}, err
+		}
+		triv := core.NewTrivialConstant(cons)
+		excT, err := genericExcess(triv, f, cons, data)
+		if err != nil {
+			return trialOut{}, err
+		}
+		return trialOut{gen: exc, triv: excT, tau: mech.Tau()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var xs, ys []float64
-	for _, horizon := range horizons {
+	for hi, horizon := range horizons {
 		var genSum, trivSum float64
 		var tau int
 		for trial := 0; trial < opts.Trials; trial++ {
-			src := randx.NewSource(opts.Seed + int64(31*horizon+trial))
-			truth := denseTruth(d, 0.8, src)
-			gen, err := stream.NewClassification(truth, 0.3, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			data := stream.Collect(gen, horizon)
-			mech, err := core.NewGenericERM(f, cons, opts.privacy(), horizon, src.Split(), core.GenericOptions{
-				Batch: erm.PrivateBatchOptions{Iterations: 60},
-			})
-			if err != nil {
-				return nil, err
-			}
-			tau = mech.Tau()
-			exc, err := genericExcess(mech, f, cons, data)
-			if err != nil {
-				return nil, err
-			}
-			genSum += exc
-			triv := core.NewTrivialConstant(cons)
-			excT, err := genericExcess(triv, f, cons, data)
-			if err != nil {
-				return nil, err
-			}
-			trivSum += excT
+			o := outs[hi*opts.Trials+trial]
+			genSum += o.gen
+			trivSum += o.triv
+			tau = o.tau
 		}
 		n := float64(opts.Trials)
 		exc := genSum / n
@@ -98,36 +110,48 @@ func Table1Row2StronglyConvex(opts Options) (*Result, error) {
 	cons := constraint.NewL2Ball(d, 1)
 	table := metrics.NewTable("Generic transformation on strongly convex (ridge) loss (d="+fmt.Sprint(d)+", λ="+fmt.Sprint(lambda)+")",
 		"T", "tau", "excess(generic)", "excess(trivial)")
+	type trialOut struct {
+		gen, triv float64
+		tau       int
+	}
+	outs, err := parallelMap(opts.workers(), len(horizons)*opts.Trials, func(k int) (trialOut, error) {
+		horizon, trial := horizons[k/opts.Trials], k%opts.Trials
+		src := randx.NewSource(opts.Seed + int64(53*horizon+trial))
+		truth := denseTruth(d, 0.6, src)
+		gen, err := stream.NewLinearModel(truth, 0.05, 0, src.Split())
+		if err != nil {
+			return trialOut{}, err
+		}
+		data := stream.Collect(gen, horizon)
+		mech, err := core.NewGenericERM(f, cons, opts.privacy(), horizon, src.Split(), core.GenericOptions{
+			Batch: erm.PrivateBatchOptions{Iterations: 60},
+		})
+		if err != nil {
+			return trialOut{}, err
+		}
+		exc, err := genericExcess(mech, f, cons, data)
+		if err != nil {
+			return trialOut{}, err
+		}
+		triv := core.NewTrivialConstant(cons)
+		excT, err := genericExcess(triv, f, cons, data)
+		if err != nil {
+			return trialOut{}, err
+		}
+		return trialOut{gen: exc, triv: excT, tau: mech.Tau()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var xs, ys []float64
-	for _, horizon := range horizons {
+	for hi, horizon := range horizons {
 		var genSum, trivSum float64
 		var tau int
 		for trial := 0; trial < opts.Trials; trial++ {
-			src := randx.NewSource(opts.Seed + int64(53*horizon+trial))
-			truth := denseTruth(d, 0.6, src)
-			gen, err := stream.NewLinearModel(truth, 0.05, 0, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			data := stream.Collect(gen, horizon)
-			mech, err := core.NewGenericERM(f, cons, opts.privacy(), horizon, src.Split(), core.GenericOptions{
-				Batch: erm.PrivateBatchOptions{Iterations: 60},
-			})
-			if err != nil {
-				return nil, err
-			}
-			tau = mech.Tau()
-			exc, err := genericExcess(mech, f, cons, data)
-			if err != nil {
-				return nil, err
-			}
-			genSum += exc
-			triv := core.NewTrivialConstant(cons)
-			excT, err := genericExcess(triv, f, cons, data)
-			if err != nil {
-				return nil, err
-			}
-			trivSum += excT
+			o := outs[hi*opts.Trials+trial]
+			genSum += o.gen
+			trivSum += o.triv
+			tau = o.tau
 		}
 		n := float64(opts.Trials)
 		exc := genSum / n
@@ -160,37 +184,46 @@ func NaiveVsGeneric(opts Options) (*Result, error) {
 	cons := constraint.NewL2Ball(d, 1)
 	table := metrics.NewTable("Naive per-step recompute vs generic transformation (squared loss, d="+fmt.Sprint(d)+")",
 		"T", "excess(naive)", "excess(generic)", "ratio naive/generic")
+	type trialOut struct{ naive, gen float64 }
+	outs, err := parallelMap(opts.workers(), len(horizons)*opts.Trials, func(k int) (trialOut, error) {
+		horizon, trial := horizons[k/opts.Trials], k%opts.Trials
+		src := randx.NewSource(opts.Seed + int64(71*horizon+trial))
+		truth := denseTruth(d, 0.7, src)
+		gen, err := stream.NewLinearModel(truth, 0.05, 0, src.Split())
+		if err != nil {
+			return trialOut{}, err
+		}
+		data := stream.Collect(gen, horizon)
+		naive, err := core.NewNaiveRecompute(f, cons, opts.privacy(), horizon, src.Split(), erm.PrivateBatchOptions{Iterations: 40})
+		if err != nil {
+			return trialOut{}, err
+		}
+		excN, err := genericExcess(naive, f, cons, data)
+		if err != nil {
+			return trialOut{}, err
+		}
+		generic, err := core.NewGenericERM(f, cons, opts.privacy(), horizon, src.Split(), core.GenericOptions{
+			Batch: erm.PrivateBatchOptions{Iterations: 40},
+		})
+		if err != nil {
+			return trialOut{}, err
+		}
+		excG, err := genericExcess(generic, f, cons, data)
+		if err != nil {
+			return trialOut{}, err
+		}
+		return trialOut{naive: excN, gen: excG}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var ratios []float64
-	for _, horizon := range horizons {
+	for hi, horizon := range horizons {
 		var naiveSum, genSum float64
 		for trial := 0; trial < opts.Trials; trial++ {
-			src := randx.NewSource(opts.Seed + int64(71*horizon+trial))
-			truth := denseTruth(d, 0.7, src)
-			gen, err := stream.NewLinearModel(truth, 0.05, 0, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			data := stream.Collect(gen, horizon)
-			naive, err := core.NewNaiveRecompute(f, cons, opts.privacy(), horizon, src.Split(), erm.PrivateBatchOptions{Iterations: 40})
-			if err != nil {
-				return nil, err
-			}
-			excN, err := genericExcess(naive, f, cons, data)
-			if err != nil {
-				return nil, err
-			}
-			naiveSum += excN
-			generic, err := core.NewGenericERM(f, cons, opts.privacy(), horizon, src.Split(), core.GenericOptions{
-				Batch: erm.PrivateBatchOptions{Iterations: 40},
-			})
-			if err != nil {
-				return nil, err
-			}
-			excG, err := genericExcess(generic, f, cons, data)
-			if err != nil {
-				return nil, err
-			}
-			genSum += excG
+			o := outs[hi*opts.Trials+trial]
+			naiveSum += o.naive
+			genSum += o.gen
 		}
 		n := float64(opts.Trials)
 		ratio := 0.0
@@ -222,11 +255,12 @@ func AblationTau(opts Options) (*Result, error) {
 	f := loss.Squared{}
 	cons := constraint.NewL2Ball(d, 1)
 	optimal := core.TauConvex(horizon, d, opts.Epsilon)
-	taus := []int{1, optimal / 2, optimal, optimal * 2, horizon}
+	candidates := []int{1, optimal / 2, optimal, optimal * 2, horizon}
 	table := metrics.NewTable(fmt.Sprintf("Ablation: recomputation period τ (theory-optimal τ*=%d, T=%d)", optimal, horizon),
 		"tau", "excess(generic)")
 	seen := map[int]bool{}
-	for _, tau := range taus {
+	var taus []int
+	for _, tau := range candidates {
 		if tau < 1 {
 			tau = 1
 		}
@@ -237,27 +271,33 @@ func AblationTau(opts Options) (*Result, error) {
 			continue
 		}
 		seen[tau] = true
+		taus = append(taus, tau)
+	}
+	excs, err := parallelMap(opts.workers(), len(taus)*opts.Trials, func(k int) (float64, error) {
+		tau, trial := taus[k/opts.Trials], k%opts.Trials
+		src := randx.NewSource(opts.Seed + int64(trial) + int64(tau)*17)
+		truth := denseTruth(d, 0.7, src)
+		gen, err := stream.NewLinearModel(truth, 0.05, 0, src.Split())
+		if err != nil {
+			return 0, err
+		}
+		data := stream.Collect(gen, horizon)
+		mech, err := core.NewGenericERM(f, cons, opts.privacy(), horizon, src.Split(), core.GenericOptions{
+			Tau:   tau,
+			Batch: erm.PrivateBatchOptions{Iterations: 40},
+		})
+		if err != nil {
+			return 0, err
+		}
+		return genericExcess(mech, f, cons, data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, tau := range taus {
 		var excSum float64
 		for trial := 0; trial < opts.Trials; trial++ {
-			src := randx.NewSource(opts.Seed + int64(trial) + int64(tau)*17)
-			truth := denseTruth(d, 0.7, src)
-			gen, err := stream.NewLinearModel(truth, 0.05, 0, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			data := stream.Collect(gen, horizon)
-			mech, err := core.NewGenericERM(f, cons, opts.privacy(), horizon, src.Split(), core.GenericOptions{
-				Tau:   tau,
-				Batch: erm.PrivateBatchOptions{Iterations: 40},
-			})
-			if err != nil {
-				return nil, err
-			}
-			exc, err := genericExcess(mech, f, cons, data)
-			if err != nil {
-				return nil, err
-			}
-			excSum += exc
+			excSum += excs[ti*opts.Trials+trial]
 		}
 		table.AddRow(fmt.Sprint(tau), fmt.Sprintf("%.4g", excSum/float64(opts.Trials)))
 	}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap evaluates fn(0), ..., fn(n-1) on at most workers goroutines and
+// returns the results in index order. It is the execution substrate of every
+// experiment sweep: jobs are independent (config, trial) cells that each build
+// their own randx.Source from the experiment seed, so the table assembled from
+// the ordered results is byte-identical whatever the worker count or
+// scheduling — parallelism changes wall-clock time only.
+//
+// If any job fails, the error of the lowest-indexed failing job is returned
+// (again independent of scheduling); remaining jobs still run to completion.
+func parallelMap[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// workers resolves the Options.Workers setting: non-positive means one worker
+// per available CPU.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

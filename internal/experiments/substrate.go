@@ -29,35 +29,51 @@ func TreeMechanismError(opts Options) (*Result, error) {
 		horizons = []int{64, 256}
 		dims = []int{4}
 	}
+	type cell struct{ d, horizon int }
+	var cells []cell
+	for _, d := range dims {
+		for _, horizon := range horizons {
+			cells = append(cells, cell{d, horizon})
+		}
+	}
+	type trialOut struct{ worst, bound float64 }
+	outs, err := parallelMap(opts.workers(), len(cells)*opts.Trials, func(k int) (trialOut, error) {
+		c, trial := cells[k/opts.Trials], k%opts.Trials
+		src := randx.NewSource(opts.Seed + int64(7*c.horizon+13*c.d+trial))
+		mech, err := tree.New(tree.Config{Dim: c.d, MaxLen: c.horizon, Sensitivity: 2, Privacy: opts.privacy()}, src.Split())
+		if err != nil {
+			return trialOut{}, err
+		}
+		exact := make(vec.Vector, c.d)
+		got := make(vec.Vector, c.d)
+		var worst float64
+		for t := 0; t < c.horizon; t++ {
+			v := vec.Vector(src.UnitSphere(c.d))
+			exact.AddInPlace(v)
+			if err := mech.AddTo(got, v); err != nil {
+				return trialOut{}, err
+			}
+			if e := vec.Dist2(got, exact); e > worst {
+				worst = e
+			}
+		}
+		return trialOut{worst: worst, bound: mech.ErrorBound(0.05)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	table := metrics.NewTable("Tree Mechanism maximum prefix-sum error (Proposition C.1)",
 		"T", "d", "max error", "bound")
 	slopes := map[string]float64{}
+	k := 0
 	for _, d := range dims {
 		var xs, ys []float64
 		for _, horizon := range horizons {
-			var maxErrSum float64
-			var bound float64
+			var maxErrSum, bound float64
 			for trial := 0; trial < opts.Trials; trial++ {
-				src := randx.NewSource(opts.Seed + int64(7*horizon+13*d+trial))
-				mech, err := tree.New(tree.Config{Dim: d, MaxLen: horizon, Sensitivity: 2, Privacy: opts.privacy()}, src.Split())
-				if err != nil {
-					return nil, err
-				}
-				bound = mech.ErrorBound(0.05)
-				exact := make(vec.Vector, d)
-				var worst float64
-				for t := 0; t < horizon; t++ {
-					v := vec.Vector(src.UnitSphere(d))
-					exact.AddInPlace(v)
-					got, err := mech.Add(v)
-					if err != nil {
-						return nil, err
-					}
-					if e := vec.Dist2(vec.Vector(got), exact); e > worst {
-						worst = e
-					}
-				}
-				maxErrSum += worst
+				maxErrSum += outs[k].worst
+				bound = outs[k].bound
+				k++
 			}
 			avg := maxErrSum / float64(opts.Trials)
 			table.AddRow(fmt.Sprint(horizon), fmt.Sprint(d), fmt.Sprintf("%.4g", avg), fmt.Sprintf("%.4g", bound))
@@ -94,7 +110,8 @@ func NoisyPGDConvergence(opts Options) (*Result, error) {
 		"alpha", "r", "suboptimality", "theory bound (α+L)‖C‖/√r + α‖C‖")
 	src := randx.NewSource(opts.Seed)
 	// A fixed strongly curved quadratic f(θ) = Σ_i w_i (θ_i - c_i)² with the
-	// optimum inside C, whose exact minimum is known in closed form.
+	// optimum inside C, whose exact minimum is known in closed form. The problem
+	// instance is drawn once, sequentially; only the noisy trials parallelize.
 	weights := make(vec.Vector, d)
 	center := make(vec.Vector, d)
 	for i := 0; i < d; i++ {
@@ -123,29 +140,44 @@ func NoisyPGDConvergence(opts Options) (*Result, error) {
 			lip = l
 		}
 	}
+	type cell struct {
+		alpha float64
+		r     int
+	}
+	var cells []cell
 	for _, alpha := range alphas {
 		for _, r := range iterSweep {
-			var subSum float64
-			for trial := 0; trial < opts.Trials; trial++ {
-				tsrc := randx.NewSource(opts.Seed + int64(trial) + int64(r)*31)
-				noisy := func(th vec.Vector) vec.Vector {
-					g := exactGrad(th)
-					noise := vec.Vector(tsrc.UnitSphere(d))
-					vec.Axpy(g, alpha*tsrc.Float64(), noise)
-					return g
-				}
-				res, err := optimize.NoisyProjected(cons, noisy, optimize.Options{
-					Iterations: r, Lipschitz: lip, GradError: alpha, Average: true,
-				})
-				if err != nil {
-					return nil, err
-				}
-				subSum += value(res.Theta) - value(center)
-			}
-			sub := subSum / float64(opts.Trials)
-			bound := (alpha+lip)*cons.Diameter()/math.Sqrt(float64(r)) + alpha*cons.Diameter()
-			table.AddRow(fmt.Sprintf("%.3g", alpha), fmt.Sprint(r), fmt.Sprintf("%.4g", sub), fmt.Sprintf("%.4g", bound))
+			cells = append(cells, cell{alpha, r})
 		}
+	}
+	subs, err := parallelMap(opts.workers(), len(cells)*opts.Trials, func(k int) (float64, error) {
+		c, trial := cells[k/opts.Trials], k%opts.Trials
+		tsrc := randx.NewSource(opts.Seed + int64(trial) + int64(c.r)*31)
+		noisy := func(th vec.Vector) vec.Vector {
+			g := exactGrad(th)
+			noise := vec.Vector(tsrc.UnitSphere(d))
+			vec.Axpy(g, c.alpha*tsrc.Float64(), noise)
+			return g
+		}
+		res, err := optimize.NoisyProjected(cons, noisy, optimize.Options{
+			Iterations: c.r, Lipschitz: lip, GradError: c.alpha, Average: true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return value(res.Theta) - value(center), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cells {
+		var subSum float64
+		for trial := 0; trial < opts.Trials; trial++ {
+			subSum += subs[ci*opts.Trials+trial]
+		}
+		sub := subSum / float64(opts.Trials)
+		bound := (c.alpha+lip)*cons.Diameter()/math.Sqrt(float64(c.r)) + c.alpha*cons.Diameter()
+		table.AddRow(fmt.Sprintf("%.3g", c.alpha), fmt.Sprint(c.r), fmt.Sprintf("%.4g", sub), fmt.Sprintf("%.4g", bound))
 	}
 	return &Result{
 		ID:    "E7",
@@ -171,45 +203,58 @@ func GordonEmbeddingAndLifting(opts Options) (*Result, error) {
 	cons := constraint.NewL1Ball(d, 1)
 	table := metrics.NewTable("Gordon embedding distortion and lifting error vs projection dimension m",
 		"m", "norm distortion (iid)", "norm distortion (adaptive)", "lift error", "lift bound (Thm5.3)")
-	for _, m := range ms {
-		var distIID, distAdaptive, liftErr float64
+	type trialOut struct{ distIID, distAdaptive, liftErr float64 }
+	outs, err := parallelMap(opts.workers(), len(ms)*opts.Trials, func(k int) (trialOut, error) {
+		m, trial := ms[k/opts.Trials], k%opts.Trials
+		src := randx.NewSource(opts.Seed + int64(m*101+trial))
+		proj, err := sketch.NewProjector(m, d, src.Split())
+		if err != nil {
+			return trialOut{}, err
+		}
+		var out trialOut
+		// i.i.d. sparse points.
+		var iid []vec.Vector
+		for i := 0; i < points; i++ {
+			iid = append(iid, vec.Vector(src.SparseVector(d, sparsity)))
+		}
+		out.distIID = geom.NormDistortion(proj.Apply, iid)
+		// Adaptively chosen sparse points (adversary sees Φ through a probe).
+		truth := sparseTruth(d, sparsity, 0.8, src)
+		adv, err := stream.NewAdaptive(truth, sparsity, proj.Apply, src.Split())
+		if err != nil {
+			return trialOut{}, err
+		}
+		var adaptive []vec.Vector
+		for i := 0; i < points; i++ {
+			adaptive = append(adaptive, adv.Next().X)
+		}
+		out.distAdaptive = geom.NormDistortion(proj.Apply, adaptive)
+		// Lifting: project a known θ ∈ C and recover it.
+		theta := sparseTruth(d, sparsity, 0.9, src)
+		theta = cons.Project(theta)
+		target := proj.Apply(theta)
+		lifted, err := proj.Lift(cons, target, sketch.LiftOptions{})
+		if err != nil {
+			return trialOut{}, err
+		}
+		out.liftErr = vec.Dist2(lifted, theta)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range ms {
+		var sum trialOut
 		for trial := 0; trial < opts.Trials; trial++ {
-			src := randx.NewSource(opts.Seed + int64(m*101+trial))
-			proj, err := sketch.NewProjector(m, d, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			// i.i.d. sparse points.
-			var iid []vec.Vector
-			for i := 0; i < points; i++ {
-				iid = append(iid, vec.Vector(src.SparseVector(d, sparsity)))
-			}
-			distIID += geom.NormDistortion(proj.Apply, iid)
-			// Adaptively chosen sparse points (adversary sees Φ through a probe).
-			truth := sparseTruth(d, sparsity, 0.8, src)
-			adv, err := stream.NewAdaptive(truth, sparsity, proj.Apply, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			var adaptive []vec.Vector
-			for i := 0; i < points; i++ {
-				adaptive = append(adaptive, adv.Next().X)
-			}
-			distAdaptive += geom.NormDistortion(proj.Apply, adaptive)
-			// Lifting: project a known θ ∈ C and recover it.
-			theta := sparseTruth(d, sparsity, 0.9, src)
-			theta = cons.Project(theta)
-			target := proj.Apply(theta)
-			lifted, err := proj.Lift(cons, target, sketch.LiftOptions{})
-			if err != nil {
-				return nil, err
-			}
-			liftErr += vec.Dist2(lifted, theta)
+			o := outs[mi*opts.Trials+trial]
+			sum.distIID += o.distIID
+			sum.distAdaptive += o.distAdaptive
+			sum.liftErr += o.liftErr
 		}
 		n := float64(opts.Trials)
 		bound := geom.LiftErrorBound(cons, m, 0.05)
-		table.AddRow(fmt.Sprint(m), fmt.Sprintf("%.4g", distIID/n), fmt.Sprintf("%.4g", distAdaptive/n),
-			fmt.Sprintf("%.4g", liftErr/n), fmt.Sprintf("%.4g", bound))
+		table.AddRow(fmt.Sprint(m), fmt.Sprintf("%.4g", sum.distIID/n), fmt.Sprintf("%.4g", sum.distAdaptive/n),
+			fmt.Sprintf("%.4g", sum.liftErr/n), fmt.Sprintf("%.4g", bound))
 	}
 	return &Result{
 		ID:    "E8",
@@ -264,21 +309,31 @@ func PrivacySanity(opts Options) (*Result, error) {
 		pg := est.Gradient()
 		return pg.Qv.Clone(), est.GradientErrorScale(), nil
 	}
-	meanA := vec.NewVector(d)
-	meanB := vec.NewVector(d)
-	var noiseScale float64
-	for trial := 0; trial < trials; trial++ {
+	type trialOut struct {
+		a, b vec.Vector
+		ns   float64
+	}
+	outs, err := parallelMap(opts.workers(), trials, func(trial int) (trialOut, error) {
 		a, ns, err := run(points, opts.Seed+int64(trial)*977)
 		if err != nil {
-			return nil, err
+			return trialOut{}, err
 		}
 		b, _, err := run(neighbor, opts.Seed+int64(trial)*977+500000)
 		if err != nil {
-			return nil, err
+			return trialOut{}, err
 		}
-		meanA.AddInPlace(a)
-		meanB.AddInPlace(b)
-		noiseScale = ns
+		return trialOut{a: a, b: b, ns: ns}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	meanA := vec.NewVector(d)
+	meanB := vec.NewVector(d)
+	var noiseScale float64
+	for _, o := range outs {
+		meanA.AddInPlace(o.a)
+		meanB.AddInPlace(o.b)
+		noiseScale = o.ns
 	}
 	meanA.Scale(1 / float64(trials))
 	meanB.Scale(1 / float64(trials))
@@ -309,40 +364,49 @@ func AblationTreeVsNaiveSum(opts Options) (*Result, error) {
 	}
 	table := metrics.NewTable("Ablation: Tree Mechanism vs naive per-step Gaussian sums",
 		"T", "max error (tree)", "max error (naive)", "ratio naive/tree")
-	for _, horizon := range horizons {
+	type trialOut struct{ worstTree, worstNaive float64 }
+	outs, err := parallelMap(opts.workers(), len(horizons)*opts.Trials, func(k int) (trialOut, error) {
+		horizon, trial := horizons[k/opts.Trials], k%opts.Trials
+		src := randx.NewSource(opts.Seed + int64(horizon*3+trial))
+		tm, err := tree.New(tree.Config{Dim: d, MaxLen: horizon, Sensitivity: 2, Privacy: opts.privacy()}, src.Split())
+		if err != nil {
+			return trialOut{}, err
+		}
+		nm, err := tree.NewNaiveSum(d, horizon, 2, dp.Params{Epsilon: opts.Epsilon, Delta: opts.Delta}, src.Split())
+		if err != nil {
+			return trialOut{}, err
+		}
+		exact := make(vec.Vector, d)
+		gt := make(vec.Vector, d)
+		gn := make(vec.Vector, d)
+		var out trialOut
+		for t := 0; t < horizon; t++ {
+			v := vec.Vector(src.UnitSphere(d))
+			exact.AddInPlace(v)
+			if err := tm.AddTo(gt, v); err != nil {
+				return trialOut{}, err
+			}
+			if err := nm.AddTo(gn, v); err != nil {
+				return trialOut{}, err
+			}
+			if e := vec.Dist2(gt, exact); e > out.worstTree {
+				out.worstTree = e
+			}
+			if e := vec.Dist2(gn, exact); e > out.worstNaive {
+				out.worstNaive = e
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for hi, horizon := range horizons {
 		var treeErr, naiveErr float64
 		for trial := 0; trial < opts.Trials; trial++ {
-			src := randx.NewSource(opts.Seed + int64(horizon*3+trial))
-			tm, err := tree.New(tree.Config{Dim: d, MaxLen: horizon, Sensitivity: 2, Privacy: opts.privacy()}, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			nm, err := tree.NewNaiveSum(d, horizon, 2, dp.Params{Epsilon: opts.Epsilon, Delta: opts.Delta}, src.Split())
-			if err != nil {
-				return nil, err
-			}
-			exact := make(vec.Vector, d)
-			var worstTree, worstNaive float64
-			for t := 0; t < horizon; t++ {
-				v := vec.Vector(src.UnitSphere(d))
-				exact.AddInPlace(v)
-				gt, err := tm.Add(v)
-				if err != nil {
-					return nil, err
-				}
-				gn, err := nm.Add(v)
-				if err != nil {
-					return nil, err
-				}
-				if e := vec.Dist2(vec.Vector(gt), exact); e > worstTree {
-					worstTree = e
-				}
-				if e := vec.Dist2(vec.Vector(gn), exact); e > worstNaive {
-					worstNaive = e
-				}
-			}
-			treeErr += worstTree
-			naiveErr += worstNaive
+			o := outs[hi*opts.Trials+trial]
+			treeErr += o.worstTree
+			naiveErr += o.worstNaive
 		}
 		n := float64(opts.Trials)
 		ratio := 0.0

@@ -40,6 +40,20 @@ func (s *Source) Split() *Source {
 	return NewSource(int64(z & 0x7fffffffffffffff))
 }
 
+// SplitN returns n Sources split off the parent in sequence, a convenience
+// for handing one deterministic stream to each of n sub-components or
+// workers: the split seeds depend only on the parent's state, never on
+// scheduling, so parallel consumers reproduce serial ones exactly. (The
+// experiment sweeps currently derive per-cell sources from the seed directly;
+// SplitN is for callers that hold a Source rather than a seed.)
+func (s *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split()
+	}
+	return out
+}
+
 // Rand exposes the underlying *rand.Rand for callers that need raw uniform
 // variates (e.g. permutation sampling).
 func (s *Source) Rand() *rand.Rand { return s.rng }
@@ -67,6 +81,26 @@ func (s *Source) Normal(mu, sigma float64) float64 {
 
 // StdNormal returns a sample from N(0, 1).
 func (s *Source) StdNormal() float64 { return s.rng.NormFloat64() }
+
+// FillNormal fills dst with i.i.d. N(mu, sigma^2) samples without allocating.
+// It draws exactly len(dst) normals in index order, so it consumes the
+// underlying stream identically to a scalar Normal loop — swapping one for the
+// other never changes downstream randomness.
+func (s *Source) FillNormal(dst []float64, mu, sigma float64) {
+	if sigma < 0 {
+		panic("randx: negative standard deviation")
+	}
+	if sigma == 0 {
+		for i := range dst {
+			dst[i] = mu
+		}
+		return
+	}
+	rng := s.rng
+	for i := range dst {
+		dst[i] = mu + sigma*rng.NormFloat64()
+	}
+}
 
 // Laplace returns a sample from the Laplace distribution with mean 0 and scale b.
 // The density is (1/2b) exp(-|x|/b). b must be non-negative; b == 0 returns 0.

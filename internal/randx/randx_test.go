@@ -240,3 +240,58 @@ func TestPanicsOnInvalidParameters(t *testing.T) {
 		}()
 	}
 }
+
+// TestFillNormalMatchesScalarLoop checks the stream-compatibility contract of
+// the vectorized sampler: FillNormal must consume the generator identically to
+// a scalar Normal loop, so the two are interchangeable without perturbing any
+// downstream randomness.
+func TestFillNormalMatchesScalarLoop(t *testing.T) {
+	a := NewSource(77)
+	b := NewSource(77)
+	bufA := make([]float64, 257)
+	a.FillNormal(bufA, 1.5, 2.25)
+	for i := range bufA {
+		if want := b.Normal(1.5, 2.25); bufA[i] != want {
+			t.Fatalf("FillNormal[%d] = %v, scalar loop = %v", i, bufA[i], want)
+		}
+	}
+	// After the fill both sources must be in the same state.
+	if a.Float64() != b.Float64() {
+		t.Fatal("FillNormal advanced the stream differently from the scalar loop")
+	}
+	// sigma = 0 fills with the mean and must not consume the stream.
+	c := NewSource(78)
+	d := NewSource(78)
+	buf := make([]float64, 8)
+	c.FillNormal(buf, 3, 0)
+	for _, v := range buf {
+		if v != 3 {
+			t.Fatalf("sigma=0 fill produced %v, want 3", v)
+		}
+	}
+	if c.Float64() != d.Float64() {
+		t.Fatal("sigma=0 FillNormal consumed the stream")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative sigma should panic")
+			}
+		}()
+		c.FillNormal(buf, 0, -1)
+	}()
+}
+
+// TestSplitNDeterministic checks that SplitN hands out the same per-worker
+// streams as sequential Split calls.
+func TestSplitNDeterministic(t *testing.T) {
+	a := NewSource(5)
+	b := NewSource(5)
+	splits := a.SplitN(4)
+	for i := 0; i < 4; i++ {
+		want := b.Split()
+		if splits[i].Float64() != want.Float64() {
+			t.Fatalf("SplitN[%d] differs from sequential Split", i)
+		}
+	}
+}

@@ -1,9 +1,18 @@
 // Package sketch implements the dimensionality-reduction machinery of
-// Section 5 of the paper: Gaussian Johnson–Lindenstrauss projections
-// Φ ∈ R^{m×d} with i.i.d. N(0, 1/m) entries, projected images of constraint
-// sets, and the lifting procedure of Theorem 5.3 that recovers a point of the
-// original constraint set from its projection by Minkowski-functional
-// minimization (Step 9 of Algorithm 3).
+// Section 5 of the paper: Johnson–Lindenstrauss projections Φ ∈ R^{m×d},
+// projected images of constraint sets, and the lifting procedure of
+// Theorem 5.3 that recovers a point of the original constraint set from its
+// projection by Minkowski-functional minimization (Step 9 of Algorithm 3).
+//
+// Two interchangeable backends implement the shared Transform interface:
+//
+//   - Projector — the paper's dense Gaussian projection with i.i.d. N(0, 1/m)
+//     entries (Theorem 5.1, Gordon), O(m·d) per apply;
+//   - SRHT — the subsampled randomized Hadamard transform, O(d log d) per
+//     apply with the same norm-preservation guarantee up to log factors.
+//
+// Use New with a Backend to pick one; the mechanisms in internal/core expose
+// the choice through their options.
 package sketch
 
 import (
@@ -35,10 +44,7 @@ func NewProjector(m, d int, src *randx.Source) (*Projector, error) {
 	}
 	phi := vec.NewMatrix(m, d)
 	sigma := 1 / math.Sqrt(float64(m))
-	data := phi.Data()
-	for i := range data {
-		data[i] = src.Normal(0, sigma)
-	}
+	src.FillNormal(phi.Data(), 0, sigma)
 	p := &Projector{m: m, d: d, phi: phi}
 	p.specUpper = phi.PowerIterationSpectralNorm(30, nil) * 1.05
 	if p.specUpper == 0 {
@@ -61,9 +67,19 @@ func (p *Projector) Apply(x vec.Vector) vec.Vector {
 	return p.phi.MulVec(x)
 }
 
+// ApplyTo computes dst = Φx without allocating.
+func (p *Projector) ApplyTo(dst, x vec.Vector) {
+	p.phi.MulVecTo(dst, x)
+}
+
 // ApplyTranspose returns Φᵀu.
 func (p *Projector) ApplyTranspose(u vec.Vector) vec.Vector {
 	return p.phi.MulVecT(u)
+}
+
+// ApplyTransposeTo computes dst = Φᵀu without allocating.
+func (p *Projector) ApplyTransposeTo(dst, u vec.Vector) {
+	p.phi.MulVecTTo(dst, u)
 }
 
 // SpectralUpper returns a cached upper bound on the spectral norm ‖Φ‖.
@@ -73,195 +89,29 @@ func (p *Projector) SpectralUpper() float64 { return p.specUpper }
 // covariate (footnote 15 of the paper); by construction ‖Φx̃‖ = ‖x‖. For x = 0
 // the zero vector is returned.
 func (p *Projector) ScaledApply(x vec.Vector) vec.Vector {
-	px := p.Apply(x)
-	nx := vec.Norm2(x)
-	npx := vec.Norm2(px)
-	if nx == 0 || npx == 0 {
-		return vec.NewVector(p.m)
-	}
-	px.Scale(nx / npx)
-	return px
+	out := vec.NewVector(p.m)
+	p.ScaledApplyTo(out, x)
+	return out
+}
+
+// ScaledApplyTo is the allocation-free form of ScaledApply.
+func (p *Projector) ScaledApplyTo(dst, x vec.Vector) {
+	scaledApplyTo(p, dst, x)
 }
 
 // ImageSet returns a constraint set in the projected space R^m that is used as
-// the optimization domain of Algorithm 3 (the set ΦC).
-//
-// For vertex-described sets (L1 balls and polytopes) the image is itself a
-// polytope — the convex hull of the projected vertices — and is returned
-// exactly. For other sets the exact image is expensive to project onto, so a
-// Euclidean-ball relaxation of radius (1+γ)·‖C‖ is returned; by Gordon's
-// theorem (Theorem 5.1) ΦC is contained in this ball with high probability, the
-// diameter bound ‖ΦC‖ = O(‖C‖) used in the utility analysis (Lemma 5.4) is
-// preserved, and a final projection onto C after lifting restores feasibility.
-// The relaxation is recorded in DESIGN.md as an engineering substitution.
+// the optimization domain of Algorithm 3 (the set ΦC). See imageSet for the
+// exact-versus-relaxed cases; the relaxation is recorded in DESIGN.md as an
+// engineering substitution.
 func (p *Projector) ImageSet(c constraint.Set, gamma float64) constraint.Set {
-	if gamma < 0 {
-		gamma = 0
-	}
-	switch s := c.(type) {
-	case *constraint.L1Ball:
-		cross := constraint.CrossPolytope(s.Dim(), s.Radius())
-		return p.projectPolytope(cross)
-	case *constraint.Polytope:
-		return p.projectPolytope(s)
-	default:
-		return constraint.NewL2Ball(p.m, (1+gamma)*c.Diameter())
-	}
-}
-
-func (p *Projector) projectPolytope(poly *constraint.Polytope) constraint.Set {
-	vertices := poly.Vertices()
-	projected := make([]vec.Vector, len(vertices))
-	for i, v := range vertices {
-		projected[i] = p.Apply(v)
-	}
-	return constraint.NewPolytope(projected)
-}
-
-// LiftOptions configures the lifting solver.
-type LiftOptions struct {
-	// InnerIterations is the projected-gradient budget of each feasibility
-	// check (default 200).
-	InnerIterations int
-	// OuterIterations is the bisection budget on the Minkowski scale
-	// (default 40).
-	OuterIterations int
-	// Tolerance is the residual ‖Φθ - ϑ‖ below which a scale is declared
-	// feasible (default 1e-6·(1+‖ϑ‖)).
-	Tolerance float64
-	// MaxScale bounds the Minkowski scale searched (default 4: the target is
-	// in ΦC whenever the mechanism is used as intended, so scales slightly
-	// above 1 always suffice; the slack absorbs the ball relaxation).
-	MaxScale float64
-}
-
-func (o *LiftOptions) fill(target vec.Vector) {
-	if o.InnerIterations <= 0 {
-		o.InnerIterations = 400
-	}
-	if o.OuterIterations <= 0 {
-		o.OuterIterations = 25
-	}
-	if o.Tolerance <= 0 {
-		o.Tolerance = 1e-3 * (1 + vec.Norm2(target))
-	}
-	if o.MaxScale <= 0 {
-		o.MaxScale = 4
-	}
+	return imageSet(p, c, gamma)
 }
 
 // Lift solves the convex program of Step 9 of Algorithm 3,
 //
 //	minimize ‖θ‖_C   subject to   Φθ = ϑ,
 //
-// and returns the recovered θ ∈ R^d. It works for any constraint.Set by
-// bisecting on the Minkowski scale s: for each candidate s it checks
-// feasibility of {θ ∈ sC : Φθ ≈ ϑ} by minimizing ‖Φθ - ϑ‖² over sC with
-// projected gradient descent (a smooth problem with constant step 1/‖Φ‖²).
-// The smallest feasible scale yields the minimizer. If no scale up to
-// MaxScale·(1) is feasible, the best effort θ with the smallest residual is
-// returned along with a nil error — callers project the result onto C, which
-// keeps the output well-defined (and private, since this is post-processing).
+// and returns the recovered θ ∈ R^d (see lift for the solver).
 func (p *Projector) Lift(c constraint.Set, target vec.Vector, opts LiftOptions) (vec.Vector, error) {
-	if c == nil {
-		return nil, errors.New("sketch: nil constraint set")
-	}
-	if len(target) != p.m {
-		return nil, fmt.Errorf("sketch: lift target has dimension %d, want %d", len(target), p.m)
-	}
-	opts.fill(target)
-
-	if vec.Norm2(target) == 0 {
-		return vec.NewVector(p.d), nil
-	}
-
-	feasible := func(scale float64, start vec.Vector) (vec.Vector, float64) {
-		// Minimize f(θ) = ‖Φθ - ϑ‖² over the scaled set with FISTA (accelerated
-		// projected gradient); the gradient Lipschitz constant is 2‖Φ‖².
-		set := c.Scale(scale)
-		theta := set.Project(vec.NewVector(p.d))
-		if start != nil {
-			theta = set.Project(start)
-		}
-		step := 0.5
-		if p.specUpper > 0 {
-			step = 1 / (2 * p.specUpper * p.specUpper)
-		}
-		work := vec.NewVector(p.d)
-		residual := vec.NewVector(p.m)
-		y := theta.Clone()
-		prev := theta.Clone()
-		tk := 1.0
-		best := theta.Clone()
-		bestRes := math.Inf(1)
-		evalResidual := func(th vec.Vector) float64 {
-			p.phi.MulVecTo(residual, th)
-			residual.SubInPlace(target)
-			return vec.Norm2(residual)
-		}
-		for k := 0; k < opts.InnerIterations; k++ {
-			// Gradient step at the momentum point y.
-			p.phi.MulVecTo(residual, y)
-			residual.SubInPlace(target)
-			grad := p.phi.MulVecT(residual)
-			work.CopyFrom(y)
-			vec.Axpy(work, -2*step, grad)
-			next := set.Project(work)
-			if res := evalResidual(next); res < bestRes {
-				bestRes = res
-				best.CopyFrom(next)
-				if res <= opts.Tolerance {
-					break
-				}
-			}
-			tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
-			y = next.Clone()
-			vec.Axpy(y, (tk-1)/tNext, vec.Sub(next, prev))
-			prev = next
-			tk = tNext
-		}
-		return best, bestRes
-	}
-
-	// First check whether the target is reachable within C itself (scale 1).
-	bestTheta, bestRes := feasible(1, nil)
-	if bestRes <= opts.Tolerance {
-		// Bisect downward for the minimum-norm solution.
-		lo, hi := 0.0, 1.0
-		warm := bestTheta
-		for i := 0; i < opts.OuterIterations; i++ {
-			mid := (lo + hi) / 2
-			if mid <= 0 {
-				break
-			}
-			th, res := feasible(mid, warm)
-			if res <= opts.Tolerance {
-				hi = mid
-				bestTheta, bestRes = th, res
-				warm = th
-			} else {
-				lo = mid
-			}
-			if hi-lo <= 1e-4*hi {
-				break
-			}
-		}
-		return bestTheta, nil
-	}
-	// Otherwise grow the scale until feasible (handles the ball-relaxed
-	// projected domain whose points may fall slightly outside ΦC).
-	scale := 1.0
-	warm := bestTheta
-	for scale < opts.MaxScale {
-		scale *= 1.25
-		th, res := feasible(scale, warm)
-		if res < bestRes {
-			bestTheta, bestRes = th, res
-			warm = th
-		}
-		if res <= opts.Tolerance {
-			return th, nil
-		}
-	}
-	return bestTheta, nil
+	return lift(p, c, target, opts)
 }

@@ -43,6 +43,10 @@ type Hybrid struct {
 	epochLen  int
 	logSigma  float64
 	sum       []float64
+	// epochSum and noiseWork are reusable scratch buffers that keep the
+	// per-timestep path allocation-free.
+	epochSum  []float64
+	noiseWork []float64
 }
 
 // NewHybrid returns a Hybrid mechanism for streams of unbounded (unknown)
@@ -84,6 +88,8 @@ func NewHybrid(dim int, sensitivity float64, p dp.Params, src *randx.Source) (*H
 		exactPrefix: make([]float64, dim),
 		logSigma:    logSigma,
 		sum:         make([]float64, dim),
+		epochSum:    make([]float64, dim),
+		noiseWork:   make([]float64, dim),
 	}
 	if err := h.startEpoch(1); err != nil {
 		return nil, err
@@ -119,35 +125,52 @@ func (h *Hybrid) NoiseSigma() float64 { return h.epochTree.NoiseSigma() }
 
 // Add consumes the next stream element and returns the private running sum.
 func (h *Hybrid) Add(v []float64) ([]float64, error) {
+	out := make([]float64, h.dim)
+	if err := h.AddTo(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AddTo consumes the next stream element and, when dst is non-nil, writes the
+// private running-sum estimate into dst. The steady-state path (all timesteps
+// except the O(log T) epoch boundaries, which construct the next epoch's tree)
+// performs no heap allocation.
+func (h *Hybrid) AddTo(dst, v []float64) error {
 	if len(v) != h.dim {
-		return nil, fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), h.dim)
+		return fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), h.dim)
+	}
+	if dst != nil && len(dst) != h.dim {
+		return fmt.Errorf("tree: destination dimension %d does not match mechanism dimension %d", len(dst), h.dim)
 	}
 	h.t++
 	// Track the epoch's exact contribution (private state; never released raw).
 	for k := range h.exactPrefix {
 		h.exactPrefix[k] += v[k]
 	}
-	epochSum, err := h.epochTree.Add(v)
-	if err != nil {
-		return nil, err
+	if err := h.epochTree.AddTo(h.epochSum, v); err != nil {
+		return err
 	}
 	for k := range h.sum {
-		h.sum[k] = h.snapshot[k] + epochSum[k]
+		h.sum[k] = h.snapshot[k] + h.epochSum[k]
 	}
-	out := h.Sum()
+	if dst != nil {
+		copy(dst, h.sum)
+	}
 
 	// If the epoch just completed, fold a fresh noisy snapshot of this epoch's
 	// exact sum into the cumulative snapshot and start the next (doubled) epoch.
 	if h.epochTree.Len() == h.epochLen {
+		h.src.FillNormal(h.noiseWork, 0, h.logSigma)
 		for k := range h.snapshot {
-			h.snapshot[k] += h.exactPrefix[k] + h.src.Normal(0, h.logSigma)
+			h.snapshot[k] += h.exactPrefix[k] + h.noiseWork[k]
 		}
 		zero(h.exactPrefix)
 		if err := h.startEpoch(h.epochLen * 2); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Sum returns a copy of the current private running-sum estimate.
@@ -155,6 +178,12 @@ func (h *Hybrid) Sum() []float64 {
 	out := make([]float64, h.dim)
 	copy(out, h.sum)
 	return out
+}
+
+// SumInto writes the current private running-sum estimate into dst without
+// allocating.
+func (h *Hybrid) SumInto(dst []float64) {
+	copy(dst, h.sum)
 }
 
 // NaiveSum is the baseline continual-sum mechanism that perturbs the running
@@ -205,17 +234,34 @@ func (n *NaiveSum) NoiseSigma() float64 { return n.sigma }
 
 // Add consumes the next stream element and returns a freshly perturbed running sum.
 func (n *NaiveSum) Add(v []float64) ([]float64, error) {
+	out := make([]float64, n.dim)
+	if err := n.AddTo(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AddTo consumes the next stream element and, when dst is non-nil, writes a
+// freshly perturbed running sum into dst without allocating.
+func (n *NaiveSum) AddTo(dst, v []float64) error {
 	if len(v) != n.dim {
-		return nil, fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), n.dim)
+		return fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), n.dim)
+	}
+	if dst != nil && len(dst) != n.dim {
+		return fmt.Errorf("tree: destination dimension %d does not match mechanism dimension %d", len(dst), n.dim)
 	}
 	n.t++
 	for k := range n.exact {
 		n.exact[k] += v[k]
 	}
+	n.src.FillNormal(n.sum, 0, n.sigma)
 	for k := range n.sum {
-		n.sum[k] = n.exact[k] + n.src.Normal(0, n.sigma)
+		n.sum[k] += n.exact[k]
 	}
-	return n.Sum(), nil
+	if dst != nil {
+		copy(dst, n.sum)
+	}
+	return nil
 }
 
 // Sum returns a copy of the most recent private running-sum estimate.
@@ -223,6 +269,12 @@ func (n *NaiveSum) Sum() []float64 {
 	out := make([]float64, n.dim)
 	copy(out, n.sum)
 	return out
+}
+
+// SumInto writes the most recent private running-sum estimate into dst without
+// allocating.
+func (n *NaiveSum) SumInto(dst []float64) {
+	copy(dst, n.sum)
 }
 
 // Interface conformance checks.

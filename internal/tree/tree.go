@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"privreg/internal/dp"
 	"privreg/internal/randx"
@@ -29,9 +30,17 @@ type Mechanism interface {
 	// Add appends v to the stream and returns the private running-sum estimate.
 	// The returned slice is owned by the caller.
 	Add(v []float64) ([]float64, error)
+	// AddTo appends v to the stream and, when dst is non-nil, writes the private
+	// running-sum estimate into dst (which must have the mechanism's dimension).
+	// It is the allocation-free fast path of Add: a nil dst consumes the element
+	// and updates internal state without copying the estimate out.
+	AddTo(dst, v []float64) error
 	// Sum returns the private running-sum estimate at the current timestep
 	// without consuming a new element. Before any Add it returns the zero vector.
 	Sum() []float64
+	// SumInto writes the current private running-sum estimate into dst without
+	// allocating. dst must have the mechanism's dimension.
+	SumInto(dst []float64)
 	// Len returns the number of elements consumed so far.
 	Len() int
 	// NoiseSigma returns the per-node (or per-step) Gaussian noise standard
@@ -145,11 +154,26 @@ func (tr *Tree) NoiseSigma() float64 { return tr.sigma }
 
 // Add consumes the next stream element and returns the private running sum.
 func (tr *Tree) Add(v []float64) ([]float64, error) {
+	out := make([]float64, tr.dim)
+	if err := tr.AddTo(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AddTo consumes the next stream element and, when dst is non-nil, writes the
+// private running-sum estimate into dst. It performs no heap allocation: all
+// partial sums live in preallocated per-level buffers and noise is drawn with
+// a single vectorized FillNormal per closed node.
+func (tr *Tree) AddTo(dst, v []float64) error {
 	if len(v) != tr.dim {
-		return nil, fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), tr.dim)
+		return fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), tr.dim)
+	}
+	if dst != nil && len(dst) != tr.dim {
+		return fmt.Errorf("tree: destination dimension %d does not match mechanism dimension %d", len(dst), tr.dim)
 	}
 	if tr.t >= tr.maxT {
-		return nil, fmt.Errorf("tree: stream length exceeds configured maximum %d", tr.maxT)
+		return fmt.Errorf("tree: stream length exceeds configured maximum %d", tr.maxT)
 	}
 	tr.t++
 	t := tr.t
@@ -178,10 +202,11 @@ func (tr *Tree) Add(v []float64) ([]float64, error) {
 		zero(tr.alpha[j])
 		zero(tr.beta[j])
 	}
-	// Publish the noisy partial sum for level i.
+	// Publish the noisy partial sum for level i: b_i ← a_i + N(0, σ²I).
 	bi := tr.beta[i]
+	tr.src.FillNormal(bi, 0, tr.sigma)
 	for k := range bi {
-		bi[k] = ai[k] + tr.src.Normal(0, tr.sigma)
+		bi[k] += ai[k]
 	}
 
 	// s_t ← Σ_{j : Bin_j(t) ≠ 0} b_j.
@@ -194,7 +219,10 @@ func (tr *Tree) Add(v []float64) ([]float64, error) {
 			}
 		}
 	}
-	return tr.Sum(), nil
+	if dst != nil {
+		copy(dst, tr.sum)
+	}
+	return nil
 }
 
 // Sum returns a copy of the current private running-sum estimate.
@@ -202,6 +230,12 @@ func (tr *Tree) Sum() []float64 {
 	out := make([]float64, tr.dim)
 	copy(out, tr.sum)
 	return out
+}
+
+// SumInto writes the current private running-sum estimate into dst without
+// allocating.
+func (tr *Tree) SumInto(dst []float64) {
+	copy(dst, tr.sum)
 }
 
 // ErrorBound returns a high-probability bound on the Euclidean error of the
@@ -222,13 +256,14 @@ func (tr *Tree) ErrorBound(beta float64) float64 {
 	return tr.sigma * (math.Sqrt(l*d) + math.Sqrt(2*l*math.Log(1/beta)))
 }
 
+// lowestSetBit returns the index of the lowest set bit of t. The degenerate
+// input t <= 0 (no set bit — the old hand-rolled shift loop spun forever on
+// it) maps to level 0.
 func lowestSetBit(t int) int {
-	i := 0
-	for t&1 == 0 {
-		t >>= 1
-		i++
+	if t <= 0 {
+		return 0
 	}
-	return i
+	return bits.TrailingZeros(uint(t))
 }
 
 func zero(v []float64) {

@@ -169,6 +169,125 @@ func TestLowestSetBit(t *testing.T) {
 			t.Fatalf("lowestSetBit(%d) = %d, want %d", in, got, want)
 		}
 	}
+	// The degenerate inputs must terminate (the old shift loop spun forever on
+	// them) and map to level 0.
+	if got := lowestSetBit(0); got != 0 {
+		t.Fatalf("lowestSetBit(0) = %d, want 0", got)
+	}
+	if got := lowestSetBit(-8); got != 0 {
+		t.Fatalf("lowestSetBit(-8) = %d, want 0", got)
+	}
+}
+
+// TestAddToMatchesAdd checks that the allocation-free entry point and the
+// allocating one produce identical streams of estimates for identical seeds.
+func TestAddToMatchesAdd(t *testing.T) {
+	p := dp.Params{Epsilon: 1, Delta: 1e-6}
+	const dim, T = 3, 50
+	a, err := New(Config{Dim: dim, MaxLen: T, Sensitivity: 2, Privacy: p}, randx.NewSource(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Dim: dim, MaxLen: T, Sensitivity: 2, Privacy: p}, randx.NewSource(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, dim)
+	for i := 0; i < T; i++ {
+		v := []float64{float64(i), 1, -0.25 * float64(i)}
+		got, err := a.Add(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddTo(dst, v); err != nil {
+			t.Fatal(err)
+		}
+		for k := range got {
+			if got[k] != dst[k] {
+				t.Fatalf("t=%d coord %d: Add=%v AddTo=%v", i, k, got[k], dst[k])
+			}
+		}
+	}
+	// SumInto must agree with Sum.
+	b.SumInto(dst)
+	for k, v := range a.Sum() {
+		if v != dst[k] {
+			t.Fatalf("SumInto disagrees with Sum at %d", k)
+		}
+	}
+}
+
+// TestTreeAddToZeroAlloc is the allocation-regression guard of the hot path:
+// a Tree Mechanism update must not touch the heap.
+func TestTreeAddToZeroAlloc(t *testing.T) {
+	src := randx.NewSource(11)
+	mech, err := New(Config{
+		Dim: 256, MaxLen: 1 << 20, Sensitivity: 2,
+		Privacy: dp.Params{Epsilon: 1, Delta: 1e-6},
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, 256)
+	v[0] = 1
+	dst := make([]float64, 256)
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := mech.AddTo(dst, v); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Tree.AddTo allocates %v times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { mech.SumInto(dst) }); allocs != 0 {
+		t.Fatalf("Tree.SumInto allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestNaiveSumAddToZeroAlloc covers the baseline mechanism's fast path too.
+func TestNaiveSumAddToZeroAlloc(t *testing.T) {
+	src := randx.NewSource(12)
+	mech, err := NewNaiveSum(64, 1<<20, 2, dp.Params{Epsilon: 1, Delta: 1e-6}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, 64)
+	v[1] = 0.5
+	dst := make([]float64, 64)
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := mech.AddTo(dst, v); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("NaiveSum.AddTo allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestHybridAddToMatchesAdd checks the Hybrid fast path across several epoch
+// boundaries.
+func TestHybridAddToMatchesAdd(t *testing.T) {
+	p := dp.Params{Epsilon: 1, Delta: 1e-6}
+	a, err := NewHybrid(2, 2, p, randx.NewSource(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHybrid(2, 2, p, randx.NewSource(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 2)
+	for i := 1; i <= 70; i++ {
+		v := []float64{1, float64(i % 5)}
+		got, err := a.Add(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddTo(dst, v); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != dst[0] || got[1] != dst[1] {
+			t.Fatalf("t=%d: Add=%v AddTo=%v", i, got, dst)
+		}
+	}
 }
 
 func TestNumLevels(t *testing.T) {

@@ -154,18 +154,14 @@ func (m *Matrix) MulVec(x Vector) Vector {
 		panic(dimErr("MulVec", m.cols, len(x)))
 	}
 	out := make(Vector, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
-	}
+	m.MulVecTo(out, x)
 	return out
 }
 
-// MulVecTo computes dst = m * x without allocating. dst must have dimension Rows().
+// MulVecTo computes dst = m * x without allocating. dst must have dimension
+// Rows(). Large products are computed on multiple goroutines; the result is
+// bit-identical to the serial evaluation (each destination row is an
+// independent fixed-order accumulation).
 func (m *Matrix) MulVecTo(dst, x Vector) {
 	if m.cols != len(x) {
 		panic(dimErr("MulVecTo", m.cols, len(x)))
@@ -173,22 +169,32 @@ func (m *Matrix) MulVecTo(dst, x Vector) {
 	if len(dst) != m.rows {
 		panic(dimErr("MulVecTo dst", len(dst), m.rows))
 	}
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		dst[i] = s
+	if m.rows*m.cols >= mulVecParallelMin {
+		parallelRows(m.rows, func(lo, hi int) { m.mulVecRows(dst, x, lo, hi) })
+		return
 	}
+	m.mulVecRows(dst, x, 0, m.rows)
 }
 
 // MulVecT returns mᵀ * x as a new vector of dimension Cols().
 func (m *Matrix) MulVecT(x Vector) Vector {
+	out := make(Vector, m.cols)
+	m.MulVecTTo(out, x)
+	return out
+}
+
+// MulVecTTo computes dst = mᵀ * x without allocating. dst must have dimension
+// Cols().
+func (m *Matrix) MulVecTTo(dst, x Vector) {
 	if m.rows != len(x) {
 		panic(dimErr("MulVecT", m.rows, len(x)))
 	}
-	out := make(Vector, m.cols)
+	if len(dst) != m.cols {
+		panic(dimErr("MulVecTTo dst", len(dst), m.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		xi := x[i]
 		if xi == 0 {
@@ -196,10 +202,9 @@ func (m *Matrix) MulVecT(x Vector) Vector {
 		}
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
-			out[j] += v * xi
+			dst[j] += v * xi
 		}
 	}
-	return out
 }
 
 // Mul returns the matrix product m * b.
@@ -208,32 +213,51 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		panic(dimErr("Mul", m.cols, b.rows))
 	}
 	out := NewMatrix(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		mrow := m.data[i*m.cols : (i+1)*m.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k := 0; k < m.cols; k++ {
-			a := mrow[k]
-			if a == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j := range orow {
-				orow[j] += a * brow[j]
-			}
-		}
-	}
+	m.mulInto(out, b)
 	return out
+}
+
+// MulTo computes dst = m * b without allocating. dst must be Rows() x b.Cols()
+// and must not alias m or b.
+func (m *Matrix) MulTo(dst, b *Matrix) {
+	if m.cols != b.rows {
+		panic(dimErr("MulTo", m.cols, b.rows))
+	}
+	if dst.rows != m.rows || dst.cols != b.cols {
+		panic("vec: MulTo destination shape mismatch")
+	}
+	m.mulInto(dst, b)
+}
+
+// mulInto dispatches the product to the serial or row-parallel kernel. The
+// parallel kernel partitions destination rows, so the result is bit-identical
+// to the serial one.
+func (m *Matrix) mulInto(out, b *Matrix) {
+	if m.rows*m.cols*b.cols >= mulParallelMin {
+		parallelRows(m.rows, func(lo, hi int) { m.mulRows(out, b, lo, hi) })
+		return
+	}
+	m.mulRows(out, b, 0, m.rows)
 }
 
 // Transpose returns a new matrix that is the transpose of m.
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.cols, m.rows)
+	m.TransposeTo(out)
+	return out
+}
+
+// TransposeTo writes the transpose of m into dst without allocating. dst must
+// be Cols() x Rows() and must not alias m.
+func (m *Matrix) TransposeTo(dst *Matrix) {
+	if dst.rows != m.cols || dst.cols != m.rows {
+		panic("vec: TransposeTo destination shape mismatch")
+	}
 	for i := 0; i < m.rows; i++ {
 		for j := 0; j < m.cols; j++ {
-			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+			dst.data[j*dst.cols+i] = m.data[i*m.cols+j]
 		}
 	}
-	return out
 }
 
 // AddOuterInPlace adds the rank-one update alpha * x xᵀ to the square matrix m.

@@ -160,3 +160,84 @@ func TestMulVecTMatchesTranspose(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParallelMulVecMatchesSerial checks that the goroutine-parallel MulVec
+// path (triggered above the size threshold) is bit-identical to the serial
+// row loop.
+func TestParallelMulVecMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	rows, cols := 300, 300 // rows*cols above mulVecParallelMin
+	if rows*cols < mulVecParallelMin {
+		t.Fatalf("test matrix too small to exercise the parallel path")
+	}
+	a := NewMatrix(rows, cols)
+	for i := range a.Data() {
+		a.Data()[i] = r.NormFloat64()
+	}
+	x := randomVector(r, cols)
+	got := a.MulVec(x)
+	want := make(Vector, rows)
+	a.mulVecRows(want, x, 0, rows)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parallel MulVec differs from serial at row %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMulToAndTransposeTo checks the in-place variants against their
+// allocating counterparts, including reuse of a dirty destination.
+func TestMulToAndTransposeTo(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	a := NewMatrix(4, 6)
+	b := NewMatrix(6, 3)
+	for i := range a.Data() {
+		a.Data()[i] = r.NormFloat64()
+	}
+	for i := range b.Data() {
+		b.Data()[i] = r.NormFloat64()
+	}
+	dst := NewMatrix(4, 3)
+	dst.Data()[0] = 99 // dirty destination must be overwritten
+	a.MulTo(dst, b)
+	if !dst.Equal(a.Mul(b), 1e-12) {
+		t.Fatal("MulTo differs from Mul")
+	}
+	tr := NewMatrix(6, 4)
+	a.TransposeTo(tr)
+	if !tr.Equal(a.Transpose(), 1e-12) {
+		t.Fatal("TransposeTo differs from Transpose")
+	}
+	// MulVecTTo must match MulVecT on a dirty destination.
+	x := randomVector(r, 4)
+	out := make(Vector, 6)
+	out[2] = 7
+	a.MulVecTTo(out, x)
+	if !Equal(out, a.MulVecT(x), 1e-12) {
+		t.Fatal("MulVecTTo differs from MulVecT")
+	}
+}
+
+// TestParallelMulMatchesSerial checks the row-parallel matrix product above
+// the flops threshold.
+func TestParallelMulMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	n := 160 // n^3 above mulParallelMin
+	if n*n*n < mulParallelMin {
+		t.Fatalf("test matrices too small to exercise the parallel path")
+	}
+	a := NewMatrix(n, n)
+	b := NewMatrix(n, n)
+	for i := range a.Data() {
+		a.Data()[i] = r.NormFloat64()
+	}
+	for i := range b.Data() {
+		b.Data()[i] = r.NormFloat64()
+	}
+	got := a.Mul(b)
+	want := NewMatrix(n, n)
+	a.mulRows(want, b, 0, n)
+	if !got.Equal(want, 0) {
+		t.Fatal("parallel Mul differs from serial")
+	}
+}

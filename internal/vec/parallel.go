@@ -1,0 +1,78 @@
+package vec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Thresholds (in scalar multiply-adds) above which the matrix kernels fan the
+// row loop out across goroutines. Below them the goroutine bookkeeping costs
+// more than it saves; above them the kernels are memory/compute bound and the
+// row partition parallelizes cleanly. Each goroutine writes a disjoint row
+// range of the destination and the per-row accumulation order is unchanged, so
+// parallel results are bit-identical to the serial ones.
+const (
+	mulVecParallelMin = 1 << 16 // m*x: rows*cols flops (e.g. 256x256)
+	mulParallelMin    = 1 << 21 // m*b: rows*inner*cols flops (e.g. 128^3)
+)
+
+// parallelRows splits [0, rows) into contiguous chunks and runs work on each
+// chunk concurrently, blocking until all chunks complete. Chunk boundaries
+// depend only on rows and GOMAXPROCS, never on the data.
+func parallelRows(rows int, work func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		work(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulVecRows computes dst[lo:hi] = (m * x)[lo:hi].
+func (m *Matrix) mulVecRows(dst, x Vector, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// mulRows computes out rows [lo, hi) of the product m * b.
+func (m *Matrix) mulRows(out, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k := 0; k < m.cols; k++ {
+			a := mrow[k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j := range orow {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+}

@@ -197,6 +197,18 @@ func (v Vector) SubInPlace(w Vector) {
 	}
 }
 
+// AddScaledInPlace sets v = v + alpha*w without allocating. It is the method
+// form of Axpy, convenient when the destination is the receiver of a chain of
+// in-place updates.
+func (v Vector) AddScaledInPlace(alpha float64, w Vector) {
+	if len(v) != len(w) {
+		panic(dimErr("AddScaledInPlace", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
 // Axpy sets dst = dst + alpha*x. dst and x must have the same dimension.
 func Axpy(dst Vector, alpha float64, x Vector) {
 	if len(dst) != len(x) {

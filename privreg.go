@@ -9,6 +9,7 @@ import (
 	"privreg/internal/erm"
 	"privreg/internal/loss"
 	"privreg/internal/randx"
+	"privreg/internal/sketch"
 	"privreg/internal/vec"
 )
 
@@ -38,6 +39,35 @@ const (
 	// HingeLoss is max(0, 1 - y<x, θ>), the SVM loss.
 	HingeLoss
 )
+
+// Sketch selects the random-projection backend of NewProjectedRegression.
+type Sketch int
+
+// Supported sketch backends.
+const (
+	// SketchDense is the paper's dense Gaussian projection, O(m·d) per point.
+	// The default.
+	SketchDense Sketch = iota
+	// SketchSRHT is the subsampled randomized Hadamard transform fast path,
+	// O(d log d) per point with the same embedding guarantee up to log factors.
+	SketchSRHT
+	// SketchAuto picks SRHT for large ambient dimensions (d ≥ 64) and the dense
+	// projection otherwise.
+	SketchAuto
+)
+
+func (s Sketch) backend() (sketch.Backend, error) {
+	switch s {
+	case SketchDense:
+		return sketch.BackendDense, nil
+	case SketchSRHT:
+		return sketch.BackendSRHT, nil
+	case SketchAuto:
+		return sketch.BackendAuto, nil
+	default:
+		return 0, fmt.Errorf("privreg: unknown sketch backend %d", int(s))
+	}
+}
 
 func (l Loss) function() (loss.Function, error) {
 	switch l {
@@ -104,6 +134,10 @@ type Config struct {
 	// ProjectionDim overrides the sketch dimension m of NewProjectedRegression
 	// (0 = Gordon's rule).
 	ProjectionDim int
+	// SketchBackend selects the projection implementation of
+	// NewProjectedRegression: the dense Gaussian matrix (default), the
+	// O(d log d) SRHT fast path, or automatic selection by dimension.
+	SketchBackend Sketch
 }
 
 func (cfg Config) validate(needDomain bool) error {
@@ -183,6 +217,10 @@ func NewProjectedRegression(cfg Config) (Estimator, error) {
 	if err := cfg.validate(true); err != nil {
 		return nil, err
 	}
+	backend, err := cfg.SketchBackend.backend()
+	if err != nil {
+		return nil, err
+	}
 	src := randx.NewSource(cfg.Seed)
 	inner, err := core.NewProjectedRegression(cfg.Domain.set, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), src, core.ProjectedOptions{
 		RegressionOptions: core.RegressionOptions{
@@ -191,6 +229,7 @@ func NewProjectedRegression(cfg Config) (Estimator, error) {
 			UseHybridTree: cfg.UnknownHorizon,
 		},
 		ProjectionDim: cfg.ProjectionDim,
+		Sketch:        backend,
 	})
 	if err != nil {
 		return nil, err
@@ -210,6 +249,10 @@ func NewRobustProjectedRegression(cfg Config, oracle func(x []float64) bool) (Es
 	if oracle == nil {
 		return nil, errors.New("privreg: nil domain oracle")
 	}
+	backend, err := cfg.SketchBackend.backend()
+	if err != nil {
+		return nil, err
+	}
 	src := randx.NewSource(cfg.Seed)
 	inner, err := core.NewRobustProjectedRegression(cfg.Domain.set, cfg.Constraint.set,
 		func(x vec.Vector) bool { return oracle([]float64(x)) },
@@ -220,6 +263,7 @@ func NewRobustProjectedRegression(cfg Config, oracle func(x []float64) bool) (Es
 				UseHybridTree: cfg.UnknownHorizon,
 			},
 			ProjectionDim: cfg.ProjectionDim,
+			Sketch:        backend,
 		})
 	if err != nil {
 		return nil, err
