@@ -1,0 +1,137 @@
+package privreg
+
+import (
+	"errors"
+	"testing"
+
+	"privreg/internal/core"
+)
+
+// TestObserveBatchMatchesScalarLoop is the acceptance test of batch
+// ingestion: for every mechanism, feeding the stream through ObserveBatch in
+// uneven chunks produces exactly the state a scalar Observe loop produces —
+// same counts, bit-identical estimates.
+func TestObserveBatchMatchesScalarLoop(t *testing.T) {
+	for _, tc := range testMechanismCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			scalar, err := New(tc.name, tc.opts(42)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := New(tc.name, tc.opts(42)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			xs := make([][]float64, tc.horizon)
+			ys := make([]float64, tc.horizon)
+			for i := range xs {
+				xs[i], ys[i] = syntheticPoint(i, tc.dim)
+			}
+
+			for i := 0; i < tc.horizon; i++ {
+				if err := scalar.Observe(xs[i], ys[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Uneven chunk sizes, including a singleton and an empty batch.
+			for lo := 0; lo < tc.horizon; {
+				hi := lo + 1 + (lo % 4)
+				if hi > tc.horizon {
+					hi = tc.horizon
+				}
+				if err := batched.ObserveBatch(xs[lo:hi], ys[lo:hi]); err != nil {
+					t.Fatalf("ObserveBatch[%d:%d]: %v", lo, hi, err)
+				}
+				lo = hi
+			}
+			if err := batched.ObserveBatch(nil, nil); err != nil {
+				t.Fatalf("empty batch: %v", err)
+			}
+
+			if scalar.Len() != batched.Len() {
+				t.Fatalf("Len: scalar %d != batched %d", scalar.Len(), batched.Len())
+			}
+			a, err := scalar.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := batched.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameVector(t, tc.name, a, b)
+		})
+	}
+}
+
+// TestObserveBatchValidation covers the batch-boundary error contract:
+// mismatched lengths, dimension mismatches, and all-or-nothing horizon
+// overflow.
+func TestObserveBatchValidation(t *testing.T) {
+	newGrad := func() Estimator {
+		est, err := New("gradient",
+			WithEpsilonDelta(1, 1e-6), WithHorizon(8), WithConstraint(L2Constraint(3, 1)), WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+
+	est := newGrad()
+	if err := est.ObserveBatch([][]float64{{1, 0, 0}}, []float64{0.1, 0.2}); err == nil {
+		t.Fatal("mismatched batch lengths should be rejected")
+	}
+
+	est = newGrad()
+	if err := est.ObserveBatch([][]float64{{1, 0}}, []float64{0.1}); err == nil {
+		t.Fatal("dimension mismatch should be rejected")
+	}
+	if est.Len() != 0 {
+		t.Fatalf("failed batch must not consume elements, Len = %d", est.Len())
+	}
+
+	// A batch overrunning the horizon is rejected whole, before any element is
+	// consumed.
+	est = newGrad()
+	xs := make([][]float64, 9)
+	ys := make([]float64, 9)
+	for i := range xs {
+		xs[i], ys[i] = syntheticPoint(i, 3)
+	}
+	err := est.ObserveBatch(xs, ys)
+	if !errors.Is(err, core.ErrStreamFull) {
+		t.Fatalf("oversized batch error = %v, want ErrStreamFull", err)
+	}
+	if est.Len() != 0 {
+		t.Fatalf("oversized batch must be all-or-nothing, Len = %d", est.Len())
+	}
+	// The same batch minus one element fits exactly.
+	if err := est.ObserveBatch(xs[:8], ys[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if est.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", est.Len())
+	}
+
+	// The robust mechanism validates dimensions up front too: a bad element in
+	// the middle of a batch must not leave a valid prefix ingested.
+	robust, err := New("robust-projected",
+		WithEpsilonDelta(1, 1e-6),
+		WithHorizon(8),
+		WithConstraint(L1Constraint(8, 1)),
+		WithDomain(SparseDomain(8, 2)),
+		WithDomainOracle(func([]float64) bool { return true }),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, goodY := syntheticPoint(0, 8)
+	if err := robust.ObserveBatch([][]float64{good, {1, 0}}, []float64{goodY, 0.1}); err == nil {
+		t.Fatal("robust batch with a mid-batch dimension mismatch should be rejected")
+	}
+	if robust.Len() != 0 {
+		t.Fatalf("robust failed batch must be all-or-nothing, Len = %d", robust.Len())
+	}
+}

@@ -324,3 +324,108 @@ func BenchmarkMechanismEstimate(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkObserveBatch compares scalar Observe against ObserveBatch on the
+// public API: the batch path validates once and defers the Tree-Mechanism
+// running-sum aggregation to the end of the batch.
+func BenchmarkObserveBatch(b *testing.B) {
+	const (
+		d     = 32
+		batch = 64
+	)
+	newEst := func() Estimator {
+		// Unknown-horizon mode so the shared estimator never fills regardless
+		// of b.N (a fixed horizon would cap the iteration count).
+		est, err := New("gradient",
+			WithEpsilonDelta(1, 1e-6),
+			WithUnknownHorizon(),
+			WithConstraint(L2Constraint(d, 1)),
+			WithSeed(1),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return est
+	}
+	xs := make([][]float64, batch)
+	ys := make([]float64, batch)
+	for i := range xs {
+		x := make([]float64, d)
+		x[i%d] = 0.7
+		xs[i] = x
+		ys[i] = 0.3
+	}
+	b.Run("scalar", func(b *testing.B) {
+		est := newEst()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batch; j++ {
+				if err := est.Observe(xs[j], ys[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		est := newEst()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := est.ObserveBatch(xs, ys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCheckpoint measures the cost of the checkpoint/restore cycle for
+// the serving-relevant mechanisms (see docs/SERVING.md for the size model).
+func BenchmarkCheckpoint(b *testing.B) {
+	const d = 32
+	est, err := New("gradient",
+		WithEpsilonDelta(1, 1e-6),
+		WithHorizon(4096),
+		WithConstraint(L2Constraint(d, 1)),
+		WithSeed(1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, d)
+	x[0] = 0.5
+	for i := 0; i < 512; i++ {
+		if err := est.Observe(x, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.MarshalBinary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	blob, err := est.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("restore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fresh, err := New("gradient",
+				WithEpsilonDelta(1, 1e-6),
+				WithHorizon(4096),
+				WithConstraint(L2Constraint(d, 1)),
+				WithSeed(1),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fresh.UnmarshalBinary(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -12,6 +12,13 @@
 //	privreg-bench -experiment E6 -workers 1  # disable the sweep worker pool
 //	privreg-bench -experiment all -json      # machine-readable results on stdout
 //
+// Besides the paper experiments, -mechanism runs a serving-shaped throughput
+// probe of a single registry mechanism (see privreg.Mechanisms): it streams T
+// points scalar and batched, measures ingestion and estimate latency, and
+// reports the checkpoint size:
+//
+//	privreg-bench -mechanism projected -T 2000 -d 128 -batch 64
+//
 // The process exits non-zero whenever any experiment fails, so CI smoke runs
 // gate on it. With -json, stdout carries exactly one JSON document (errors go
 // to stderr) for downstream perf-trajectory tooling.
@@ -22,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"privreg"
 	"privreg/internal/experiments"
 )
 
@@ -78,6 +87,10 @@ func run() int {
 		workers    = flag.Int("workers", 0, "worker pool size for sweeps (0 = GOMAXPROCS; results are identical for any value)")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON results on stdout")
 		list       = flag.Bool("list", false, "list available experiments and exit")
+		mechanism  = flag.String("mechanism", "", "run a throughput probe of one registry mechanism instead of the paper experiments (see privreg-demo -list)")
+		horizon    = flag.Int("T", 1000, "throughput probe: stream length")
+		dim        = flag.Int("d", 32, "throughput probe: covariate dimension")
+		batch      = flag.Int("batch", 32, "throughput probe: batch size for the batched ingestion pass")
 	)
 	flag.Parse()
 
@@ -87,6 +100,10 @@ func run() int {
 			fmt.Printf("  %s\n", e.ID)
 		}
 		return 0
+	}
+
+	if *mechanism != "" {
+		return runThroughputProbe(*mechanism, *horizon, *dim, *batch, *epsilon, *delta, *seed)
 	}
 
 	opts := experiments.Options{
@@ -149,5 +166,101 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("total wall time: %s\n", elapsed.Round(time.Millisecond))
+	return 0
+}
+
+// runThroughputProbe streams a synthetic workload through one mechanism
+// resolved by registry name: a scalar Observe pass, a batched ObserveBatch
+// pass, an estimate, and a checkpoint, reporting wall time per phase. It is
+// the serving-shaped complement to the paper experiments.
+func runThroughputProbe(name string, horizon, dim, batch int, epsilon, delta float64, seed int64) int {
+	info, err := privreg.Describe(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		fmt.Fprintln(os.Stderr, "registered mechanisms:", strings.Join(privreg.Mechanisms(), ", "))
+		return 2
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	build := func() (privreg.Estimator, error) {
+		opts := []privreg.Option{
+			privreg.WithEpsilonDelta(epsilon, delta),
+			privreg.WithHorizon(horizon),
+			privreg.WithConstraint(privreg.L2Constraint(dim, 1)),
+			privreg.WithSeed(seed),
+		}
+		if info.NeedsDomain {
+			opts = append(opts, privreg.WithDomain(privreg.UnitBallDomain(dim)))
+		}
+		if info.NeedsOracle {
+			opts = append(opts, privreg.WithDomainOracle(func([]float64) bool { return true }))
+		}
+		return privreg.New(info.Name, opts...)
+	}
+
+	xs := make([][]float64, horizon)
+	ys := make([]float64, horizon)
+	for i := range xs {
+		x := make([]float64, dim)
+		x[i%dim] = 0.8
+		x[(i+1)%dim] = -0.4
+		xs[i] = x
+		ys[i] = 0.5 * x[i%dim]
+	}
+
+	scalar, err := build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	start := time.Now()
+	for i := 0; i < horizon; i++ {
+		if err := scalar.Observe(xs[i], ys[i]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+	}
+	scalarElapsed := time.Since(start)
+
+	batched, err := build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	start = time.Now()
+	for lo := 0; lo < horizon; lo += batch {
+		hi := lo + batch
+		if hi > horizon {
+			hi = horizon
+		}
+		if err := batched.ObserveBatch(xs[lo:hi], ys[lo:hi]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+	}
+	batchElapsed := time.Since(start)
+
+	start = time.Now()
+	if _, err := batched.Estimate(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	estimateElapsed := time.Since(start)
+
+	start = time.Now()
+	ckpt, err := batched.MarshalBinary()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	ckptElapsed := time.Since(start)
+
+	perPoint := func(d time.Duration) time.Duration { return d / time.Duration(horizon) }
+	fmt.Printf("mechanism %q (%s): T=%d d=%d (ε=%g, δ=%g)\n", info.Name, scalar.Name(), horizon, dim, epsilon, delta)
+	fmt.Printf("  scalar ingest : %10s total, %8s/point\n", scalarElapsed.Round(time.Microsecond), perPoint(scalarElapsed))
+	fmt.Printf("  batch ingest  : %10s total, %8s/point (batch=%d)\n", batchElapsed.Round(time.Microsecond), perPoint(batchElapsed), batch)
+	fmt.Printf("  estimate      : %10s\n", estimateElapsed.Round(time.Microsecond))
+	fmt.Printf("  checkpoint    : %10s, %d bytes\n", ckptElapsed.Round(time.Microsecond), len(ckpt))
 	return 0
 }

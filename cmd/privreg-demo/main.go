@@ -4,20 +4,23 @@
 // of published parameters is differentially private — no single respondent's
 // participation can be inferred from the published updates.
 //
-// The demo streams synthetic survey data through both the private incremental
-// regression mechanism (Algorithm PRIVINCREG1) and the exact non-private
-// solver, printing the estimated coefficients and the excess empirical risk at
-// regular intervals.
+// The demo streams synthetic survey data through the selected private
+// mechanism (any name from the registry, see -mechanism) and the exact
+// non-private solver, printing the estimated coefficients and the excess
+// empirical risk at regular intervals.
 //
 // Usage:
 //
 //	privreg-demo -T 500 -d 8 -epsilon 1 -interval 50
+//	privreg-demo -mechanism projected -d 64
+//	privreg-demo -list
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"privreg"
 
@@ -26,31 +29,55 @@ import (
 
 func main() {
 	var (
-		horizon  = flag.Int("T", 500, "stream length")
-		dim      = flag.Int("d", 8, "number of covariates (survey features)")
-		epsilon  = flag.Float64("epsilon", 1.0, "privacy parameter ε")
-		delta    = flag.Float64("delta", 1e-6, "privacy parameter δ")
-		interval = flag.Int("interval", 50, "timesteps between published updates")
-		seed     = flag.Int64("seed", 7, "random seed")
+		mechanism = flag.String("mechanism", "gradient", "private mechanism to run (see -list)")
+		list      = flag.Bool("list", false, "list registered mechanisms and exit")
+		horizon   = flag.Int("T", 500, "stream length")
+		dim       = flag.Int("d", 8, "number of covariates (survey features)")
+		epsilon   = flag.Float64("epsilon", 1.0, "privacy parameter ε")
+		delta     = flag.Float64("delta", 1e-6, "privacy parameter δ")
+		interval  = flag.Int("interval", 50, "timesteps between published updates")
+		seed      = flag.Int64("seed", 7, "random seed")
 	)
 	flag.Parse()
 
+	if *list {
+		printMechanisms(os.Stdout)
+		return
+	}
+
 	cons := privreg.L2Constraint(*dim, 1.0)
-	private, err := privreg.NewGradientRegression(privreg.Config{
-		Privacy:    privreg.Privacy{Epsilon: *epsilon, Delta: *delta},
-		Horizon:    *horizon,
-		Constraint: cons,
-		Seed:       *seed,
-		WarmStart:  true,
-	})
+	opts := []privreg.Option{
+		privreg.WithEpsilonDelta(*epsilon, *delta),
+		privreg.WithHorizon(*horizon),
+		privreg.WithConstraint(cons),
+		privreg.WithSeed(*seed),
+		privreg.WithWarmStart(true),
+	}
+	// The width-driven mechanisms need a covariate domain; the demo's survey
+	// answers live in the unit ball. The robust variant additionally screens
+	// with an accept-all oracle (every synthetic respondent is in-domain).
+	info, err := privreg.Describe(*mechanism)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		printMechanisms(os.Stderr)
+		os.Exit(2)
+	}
+	if info.NeedsDomain {
+		opts = append(opts, privreg.WithDomain(privreg.UnitBallDomain(*dim)))
+	}
+	if info.NeedsOracle {
+		opts = append(opts, privreg.WithDomainOracle(func([]float64) bool { return true }))
+	}
+
+	private, err := privreg.New(*mechanism, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	exact, err := privreg.NewNonPrivateBaseline(privreg.Config{
-		Horizon:    *horizon,
-		Constraint: cons,
-	})
+	exact, err := privreg.New("nonprivate",
+		privreg.WithHorizon(*horizon),
+		privreg.WithConstraint(cons),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -66,7 +93,8 @@ func main() {
 
 	var xs [][]float64
 	var ys []float64
-	fmt.Printf("streaming %d survey responses, d=%d, (ε=%g, δ=%g)\n", *horizon, *dim, *epsilon, *delta)
+	fmt.Printf("streaming %d survey responses through %q (%s), d=%d, (ε=%g, δ=%g)\n",
+		*horizon, info.Name, private.Name(), *dim, *epsilon, *delta)
 	fmt.Printf("%6s  %14s  %14s  %12s\n", "t", "priv θ[0]", "exact θ[0]", "excess risk")
 	for t := 1; t <= *horizon; t++ {
 		x := src.UnitBall(*dim)
@@ -106,4 +134,15 @@ func main() {
 		}
 	}
 	fmt.Println("done: every printed row was derived from differentially private state only")
+}
+
+func printMechanisms(w *os.File) {
+	fmt.Fprintln(w, "registered mechanisms:")
+	for _, name := range privreg.Mechanisms() {
+		info, err := privreg.Describe(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-17s %s (aliases: %s)\n", info.Name, info.Summary, strings.Join(info.Aliases, ", "))
+	}
 }

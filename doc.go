@@ -13,59 +13,77 @@
 // respect to changing any single data point in the stream (event-level
 // privacy).
 //
-// Three mechanisms are provided, matching Table 1 of the paper:
+// # Construction
 //
-//   - NewGenericERM converts any private batch ERM algorithm into an
-//     incremental one by recomputing every τ steps (excess risk ≈ (Td)^{1/3}
-//     for convex losses, ≈ √d for strongly convex losses).
-//   - NewGradientRegression (Algorithm PRIVINCREG1) maintains a private
-//     gradient function for least squares with the Tree Mechanism and runs
-//     noisy projected gradient descent at every step (excess risk ≈ √d,
-//     worst-case optimal).
-//   - NewProjectedRegression (Algorithm PRIVINCREG2) additionally projects the
-//     data into a low-dimensional Gaussian sketch sized by the Gaussian widths
-//     of the covariate domain and the constraint set, optimizes there, and
-//     lifts the solution back (excess risk ≈ T^{1/3}·W^{2/3}, dimension-free
-//     for sparse/L1-ball geometry).
+// Mechanisms are selected from a registry by name and configured with
+// functional options, so deployments can pick mechanisms from config files:
+//
+//	est, err := privreg.New("gradient",
+//	    privreg.WithEpsilonDelta(1.0, 1e-6),
+//	    privreg.WithHorizon(100_000),
+//	    privreg.WithConstraint(privreg.L2Constraint(16, 1)),
+//	    privreg.WithSeed(42),
+//	)
+//	if err != nil { ... }
+//	for t := 0; t < 100_000; t++ {
+//	    x, y := nextObservation()
+//	    if err := est.Observe(x, y); err != nil { ... }
+//	    theta, _ := est.Estimate() // private estimate for the prefix so far
+//	    _ = theta
+//	}
+//
+// Mechanisms lists the registered names; Describe returns aliases and
+// per-mechanism requirements. The mechanisms, matching Table 1 of the paper:
+//
+//   - "gradient" (Algorithm PRIVINCREG1) maintains a private gradient function
+//     for least squares with the Tree Mechanism and runs noisy projected
+//     gradient descent at every estimate (excess risk ≈ √d, worst-case
+//     optimal).
+//   - "projected" (Algorithm PRIVINCREG2) additionally projects the data into
+//     a low-dimensional sketch sized by the Gaussian widths of the covariate
+//     domain and the constraint set, optimizes there, and lifts the solution
+//     back (excess risk ≈ T^{1/3}·W^{2/3}, dimension-free for sparse/L1-ball
+//     geometry). Requires WithDomain; WithSketch selects the dense Gaussian
+//     projection or the O(d log d) SRHT fast path.
+//   - "robust-projected" is the §5.2 extension: WithDomainOracle screens
+//     covariates, rejected points are neutralized before touching private
+//     state.
+//   - "generic-erm" (Mechanism PRIVINCERM) converts any private batch ERM
+//     algorithm into an incremental one by recomputing every τ steps, for any
+//     supported loss (WithLoss).
+//   - "naive-recompute" and "nonprivate" are the baselines the experiments
+//     compare against.
+//
+// Budgets are validated at this boundary: the Gaussian-noise mechanisms
+// require ε > 0 and δ ∈ (0, 1) and fail construction otherwise.
+//
+// # Serving
+//
+// The package is engineered for long-running services (see docs/SERVING.md):
+//
+//   - ObserveBatch ingests contiguous batches with up-front all-or-nothing
+//     validation and amortized continual-sum aggregation, bit-identical to a
+//     scalar Observe loop.
+//   - Every estimator checkpoints via MarshalBinary/UnmarshalBinary: restore
+//     into an identically configured instance and the continuation is
+//     bit-identical to an uninterrupted run — restarts are invisible in the
+//     published sequence.
+//   - Pool manages one estimator per stream ID with sharded locking, lazy
+//     stream creation, per-stream derived seeds, Stats snapshots, and
+//     whole-pool Checkpoint/Restore.
+//
+// # Performance
+//
+// The streaming hot path is engineered for sustained throughput (see
+// docs/PERFORMANCE.md for the benchmark record): per-timestep updates are
+// allocation-free in steady state, the Tree Mechanism defers its running-sum
+// aggregation until an estimate is requested, Gaussian noise is drawn with a
+// vectorized sampler, and the experiment harness runs sweeps on a bounded
+// worker pool with results byte-identical to a serial run.
 //
 // Non-private and naive-private baselines, constraint-set geometry (L1/L2/Lp
 // balls, simplex, polytopes, group-L1 balls, sparse domains), synthetic stream
 // generators, and a full benchmark harness reproducing the shape of every
 // bound in the paper are included. See README.md for a tour and
 // EXPERIMENTS.md for the paper-versus-measured record.
-//
-// # Performance
-//
-// The streaming hot path is engineered for sustained throughput (see
-// docs/PERFORMANCE.md for the benchmark record):
-//
-//   - NewProjectedRegression accepts a sketch backend via Config.SketchBackend:
-//     the paper's dense Gaussian projection (O(m·d) per point, the default),
-//     the subsampled randomized Hadamard transform (SketchSRHT, O(d log d) per
-//     point — several times faster once d ≳ 64), or SketchAuto to pick by
-//     dimension. Both backends satisfy the same norm-preservation guarantee.
-//   - Per-timestep updates are allocation-free in steady state: the Tree
-//     Mechanism exposes AddTo/SumInto buffer variants, Gaussian noise is drawn
-//     with a vectorized sampler, and the mechanisms reuse internal buffers for
-//     clamping, projection and outer products.
-//   - The experiment harness runs independent sweep cells on a bounded worker
-//     pool (experiments.Options.Workers, default GOMAXPROCS) with results that
-//     are byte-identical to a serial run for any fixed seed.
-//
-// Quick start:
-//
-//	cons := privreg.L2Constraint(10, 1.0)
-//	est, err := privreg.NewGradientRegression(privreg.Config{
-//		Privacy:    privreg.Privacy{Epsilon: 1, Delta: 1e-6},
-//		Horizon:    1000,
-//		Constraint: cons,
-//		Seed:       42,
-//	})
-//	if err != nil { ... }
-//	for t := 0; t < 1000; t++ {
-//		x, y := nextObservation()
-//		if err := est.Observe(x, y); err != nil { ... }
-//		theta, _ := est.Estimate() // private estimate for the prefix so far
-//		_ = theta
-//	}
 package privreg

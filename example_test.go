@@ -7,6 +7,87 @@ import (
 	"privreg"
 )
 
+// ExampleNew demonstrates the registry construction path: mechanisms are
+// selected by name and configured with functional options, so a deployment
+// can drive mechanism choice from a config file.
+func ExampleNew() {
+	est, err := privreg.New("gradient",
+		privreg.WithEpsilonDelta(1, 1e-6),
+		privreg.WithHorizon(64),
+		privreg.WithConstraint(privreg.L2Constraint(4, 1.0)),
+		privreg.WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Batched ingestion is bit-identical to a scalar Observe loop.
+	xs := [][]float64{{0.5, 0.2, 0, 0}, {0.1, 0, 0.3, 0}}
+	ys := []float64{0.13, 0.03}
+	if err := est.ObserveBatch(xs, ys); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("mechanism:", est.Mechanism())
+	fmt.Println("observations:", est.Len())
+	fmt.Println("registry:", privreg.Mechanisms())
+	// Output:
+	// mechanism: gradient
+	// observations: 2
+	// registry: [gradient projected robust-projected generic-erm naive-recompute nonprivate]
+}
+
+// ExampleNewPool demonstrates the multi-stream manager: one private estimator
+// per stream ID, created lazily, safe for concurrent use, with whole-pool
+// checkpoint/restore.
+func ExampleNewPool() {
+	pool, err := privreg.NewPool("gradient",
+		privreg.WithEpsilonDelta(1, 1e-6),
+		privreg.WithHorizon(64),
+		privreg.WithConstraint(privreg.L2Constraint(4, 1.0)),
+		privreg.WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("user-%d", i%2)
+		if err := pool.Observe(id, []float64{0.4, 0, 0.1, 0}, 0.2); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	st := pool.Stats()
+	fmt.Println("streams:", st.Streams, "observations:", st.Observations)
+
+	// Checkpoint the whole pool and restore into a fresh one built from the
+	// same template; every stream continues bit-identically.
+	blob, err := pool.Checkpoint()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fresh, err := privreg.NewPool("gradient",
+		privreg.WithEpsilonDelta(1, 1e-6),
+		privreg.WithHorizon(64),
+		privreg.WithConstraint(privreg.L2Constraint(4, 1.0)),
+		privreg.WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := fresh.Restore(blob); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("restored streams:", fresh.Stats().Streams)
+	// Output:
+	// streams: 2 observations: 6
+	// restored streams: 2
+}
+
 // ExampleNewGradientRegression demonstrates the streaming workflow: observe
 // points one at a time and read a differentially private estimate whenever one
 // is needed.

@@ -40,6 +40,13 @@ type Estimator interface {
 	Name() string
 	// Observe feeds the next stream element to the mechanism.
 	Observe(p loss.Point) error
+	// ObserveBatch feeds a contiguous run of stream elements. Semantically
+	// equivalent to calling Observe on each element in order — identical
+	// private state, identical randomness consumption — but validated up front
+	// (a batch that would overrun a fixed horizon is rejected whole, before any
+	// element is consumed) and amortized: the continual-sum mechanisms defer
+	// their running-sum aggregation to the end of the batch.
+	ObserveBatch(ps []loss.Point) error
 	// Estimate returns the mechanism's current parameter estimate θ_t ∈ C.
 	Estimate() (vec.Vector, error)
 	// Len returns the number of points observed so far.
@@ -47,6 +54,18 @@ type Estimator interface {
 	// Privacy returns the differential-privacy guarantee of the full output
 	// sequence. The zero value denotes a non-private baseline.
 	Privacy() dp.Params
+	// MarshalBinary serializes the estimator's complete mutable state —
+	// observation counts, private accumulators, warm-start iterates, and every
+	// randomness-stream position — in the versioned checkpoint codec. An
+	// estimator constructed with the same configuration (constraint set,
+	// privacy budget, horizon, options, seed) that restores this state with
+	// UnmarshalBinary continues bit-identically to an uninterrupted run.
+	MarshalBinary() ([]byte, error)
+	// UnmarshalBinary restores state captured by MarshalBinary. Structural
+	// parameters embedded in the checkpoint (mechanism kind, dimensions,
+	// horizon) are verified against the receiver and a mismatch is an error.
+	// On error the receiver's state is unspecified and it must be discarded.
+	UnmarshalBinary(data []byte) error
 }
 
 // ErrStreamFull is returned by mechanisms with a fixed horizon T when more
@@ -101,6 +120,9 @@ func (t *TrivialConstant) Name() string { return "trivial-constant" }
 // Observe implements Estimator.
 func (t *TrivialConstant) Observe(loss.Point) error { t.n++; return nil }
 
+// ObserveBatch implements Estimator.
+func (t *TrivialConstant) ObserveBatch(ps []loss.Point) error { t.n += len(ps); return nil }
+
 // Estimate implements Estimator.
 func (t *TrivialConstant) Estimate() (vec.Vector, error) { return t.theta.Clone(), nil }
 
@@ -135,6 +157,16 @@ func (n *NonPrivateIncremental) Name() string { return "exact-incremental" }
 func (n *NonPrivateIncremental) Observe(p loss.Point) error {
 	p = clampPoint(p)
 	n.state.Observe(p.X, p.Y)
+	return nil
+}
+
+// ObserveBatch implements Estimator.
+func (n *NonPrivateIncremental) ObserveBatch(ps []loss.Point) error {
+	for _, p := range ps {
+		if err := n.Observe(p); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -224,6 +256,21 @@ func (nr *NaiveRecompute) Observe(p loss.Point) error {
 		return err
 	}
 	nr.current = theta
+	return nil
+}
+
+// ObserveBatch implements Estimator: the naive mechanism re-solves at every
+// timestep by definition, so a batch is exactly a scalar loop; only the
+// horizon check is hoisted so an oversized batch is rejected whole.
+func (nr *NaiveRecompute) ObserveBatch(ps []loss.Point) error {
+	if len(nr.history)+len(ps) > nr.horizon {
+		return ErrStreamFull
+	}
+	for _, p := range ps {
+		if err := nr.Observe(p); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

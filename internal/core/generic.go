@@ -165,6 +165,23 @@ func (g *GenericERM) Observe(p loss.Point) error {
 	return nil
 }
 
+// ObserveBatch implements Estimator. The horizon check is hoisted so an
+// oversized batch is rejected whole; each τ-boundary inside the batch still
+// triggers its private batch solve, exactly as a scalar Observe loop would
+// (skipping intermediate solves would change both the published sequence and
+// the randomness stream).
+func (g *GenericERM) ObserveBatch(ps []loss.Point) error {
+	if len(g.history)+len(ps) > g.horizon {
+		return ErrStreamFull
+	}
+	for _, p := range ps {
+		if err := g.Observe(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Estimate implements Estimator.
 func (g *GenericERM) Estimate() (vec.Vector, error) { return g.current.Clone(), nil }
 

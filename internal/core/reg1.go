@@ -197,6 +197,39 @@ func (g *GradientRegression) Observe(p loss.Point) error {
 	return nil
 }
 
+// ObserveBatch implements Estimator: fold a contiguous run of points into the
+// private running sums. The batch is validated up front — dimensions and
+// horizon capacity — so it is consumed whole or not at all, and the Tree
+// Mechanism updates run with deferred sum aggregation, amortizing the
+// O(levels·d²) running-sum refresh across the batch instead of paying it per
+// point. Private state and randomness consumption are identical to a scalar
+// Observe loop.
+func (g *GradientRegression) ObserveBatch(ps []loss.Point) error {
+	if !g.opts.UseHybridTree && g.n+len(ps) > g.horizon {
+		return ErrStreamFull
+	}
+	for i := range ps {
+		if len(ps[i].X) != g.d {
+			return fmt.Errorf("core: batch element %d dimension %d does not match constraint dimension %d", i, len(ps[i].X), g.d)
+		}
+	}
+	for i := range ps {
+		y := clampInto(g.xWork, ps[i].X, ps[i].Y)
+		for j, v := range g.xWork {
+			g.xyWork[j] = y * v
+		}
+		if err := g.sumXY.AddTo(nil, g.xyWork); err != nil {
+			return err
+		}
+		flattenOuter(g.flatWork, g.xWork)
+		if err := g.sumXXT.AddTo(nil, g.flatWork); err != nil {
+			return err
+		}
+		g.n++
+	}
+	return nil
+}
+
 // Gradient returns the current private gradient function (Definition 5). The
 // returned structure references freshly copied private state and may be
 // evaluated any number of times without privacy cost.

@@ -61,11 +61,12 @@ type ProjectedRegression struct {
 	horizon int
 	opts    ProjectedOptions
 
-	width     float64
-	gamma     float64
-	m         int
-	projector sketch.Transform
-	projSet   constraint.Set
+	width      float64
+	gamma      float64
+	m          int
+	projector  sketch.Transform
+	sketchSpec sketch.Spec
+	projSet    constraint.Set
 
 	sumXY   tree.Mechanism
 	sumXXT  tree.Mechanism
@@ -124,7 +125,12 @@ func NewProjectedRegression(xDomain, c constraint.Set, p dp.Params, horizon int,
 		m = 1
 	}
 
-	projector, err := sketch.New(opts.Sketch, m, d, src.Split())
+	// The transform's full serializable state is its spec (backend + shape +
+	// seed of the split source); checkpoints persist the spec and rebuild the
+	// identical transform on restore.
+	sketchSrc := src.Split()
+	spec := sketch.Spec{Backend: opts.Sketch, OutputDim: m, InputDim: d, Seed: sketchSrc.Seed()}
+	projector, err := sketch.New(opts.Sketch, m, d, sketchSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -159,25 +165,26 @@ func NewProjectedRegression(xDomain, c constraint.Set, p dp.Params, horizon int,
 	}
 
 	r := &ProjectedRegression{
-		xDomain:   xDomain,
-		c:         c,
-		privacy:   p,
-		horizon:   horizon,
-		opts:      opts,
-		width:     width,
-		gamma:     gamma,
-		m:         m,
-		projector: projector,
-		projSet:   projSet,
-		sumXY:     sumXY,
-		sumXXT:    sumXXT,
-		d:         d,
-		prevProj:  projSet.Project(vec.NewVector(m)),
-		prevLift:  c.Project(vec.NewVector(d)),
-		xWork:     vec.NewVector(d),
-		pxWork:    vec.NewVector(m),
-		pxyWork:   make([]float64, m),
-		flatWork:  make([]float64, m*m),
+		xDomain:    xDomain,
+		c:          c,
+		privacy:    p,
+		horizon:    horizon,
+		opts:       opts,
+		width:      width,
+		gamma:      gamma,
+		m:          m,
+		projector:  projector,
+		sketchSpec: spec,
+		projSet:    projSet,
+		sumXY:      sumXY,
+		sumXXT:     sumXXT,
+		d:          d,
+		prevProj:   projSet.Project(vec.NewVector(m)),
+		prevLift:   c.Project(vec.NewVector(d)),
+		xWork:      vec.NewVector(d),
+		pxWork:     vec.NewVector(m),
+		pxyWork:    make([]float64, m),
+		flatWork:   make([]float64, m*m),
 	}
 	r.gradErr = r.gradientErrorScale()
 	return r, nil
@@ -239,6 +246,35 @@ func (r *ProjectedRegression) Observe(p loss.Point) error {
 	if len(p.X) != r.d {
 		return fmt.Errorf("core: covariate dimension %d does not match constraint dimension %d", len(p.X), r.d)
 	}
+	return r.observeValidated(p)
+}
+
+// ObserveBatch implements Estimator: project and fold a contiguous run of
+// points. Validation (dimensions, horizon capacity) happens before any element
+// is consumed, and the Tree Mechanism running-sum aggregation is deferred to
+// the end of the batch, so the per-point cost is one sketch apply plus the
+// O(m²) outer-product fold. Private state and randomness consumption are
+// identical to a scalar Observe loop.
+func (r *ProjectedRegression) ObserveBatch(ps []loss.Point) error {
+	if !r.opts.UseHybridTree && r.n+len(ps) > r.horizon {
+		return ErrStreamFull
+	}
+	for i := range ps {
+		if len(ps[i].X) != r.d {
+			return fmt.Errorf("core: batch element %d dimension %d does not match constraint dimension %d", i, len(ps[i].X), r.d)
+		}
+	}
+	for i := range ps {
+		if err := r.observeValidated(ps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observeValidated is the dimension-checked body shared by Observe and
+// ObserveBatch.
+func (r *ProjectedRegression) observeValidated(p loss.Point) error {
 	y := clampInto(r.xWork, p.X, p.Y)
 	px := r.pxWork
 	if r.opts.DisableCovariateScaling {
@@ -377,6 +413,27 @@ func (r *RobustProjectedRegression) Observe(p loss.Point) error {
 		return r.inner.Observe(loss.Point{X: vec.NewVector(r.inner.d), Y: 0})
 	}
 	return r.inner.Observe(p)
+}
+
+// ObserveBatch implements Estimator: each point is screened by the oracle and
+// either passed through or neutralized, exactly as a scalar Observe loop
+// would. Capacity and dimensions are validated before any element is
+// consumed, preserving the all-or-nothing batch contract.
+func (r *RobustProjectedRegression) ObserveBatch(ps []loss.Point) error {
+	if !r.inner.opts.UseHybridTree && r.inner.n+len(ps) > r.inner.horizon {
+		return ErrStreamFull
+	}
+	for i := range ps {
+		if len(ps[i].X) != r.inner.d {
+			return fmt.Errorf("core: batch element %d dimension %d does not match constraint dimension %d", i, len(ps[i].X), r.inner.d)
+		}
+	}
+	for i := range ps {
+		if err := r.Observe(ps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Estimate implements Estimator.

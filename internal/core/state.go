@@ -1,0 +1,390 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"privreg/internal/codec"
+	"privreg/internal/loss"
+	"privreg/internal/randx"
+	"privreg/internal/sketch"
+	"privreg/internal/vec"
+)
+
+// This file implements checkpoint/restore for every mechanism in the package.
+//
+// The contract (documented on Estimator.MarshalBinary) is construct-then-
+// restore: a checkpoint captures only the *mutable* state of a mechanism —
+// observation counts, private accumulators, warm-start iterates, randomness
+// positions — while the immutable structure (constraint set, loss, privacy
+// budget, horizon, options) is re-created by constructing an estimator with
+// the same configuration before calling UnmarshalBinary. Structural values
+// embedded in each blob (mechanism name, dimensions, horizon) are verified on
+// restore so a configuration mismatch fails loudly instead of corrupting
+// state. Randomness positions are (seed, draw-count) pairs (randx.State), so a
+// restored mechanism draws exactly the noise the uninterrupted run would have.
+
+// coreStateVersion is the checkpoint format version shared by the mechanisms
+// in this package.
+const coreStateVersion = 1
+
+func writeSourceState(w *codec.Writer, src *randx.Source) {
+	st := src.State()
+	w.I64(st.Seed)
+	w.U64(st.Draws)
+}
+
+func readSourceState(r *codec.Reader) randx.State {
+	return randx.State{Seed: r.I64(), Draws: r.U64()}
+}
+
+func writeHistory(w *codec.Writer, history []loss.Point) {
+	w.Int(len(history))
+	for _, p := range history {
+		w.F64s(p.X)
+		w.F64(p.Y)
+	}
+}
+
+func readHistory(r *codec.Reader, dim, maxLen int) []loss.Point {
+	n := r.Int()
+	if r.Err() != nil {
+		return nil
+	}
+	if n < 0 || n > maxLen {
+		r.Fail(fmt.Errorf("core: checkpoint history length %d outside [0, %d]", n, maxLen))
+		return nil
+	}
+	out := make([]loss.Point, 0, n)
+	for i := 0; i < n; i++ {
+		x := r.F64s()
+		y := r.F64()
+		if r.Err() != nil {
+			return nil
+		}
+		if len(x) != dim {
+			r.Fail(fmt.Errorf("core: checkpoint history element %d has dimension %d, want %d", i, len(x), dim))
+			return nil
+		}
+		out = append(out, loss.Point{X: vec.Vector(x), Y: y})
+	}
+	return out
+}
+
+// --- TrivialConstant ---
+
+// MarshalBinary implements Estimator: the only mutable state is the count.
+func (t *TrivialConstant) MarshalBinary() ([]byte, error) {
+	var w codec.Writer
+	w.Version(coreStateVersion)
+	w.String(t.Name())
+	w.Int(t.n)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements Estimator.
+func (t *TrivialConstant) UnmarshalBinary(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(coreStateVersion)
+	r.ExpectString("mechanism", t.Name())
+	n := r.Int()
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if n < 0 {
+		return errors.New("core: corrupt checkpoint (negative count)")
+	}
+	t.n = n
+	return nil
+}
+
+// --- NonPrivateIncremental ---
+
+// MarshalBinary implements Estimator: the sufficient statistics are the state.
+func (n *NonPrivateIncremental) MarshalBinary() ([]byte, error) {
+	var w codec.Writer
+	w.Version(coreStateVersion)
+	w.String(n.Name())
+	ls, err := n.state.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(ls)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements Estimator.
+func (n *NonPrivateIncremental) UnmarshalBinary(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(coreStateVersion)
+	r.ExpectString("mechanism", n.Name())
+	ls := r.Blob()
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	return n.state.UnmarshalState(ls)
+}
+
+// --- NaiveRecompute ---
+
+// MarshalBinary implements Estimator: the clamped history, the current
+// estimate, and the randomness position.
+func (nr *NaiveRecompute) MarshalBinary() ([]byte, error) {
+	var w codec.Writer
+	w.Version(coreStateVersion)
+	w.String(nr.Name())
+	w.Int(nr.c.Dim())
+	w.Int(nr.horizon)
+	writeHistory(&w, nr.history)
+	w.F64s(nr.current)
+	writeSourceState(&w, nr.src)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements Estimator.
+func (nr *NaiveRecompute) UnmarshalBinary(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(coreStateVersion)
+	r.ExpectString("mechanism", nr.Name())
+	r.ExpectInt("dimension", nr.c.Dim())
+	r.ExpectInt("horizon", nr.horizon)
+	history := readHistory(r, nr.c.Dim(), nr.horizon)
+	current := r.F64s()
+	st := readSourceState(r)
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if len(current) != nr.c.Dim() {
+		return errors.New("core: corrupt checkpoint estimate")
+	}
+	src, err := randx.NewSourceAt(st)
+	if err != nil {
+		return err
+	}
+	nr.history = history
+	nr.current = vec.Vector(current)
+	nr.src = src
+	return nil
+}
+
+// --- GenericERM ---
+
+// MarshalBinary implements Estimator: the clamped history, the replayed
+// estimate, and the randomness position. τ and the per-call budget are
+// re-derived at construction and verified.
+func (g *GenericERM) MarshalBinary() ([]byte, error) {
+	var w codec.Writer
+	w.Version(coreStateVersion)
+	w.String(g.Name())
+	w.Int(g.c.Dim())
+	w.Int(g.horizon)
+	w.Int(g.tau)
+	writeHistory(&w, g.history)
+	w.F64s(g.current)
+	writeSourceState(&w, g.src)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements Estimator.
+func (g *GenericERM) UnmarshalBinary(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(coreStateVersion)
+	r.ExpectString("mechanism", g.Name())
+	r.ExpectInt("dimension", g.c.Dim())
+	r.ExpectInt("horizon", g.horizon)
+	r.ExpectInt("recomputation period", g.tau)
+	history := readHistory(r, g.c.Dim(), g.horizon)
+	current := r.F64s()
+	st := readSourceState(r)
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if len(current) != g.c.Dim() {
+		return errors.New("core: corrupt checkpoint estimate")
+	}
+	src, err := randx.NewSourceAt(st)
+	if err != nil {
+		return err
+	}
+	g.history = history
+	g.current = vec.Vector(current)
+	g.src = src
+	return nil
+}
+
+// --- GradientRegression ---
+
+// MarshalBinary implements Estimator: both Tree Mechanism states (which carry
+// their own randomness positions) plus the warm-start iterate.
+func (g *GradientRegression) MarshalBinary() ([]byte, error) {
+	var w codec.Writer
+	w.Version(coreStateVersion)
+	w.String(g.Name())
+	w.Int(g.d)
+	w.Int(g.horizon)
+	w.Int(g.n)
+	w.F64s(g.prev)
+	xy, err := g.sumXY.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(xy)
+	xxt, err := g.sumXXT.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(xxt)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements Estimator.
+func (g *GradientRegression) UnmarshalBinary(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(coreStateVersion)
+	r.ExpectString("mechanism", g.Name())
+	r.ExpectInt("dimension", g.d)
+	r.ExpectInt("horizon", g.horizon)
+	n := r.Int()
+	prev := r.F64s()
+	xy := r.Blob()
+	xxt := r.Blob()
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if n < 0 || len(prev) != g.d {
+		return errors.New("core: corrupt checkpoint")
+	}
+	if err := g.sumXY.UnmarshalState(xy); err != nil {
+		return fmt.Errorf("core: restoring first-moment sum: %w", err)
+	}
+	if err := g.sumXXT.UnmarshalState(xxt); err != nil {
+		return fmt.Errorf("core: restoring second-moment sum: %w", err)
+	}
+	g.n = n
+	g.prev = vec.Vector(prev)
+	return nil
+}
+
+// --- ProjectedRegression ---
+
+// MarshalBinary implements Estimator: the sketch spec (backend + shape + seed,
+// the transform's entire serializable state), both projected-space Tree
+// Mechanism states, and the warm-start iterates in both spaces.
+func (r *ProjectedRegression) MarshalBinary() ([]byte, error) {
+	var w codec.Writer
+	w.Version(coreStateVersion)
+	w.String(r.Name())
+	w.Int(r.d)
+	w.Int(r.m)
+	w.Int(r.horizon)
+	w.Int(int(r.sketchSpec.Backend))
+	w.I64(r.sketchSpec.Seed)
+	w.Int(r.n)
+	w.F64s(r.prevProj)
+	w.F64s(r.prevLift)
+	xy, err := r.sumXY.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(xy)
+	xxt, err := r.sumXXT.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(xxt)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements Estimator. When the checkpointed sketch spec
+// differs from the constructed one (an estimator restored under a different
+// seed), the transform — and, when it depends on the transform, the projected
+// optimization domain — is rebuilt from the spec so the restored mechanism
+// projects covariates exactly as the checkpointed one did.
+func (r *ProjectedRegression) UnmarshalBinary(data []byte) error {
+	rd := codec.NewReader(data)
+	rd.Version(coreStateVersion)
+	rd.ExpectString("mechanism", r.Name())
+	rd.ExpectInt("dimension", r.d)
+	rd.ExpectInt("projection dimension", r.m)
+	rd.ExpectInt("horizon", r.horizon)
+	spec := sketch.Spec{
+		Backend:   sketch.Backend(rd.Int()),
+		OutputDim: r.m,
+		InputDim:  r.d,
+		Seed:      rd.I64(),
+	}
+	n := rd.Int()
+	prevProj := rd.F64s()
+	prevLift := rd.F64s()
+	xy := rd.Blob()
+	xxt := rd.Blob()
+	if err := rd.Finish(); err != nil {
+		return err
+	}
+	if n < 0 || len(prevProj) != r.m || len(prevLift) != r.d {
+		return errors.New("core: corrupt checkpoint")
+	}
+	if spec != r.sketchSpec {
+		projector, err := spec.New()
+		if err != nil {
+			return fmt.Errorf("core: rebuilding sketch from checkpoint spec: %w", err)
+		}
+		r.projector = projector
+		r.sketchSpec = spec
+		if r.opts.ExactImage {
+			// The optimization domain — and the gradient-error scale derived
+			// from its diameter — follow the rebuilt transform, so the restored
+			// estimator optimizes exactly as the checkpointed one did.
+			r.projSet = projector.ImageSet(r.c, r.gamma)
+			r.gradErr = r.gradientErrorScale()
+		}
+	}
+	if err := r.sumXY.UnmarshalState(xy); err != nil {
+		return fmt.Errorf("core: restoring first-moment sum: %w", err)
+	}
+	if err := r.sumXXT.UnmarshalState(xxt); err != nil {
+		return fmt.Errorf("core: restoring second-moment sum: %w", err)
+	}
+	r.n = n
+	r.prevProj = vec.Vector(prevProj)
+	r.prevLift = vec.Vector(prevLift)
+	return nil
+}
+
+// --- RobustProjectedRegression ---
+
+// MarshalBinary implements Estimator: the inner mechanism's checkpoint plus
+// the dropped-point count. The oracle is code, not state; the restoring
+// instance supplies its own.
+func (r *RobustProjectedRegression) MarshalBinary() ([]byte, error) {
+	var w codec.Writer
+	w.Version(coreStateVersion)
+	w.String(r.Name())
+	inner, err := r.inner.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(inner)
+	w.Int(r.dropped)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements Estimator.
+func (r *RobustProjectedRegression) UnmarshalBinary(data []byte) error {
+	rd := codec.NewReader(data)
+	rd.Version(coreStateVersion)
+	rd.ExpectString("mechanism", r.Name())
+	inner := rd.Blob()
+	dropped := rd.Int()
+	if err := rd.Finish(); err != nil {
+		return err
+	}
+	if dropped < 0 {
+		return errors.New("core: corrupt checkpoint (negative dropped count)")
+	}
+	if err := r.inner.UnmarshalBinary(inner); err != nil {
+		return err
+	}
+	r.dropped = dropped
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math"
 
+	"privreg/internal/codec"
 	"privreg/internal/constraint"
 	"privreg/internal/dp"
 	"privreg/internal/loss"
@@ -208,6 +209,43 @@ func (s *LeastSquaresState) Minimize(iters int) vec.Vector {
 		}
 	}
 	return best
+}
+
+// lsStateVersion is the LeastSquaresState checkpoint format version.
+const lsStateVersion = 1
+
+// MarshalState serializes the sufficient statistics (XᵀX, Xᵀy, Σy², n) so an
+// incremental least-squares stream can be checkpointed and resumed exactly.
+func (s *LeastSquaresState) MarshalState() ([]byte, error) {
+	var w codec.Writer
+	w.Version(lsStateVersion)
+	w.Int(s.d)
+	w.Int(s.n)
+	w.F64s(s.ata.Data())
+	w.F64s(s.aty)
+	w.F64(s.yy)
+	return w.Bytes(), nil
+}
+
+// UnmarshalState restores sufficient statistics captured by MarshalState into
+// a state constructed with the same dimension and constraint set.
+func (s *LeastSquaresState) UnmarshalState(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(lsStateVersion)
+	r.ExpectInt("dimension", s.d)
+	n := r.Int()
+	r.F64sInto(s.ata.Data())
+	r.F64sInto(s.aty)
+	yy := r.F64()
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if n < 0 {
+		return errors.New("erm: corrupt checkpoint (negative observation count)")
+	}
+	s.n = n
+	s.yy = yy
+	return nil
 }
 
 // PrivateBatchOptions configures the private batch ERM solver.

@@ -10,6 +10,7 @@
 package randx
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 )
@@ -17,13 +18,106 @@ import (
 // Source wraps a deterministic pseudo-random generator. It is a thin layer over
 // math/rand.Rand that adds the distribution samplers the privacy mechanisms
 // need and supports deterministic splitting for parallel or multi-component use.
+//
+// A Source's exact stream position is observable (State) and restorable
+// (NewSourceAt), which is what makes estimator checkpoint/restore bit-identical
+// to an uninterrupted run: the state is the pair (seed, draws), where draws
+// counts the primitive generator advances consumed so far.
 type Source struct {
-	rng *rand.Rand
+	rng     *rand.Rand
+	counter *countingSource
+	seed    int64
+}
+
+// countingSource wraps the underlying math/rand generator and counts primitive
+// state advances. math/rand's generator advances its state exactly once per
+// Int63 and once per Uint64 (Int63 is Uint64 with the top bit masked), so the
+// pair (seed, advance count) pinpoints the stream position exactly and can be
+// restored by replaying that many primitive draws. Both methods delegate to
+// the native generator, so produced values and the state trajectory are
+// identical to the unwrapped generator.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// State is the exact position of a Source's deterministic stream: the seed it
+// was created with and the number of primitive generator advances consumed
+// since. It is the unit of randomness serialization in checkpoints.
+type State struct {
+	Seed  int64
+	Draws uint64
 }
 
 // NewSource returns a Source seeded with the given seed.
 func NewSource(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	// rand.NewSource's result is documented to implement Source64.
+	c := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Source{rng: rand.New(c), counter: c, seed: seed}
+}
+
+// MaxReplayDraws bounds the stream position NewSourceAt will replay. It sits
+// an order of magnitude above any draw count the library's mechanisms can
+// legitimately accumulate (the heaviest consumer, a d=512 second-moment tree
+// over a 10⁷-point stream, is ≈ 2⁴¹), so real checkpoints always restore while
+// a corrupt Draws field — which would otherwise spin the replay loop for
+// centuries — is rejected immediately.
+const MaxReplayDraws = 1 << 44
+
+// ErrReplayTooLarge is returned by NewSourceAt for stream positions beyond
+// MaxReplayDraws, which only corrupt checkpoints produce.
+var ErrReplayTooLarge = errors.New("randx: stream position exceeds the replay bound (corrupt checkpoint?)")
+
+// NewSourceAt returns a Source positioned exactly at the given state: it seeds
+// a fresh generator and replays st.Draws primitive advances. Restoration cost
+// is linear in Draws at a few nanoseconds per draw — microseconds to
+// milliseconds for typical streams, but seconds once a source has consumed
+// billions of draws (e.g. a high-dimensional second-moment tree over a very
+// long stream; see docs/SERVING.md). The trade-off is deliberate: the
+// underlying generator's unexported state never needs to be persisted and
+// every pre-existing seeded stream in the repository stays bit-identical.
+func NewSourceAt(st State) (*Source, error) {
+	if st.Draws > MaxReplayDraws {
+		return nil, ErrReplayTooLarge
+	}
+	s := NewSource(st.Seed)
+	for s.counter.draws < st.Draws {
+		s.counter.Int63()
+	}
+	return s, nil
+}
+
+// State returns the Source's current stream position.
+func (s *Source) State() State {
+	return State{Seed: s.seed, Draws: s.counter.draws}
+}
+
+// Seed returns the seed the Source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Mix64 applies the SplitMix64 finalizer: a bijective avalanche mix that
+// spreads nearby inputs to well-separated outputs. It is the seed-derivation
+// primitive shared by Split and by per-stream seed derivation in consumers
+// (e.g. the public Pool).
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Split returns a new Source whose stream is deterministically derived from the
@@ -33,10 +127,7 @@ func NewSource(seed int64) *Source {
 func (s *Source) Split() *Source {
 	// Derive a 63-bit seed from the parent stream. SplitMix-style mixing keeps
 	// derived streams well separated even for small consecutive parent draws.
-	z := s.rng.Uint64()
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
+	z := Mix64(s.rng.Uint64())
 	return NewSource(int64(z & 0x7fffffffffffffff))
 }
 

@@ -101,6 +101,29 @@ func New(b Backend, m, d int, src *randx.Source) (Transform, error) {
 	}
 }
 
+// Spec identifies a Transform up to exact reconstruction: the requested
+// backend, the shape, and the seed of the randomness source it was sampled
+// from. Because transforms are immutable after construction, the spec is their
+// entire serializable state — checkpoints persist a Spec instead of the m×d
+// matrix (or sign/row tables) and rebuild the identical transform on restore.
+type Spec struct {
+	// Backend is the backend that was requested at construction (BackendAuto is
+	// recorded as such; its dense/SRHT choice is a deterministic function of the
+	// dimensions, so reconstruction makes the same choice).
+	Backend Backend
+	// OutputDim and InputDim are the transform's shape (m and d).
+	OutputDim, InputDim int
+	// Seed seeds the source the transform's randomness was drawn from.
+	Seed int64
+}
+
+// New reconstructs the transform the spec describes. A transform built from
+// the spec of a previous construction is identical to the original: same
+// matrix entries (dense) or sign/row tables (SRHT).
+func (s Spec) New() (Transform, error) {
+	return New(s.Backend, s.OutputDim, s.InputDim, randx.NewSource(s.Seed))
+}
+
 // scaledApplyTo implements the footnote-15 rescaled apply for any Transform:
 // dst = (‖x‖/‖Φx‖)·Φx, the zero vector when x or Φx vanishes.
 func scaledApplyTo(t Transform, dst, x vec.Vector) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"privreg/internal/codec"
 	"privreg/internal/dp"
 	"privreg/internal/randx"
 )
@@ -42,7 +43,11 @@ type Hybrid struct {
 	epochTree *Tree
 	epochLen  int
 	logSigma  float64
-	sum       []float64
+	// sum is the cached running-sum estimate, maintained lazily like
+	// Tree.sum: batched adds mark it dirty and the snapshot+epoch aggregation
+	// runs once at the next Sum/SumInto.
+	sum   []float64
+	dirty bool
 	// epochSum and noiseWork are reusable scratch buffers that keep the
 	// per-timestep path allocation-free.
 	epochSum  []float64
@@ -148,19 +153,26 @@ func (h *Hybrid) AddTo(dst, v []float64) error {
 	for k := range h.exactPrefix {
 		h.exactPrefix[k] += v[k]
 	}
-	if err := h.epochTree.AddTo(h.epochSum, v); err != nil {
+	if err := h.epochTree.AddTo(nil, v); err != nil {
 		return err
 	}
-	for k := range h.sum {
-		h.sum[k] = h.snapshot[k] + h.epochSum[k]
-	}
-	if dst != nil {
-		copy(dst, h.sum)
+	// At an epoch boundary the estimate must be materialized before the
+	// snapshot fold so that Sum after this call reports the same tree-based
+	// value it always has; otherwise the aggregation is deferred exactly as in
+	// Tree.AddTo.
+	boundary := h.epochTree.Len() == h.epochLen
+	if dst != nil || boundary {
+		h.refreshSum()
+		if dst != nil {
+			copy(dst, h.sum)
+		}
+	} else {
+		h.dirty = true
 	}
 
 	// If the epoch just completed, fold a fresh noisy snapshot of this epoch's
 	// exact sum into the cumulative snapshot and start the next (doubled) epoch.
-	if h.epochTree.Len() == h.epochLen {
+	if boundary {
 		h.src.FillNormal(h.noiseWork, 0, h.logSigma)
 		for k := range h.snapshot {
 			h.snapshot[k] += h.exactPrefix[k] + h.noiseWork[k]
@@ -173,17 +185,113 @@ func (h *Hybrid) AddTo(dst, v []float64) error {
 	return nil
 }
 
+// refreshSum recomputes the cached estimate snapshot + in-epoch tree sum.
+// Deterministic, so lazy and eager callers observe bit-identical estimates.
+func (h *Hybrid) refreshSum() {
+	h.epochTree.SumInto(h.epochSum)
+	for k := range h.sum {
+		h.sum[k] = h.snapshot[k] + h.epochSum[k]
+	}
+	h.dirty = false
+}
+
 // Sum returns a copy of the current private running-sum estimate.
 func (h *Hybrid) Sum() []float64 {
 	out := make([]float64, h.dim)
-	copy(out, h.sum)
+	h.SumInto(out)
 	return out
 }
 
 // SumInto writes the current private running-sum estimate into dst without
 // allocating.
 func (h *Hybrid) SumInto(dst []float64) {
+	if h.dirty {
+		h.refreshSum()
+	}
 	copy(dst, h.sum)
+}
+
+// hybridStateVersion is the Hybrid checkpoint format version.
+const hybridStateVersion = 1
+
+// MarshalState implements Mechanism for the Hybrid mechanism: it captures the
+// snapshot accumulator, the in-progress epoch (as a nested Tree checkpoint),
+// and both randomness positions.
+func (h *Hybrid) MarshalState() ([]byte, error) {
+	var w codec.Writer
+	w.Version(hybridStateVersion)
+	w.String("hybrid")
+	w.Int(h.dim)
+	w.F64(h.sensitivity)
+	w.F64(h.logSigma)
+	w.Int(h.t)
+	w.F64s(h.snapshot)
+	w.F64s(h.exactPrefix)
+	w.F64s(h.sum)
+	w.Bool(h.dirty)
+	w.Int(h.epochLen)
+	et, err := h.epochTree.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(et)
+	st := h.src.State()
+	w.I64(st.Seed)
+	w.U64(st.Draws)
+	return w.Bytes(), nil
+}
+
+// UnmarshalState implements Mechanism: it restores state captured by
+// MarshalState into a Hybrid constructed with the same configuration.
+func (h *Hybrid) UnmarshalState(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(hybridStateVersion)
+	r.ExpectString("mechanism kind", "hybrid")
+	r.ExpectInt("dimension", h.dim)
+	if s := r.F64(); r.Err() == nil && s != h.sensitivity {
+		return fmt.Errorf("tree: checkpoint sensitivity %g does not match configured %g", s, h.sensitivity)
+	}
+	if s := r.F64(); r.Err() == nil && s != h.logSigma {
+		return fmt.Errorf("tree: checkpoint noise scale %g does not match configured %g (privacy parameters differ)", s, h.logSigma)
+	}
+	t := r.Int()
+	r.F64sInto(h.snapshot)
+	r.F64sInto(h.exactPrefix)
+	r.F64sInto(h.sum)
+	dirty := r.Bool()
+	epochLen := r.Int()
+	treeBlob := r.Blob()
+	st := randx.State{Seed: r.I64(), Draws: r.U64()}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if t < 0 || epochLen <= 0 {
+		return fmt.Errorf("tree: corrupt hybrid checkpoint (t=%d, epochLen=%d)", t, epochLen)
+	}
+	// Rebuild the in-progress epoch tree with the checkpointed epoch length and
+	// restore its state; the placeholder source is replaced by the restore.
+	et, err := New(Config{
+		Dim:         h.dim,
+		MaxLen:      epochLen,
+		Sensitivity: h.sensitivity,
+		Privacy:     h.privacy.Halve(),
+	}, randx.NewSource(0))
+	if err != nil {
+		return err
+	}
+	if err := et.UnmarshalState(treeBlob); err != nil {
+		return err
+	}
+	src, err := randx.NewSourceAt(st)
+	if err != nil {
+		return err
+	}
+	h.t = t
+	h.dirty = dirty
+	h.epochLen = epochLen
+	h.epochTree = et
+	h.src = src
+	return nil
 }
 
 // NaiveSum is the baseline continual-sum mechanism that perturbs the running
@@ -275,6 +383,52 @@ func (n *NaiveSum) Sum() []float64 {
 // allocating.
 func (n *NaiveSum) SumInto(dst []float64) {
 	copy(dst, n.sum)
+}
+
+// naiveSumStateVersion is the NaiveSum checkpoint format version.
+const naiveSumStateVersion = 1
+
+// MarshalState implements Mechanism. Unlike Tree/Hybrid the released sum is
+// not recomputable post-processing (fresh noise is drawn at every release), so
+// both the exact accumulator and the last released sum are captured.
+func (n *NaiveSum) MarshalState() ([]byte, error) {
+	var w codec.Writer
+	w.Version(naiveSumStateVersion)
+	w.String("naive-sum")
+	w.Int(n.dim)
+	w.F64(n.sigma)
+	w.Int(n.t)
+	w.F64s(n.exact)
+	w.F64s(n.sum)
+	st := n.src.State()
+	w.I64(st.Seed)
+	w.U64(st.Draws)
+	return w.Bytes(), nil
+}
+
+// UnmarshalState implements Mechanism.
+func (n *NaiveSum) UnmarshalState(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(naiveSumStateVersion)
+	r.ExpectString("mechanism kind", "naive-sum")
+	r.ExpectInt("dimension", n.dim)
+	if s := r.F64(); r.Err() == nil && s != n.sigma {
+		return fmt.Errorf("tree: checkpoint noise scale %g does not match configured %g (privacy parameters differ)", s, n.sigma)
+	}
+	t := r.Int()
+	r.F64sInto(n.exact)
+	r.F64sInto(n.sum)
+	st := randx.State{Seed: r.I64(), Draws: r.U64()}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	src, err := randx.NewSourceAt(st)
+	if err != nil {
+		return err
+	}
+	n.t = t
+	n.src = src
+	return nil
 }
 
 // Interface conformance checks.

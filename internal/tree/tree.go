@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/bits"
 
+	"privreg/internal/codec"
 	"privreg/internal/dp"
 	"privreg/internal/randx"
 )
@@ -46,6 +47,15 @@ type Mechanism interface {
 	// NoiseSigma returns the per-node (or per-step) Gaussian noise standard
 	// deviation used internally. Exposed for diagnostics and tests.
 	NoiseSigma() float64
+	// MarshalState serializes the mechanism's complete mutable state — partial
+	// sums, stream position, and randomness-source position — such that a
+	// mechanism constructed with the same configuration and restored with
+	// UnmarshalState continues bit-identically to the original.
+	MarshalState() ([]byte, error)
+	// UnmarshalState restores state captured by MarshalState into a mechanism
+	// constructed with the same configuration; structural parameters are
+	// verified and a mismatch is an error.
+	UnmarshalState(data []byte) error
 }
 
 // Tree is the Tree Mechanism for a stream of known maximum length.
@@ -63,8 +73,12 @@ type Tree struct {
 	alpha [][]float64
 	// beta[j] is the noisy version of alpha[j], published when the range closed.
 	beta [][]float64
-	// current private running sum, recomputed at every Add.
-	sum []float64
+	// current private running sum. Maintained lazily: adds that do not need the
+	// estimate immediately (AddTo with a nil destination, the batch-ingestion
+	// path) only mark it dirty, and the O(levels·dim) aggregation runs once at
+	// the next Sum/SumInto instead of once per element.
+	sum   []float64
+	dirty bool
 }
 
 // Config collects the parameters of a Tree Mechanism instance.
@@ -209,32 +223,48 @@ func (tr *Tree) AddTo(dst, v []float64) error {
 		bi[k] += ai[k]
 	}
 
-	// s_t ← Σ_{j : Bin_j(t) ≠ 0} b_j.
+	// The running sum s_t = Σ_{j : Bin_j(t) ≠ 0} b_j is pure post-processing of
+	// the published nodes, so it is computed lazily: eagerly only when the
+	// caller asked for the estimate now (dst non-nil), otherwise deferred to the
+	// next Sum/SumInto, which amortizes the aggregation across batched adds.
+	if dst != nil {
+		tr.refreshSum()
+		copy(dst, tr.sum)
+	} else {
+		tr.dirty = true
+	}
+	return nil
+}
+
+// refreshSum recomputes s_t ← Σ_{j : Bin_j(t) ≠ 0} b_j from the published
+// nodes. Deterministic (no randomness is consumed), so lazy and eager callers
+// observe bit-identical estimates.
+func (tr *Tree) refreshSum() {
 	zero(tr.sum)
 	for j := 0; j < tr.levels; j++ {
-		if t&(1<<uint(j)) != 0 {
+		if tr.t&(1<<uint(j)) != 0 {
 			bj := tr.beta[j]
 			for k := range tr.sum {
 				tr.sum[k] += bj[k]
 			}
 		}
 	}
-	if dst != nil {
-		copy(dst, tr.sum)
-	}
-	return nil
+	tr.dirty = false
 }
 
 // Sum returns a copy of the current private running-sum estimate.
 func (tr *Tree) Sum() []float64 {
 	out := make([]float64, tr.dim)
-	copy(out, tr.sum)
+	tr.SumInto(out)
 	return out
 }
 
 // SumInto writes the current private running-sum estimate into dst without
 // allocating.
 func (tr *Tree) SumInto(dst []float64) {
+	if tr.dirty {
+		tr.refreshSum()
+	}
 	copy(dst, tr.sum)
 }
 
@@ -254,6 +284,73 @@ func (tr *Tree) ErrorBound(beta float64) float64 {
 	l := float64(tr.levels)
 	d := float64(tr.dim)
 	return tr.sigma * (math.Sqrt(l*d) + math.Sqrt(2*l*math.Log(1/beta)))
+}
+
+// treeStateVersion is the Tree checkpoint format version.
+const treeStateVersion = 1
+
+// MarshalState implements Mechanism: it serializes the stream position, the
+// per-level partial sums (raw and noisy), the cached running sum, and the
+// randomness-source position. Together with the construction parameters —
+// which the restoring instance must share, and which are embedded for
+// verification — this is everything needed to continue bit-identically.
+func (tr *Tree) MarshalState() ([]byte, error) {
+	var w codec.Writer
+	w.Version(treeStateVersion)
+	w.String("tree")
+	w.Int(tr.dim)
+	w.Int(tr.maxT)
+	w.F64(tr.sensitivity)
+	w.F64(tr.sigma)
+	w.Int(tr.t)
+	for j := 0; j < tr.levels; j++ {
+		w.F64s(tr.alpha[j])
+		w.F64s(tr.beta[j])
+	}
+	w.F64s(tr.sum)
+	w.Bool(tr.dirty)
+	st := tr.src.State()
+	w.I64(st.Seed)
+	w.U64(st.Draws)
+	return w.Bytes(), nil
+}
+
+// UnmarshalState implements Mechanism: it restores state captured by
+// MarshalState into a Tree constructed with the same configuration.
+func (tr *Tree) UnmarshalState(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(treeStateVersion)
+	r.ExpectString("mechanism kind", "tree")
+	r.ExpectInt("dimension", tr.dim)
+	r.ExpectInt("max length", tr.maxT)
+	if s := r.F64(); r.Err() == nil && s != tr.sensitivity {
+		return fmt.Errorf("tree: checkpoint sensitivity %g does not match configured %g", s, tr.sensitivity)
+	}
+	if s := r.F64(); r.Err() == nil && s != tr.sigma {
+		return fmt.Errorf("tree: checkpoint noise scale %g does not match configured %g (privacy parameters differ)", s, tr.sigma)
+	}
+	t := r.Int()
+	if r.Err() == nil && (t < 0 || t > tr.maxT) {
+		return fmt.Errorf("tree: checkpoint stream position %d outside [0, %d]", t, tr.maxT)
+	}
+	for j := 0; j < tr.levels; j++ {
+		r.F64sInto(tr.alpha[j])
+		r.F64sInto(tr.beta[j])
+	}
+	r.F64sInto(tr.sum)
+	dirty := r.Bool()
+	st := randx.State{Seed: r.I64(), Draws: r.U64()}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	src, err := randx.NewSourceAt(st)
+	if err != nil {
+		return err
+	}
+	tr.t = t
+	tr.dirty = dirty
+	tr.src = src
+	return nil
 }
 
 // lowestSetBit returns the index of the lowest set bit of t. The degenerate

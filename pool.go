@@ -1,0 +1,362 @@
+package privreg
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"privreg/internal/codec"
+	"privreg/internal/randx"
+)
+
+// poolShards is the number of lock shards a Pool spreads its streams over.
+// Stream IDs hash to shards, so unrelated streams contend only 1/poolShards of
+// the time; within a shard the map lock is held only for lookup/insert, and
+// each stream carries its own mutex for the (much longer) estimator work.
+const poolShards = 64
+
+// Pool manages one estimator per stream ID — the unit a server fronting many
+// users holds. All methods are safe for concurrent use by any number of
+// goroutines; distinct streams proceed in parallel (locking is per stream,
+// sharded for cheap lookup), while operations on the same stream serialize.
+//
+// Streams are created lazily on first Observe/ObserveBatch. Every stream's
+// estimator is built from the Pool's mechanism and option template, with one
+// difference: the random seed is derived deterministically from the template
+// seed and the stream ID, so each stream draws independent noise yet the whole
+// pool is reproducible and checkpoint/restore-stable.
+type Pool struct {
+	mech     *mechanism
+	template settings
+	stats    PoolStats // immutable identity fields only (Mechanism, Privacy)
+
+	shards [poolShards]poolShard
+}
+
+type poolShard struct {
+	mu      sync.RWMutex
+	streams map[string]*poolStream
+}
+
+type poolStream struct {
+	mu  sync.Mutex
+	est Estimator
+}
+
+// PoolStats is a point-in-time snapshot of a Pool.
+type PoolStats struct {
+	// Mechanism is the canonical registry name of the pooled mechanism.
+	Mechanism string
+	// Privacy is the per-stream (ε, δ) budget (zero for nonprivate pools).
+	Privacy Privacy
+	// Horizon is the per-stream horizon from the template (0 when running with
+	// an unknown horizon).
+	Horizon int
+	// Streams is the number of live streams.
+	Streams int
+	// Observations is the total number of points observed across all streams.
+	Observations int64
+	// Shards is the number of lock shards.
+	Shards int
+}
+
+// NewPool returns a Pool that builds one estimator per stream from the given
+// mechanism name (see Mechanisms) and option template. The template is
+// validated eagerly by constructing and discarding a probe estimator, so a bad
+// budget or a missing constraint fails here rather than on the first request.
+func NewPool(mechanism string, opts ...Option) (*Pool, error) {
+	m, err := lookupMechanism(mechanism)
+	if err != nil {
+		return nil, err
+	}
+	s, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := buildEstimator(m, s); err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		mech:     m,
+		template: *s,
+		stats: PoolStats{
+			Mechanism: m.info.Name,
+			Horizon:   s.cfg.Horizon,
+			Shards:    poolShards,
+		},
+	}
+	if m.info.Private {
+		p.stats.Privacy = s.cfg.Privacy
+	}
+	for i := range p.shards {
+		p.shards[i].streams = make(map[string]*poolStream)
+	}
+	return p, nil
+}
+
+// streamSeed derives a per-stream seed from the template seed and the stream
+// ID with FNV-1a followed by the SplitMix64 finalizer (randx.Mix64, the same
+// primitive Source.Split uses), so IDs that differ in one byte get
+// well-separated seeds.
+func (p *Pool) streamSeed(id string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	z := randx.Mix64(h.Sum64() ^ uint64(p.template.cfg.Seed))
+	return int64(z & 0x7fffffffffffffff)
+}
+
+func (p *Pool) shardFor(id string) *poolShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return &p.shards[h.Sum32()%poolShards]
+}
+
+// buildStream constructs a fresh estimator for the given stream ID from the
+// pool template.
+func (p *Pool) buildStream(id string) (Estimator, error) {
+	s := p.template
+	s.cfg.Seed = p.streamSeed(id)
+	return buildEstimator(p.mech, &s)
+}
+
+// stream returns the poolStream for id, creating it when create is set.
+func (p *Pool) stream(id string, create bool) (*poolStream, error) {
+	sh := p.shardFor(id)
+	sh.mu.RLock()
+	ps := sh.streams[id]
+	sh.mu.RUnlock()
+	if ps != nil {
+		return ps, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("privreg: unknown stream %q", id)
+	}
+	// Build outside the shard lock (construction can be expensive: sketch
+	// sampling, tree allocation), then insert; on a race the loser's estimator
+	// is discarded.
+	est, err := p.buildStream(id)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	if existing := sh.streams[id]; existing != nil {
+		sh.mu.Unlock()
+		return existing, nil
+	}
+	ps = &poolStream{est: est}
+	sh.streams[id] = ps
+	sh.mu.Unlock()
+	return ps, nil
+}
+
+// Observe feeds one covariate/response pair to the given stream, creating the
+// stream on first use.
+func (p *Pool) Observe(id string, x []float64, y float64) error {
+	ps, err := p.stream(id, true)
+	if err != nil {
+		return err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.est.Observe(x, y)
+}
+
+// ObserveBatch feeds a contiguous batch to the given stream, creating the
+// stream on first use. The batch is applied atomically with respect to other
+// operations on the same stream.
+func (p *Pool) ObserveBatch(id string, xs [][]float64, ys []float64) error {
+	ps, err := p.stream(id, true)
+	if err != nil {
+		return err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.est.ObserveBatch(xs, ys)
+}
+
+// Estimate returns the current private estimate for the given stream. Unknown
+// streams are an error (an estimate for a stream that never observed anything
+// is almost always a caller bug; create streams by observing).
+func (p *Pool) Estimate(id string) ([]float64, error) {
+	ps, err := p.stream(id, false)
+	if err != nil {
+		return nil, err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.est.Estimate()
+}
+
+// Len returns the number of observations of the given stream (0 for unknown
+// streams).
+func (p *Pool) Len(id string) int {
+	ps, err := p.stream(id, false)
+	if err != nil {
+		return 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.est.Len()
+}
+
+// Drop removes a stream and reports whether it existed. Its budgeted private
+// state is discarded; a subsequent Observe under the same ID starts a fresh
+// stream (with the same derived seed).
+func (p *Pool) Drop(id string) bool {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.streams[id]
+	delete(sh.streams, id)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Streams returns the IDs of all live streams, sorted.
+func (p *Pool) Streams() []string {
+	var out []string
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		for id := range sh.streams {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the pool: stream and observation counts plus the
+// budget parameters every stream runs under.
+func (p *Pool) Stats() PoolStats {
+	st := p.stats
+	// Snapshot the stream pointers under the shard lock, then count under each
+	// stream's own lock with the shard lock released: holding both would let
+	// one slow in-flight solve stall new-stream creation across its shard.
+	var snapshot []*poolStream
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		st.Streams += len(sh.streams)
+		for _, ps := range sh.streams {
+			snapshot = append(snapshot, ps)
+		}
+		sh.mu.RUnlock()
+	}
+	for _, ps := range snapshot {
+		ps.mu.Lock()
+		st.Observations += int64(ps.est.Len())
+		ps.mu.Unlock()
+	}
+	return st
+}
+
+// poolCheckpointMagic identifies a Pool checkpoint blob.
+const (
+	poolCheckpointMagic   = "PRPL"
+	poolCheckpointVersion = 1
+)
+
+// Checkpoint serializes every stream's estimator state into one blob. Streams
+// are written in sorted-ID order, so two pools with identical state produce
+// identical blobs. Concurrent observations are not blocked globally — each
+// stream is locked only while its own state is serialized — so a checkpoint
+// taken under load is a per-stream-consistent snapshot.
+func (p *Pool) Checkpoint() ([]byte, error) {
+	type entry struct {
+		id   string
+		blob []byte
+	}
+	ids := p.Streams()
+	entries := make([]entry, 0, len(ids))
+	for _, id := range ids {
+		ps, err := p.stream(id, false)
+		if err != nil {
+			// The stream was dropped between listing and serialization; record
+			// nothing for it.
+			continue
+		}
+		ps.mu.Lock()
+		blob, err := ps.est.MarshalBinary()
+		ps.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("privreg: checkpointing stream %q: %w", id, err)
+		}
+		entries = append(entries, entry{id: id, blob: blob})
+	}
+	var w codec.Writer
+	w.String(poolCheckpointMagic)
+	w.Version(poolCheckpointVersion)
+	w.String(p.mech.info.Name)
+	w.Int(len(entries))
+	for _, e := range entries {
+		w.String(e.id)
+		w.Blob(e.blob)
+	}
+	return w.Bytes(), nil
+}
+
+// Restore loads a checkpoint produced by Checkpoint into this pool, which must
+// have been created with the same mechanism and option template (including the
+// template seed — per-stream seeds derive from it). Existing streams with the
+// same IDs are replaced; streams absent from the checkpoint are left alone.
+// Restore is all-or-nothing: every stream in the checkpoint is rebuilt and
+// verified before any is installed, so on error the pool is unchanged. After
+// a successful restore, every restored stream continues bit-identically to
+// the pool that was checkpointed.
+func (p *Pool) Restore(data []byte) error {
+	r := codec.NewReader(data)
+	if r.String() != poolCheckpointMagic {
+		return errors.New("privreg: not a pool checkpoint (bad magic)")
+	}
+	r.Version(poolCheckpointVersion)
+	mech := r.String()
+	count := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if mech != p.mech.info.Name {
+		return fmt.Errorf("privreg: checkpoint is for mechanism %q, pool is %q", mech, p.mech.info.Name)
+	}
+	if count < 0 {
+		return errors.New("privreg: corrupt pool checkpoint (negative stream count)")
+	}
+	type entry struct {
+		id   string
+		blob []byte
+	}
+	entries := make([]entry, 0, count)
+	for i := 0; i < count; i++ {
+		id := r.String()
+		blob := r.Blob()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		entries = append(entries, entry{id: id, blob: blob})
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	// Rebuild and restore every stream before installing any, so a failure on
+	// one stream leaves the pool exactly as it was (Restore is all-or-nothing).
+	restored := make([]Estimator, len(entries))
+	for i, e := range entries {
+		est, err := p.buildStream(e.id)
+		if err != nil {
+			return fmt.Errorf("privreg: rebuilding stream %q: %w", e.id, err)
+		}
+		if err := est.UnmarshalBinary(e.blob); err != nil {
+			return fmt.Errorf("privreg: restoring stream %q: %w", e.id, err)
+		}
+		restored[i] = est
+	}
+	for i, e := range entries {
+		sh := p.shardFor(e.id)
+		sh.mu.Lock()
+		sh.streams[e.id] = &poolStream{est: restored[i]}
+		sh.mu.Unlock()
+	}
+	return nil
+}

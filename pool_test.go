@@ -1,0 +1,262 @@
+package privreg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testPoolOptions(seed int64) []Option {
+	return []Option{
+		WithEpsilonDelta(1, 1e-6),
+		WithHorizon(64),
+		WithConstraint(L2Constraint(4, 1)),
+		WithSeed(seed),
+		WithMaxIterations(20),
+	}
+}
+
+func TestPoolBasics(t *testing.T) {
+	p, err := NewPool("gradient", testPoolOptions(7)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("user-%d", i%3)
+		x, y := syntheticPoint(i, 4)
+		if err := p.Observe(id, x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Mechanism != "gradient" || st.Streams != 3 || st.Observations != 10 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Privacy.Epsilon != 1 || st.Privacy.Delta != 1e-6 {
+		t.Fatalf("Stats privacy = %+v", st.Privacy)
+	}
+	if got := p.Streams(); len(got) != 3 || got[0] != "user-0" {
+		t.Fatalf("Streams = %v", got)
+	}
+	if p.Len("user-0") == 0 {
+		t.Fatal("user-0 should have observations")
+	}
+	theta, err := p.Estimate("user-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(theta) != 4 {
+		t.Fatalf("estimate dimension %d", len(theta))
+	}
+	if _, err := p.Estimate("nobody"); err == nil {
+		t.Fatal("estimate for an unknown stream should error")
+	}
+	if !p.Drop("user-1") || p.Drop("user-1") {
+		t.Fatal("Drop semantics broken")
+	}
+	if p.Stats().Streams != 2 {
+		t.Fatal("dropped stream still counted")
+	}
+}
+
+func TestPoolValidatesTemplateEagerly(t *testing.T) {
+	if _, err := NewPool("gradient", WithHorizon(16)); err == nil {
+		t.Fatal("missing constraint should fail at NewPool, not first use")
+	}
+	if _, err := NewPool("gradient", WithEpsilonDelta(-1, 1e-6), WithHorizon(16), WithConstraint(L2Constraint(3, 1))); err == nil {
+		t.Fatal("invalid budget should fail at NewPool")
+	}
+	if _, err := NewPool("no-such", testPoolOptions(1)...); err == nil {
+		t.Fatal("unknown mechanism should fail at NewPool")
+	}
+}
+
+// TestPoolStreamsAreIndependentAndDeterministic verifies per-stream seed
+// derivation: the same stream ID always reproduces the same outputs, distinct
+// IDs draw different noise.
+func TestPoolStreamsAreIndependentAndDeterministic(t *testing.T) {
+	run := func(id string) []float64 {
+		p, err := NewPool("gradient", testPoolOptions(7)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			x, y := syntheticPoint(i, 4)
+			if err := p.Observe(id, x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		theta, err := p.Estimate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return theta
+	}
+	a1, a2, b := run("alice"), run("alice"), run("bob")
+	sameVector(t, "same stream id", a1, a2)
+	differ := false
+	for k := range a1 {
+		if a1[k] != b[k] {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Fatal("distinct stream ids should draw independent noise")
+	}
+}
+
+// TestPoolConcurrentMultiStream hammers a pool from many goroutines — mixed
+// observes, batch observes, estimates, stats, drops — and then verifies the
+// per-stream observation counts. Run under -race this is the acceptance test
+// for the sharded locking design.
+func TestPoolConcurrentMultiStream(t *testing.T) {
+	p, err := NewPool("gradient", testPoolOptions(3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers   = 16
+		streams   = 23 // spread across shards; some IDs shared between workers
+		perWorker = 24
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("stream-%d", (w*perWorker+i)%streams)
+				x, y := syntheticPoint(i, 4)
+				var err error
+				switch i % 4 {
+				case 0, 1:
+					err = p.Observe(id, x, y)
+				case 2:
+					x2, y2 := syntheticPoint(i+1, 4)
+					err = p.ObserveBatch(id, [][]float64{x, x2}, []float64{y, y2})
+				case 3:
+					err = p.Observe(id, x, y)
+					if err == nil {
+						_, err = p.Estimate(id)
+					}
+					_ = p.Stats()
+				}
+				if err != nil {
+					errc <- fmt.Errorf("worker %d step %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	// 1/4 of the steps observe two points, the rest one.
+	wantObs := int64(workers * perWorker * 5 / 4)
+	if st.Observations != wantObs {
+		t.Fatalf("Observations = %d, want %d", st.Observations, wantObs)
+	}
+	if st.Streams != streams {
+		t.Fatalf("Streams = %d, want %d", st.Streams, streams)
+	}
+}
+
+// TestPoolCheckpointRestore checkpoints a pool mid-stream, restores into a
+// fresh pool built from the same template, continues both, and requires every
+// stream's estimates to be bit-identical — the multi-stream version of the
+// single-estimator determinism guarantee.
+func TestPoolCheckpointRestore(t *testing.T) {
+	ids := []string{"alice", "bob", "carol"}
+	orig, err := NewPool("gradient", testPoolOptions(7)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		for _, id := range ids {
+			x, y := syntheticPoint(i, 4)
+			if err := orig.Observe(id, x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	blob, err := orig.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewPool("gradient", testPoolOptions(7)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Stats(); got.Streams != len(ids) || got.Observations != int64(12*len(ids)) {
+		t.Fatalf("restored Stats = %+v", got)
+	}
+
+	for i := 12; i < 20; i++ {
+		for _, id := range ids {
+			x, y := syntheticPoint(i, 4)
+			if err := orig.Observe(id, x, y); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Observe(id, x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, id := range ids {
+		a, err := orig.Estimate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Estimate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameVector(t, "pool stream "+id, a, b)
+	}
+
+	// Mechanism mismatch is rejected.
+	other, err := NewPool("nonprivate", WithHorizon(64), WithConstraint(L2Constraint(4, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(blob); err == nil {
+		t.Fatal("cross-mechanism pool restore should be rejected")
+	}
+	// Garbage is rejected.
+	if err := restored.Restore([]byte("junk")); err == nil {
+		t.Fatal("garbage pool blob should be rejected")
+	}
+
+	// Restore is all-or-nothing: a checkpoint with one corrupt stream blob
+	// must leave the pool exactly as it was.
+	before := make(map[string][]float64)
+	for _, id := range ids {
+		theta, err := restored.Estimate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[id] = theta
+	}
+	if err := restored.Restore(blob[:len(blob)-7]); err == nil {
+		t.Fatal("truncated pool blob should be rejected")
+	}
+	if got := restored.Stats(); got.Streams != len(ids) {
+		t.Fatalf("failed restore changed stream count: %+v", got)
+	}
+	for _, id := range ids {
+		theta, err := restored.Estimate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameVector(t, "post-failed-restore "+id, before[id], theta)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"privreg/internal/codec"
 	"privreg/internal/core"
 	"privreg/internal/dp"
 	"privreg/internal/erm"
@@ -82,26 +83,65 @@ func (l Loss) function() (loss.Function, error) {
 	}
 }
 
+// ErrStreamFull is returned by Observe and ObserveBatch when a fixed-horizon
+// mechanism has already consumed its configured T elements (for ObserveBatch,
+// when the batch would overrun it — the batch is then rejected whole).
+var ErrStreamFull = core.ErrStreamFull
+
 // Estimator is a streaming private (or baseline) ERM mechanism. Feed the stream
-// one labelled point at a time with Observe; Estimate returns the current
-// parameter estimate for the prefix observed so far. Estimates are lazy
-// post-processing of already-private state, so Estimate may be called at any
-// subset of timesteps (or repeatedly) without affecting the privacy guarantee.
+// one labelled point at a time with Observe (or in batches with ObserveBatch);
+// Estimate returns the current parameter estimate for the prefix observed so
+// far. Estimates are lazy post-processing of already-private state, so Estimate
+// may be called at any subset of timesteps (or repeatedly) without affecting
+// the privacy guarantee.
+//
+// Estimators are not safe for concurrent use; wrap them in a Pool (which
+// shards and locks per stream) when serving many goroutines.
 type Estimator interface {
-	// Name identifies the mechanism.
+	// Name identifies the mechanism's algorithm (e.g. "priv-inc-reg1").
 	Name() string
+	// Mechanism returns the registry name the estimator was constructed under
+	// (e.g. "gradient"), the value to pass to New to build a compatible
+	// instance for restoring a checkpoint.
+	Mechanism() string
 	// Observe feeds the next covariate/response pair. Covariates are clipped to
 	// the unit Euclidean ball and responses to [-1, 1], the normalization the
 	// privacy analysis assumes.
 	Observe(x []float64, y float64) error
+	// ObserveBatch feeds a contiguous run of covariate/response pairs.
+	// Semantically equivalent to calling Observe on each pair in order —
+	// identical private state, identical randomness consumption — but validated
+	// up front (a batch that would overrun a fixed horizon is rejected whole,
+	// before any element is consumed) and amortized: the continual-sum
+	// mechanisms defer their running-sum aggregation to the end of the batch,
+	// so per-point ingestion cost drops for batched arrivals.
+	ObserveBatch(xs [][]float64, ys []float64) error
 	// Estimate returns the current estimate θ_t, an element of the constraint
 	// set.
 	Estimate() ([]float64, error)
 	// Len returns the number of observations so far.
 	Len() int
+	// MarshalBinary serializes the estimator's complete mutable state —
+	// observation counts, private accumulators, warm-start iterates, and every
+	// randomness-stream position — as a versioned checkpoint. An estimator
+	// constructed with the same mechanism and options (including the seed) that
+	// restores the checkpoint with UnmarshalBinary continues bit-identically to
+	// an uninterrupted run: checkpoint/restore is invisible in the output
+	// sequence. See docs/SERVING.md for restart semantics.
+	MarshalBinary() ([]byte, error)
+	// UnmarshalBinary restores a checkpoint produced by MarshalBinary on an
+	// estimator of the same mechanism and configuration. Mechanism kind and
+	// structural parameters (dimensions, horizon) are verified and a mismatch
+	// is an error. On error the estimator's state is unspecified and it must
+	// be discarded.
+	UnmarshalBinary(data []byte) error
 }
 
-// Config is the common configuration of every estimator constructor.
+// Config is the common configuration of the deprecated estimator
+// constructors. New code should construct estimators with New and functional
+// options (WithPrivacy, WithHorizon, WithConstraint, …), which validate at the
+// boundary and compose with Pool; Config remains as the carrier those shims
+// feed into the same construction path.
 type Config struct {
 	// Privacy is the total (ε, δ) budget for the whole stream. Ignored by the
 	// non-private baseline.
@@ -166,18 +206,36 @@ func (cfg Config) horizonOrDefault() int {
 }
 
 // estimatorAdapter adapts an internal core.Estimator to the public Estimator
-// interface (plain []float64 at the boundary).
+// interface (plain []float64 at the boundary) and stamps checkpoints with the
+// registry name so restores are routed to a compatible instance.
 type estimatorAdapter struct {
-	inner core.Estimator
+	inner     core.Estimator
+	mechanism string
 }
 
-func (a estimatorAdapter) Name() string { return a.inner.Name() }
+func (a *estimatorAdapter) Name() string { return a.inner.Name() }
 
-func (a estimatorAdapter) Observe(x []float64, y float64) error {
+func (a *estimatorAdapter) Mechanism() string { return a.mechanism }
+
+func (a *estimatorAdapter) Observe(x []float64, y float64) error {
 	return a.inner.Observe(loss.Point{X: vec.Vector(x), Y: y})
 }
 
-func (a estimatorAdapter) Estimate() ([]float64, error) {
+func (a *estimatorAdapter) ObserveBatch(xs [][]float64, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("privreg: batch covariate count %d does not match response count %d", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	ps := make([]loss.Point, len(xs))
+	for i := range xs {
+		ps[i] = loss.Point{X: vec.Vector(xs[i]), Y: ys[i]}
+	}
+	return a.inner.ObserveBatch(ps)
+}
+
+func (a *estimatorAdapter) Estimate() ([]float64, error) {
 	theta, err := a.inner.Estimate()
 	if err != nil {
 		return nil, err
@@ -185,26 +243,54 @@ func (a estimatorAdapter) Estimate() ([]float64, error) {
 	return []float64(theta), nil
 }
 
-func (a estimatorAdapter) Len() int { return a.inner.Len() }
+func (a *estimatorAdapter) Len() int { return a.inner.Len() }
+
+// checkpointMagic identifies a privreg estimator checkpoint; the byte after it
+// is the envelope format version.
+const (
+	checkpointMagic   = "PRCK"
+	checkpointVersion = 1
+)
+
+func (a *estimatorAdapter) MarshalBinary() ([]byte, error) {
+	inner, err := a.inner.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var w codec.Writer
+	w.String(checkpointMagic)
+	w.Version(checkpointVersion)
+	w.String(a.mechanism)
+	w.Blob(inner)
+	return w.Bytes(), nil
+}
+
+func (a *estimatorAdapter) UnmarshalBinary(data []byte) error {
+	r := codec.NewReader(data)
+	if r.String() != checkpointMagic {
+		return errors.New("privreg: not a privreg checkpoint (bad magic)")
+	}
+	r.Version(checkpointVersion)
+	mech := r.String()
+	inner := r.Blob()
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if mech != a.mechanism {
+		return fmt.Errorf("privreg: checkpoint is for mechanism %q, estimator is %q", mech, a.mechanism)
+	}
+	return a.inner.UnmarshalBinary(inner)
+}
 
 // NewGradientRegression returns Algorithm PRIVINCREG1: private incremental
 // least-squares regression via a Tree-Mechanism private gradient function.
 // Excess empirical risk grows as ≈ √d (Theorem 4.2), independent of the stream
 // length up to polylog factors.
+//
+// Deprecated: use New("gradient", opts...); this constructor is a thin shim
+// over the same construction path.
 func NewGradientRegression(cfg Config) (Estimator, error) {
-	if err := cfg.validate(false); err != nil {
-		return nil, err
-	}
-	src := randx.NewSource(cfg.Seed)
-	inner, err := core.NewGradientRegression(cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), src, core.RegressionOptions{
-		MaxIterations: cfg.MaxIterations,
-		WarmStart:     cfg.WarmStart,
-		UseHybridTree: cfg.UnknownHorizon,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return estimatorAdapter{inner: inner}, nil
+	return newFromConfig("gradient", cfg, nil)
 }
 
 // NewProjectedRegression returns Algorithm PRIVINCREG2: private incremental
@@ -213,28 +299,11 @@ func NewGradientRegression(cfg Config) (Estimator, error) {
 // lifted back to the original space. Excess empirical risk grows as
 // ≈ T^{1/3}·(w(X)+w(C))^{2/3} (Theorem 5.7) — dimension-free for sparse
 // covariates with an L1-ball constraint.
+//
+// Deprecated: use New("projected", opts...); this constructor is a thin shim
+// over the same construction path.
 func NewProjectedRegression(cfg Config) (Estimator, error) {
-	if err := cfg.validate(true); err != nil {
-		return nil, err
-	}
-	backend, err := cfg.SketchBackend.backend()
-	if err != nil {
-		return nil, err
-	}
-	src := randx.NewSource(cfg.Seed)
-	inner, err := core.NewProjectedRegression(cfg.Domain.set, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), src, core.ProjectedOptions{
-		RegressionOptions: core.RegressionOptions{
-			MaxIterations: cfg.MaxIterations,
-			WarmStart:     cfg.WarmStart,
-			UseHybridTree: cfg.UnknownHorizon,
-		},
-		ProjectionDim: cfg.ProjectionDim,
-		Sketch:        backend,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return estimatorAdapter{inner: inner}, nil
+	return newFromConfig("projected", cfg, nil)
 }
 
 // NewRobustProjectedRegression returns the §5.2 extension of
@@ -242,87 +311,61 @@ func NewProjectedRegression(cfg Config) (Estimator, error) {
 // oracle belong to the small-Gaussian-width domain described by cfg.Domain;
 // rejected points are neutralized before touching private state. The utility
 // guarantee then applies to the risk restricted to accepted points.
+//
+// Deprecated: use New("robust-projected", WithDomainOracle(oracle), ...);
+// this constructor is a thin shim over the same construction path.
 func NewRobustProjectedRegression(cfg Config, oracle func(x []float64) bool) (Estimator, error) {
-	if err := cfg.validate(true); err != nil {
-		return nil, err
-	}
 	if oracle == nil {
 		return nil, errors.New("privreg: nil domain oracle")
 	}
-	backend, err := cfg.SketchBackend.backend()
-	if err != nil {
-		return nil, err
-	}
-	src := randx.NewSource(cfg.Seed)
-	inner, err := core.NewRobustProjectedRegression(cfg.Domain.set, cfg.Constraint.set,
-		func(x vec.Vector) bool { return oracle([]float64(x)) },
-		cfg.Privacy.params(), cfg.horizonOrDefault(), src, core.ProjectedOptions{
-			RegressionOptions: core.RegressionOptions{
-				MaxIterations: cfg.MaxIterations,
-				WarmStart:     cfg.WarmStart,
-				UseHybridTree: cfg.UnknownHorizon,
-			},
-			ProjectionDim: cfg.ProjectionDim,
-			Sketch:        backend,
-		})
-	if err != nil {
-		return nil, err
-	}
-	return estimatorAdapter{inner: inner}, nil
+	return newFromConfig("robust-projected", cfg, func(s *settings) { s.oracle = oracle })
 }
 
 // NewGenericERM returns Mechanism PRIVINCERM: the generic transformation of a
 // private batch ERM algorithm into a private incremental one, applicable to any
 // of the supported losses. Excess empirical risk grows as ≈ (Td)^{1/3} for
 // convex losses (Theorem 3.1).
+//
+// Deprecated: use New("generic-erm", WithLoss(l), ...); this constructor is a
+// thin shim over the same construction path.
 func NewGenericERM(cfg Config, l Loss) (Estimator, error) {
-	if err := cfg.validate(false); err != nil {
-		return nil, err
-	}
-	f, err := l.function()
-	if err != nil {
-		return nil, err
-	}
-	src := randx.NewSource(cfg.Seed)
-	inner, err := core.NewGenericERM(f, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), src, core.GenericOptions{
-		Tau:   cfg.Tau,
-		Batch: erm.PrivateBatchOptions{Iterations: cfg.MaxIterations},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return estimatorAdapter{inner: inner}, nil
+	return newFromConfig("generic-erm", cfg, func(s *settings) { s.loss = l; s.lossSet = true })
 }
 
 // NewNaiveRecompute returns the naive private baseline that re-solves a private
 // batch ERM problem at every timestep, splitting the budget over all T
 // releases. Provided for comparison; its excess risk carries an extra ≈ √T
 // factor.
+//
+// Deprecated: use New("naive-recompute", WithLoss(l), ...); this constructor
+// is a thin shim over the same construction path.
 func NewNaiveRecompute(cfg Config, l Loss) (Estimator, error) {
-	if err := cfg.validate(false); err != nil {
-		return nil, err
-	}
-	f, err := l.function()
-	if err != nil {
-		return nil, err
-	}
-	src := randx.NewSource(cfg.Seed)
-	inner, err := core.NewNaiveRecompute(f, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), src, erm.PrivateBatchOptions{Iterations: cfg.MaxIterations})
-	if err != nil {
-		return nil, err
-	}
-	return estimatorAdapter{inner: inner}, nil
+	return newFromConfig("naive-recompute", cfg, func(s *settings) { s.loss = l; s.lossSet = true })
 }
 
 // NewNonPrivateBaseline returns the exact (non-private) incremental constrained
 // least-squares solver: the utility ceiling every private mechanism is compared
 // against.
+//
+// Deprecated: use New("nonprivate", opts...); this constructor is a thin shim
+// over the same construction path.
 func NewNonPrivateBaseline(cfg Config) (Estimator, error) {
-	if err := cfg.validate(false); err != nil {
+	return newFromConfig("nonprivate", cfg, nil)
+}
+
+// newFromConfig routes the deprecated Config-based constructors through the
+// same registry funnel New uses, so validation and construction behavior are
+// identical regardless of entry point.
+func newFromConfig(name string, cfg Config, extra func(*settings)) (Estimator, error) {
+	m, err := lookupMechanism(name)
+	if err != nil {
 		return nil, err
 	}
-	inner := core.NewNonPrivateIncremental(cfg.Constraint.set, cfg.MaxIterations)
-	return estimatorAdapter{inner: inner}, nil
+	s := &settings{cfg: cfg}
+	if extra != nil {
+		extra(s)
+	}
+	return buildEstimator(m, s)
 }
 
 // ExcessRisk returns the excess empirical squared-loss risk of estimate on the
