@@ -1,0 +1,287 @@
+// Command privreg-benchdiff is the bench-trajectory tool: it normalizes the
+// JSON report of privreg-bench into a flat, diffable metric document, and
+// compares two such documents with a regression threshold.
+//
+// Normalize (stdout gets the normalized document, the BENCH_*.json format).
+// Passing several comma-separated reports — repeated runs of the same sweep —
+// reduces each metric to its per-run minimum, the standard wall-time noise
+// reduction:
+//
+//	privreg-bench -json -quick > bench_1.json
+//	privreg-bench -json -quick > bench_2.json
+//	privreg-benchdiff -normalize bench_1.json,bench_2.json > BENCH_pr.json
+//
+// Compare (warn-only by default — prints regressions, exits 0; -strict exits
+// non-zero when a timing metric regresses past the threshold):
+//
+//	privreg-benchdiff -baseline BENCH_baseline.json -candidate BENCH_pr.json -threshold 1.6
+//
+// Timing metrics (ns suffixes) are compared by ratio against the threshold in
+// both directions — regressions warn, speedups are reported as notices.
+// Deterministic metrics (checkpoint bytes, experiment counts) warn on any
+// change, since a change means the code changed shape, not that the runner
+// was noisy. Lines are emitted both human-readably and as GitHub Actions
+// ::warning:: annotations so regressions surface on the PR itself.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// normalizedSchema versions the BENCH_*.json format.
+const normalizedSchema = 1
+
+// normalized is the flat metric document committed as BENCH_baseline.json and
+// uploaded as the BENCH_pr.json artifact. Metrics are keyed
+// "throughput/<mechanism>/<phase>" and "experiments/<fact>"; encoding/json
+// sorts map keys, so the document is stable under re-normalization.
+type normalized struct {
+	Schema  int                `json:"schema"`
+	Quick   bool               `json:"quick"`
+	Seed    int64              `json:"seed"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// rawReport mirrors the subset of the privreg-bench -json document the
+// trajectory cares about.
+type rawReport struct {
+	Seed        int64   `json:"seed"`
+	Quick       bool    `json:"quick"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Results     []struct {
+		ID string `json:"id"`
+	} `json:"results"`
+	Throughput []struct {
+		Mechanism        string  `json:"mechanism"`
+		ScalarNsPerPoint float64 `json:"scalar_ns_per_point"`
+		BatchNsPerPoint  float64 `json:"batch_ns_per_point"`
+		EstimateNs       float64 `json:"estimate_ns"`
+		CheckpointNs     float64 `json:"checkpoint_ns"`
+		CheckpointBytes  int     `json:"checkpoint_bytes"`
+	} `json:"throughput"`
+	Error string `json:"error"`
+}
+
+// normalize flattens one or more raw reports into a single metric document.
+// With several reports (repeated runs of the same sweep) each metric takes
+// its per-run minimum — the standard wall-time noise reduction: the minimum
+// is the run least disturbed by the machine, and deterministic metrics are
+// identical across runs so the minimum is a no-op for them.
+func normalize(raws ...[]byte) (*normalized, error) {
+	if len(raws) == 0 {
+		return nil, fmt.Errorf("benchdiff: no reports to normalize")
+	}
+	var n *normalized
+	for _, raw := range raws {
+		var r rawReport
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("benchdiff: decoding privreg-bench report: %w", err)
+		}
+		if r.Error != "" {
+			return nil, fmt.Errorf("benchdiff: refusing to normalize a failed bench run: %s", r.Error)
+		}
+		if len(r.Throughput) == 0 {
+			return nil, fmt.Errorf("benchdiff: report has no throughput section (need privreg-bench -json)")
+		}
+		one := &normalized{Schema: normalizedSchema, Quick: r.Quick, Seed: r.Seed, Metrics: map[string]float64{}}
+		for _, p := range r.Throughput {
+			one.Metrics["throughput/"+p.Mechanism+"/scalar_ns_per_point"] = p.ScalarNsPerPoint
+			one.Metrics["throughput/"+p.Mechanism+"/batch_ns_per_point"] = p.BatchNsPerPoint
+			one.Metrics["throughput/"+p.Mechanism+"/estimate_ns"] = p.EstimateNs
+			one.Metrics["throughput/"+p.Mechanism+"/checkpoint_ns"] = p.CheckpointNs
+			one.Metrics["throughput/"+p.Mechanism+"/checkpoint_bytes"] = float64(p.CheckpointBytes)
+		}
+		one.Metrics["experiments/count"] = float64(len(r.Results))
+		one.Metrics["experiments/wall_seconds"] = r.WallSeconds
+		if n == nil {
+			n = one
+			continue
+		}
+		if len(one.Metrics) != len(n.Metrics) {
+			return nil, fmt.Errorf("benchdiff: reports disagree on metric set (%d vs %d metrics) — not repeated runs of the same sweep", len(one.Metrics), len(n.Metrics))
+		}
+		for k, v := range one.Metrics {
+			prev, ok := n.Metrics[k]
+			if !ok {
+				return nil, fmt.Errorf("benchdiff: reports disagree on metric set (%s) — not repeated runs of the same sweep", k)
+			}
+			n.Metrics[k] = math.Min(prev, v)
+		}
+	}
+	return n, nil
+}
+
+// finding is one comparison outcome.
+type finding struct {
+	level string // "warning" or "notice"
+	text  string
+}
+
+// timingMetric reports whether a metric is a noisy wall-time measurement
+// (ratio-thresholded) as opposed to a deterministic shape fact (any change
+// warns).
+func timingMetric(key string) bool {
+	return strings.HasSuffix(key, "_ns") || strings.HasSuffix(key, "_ns_per_point") || strings.HasSuffix(key, "wall_seconds")
+}
+
+// timingFloorNs is the noise floor for nanosecond-denominated metrics: below
+// one microsecond, scheduler jitter and GC pauses on shared runners dwarf any
+// real signal, so two sub-floor values are never compared. A metric that
+// climbs from sub-floor to above the floor still gets the ratio check — a
+// 200ns op regressing to 5µs is a real finding.
+const timingFloorNs = 1000.0
+
+func nsMetric(key string) bool {
+	return strings.HasSuffix(key, "_ns") || strings.HasSuffix(key, "_ns_per_point")
+}
+
+// compare diffs candidate against baseline. Regressions are timing metrics
+// whose ratio exceeds threshold, and deterministic metrics that changed at
+// all; improvements past 1/threshold are reported as notices.
+func compare(base, cand *normalized, threshold float64) (findings []finding, regressions int) {
+	keys := make([]string, 0, len(base.Metrics))
+	for k := range base.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base.Metrics[k]
+		c, ok := cand.Metrics[k]
+		if !ok {
+			regressions++
+			findings = append(findings, finding{"warning", fmt.Sprintf("%s: present in baseline, missing from candidate", k)})
+			continue
+		}
+		if timingMetric(k) {
+			if b <= 0 {
+				continue
+			}
+			if nsMetric(k) && b < timingFloorNs && c < timingFloorNs {
+				continue
+			}
+			ratio := c / b
+			switch {
+			case ratio > threshold:
+				regressions++
+				findings = append(findings, finding{"warning",
+					fmt.Sprintf("%s regressed %.2fx (baseline %.0f, candidate %.0f)", k, ratio, b, c)})
+			case ratio < 1/threshold:
+				findings = append(findings, finding{"notice",
+					fmt.Sprintf("%s improved %.2fx (baseline %.0f, candidate %.0f)", k, 1/ratio, b, c)})
+			}
+			continue
+		}
+		if math.Abs(c-b) > 0 {
+			regressions++
+			findings = append(findings, finding{"warning",
+				fmt.Sprintf("%s changed: baseline %.0f, candidate %.0f (deterministic metric — the code changed shape)", k, b, c)})
+		}
+	}
+	for k := range cand.Metrics {
+		if _, ok := base.Metrics[k]; !ok {
+			findings = append(findings, finding{"notice", fmt.Sprintf("%s: new metric, not in baseline", k)})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].level != findings[j].level {
+			return findings[i].level == "warning"
+		}
+		return findings[i].text < findings[j].text
+	})
+	return findings, regressions
+}
+
+func readNormalized(path string) (*normalized, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var n normalized
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("benchdiff: decoding %s: %w", path, err)
+	}
+	if n.Schema != normalizedSchema {
+		return nil, fmt.Errorf("benchdiff: %s has schema %d, this tool speaks %d", path, n.Schema, normalizedSchema)
+	}
+	return &n, nil
+}
+
+func main() {
+	os.Exit(run(os.Stdout))
+}
+
+func run(stdout io.Writer) int {
+	var (
+		normalizePath = flag.String("normalize", "", "comma-separated privreg-bench -json reports to normalize; repeated runs are reduced per-metric to their minimum (stdout gets the BENCH_*.json document)")
+		baseline      = flag.String("baseline", "", "committed baseline (normalized) to compare against")
+		candidate     = flag.String("candidate", "", "candidate (normalized) to compare")
+		threshold     = flag.Float64("threshold", 1.6, "timing regression ratio that triggers a warning")
+		strict        = flag.Bool("strict", false, "exit non-zero on regressions instead of warn-only")
+	)
+	flag.Parse()
+
+	switch {
+	case *normalizePath != "":
+		var raws [][]byte
+		for _, path := range strings.Split(*normalizePath, ",") {
+			raw, err := os.ReadFile(strings.TrimSpace(path))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return 1
+			}
+			raws = append(raws, raw)
+		}
+		n, err := normalize(raws...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(n); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		return 0
+
+	case *baseline != "" && *candidate != "":
+		base, err := readNormalized(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		cand, err := readNormalized(*candidate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		if *threshold <= 1 {
+			fmt.Fprintln(os.Stderr, "error: -threshold must be > 1")
+			return 2
+		}
+		findings, regressions := compare(base, cand, *threshold)
+		for _, f := range findings {
+			// The ::level:: prefix makes GitHub Actions surface the line as a
+			// PR annotation; locally it is just a prefix.
+			fmt.Fprintf(stdout, "::%s::bench: %s\n", f.level, f.text)
+		}
+		fmt.Fprintf(stdout, "benchdiff: %d metrics compared, %d regressions, %d findings (threshold %.2fx%s)\n",
+			len(base.Metrics), regressions, len(findings), *threshold,
+			map[bool]string{true: ", strict", false: ", warn-only"}[*strict])
+		if *strict && regressions > 0 {
+			return 1
+		}
+		return 0
+
+	default:
+		fmt.Fprintln(os.Stderr, "usage: privreg-benchdiff -normalize raw.json | privreg-benchdiff -baseline a.json -candidate b.json [-threshold 1.6] [-strict]")
+		return 2
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleRaw = `{
+  "seed": 1, "quick": true, "wall_seconds": 12.5,
+  "results": [{"id": "E1"}, {"id": "E2"}],
+  "throughput": [
+    {"mechanism": "gradient", "scalar_ns_per_point": 2500, "batch_ns_per_point": 2100,
+     "estimate_ns": 40000, "checkpoint_ns": 150000, "checkpoint_bytes": 42023},
+    {"mechanism": "projected", "scalar_ns_per_point": 56000, "batch_ns_per_point": 46000,
+     "estimate_ns": 26000000, "checkpoint_ns": 1250000, "checkpoint_bytes": 700520}
+  ]
+}`
+
+func TestNormalize(t *testing.T) {
+	n, err := normalize([]byte(sampleRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Schema != normalizedSchema || !n.Quick || n.Seed != 1 {
+		t.Fatalf("header: %+v", n)
+	}
+	for key, want := range map[string]float64{
+		"throughput/gradient/scalar_ns_per_point": 2500,
+		"throughput/gradient/checkpoint_bytes":    42023,
+		"throughput/projected/batch_ns_per_point": 46000,
+		"throughput/projected/estimate_ns":        26000000,
+		"throughput/projected/checkpoint_ns":      1250000,
+		"experiments/count":                       2,
+		"experiments/wall_seconds":                12.5,
+	} {
+		if got := n.Metrics[key]; got != want {
+			t.Errorf("metric %s = %v, want %v", key, got, want)
+		}
+	}
+
+	if _, err := normalize([]byte(`{"error": "boom", "throughput": [{"mechanism": "x"}]}`)); err == nil {
+		t.Error("failed runs should not normalize")
+	}
+	if _, err := normalize([]byte(`{"results": []}`)); err == nil {
+		t.Error("reports without throughput should not normalize")
+	}
+}
+
+func TestNormalizeMinOfRuns(t *testing.T) {
+	second := strings.Replace(sampleRaw, `"scalar_ns_per_point": 2500`, `"scalar_ns_per_point": 1800`, 1)
+	second = strings.Replace(second, `"estimate_ns": 40000`, `"estimate_ns": 55000`, 1)
+	n, err := normalize([]byte(sampleRaw), []byte(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Metrics["throughput/gradient/scalar_ns_per_point"]; got != 1800 {
+		t.Errorf("min reduction: scalar = %v, want 1800", got)
+	}
+	if got := n.Metrics["throughput/gradient/estimate_ns"]; got != 40000 {
+		t.Errorf("min reduction: estimate = %v, want 40000", got)
+	}
+	if got := n.Metrics["throughput/gradient/checkpoint_bytes"]; got != 42023 {
+		t.Errorf("deterministic metric changed under min: %v", got)
+	}
+
+	// Disagreeing metric sets (different sweeps) are rejected.
+	other := strings.Replace(sampleRaw, `"mechanism": "projected"`, `"mechanism": "different"`, 1)
+	if _, err := normalize([]byte(sampleRaw), []byte(other)); err == nil {
+		t.Error("mismatched sweeps should not min-reduce")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base, err := normalize([]byte(sampleRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical → no findings.
+	cand, _ := normalize([]byte(sampleRaw))
+	findings, regressions := compare(base, cand, 1.6)
+	if len(findings) != 0 || regressions != 0 {
+		t.Fatalf("identical docs: findings=%v regressions=%d", findings, regressions)
+	}
+
+	// A 2x timing slowdown regresses; a 2x speedup is a notice; a byte change
+	// always warns; a missing metric warns.
+	cand, _ = normalize([]byte(sampleRaw))
+	cand.Metrics["throughput/gradient/scalar_ns_per_point"] *= 2
+	cand.Metrics["throughput/projected/estimate_ns"] /= 2
+	cand.Metrics["throughput/gradient/checkpoint_bytes"] += 8
+	delete(cand.Metrics, "throughput/projected/checkpoint_ns")
+	findings, regressions = compare(base, cand, 1.6)
+	if regressions != 3 {
+		t.Fatalf("regressions = %d, want 3 (slowdown, byte change, missing metric); findings: %v", regressions, findings)
+	}
+	var texts []string
+	for _, f := range findings {
+		texts = append(texts, f.level+": "+f.text)
+	}
+	joined := strings.Join(texts, "\n")
+	for _, want := range []string{
+		"warning: throughput/gradient/scalar_ns_per_point regressed 2.00x",
+		"warning: throughput/gradient/checkpoint_bytes changed",
+		"warning: throughput/projected/checkpoint_ns: present in baseline, missing from candidate",
+		"notice: throughput/projected/estimate_ns improved 2.00x",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings missing %q in:\n%s", want, joined)
+		}
+	}
+
+	// Small jitter below threshold is silent.
+	cand, _ = normalize([]byte(sampleRaw))
+	cand.Metrics["throughput/gradient/scalar_ns_per_point"] *= 1.3
+	if findings, regressions = compare(base, cand, 1.6); len(findings) != 0 || regressions != 0 {
+		t.Fatalf("jitter below threshold should be silent: %v", findings)
+	}
+
+	// Sub-microsecond timing values are below the noise floor: no comparison
+	// when both sides are under it, but a climb across the floor still warns.
+	base.Metrics["throughput/cheap/estimate_ns"] = 200
+	cand, _ = normalize([]byte(sampleRaw))
+	cand.Metrics["throughput/cheap/estimate_ns"] = 900 // 4.5x, but both sub-floor
+	if findings, regressions = compare(base, cand, 1.6); len(findings) != 0 || regressions != 0 {
+		t.Fatalf("sub-floor jitter should be silent: %v", findings)
+	}
+	cand.Metrics["throughput/cheap/estimate_ns"] = 5000 // crossed the floor
+	if _, regressions = compare(base, cand, 1.6); regressions != 1 {
+		t.Fatalf("sub-floor to above-floor regression should warn, got %d regressions", regressions)
+	}
+	delete(base.Metrics, "throughput/cheap/estimate_ns")
+
+	// New candidate-only metrics are notices, not regressions.
+	cand, _ = normalize([]byte(sampleRaw))
+	cand.Metrics["throughput/new-mech/scalar_ns_per_point"] = 1
+	if findings, regressions = compare(base, cand, 1.6); regressions != 0 || len(findings) != 1 || findings[0].level != "notice" {
+		t.Fatalf("new metric handling: findings=%v regressions=%d", findings, regressions)
+	}
+}

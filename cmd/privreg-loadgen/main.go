@@ -1,0 +1,268 @@
+// Command privreg-loadgen drives a running privreg-server with deterministic
+// synthetic traffic — N streams × M points, batched, optionally rate-limited
+// — and then verifies the server end to end: every stream's estimate fetched
+// over HTTP must be bit-identical to an in-process privreg.Pool fed exactly
+// the same points.
+//
+// The shadow pool is built from the server's own GET /v1/config response, and
+// the data for point j of stream s is a pure function of (s, j), so the
+// comparison is exact: any divergence — a dropped point, a reordered batch, a
+// float mangled by the JSON boundary, a checkpoint/restore glitch — fails the
+// run with a non-zero exit.
+//
+// Usage:
+//
+//	privreg-loadgen -addr http://127.0.0.1:8080 -streams 8 -points 64 -batch 8
+//
+// Kill/restart verification: run a first phase, SIGTERM the server, restart
+// it (it restores from its checkpoint), then run a second phase with -from set
+// to the first phase's point count. The shadow pool locally replays points
+// [0, from) before the phase, so the final comparison covers the server's
+// whole life across the restart:
+//
+//	privreg-loadgen -addr $URL -streams 8 -points 24            # phase 1
+//	# SIGTERM + restart privreg-server
+//	privreg-loadgen -addr $URL -streams 8 -points 16 -from 24   # phase 2
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"privreg/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "base URL of the privreg-server")
+		streams = flag.Int("streams", 8, "number of concurrent streams")
+		points  = flag.Int("points", 64, "points to send per stream this phase")
+		from    = flag.Int("from", 0, "index of the first point to send (later phases of a restart test)")
+		batch   = flag.Int("batch", 8, "points per observe request")
+		rate    = flag.Float64("rate", 0, "target ingest rate in points/sec per stream (0 = unlimited)")
+		verify  = flag.Bool("verify", true, "verify server estimates bit-identically against an in-process shadow pool")
+		prefix  = flag.String("stream-prefix", "load", "stream ID prefix")
+	)
+	flag.Parse()
+	if *streams < 1 || *points < 1 || *batch < 1 || *from < 0 {
+		fmt.Fprintln(os.Stderr, "error: -streams, -points, -batch must be positive and -from non-negative")
+		return 2
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// The server's config is the shadow pool's recipe.
+	spec, err := fetchSpec(client, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	fmt.Printf("server pool: mechanism=%s d=%d T=%d (ε=%g, δ=%g, seed=%d)\n",
+		spec.Mechanism, spec.Dim, spec.Horizon, spec.Epsilon, spec.Delta, spec.Seed)
+	to := *from + *points
+	if to > spec.Horizon {
+		fmt.Fprintf(os.Stderr, "error: from+points = %d exceeds the server's per-stream horizon %d\n", to, spec.Horizon)
+		return 2
+	}
+
+	ids := make([]string, *streams)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s-%03d", *prefix, i)
+	}
+
+	// Drive the server: one goroutine per stream, batched, paced to -rate.
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var sent int
+	var retries429 int
+	errc := make(chan error, len(ids))
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			var interval time.Duration
+			if *rate > 0 {
+				interval = time.Duration(float64(*batch) / *rate * float64(time.Second))
+			}
+			next := time.Now()
+			for lo := *from; lo < to; lo += *batch {
+				hi := lo + *batch
+				if hi > to {
+					hi = to
+				}
+				if interval > 0 {
+					time.Sleep(time.Until(next))
+					next = next.Add(interval)
+				}
+				n, retr, err := sendBatch(client, *addr, id, spec.Dim, lo, hi)
+				if err != nil {
+					errc <- fmt.Errorf("stream %s batch [%d,%d): %w", id, lo, hi, err)
+					return
+				}
+				mu.Lock()
+				sent += n
+				retries429 += retr
+				mu.Unlock()
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("sent %d points over %d streams in %s (%.0f points/sec, %d 429 retries)\n",
+		sent, len(ids), elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds(), retries429)
+
+	if !*verify {
+		return 0
+	}
+
+	// Build the shadow pool and replay the server's entire point history
+	// [0, to) — including any earlier phases this process never sent.
+	shadow, err := spec.NewPool()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error: building shadow pool:", err)
+		return 1
+	}
+	for _, id := range ids {
+		for j := 0; j < to; j++ {
+			x, y := server.SyntheticPoint(id, j, spec.Dim)
+			if err := shadow.Observe(id, x, y); err != nil {
+				fmt.Fprintf(os.Stderr, "error: shadow %s point %d: %v\n", id, j, err)
+				return 1
+			}
+		}
+	}
+
+	mismatches := 0
+	for _, id := range ids {
+		est, n, err := fetchEstimate(client, *addr, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		if n != to {
+			fmt.Fprintf(os.Stderr, "MISMATCH %s: server len=%d, want %d\n", id, n, to)
+			mismatches++
+			continue
+		}
+		want, err := shadow.Estimate(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		if !equalVectors(est, want) {
+			fmt.Fprintf(os.Stderr, "MISMATCH %s: server estimate is not bit-identical to the shadow pool\n  server %v\n  shadow %v\n", id, est, want)
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d/%d streams diverged\n", mismatches, len(ids))
+		return 1
+	}
+	fmt.Printf("verified: %d streams bit-identical to the in-process shadow pool at t=%d\n", len(ids), to)
+	return 0
+}
+
+func fetchSpec(client *http.Client, addr string) (server.Spec, error) {
+	var spec server.Spec
+	resp, err := client.Get(addr + "/v1/config")
+	if err != nil {
+		return spec, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return spec, fmt.Errorf("GET /v1/config: %s: %s", resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&spec); err != nil {
+		return spec, fmt.Errorf("decoding /v1/config: %w", err)
+	}
+	return spec, nil
+}
+
+// sendBatch posts points [lo, hi) of the stream, retrying on 429 backpressure
+// with linear backoff. Returns the number of points applied and the number of
+// 429 retries performed.
+func sendBatch(client *http.Client, addr, id string, dim, lo, hi int) (int, int, error) {
+	xs := make([][]float64, 0, hi-lo)
+	ys := make([]float64, 0, hi-lo)
+	for j := lo; j < hi; j++ {
+		x, y := server.SyntheticPoint(id, j, dim)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	body, err := json.Marshal(map[string]any{"xs": xs, "ys": ys})
+	if err != nil {
+		return 0, 0, err
+	}
+	url := fmt.Sprintf("%s/v1/streams/%s/observe", addr, id)
+	retries := 0
+	for {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, retries, err
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return hi - lo, retries, nil
+		case http.StatusTooManyRequests:
+			retries++
+			if retries > 200 {
+				return 0, retries, fmt.Errorf("still overloaded after %d retries: %s", retries, respBody)
+			}
+			time.Sleep(time.Duration(10+10*min(retries, 10)) * time.Millisecond)
+		default:
+			return 0, retries, fmt.Errorf("%s: %s", resp.Status, respBody)
+		}
+	}
+}
+
+func fetchEstimate(client *http.Client, addr, id string) ([]float64, int, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/streams/%s/estimate", addr, id))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, 0, fmt.Errorf("estimate %s: %s: %s", id, resp.Status, body)
+	}
+	var out struct {
+		Estimate []float64 `json:"estimate"`
+		Len      int       `json:"len"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, 0, fmt.Errorf("decoding estimate %s: %w", id, err)
+	}
+	return out.Estimate, out.Len, nil
+}
+
+func equalVectors(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"privreg"
+)
+
+// checkpointFile is the name of the pool checkpoint inside the checkpoint
+// directory; writes go to a sibling temp file and land via atomic rename, so
+// the file is always either absent or a complete checkpoint.
+const checkpointFile = "pool.ckpt"
+
+// checkpointer persists the pool to disk: restore-on-boot, periodic
+// background saves, operator-triggered saves (POST /v1/checkpoint), and the
+// final save during graceful drain.
+type checkpointer struct {
+	pool *privreg.Pool
+	dir  string
+	met  *metrics
+	logf func(format string, args ...any)
+
+	// mu serializes saves: without it a slow periodic save could rename an
+	// older snapshot over a newer operator-triggered one.
+	mu sync.Mutex
+}
+
+func (c *checkpointer) path() string { return filepath.Join(c.dir, checkpointFile) }
+
+// restore loads the on-disk checkpoint into the pool if one exists, returning
+// the number of restored streams. A missing file is a clean first boot, not
+// an error; an unreadable or mismatched checkpoint is an error (refusing to
+// serve beats silently restarting every stream's budget from zero).
+func (c *checkpointer) restore() (int, error) {
+	data, err := os.ReadFile(c.path())
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("server: reading checkpoint: %w", err)
+	}
+	if err := c.pool.Restore(data); err != nil {
+		return 0, fmt.Errorf("server: restoring checkpoint %s: %w", c.path(), err)
+	}
+	n := len(c.pool.Streams())
+	c.met.setRestoredStreams(n)
+	return n, nil
+}
+
+// save writes one checkpoint: serialize the pool (per-stream-consistent even
+// under live traffic), write to a temp file, fsync, and atomically rename
+// over the previous checkpoint. Saves are serialized so the on-disk file
+// only ever moves forward in time.
+func (c *checkpointer) save() (bytes int, seconds float64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	defer func() {
+		seconds = time.Since(start).Seconds()
+		c.met.recordCheckpoint(bytes, seconds, err)
+	}()
+	blob, err := c.pool.Checkpoint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("server: serializing pool: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, checkpointFile+".tmp-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := tmp.Write(blob); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return 0, 0, fmt.Errorf("server: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path()); err != nil {
+		os.Remove(tmp.Name())
+		return 0, 0, fmt.Errorf("server: installing checkpoint: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, derr := os.Open(c.dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return len(blob), 0, nil
+}
+
+// run saves on every tick until stop is closed. Errors are logged and
+// counted, not fatal: the previous checkpoint stays in place (atomic rename)
+// and the next tick retries.
+func (c *checkpointer) run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if bytes, secs, err := c.save(); err != nil {
+				c.logf("periodic checkpoint failed: %v", err)
+			} else {
+				c.logf("checkpoint: %d streams, %d bytes in %.3fs", len(c.pool.Streams()), bytes, secs)
+			}
+		}
+	}
+}

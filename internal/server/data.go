@@ -1,0 +1,32 @@
+package server
+
+// SyntheticPoint generates the deterministic point j of a named stream — the
+// canonical load-generation workload. It is pure arithmetic on (stream, j),
+// stable across processes and architectures, which is what lets
+// privreg-loadgen feed a server in one process and a shadow pool in another
+// and demand bit-identical estimates: both sides derive exactly the same
+// data. Covariates are uniform in [-1, 1)^dim; the response is a fixed linear
+// function of the covariate, scaled to stay well inside [-1, 1].
+func SyntheticPoint(stream string, j, dim int) (x []float64, y float64) {
+	// FNV-1a over the stream name, folded with the point and coordinate
+	// indices through SplitMix64-style finalizers.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= 1099511628211
+	}
+	x = make([]float64, dim)
+	var dot float64
+	for k := 0; k < dim; k++ {
+		z := h ^ (uint64(j)*0x9e3779b97f4a7c15 + uint64(k)*0xbf58476d1ce4e5b9)
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		x[k] = float64(int64(z>>11))/(1<<52) - 1
+		dot += x[k] * float64(k+1)
+	}
+	y = dot / float64(dim*dim)
+	return x, y
+}

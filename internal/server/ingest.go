@@ -1,0 +1,216 @@
+package server
+
+import (
+	"errors"
+	"sync"
+
+	"privreg"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// errQueueFull means the stream's bounded ingest queue cannot hold the
+	// request — the client should back off and retry (429).
+	errQueueFull = errors.New("server: stream ingest queue is full")
+	// errDraining means the server is shutting down and no longer accepts
+	// ingestion (503).
+	errDraining = errors.New("server: draining, not accepting new observations")
+)
+
+// ingestReq is one observation request waiting in a stream's queue. done
+// receives the application result exactly once (buffered so the drainer never
+// blocks on a departed waiter).
+type ingestReq struct {
+	xs   [][]float64
+	ys   []float64
+	done chan error
+}
+
+// streamQueue is the pending work of one stream. points counts queued (not
+// yet taken) covariate/response pairs; active is true while a drainer
+// goroutine owns the queue; dead marks a queue the drainer has retired and
+// removed from the map (enqueue must refetch rather than append, so a stream
+// can never have two live queues applying out of order).
+type streamQueue struct {
+	mu      sync.Mutex
+	pending []*ingestReq
+	points  int
+	active  bool
+	dead    bool
+}
+
+// ingester is the concurrent ingestion path between the HTTP handlers and the
+// Pool: per-stream bounded queues with group-commit batching.
+//
+// Every enqueued request is applied in arrival order and acknowledged only
+// after the pool accepted it (a 200 means the points are in the private
+// state). Batching happens opportunistically: while one request is being
+// applied, later arrivals for the same stream queue up, and the drainer takes
+// them all in one ObserveBatch — bit-identical to applying them one by one
+// (the Estimator contract), but paying the per-call overhead once.
+//
+// Backpressure is per stream: when a stream's queued points would exceed
+// maxPoints the request is rejected with errQueueFull and nothing is
+// enqueued. Distinct streams never block each other (the Pool locks per
+// stream, the ingester queues per stream).
+type ingester struct {
+	pool      *privreg.Pool
+	maxPoints int
+	met       *metrics
+
+	// drainMu serializes shutdown against in-flight enqueues: enqueue holds
+	// the read side from the draining check through worker spawn (wg.Add), so
+	// once drain() holds the write side and flips draining, wg covers every
+	// worker that will ever exist.
+	drainMu  sync.RWMutex
+	draining bool
+
+	mu     sync.Mutex
+	queues map[string]*streamQueue
+	wg     sync.WaitGroup
+}
+
+func newIngester(pool *privreg.Pool, maxPoints int, met *metrics) *ingester {
+	return &ingester{
+		pool:      pool,
+		maxPoints: maxPoints,
+		met:       met,
+		queues:    make(map[string]*streamQueue),
+	}
+}
+
+// enqueue submits one request for the stream and blocks until it has been
+// applied (or rejected). The returned error is the pool's verdict for exactly
+// this request's points.
+func (in *ingester) enqueue(id string, xs [][]float64, ys []float64) error {
+	if len(xs) == 0 {
+		return nil
+	}
+	req := &ingestReq{xs: xs, ys: ys, done: make(chan error, 1)}
+
+	in.drainMu.RLock()
+	if in.draining {
+		in.drainMu.RUnlock()
+		in.met.addRejected(true)
+		return errDraining
+	}
+	for {
+		in.mu.Lock()
+		q := in.queues[id]
+		if q == nil {
+			q = &streamQueue{}
+			in.queues[id] = q
+		}
+		in.mu.Unlock()
+
+		q.mu.Lock()
+		if q.dead {
+			// The drainer retired this queue between our map fetch and the
+			// lock; refetch (the map entry is already gone).
+			q.mu.Unlock()
+			continue
+		}
+		if q.points+len(xs) > in.maxPoints {
+			q.mu.Unlock()
+			in.drainMu.RUnlock()
+			in.met.addRejected(false)
+			return errQueueFull
+		}
+		q.pending = append(q.pending, req)
+		q.points += len(xs)
+		if !q.active {
+			q.active = true
+			in.wg.Add(1)
+			go in.drainQueue(id, q)
+		}
+		q.mu.Unlock()
+		break
+	}
+	in.drainMu.RUnlock()
+
+	return <-req.done
+}
+
+// drainQueue applies a stream's queued requests until the queue is empty,
+// then retires the queue — marks it dead and removes its map entry, so the
+// ingester holds no state for idle or dropped streams (a later enqueue
+// creates a fresh queue and drainer). Retirement takes in.mu before q.mu
+// (the same order enqueue effectively uses) and re-checks emptiness under
+// both, so an enqueue that already fetched this queue either lands its
+// request before retirement or sees dead and refetches.
+func (in *ingester) drainQueue(id string, q *streamQueue) {
+	defer in.wg.Done()
+	for {
+		q.mu.Lock()
+		if len(q.pending) == 0 {
+			q.mu.Unlock()
+			in.mu.Lock()
+			q.mu.Lock()
+			if len(q.pending) == 0 {
+				q.active = false
+				q.dead = true
+				delete(in.queues, id)
+				q.mu.Unlock()
+				in.mu.Unlock()
+				return
+			}
+			q.mu.Unlock()
+			in.mu.Unlock()
+			continue
+		}
+		batch := q.pending
+		q.pending = nil
+		taken := 0
+		for _, r := range batch {
+			taken += len(r.xs)
+		}
+		q.points -= taken
+		q.mu.Unlock()
+		in.apply(id, batch, taken)
+	}
+}
+
+// apply lands a group of queued requests on the pool. The common case merges
+// them into one ObserveBatch; if the merged batch is rejected (for example one
+// request would overrun the stream's horizon, which rejects the whole batch),
+// it falls back to applying each request separately so errors attach to the
+// request that caused them and innocent requests still land.
+func (in *ingester) apply(id string, batch []*ingestReq, points int) {
+	if len(batch) == 1 {
+		err := in.pool.ObserveBatch(id, batch[0].xs, batch[0].ys)
+		if err == nil {
+			in.met.addIngested(points, 1)
+		}
+		batch[0].done <- err
+		return
+	}
+	xs := make([][]float64, 0, points)
+	ys := make([]float64, 0, points)
+	for _, r := range batch {
+		xs = append(xs, r.xs...)
+		ys = append(ys, r.ys...)
+	}
+	if err := in.pool.ObserveBatch(id, xs, ys); err == nil {
+		in.met.addIngested(points, len(batch))
+		for _, r := range batch {
+			r.done <- nil
+		}
+		return
+	}
+	for _, r := range batch {
+		err := in.pool.ObserveBatch(id, r.xs, r.ys)
+		if err == nil {
+			in.met.addIngested(len(r.xs), 1)
+		}
+		r.done <- err
+	}
+}
+
+// drain rejects all future enqueues and blocks until every queued request has
+// been applied and acknowledged.
+func (in *ingester) drain() {
+	in.drainMu.Lock()
+	in.draining = true
+	in.drainMu.Unlock()
+	in.wg.Wait()
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histogram, a log-ish ladder from 100µs to 10s. The terminal +Inf bucket is
+// implicit.
+var latencyBuckets = [16]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram. Guarded by metrics.mu.
+type histogram struct {
+	counts [len(latencyBuckets) + 1]int64 // counts[i] observations ≤ bucket i; last is +Inf
+	sum    float64
+	total  int64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets[:], seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// routeKey identifies one (route, status-code) request counter.
+type routeKey struct {
+	route string
+	code  int
+}
+
+// metrics is the server's request/ingestion/checkpoint instrumentation. It is
+// deliberately dependency-free: a mutex-guarded registry rendered in the
+// Prometheus text exposition format (and as JSON) at scrape time. Per-request
+// cost is one lock acquisition and a couple of map/array updates, which is
+// noise next to the estimator work behind each request.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[routeKey]int64
+	latency  map[string]*histogram
+
+	ingestedPoints   int64
+	appliedBatches   int64 // ObserveBatch calls issued by the ingester
+	coalescedNonUnit int64 // applied batches that merged >1 queued request
+	rejectedFull     int64 // 429s: per-stream queue bound exceeded
+	rejectedDraining int64 // 503s: ingestion after drain started
+
+	checkpoints           int64
+	checkpointErrors      int64
+	lastCheckpointBytes   int64
+	lastCheckpointSecs    float64
+	restoredStreamsAtBoot int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[routeKey]int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) observeRequest(route string, code int, seconds float64) {
+	m.mu.Lock()
+	m.requests[routeKey{route, code}]++
+	h := m.latency[route]
+	if h == nil {
+		h = &histogram{}
+		m.latency[route] = h
+	}
+	h.observe(seconds)
+	m.mu.Unlock()
+}
+
+func (m *metrics) addIngested(points, mergedRequests int) {
+	m.mu.Lock()
+	m.ingestedPoints += int64(points)
+	m.appliedBatches++
+	if mergedRequests > 1 {
+		m.coalescedNonUnit++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) addRejected(draining bool) {
+	m.mu.Lock()
+	if draining {
+		m.rejectedDraining++
+	} else {
+		m.rejectedFull++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordCheckpoint(bytes int, seconds float64, err error) {
+	m.mu.Lock()
+	if err != nil {
+		m.checkpointErrors++
+	} else {
+		m.checkpoints++
+		m.lastCheckpointBytes = int64(bytes)
+		m.lastCheckpointSecs = seconds
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) setRestoredStreams(n int) {
+	m.mu.Lock()
+	m.restoredStreamsAtBoot = int64(n)
+	m.mu.Unlock()
+}
+
+// metricsSnapshot is the JSON form of the metrics registry plus the pool-level
+// gauges sampled at scrape time.
+type metricsSnapshot struct {
+	Requests map[string]int64 `json:"requests"` // "route/code" → count
+	Ingest   struct {
+		Points           int64 `json:"points"`
+		AppliedBatches   int64 `json:"applied_batches"`
+		CoalescedBatches int64 `json:"coalesced_batches"`
+		RejectedFull     int64 `json:"rejected_queue_full"`
+		RejectedDraining int64 `json:"rejected_draining"`
+	} `json:"ingest"`
+	Checkpoint struct {
+		Count           int64   `json:"count"`
+		Errors          int64   `json:"errors"`
+		LastBytes       int64   `json:"last_bytes"`
+		LastSeconds     float64 `json:"last_seconds"`
+		RestoredStreams int64   `json:"restored_streams_at_boot"`
+	} `json:"checkpoint"`
+	Pool struct {
+		Mechanism    string `json:"mechanism"`
+		Streams      int    `json:"streams"`
+		Observations int64  `json:"observations"`
+	} `json:"pool"`
+}
+
+func (m *metrics) snapshot(mechanism string, streams int, observations int64) metricsSnapshot {
+	var s metricsSnapshot
+	s.Requests = make(map[string]int64)
+	m.mu.Lock()
+	for k, v := range m.requests {
+		s.Requests[fmt.Sprintf("%s/%d", k.route, k.code)] = v
+	}
+	s.Ingest.Points = m.ingestedPoints
+	s.Ingest.AppliedBatches = m.appliedBatches
+	s.Ingest.CoalescedBatches = m.coalescedNonUnit
+	s.Ingest.RejectedFull = m.rejectedFull
+	s.Ingest.RejectedDraining = m.rejectedDraining
+	s.Checkpoint.Count = m.checkpoints
+	s.Checkpoint.Errors = m.checkpointErrors
+	s.Checkpoint.LastBytes = m.lastCheckpointBytes
+	s.Checkpoint.LastSeconds = m.lastCheckpointSecs
+	s.Checkpoint.RestoredStreams = m.restoredStreamsAtBoot
+	m.mu.Unlock()
+	s.Pool.Mechanism = mechanism
+	s.Pool.Streams = streams
+	s.Pool.Observations = observations
+	return s
+}
+
+// writePrometheus renders the registry in the Prometheus text exposition
+// format. Series are emitted in sorted order so scrapes are diffable.
+func (m *metrics) writePrometheus(w io.Writer, mechanism string, streams int, observations int64) {
+	m.mu.Lock()
+	reqKeys := make([]routeKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].route != reqKeys[j].route {
+			return reqKeys[i].route < reqKeys[j].route
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	latRoutes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		latRoutes = append(latRoutes, r)
+	}
+	sort.Strings(latRoutes)
+
+	fmt.Fprintf(w, "# HELP privreg_requests_total HTTP requests by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE privreg_requests_total counter\n")
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "privreg_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+	fmt.Fprintf(w, "# HELP privreg_request_seconds Request latency by route.\n")
+	fmt.Fprintf(w, "# TYPE privreg_request_seconds histogram\n")
+	for _, r := range latRoutes {
+		h := m.latency[r]
+		cum := int64(0)
+		for i, ub := range latencyBuckets[:] {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "privreg_request_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "privreg_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
+		fmt.Fprintf(w, "privreg_request_seconds_sum{route=%q} %g\n", r, h.sum)
+		fmt.Fprintf(w, "privreg_request_seconds_count{route=%q} %d\n", r, h.total)
+	}
+	fmt.Fprintf(w, "# HELP privreg_ingested_points_total Points applied to the pool by the ingester.\n")
+	fmt.Fprintf(w, "# TYPE privreg_ingested_points_total counter\n")
+	fmt.Fprintf(w, "privreg_ingested_points_total %d\n", m.ingestedPoints)
+	fmt.Fprintf(w, "# HELP privreg_applied_batches_total ObserveBatch calls issued by the ingester.\n")
+	fmt.Fprintf(w, "# TYPE privreg_applied_batches_total counter\n")
+	fmt.Fprintf(w, "privreg_applied_batches_total %d\n", m.appliedBatches)
+	fmt.Fprintf(w, "# HELP privreg_coalesced_batches_total Applied batches that merged more than one queued request.\n")
+	fmt.Fprintf(w, "# TYPE privreg_coalesced_batches_total counter\n")
+	fmt.Fprintf(w, "privreg_coalesced_batches_total %d\n", m.coalescedNonUnit)
+	fmt.Fprintf(w, "# HELP privreg_ingest_rejected_total Ingestion requests rejected, by reason.\n")
+	fmt.Fprintf(w, "# TYPE privreg_ingest_rejected_total counter\n")
+	fmt.Fprintf(w, "privreg_ingest_rejected_total{reason=\"queue_full\"} %d\n", m.rejectedFull)
+	fmt.Fprintf(w, "privreg_ingest_rejected_total{reason=\"draining\"} %d\n", m.rejectedDraining)
+	fmt.Fprintf(w, "# HELP privreg_checkpoints_total Checkpoints written to disk.\n")
+	fmt.Fprintf(w, "# TYPE privreg_checkpoints_total counter\n")
+	fmt.Fprintf(w, "privreg_checkpoints_total %d\n", m.checkpoints)
+	fmt.Fprintf(w, "# HELP privreg_checkpoint_errors_total Checkpoint attempts that failed.\n")
+	fmt.Fprintf(w, "# TYPE privreg_checkpoint_errors_total counter\n")
+	fmt.Fprintf(w, "privreg_checkpoint_errors_total %d\n", m.checkpointErrors)
+	fmt.Fprintf(w, "# HELP privreg_checkpoint_last_bytes Size of the most recent checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE privreg_checkpoint_last_bytes gauge\n")
+	fmt.Fprintf(w, "privreg_checkpoint_last_bytes %d\n", m.lastCheckpointBytes)
+	fmt.Fprintf(w, "# HELP privreg_checkpoint_last_seconds Wall time of the most recent checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE privreg_checkpoint_last_seconds gauge\n")
+	fmt.Fprintf(w, "privreg_checkpoint_last_seconds %g\n", m.lastCheckpointSecs)
+	fmt.Fprintf(w, "# HELP privreg_restored_streams Streams restored from the boot checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE privreg_restored_streams gauge\n")
+	fmt.Fprintf(w, "privreg_restored_streams %d\n", m.restoredStreamsAtBoot)
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP privreg_streams Live streams, by mechanism.\n")
+	fmt.Fprintf(w, "# TYPE privreg_streams gauge\n")
+	fmt.Fprintf(w, "privreg_streams{mechanism=%q} %d\n", mechanism, streams)
+	fmt.Fprintf(w, "# HELP privreg_observations_total Observations across all streams.\n")
+	fmt.Fprintf(w, "# TYPE privreg_observations_total gauge\n")
+	fmt.Fprintf(w, "privreg_observations_total{mechanism=%q} %d\n", mechanism, observations)
+}

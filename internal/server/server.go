@@ -1,0 +1,492 @@
+// Package server is the network edge of the privreg serving stack: an
+// HTTP/JSON service wrapping a privreg.Pool (one private estimator per
+// stream) with batched backpressured ingestion, on-demand estimates, a
+// mechanism-registry admin surface, Prometheus-style metrics, and periodic
+// checkpointing with restore-on-boot.
+//
+// The continual-release model of the paper only pays off as a long-lived
+// service — points arrive forever, estimates are released on demand — and
+// this package is that service. cmd/privreg-server is the binary;
+// cmd/privreg-loadgen drives it and verifies the server is bit-identical to
+// an in-process Pool fed the same points.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privreg"
+)
+
+// Spec describes how the served pool is constructed — mechanism plus the
+// closed set of parameters the server exposes over flags and JSON. It is
+// deliberately smaller than the full option surface (L2 constraint ball,
+// unit-ball domain where required): everything in it round-trips through
+// GET /v1/config, so a client can build a bit-identical shadow pool, which is
+// how privreg-loadgen verifies the server end to end.
+type Spec struct {
+	// Mechanism is a registry name or alias; Validate canonicalizes it.
+	Mechanism string `json:"mechanism"`
+	// Epsilon, Delta are the per-stream privacy budget (ignored by the
+	// nonprivate mechanism).
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	// Horizon is the per-stream horizon T.
+	Horizon int `json:"horizon"`
+	// Dim is the covariate dimension d.
+	Dim int `json:"dim"`
+	// Radius is the L2 constraint-ball radius (0 means 1).
+	Radius float64 `json:"radius"`
+	// Seed is the pool template seed; per-stream seeds derive from it.
+	Seed int64 `json:"seed"`
+}
+
+// Validate canonicalizes the mechanism name and checks the closed parameter
+// set, rejecting mechanisms the flag/JSON surface cannot express (the
+// robust-projected oracle is a function, not a parameter).
+func (sp *Spec) Validate() error {
+	info, err := privreg.Describe(sp.Mechanism)
+	if err != nil {
+		return err
+	}
+	if info.NeedsOracle {
+		return fmt.Errorf("server: mechanism %q requires a domain oracle (a Go function) and cannot be configured over the network; embed privreg.Pool directly instead", info.Name)
+	}
+	sp.Mechanism = info.Name
+	if sp.Dim <= 0 {
+		return fmt.Errorf("server: dimension must be positive, got %d", sp.Dim)
+	}
+	if sp.Horizon <= 0 {
+		return fmt.Errorf("server: horizon must be positive, got %d", sp.Horizon)
+	}
+	if sp.Radius == 0 {
+		sp.Radius = 1
+	}
+	if !(sp.Radius > 0) || math.IsInf(sp.Radius, 0) {
+		return fmt.Errorf("server: constraint radius must be a positive finite number, got %v", sp.Radius)
+	}
+	return nil
+}
+
+// Options expands the spec into the option list NewPool consumes.
+func (sp Spec) Options() ([]privreg.Option, error) {
+	info, err := privreg.Describe(sp.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	opts := []privreg.Option{
+		privreg.WithHorizon(sp.Horizon),
+		privreg.WithConstraint(privreg.L2Constraint(sp.Dim, sp.Radius)),
+		privreg.WithSeed(sp.Seed),
+	}
+	if info.Private {
+		opts = append(opts, privreg.WithEpsilonDelta(sp.Epsilon, sp.Delta))
+	}
+	if info.NeedsDomain {
+		opts = append(opts, privreg.WithDomain(privreg.UnitBallDomain(sp.Dim)))
+	}
+	return opts, nil
+}
+
+// NewPool builds a pool from the spec — the same construction the server
+// performs, exported so clients (loadgen, tests) can build shadow pools.
+func (sp Spec) NewPool() (*privreg.Pool, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := sp.Options()
+	if err != nil {
+		return nil, err
+	}
+	return privreg.NewPool(sp.Mechanism, opts...)
+}
+
+// Config configures a Server.
+type Config struct {
+	// Spec describes the pool to serve. Required.
+	Spec Spec
+	// CheckpointDir is where pool checkpoints live. Empty disables
+	// persistence (no restore-on-boot, /v1/checkpoint returns 501).
+	CheckpointDir string
+	// CheckpointInterval is the periodic background checkpoint cadence.
+	// 0 means the 30s default; negative disables periodic checkpoints
+	// (explicit /v1/checkpoint and the final drain checkpoint still work).
+	CheckpointInterval time.Duration
+	// MaxQueuedPoints bounds each stream's ingest queue, in points; requests
+	// that would exceed it get 429. 0 means the 4096 default.
+	MaxQueuedPoints int
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+const (
+	defaultCheckpointInterval = 30 * time.Second
+	defaultMaxQueuedPoints    = 4096
+)
+
+// Server is the HTTP serving layer over one Pool. Build it with New, mount
+// Handler on an http.Server (or use Run), and Close it to drain: in-flight
+// and queued observations are applied, a final checkpoint is written, and
+// further ingestion is rejected with 503.
+type Server struct {
+	spec Spec
+	pool *privreg.Pool
+	ing  *ingester
+	ckpt *checkpointer // nil when persistence is disabled
+	met  *metrics
+	mux  *http.ServeMux
+	logf func(format string, args ...any)
+
+	stopPeriodic chan struct{}
+
+	closing   atomic.Bool // set before the drain starts, so healthz flips to 503 immediately
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds the pool from cfg.Spec, restores the on-disk checkpoint if one
+// exists, and wires the routes. The returned server is serving-ready;
+// periodic checkpointing (if enabled) is already running.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	pool, err := cfg.Spec.NewPool()
+	if err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	maxPoints := cfg.MaxQueuedPoints
+	if maxPoints <= 0 {
+		maxPoints = defaultMaxQueuedPoints
+	}
+	s := &Server{
+		spec:         cfg.Spec,
+		pool:         pool,
+		met:          newMetrics(),
+		logf:         logf,
+		stopPeriodic: make(chan struct{}),
+	}
+	s.ing = newIngester(pool, maxPoints, s.met)
+	if cfg.CheckpointDir != "" {
+		s.ckpt = &checkpointer{pool: pool, dir: cfg.CheckpointDir, met: s.met, logf: logf}
+		n, err := s.ckpt.restore()
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			logf("restored %d streams from %s", n, s.ckpt.path())
+		}
+		interval := cfg.CheckpointInterval
+		if interval == 0 {
+			interval = defaultCheckpointInterval
+		}
+		if interval > 0 {
+			go s.ckpt.run(interval, s.stopPeriodic)
+		}
+	}
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (all /v1, /healthz, /metrics
+// routes).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the served pool (read-mostly uses: stats, tests).
+func (s *Server) Pool() *privreg.Pool { return s.pool }
+
+// Close drains the server: stops periodic checkpointing, applies every
+// queued observation (new ones are rejected with 503), and writes a final
+// checkpoint so a restart resumes bit-identically. Idempotent; concurrent
+// callers block until the first drain completes and share its result. The
+// draining flag flips before the drain starts, so healthz reports 503
+// immediately rather than after the last queue empties.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		close(s.stopPeriodic)
+		s.ing.drain()
+		if s.ckpt != nil {
+			bytes, secs, err := s.ckpt.save()
+			if err != nil {
+				s.closeErr = fmt.Errorf("server: final checkpoint: %w", err)
+				return
+			}
+			s.logf("final checkpoint: %d bytes in %.3fs", bytes, secs)
+		}
+	})
+	return s.closeErr
+}
+
+// draining reports whether Close has begun (used by healthz so load
+// balancers stop routing during drain).
+func (s *Server) draining() bool { return s.closing.Load() }
+
+// Run serves on addr until ctx is cancelled, then shuts down gracefully:
+// stop accepting connections, finish in-flight requests, drain queues, and
+// write the final checkpoint.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	s.logf("serving %q pool on %s", s.spec.Mechanism, addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("shutdown requested, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Close must run even when Shutdown times out on a slow client: the drain
+	// and final checkpoint are what make the acked observations durable.
+	shutdownErr := hs.Shutdown(shutdownCtx)
+	if err := s.Close(); err != nil {
+		return err
+	}
+	return shutdownErr
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/config", s.instrument("config", s.handleConfig))
+	s.mux.HandleFunc("GET /v1/mechanisms", s.instrument("mechanisms", s.handleMechanisms))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("POST /v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
+	s.mux.HandleFunc("GET /v1/streams", s.instrument("streams", s.handleStreams))
+	s.mux.HandleFunc("POST /v1/streams/{id}/observe", s.instrument("observe", s.handleObserve))
+	s.mux.HandleFunc("GET /v1/streams/{id}/estimate", s.instrument("estimate", s.handleEstimate))
+	s.mux.HandleFunc("GET /v1/streams/{id}/stats", s.instrument("stream_stats", s.handleStreamStats))
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("drop", s.handleDrop))
+}
+
+// statusWriter captures the status code for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency observation.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.met.observeRequest(route, sw.code, time.Since(start).Seconds())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// observeRequest is the body of POST /v1/streams/{id}/observe: either a
+// single point (x, y) or a batch (xs, ys), not both.
+type observeRequest struct {
+	X  []float64   `json:"x,omitempty"`
+	Y  *float64    `json:"y,omitempty"`
+	Xs [][]float64 `json:"xs,omitempty"`
+	Ys []float64   `json:"ys,omitempty"`
+}
+
+type observeResponse struct {
+	Applied int `json:"applied"`
+	Len     int `json:"len"`
+}
+
+// decodeObserve validates the request shape eagerly — length and dimension
+// mismatches are caught here, before anything is queued, so a coalesced
+// batch downstream can only fail for per-stream reasons (horizon overrun).
+func (s *Server) decodeObserve(r *http.Request) ([][]float64, []float64, error) {
+	var req observeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, fmt.Errorf("server: decoding observe body: %w", err)
+	}
+	single := req.X != nil || req.Y != nil
+	batch := req.Xs != nil || req.Ys != nil
+	switch {
+	case single && batch:
+		return nil, nil, errors.New(`server: observe body must set either {"x","y"} or {"xs","ys"}, not both`)
+	case single:
+		if req.X == nil || req.Y == nil {
+			return nil, nil, errors.New(`server: single-point observe requires both "x" and "y"`)
+		}
+		req.Xs = [][]float64{req.X}
+		req.Ys = []float64{*req.Y}
+	case batch:
+		if len(req.Xs) != len(req.Ys) {
+			return nil, nil, fmt.Errorf("server: batch covariate count %d does not match response count %d", len(req.Xs), len(req.Ys))
+		}
+	default:
+		return nil, nil, errors.New(`server: observe body must set {"x","y"} or {"xs","ys"}`)
+	}
+	for i, x := range req.Xs {
+		if len(x) != s.spec.Dim {
+			return nil, nil, fmt.Errorf("server: covariate %d has dimension %d, pool dimension is %d", i, len(x), s.spec.Dim)
+		}
+	}
+	return req.Xs, req.Ys, nil
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, errors.New("server: empty stream id"))
+		return
+	}
+	xs, ys, err := s.decodeObserve(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A request bigger than the whole queue bound can never be accepted —
+	// that is a permanent 413, not a retryable 429.
+	if len(xs) > s.ing.maxPoints {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: batch of %d points exceeds the per-stream queue bound %d; split the batch", len(xs), s.ing.maxPoints))
+		return
+	}
+	switch err := s.ing.enqueue(id, xs, ys); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, observeResponse{Applied: len(xs), Len: s.pool.Len(id)})
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, privreg.ErrStreamFull):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+type estimateResponse struct {
+	Estimate []float64 `json:"estimate"`
+	Len      int       `json:"len"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	theta, err := s.pool.Estimate(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, estimateResponse{Estimate: theta, Len: s.pool.Len(id)})
+	case errors.Is(err, privreg.ErrUnknownStream):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+type streamStatsResponse struct {
+	ID  string `json:"id"`
+	Len int    `json:"len"`
+}
+
+func (s *Server) handleStreamStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.pool.Has(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", privreg.ErrUnknownStream, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, streamStatsResponse{ID: id, Len: s.pool.Len(id)})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	writeJSON(w, http.StatusOK, map[string]bool{"dropped": s.pool.Drop(id)})
+}
+
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	ids := s.pool.Streams()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(ids), "streams": ids})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Stats())
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.spec)
+}
+
+func (s *Server) handleMechanisms(w http.ResponseWriter, r *http.Request) {
+	infos := make([]privreg.MechanismInfo, 0, len(privreg.Mechanisms()))
+	for _, name := range privreg.Mechanisms() {
+		info, err := privreg.Describe(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"mechanisms": infos})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.ckpt == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("server: checkpointing is disabled (no checkpoint directory configured)"))
+		return
+	}
+	bytes, secs, err := s.ckpt.save()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"bytes": bytes, "seconds": secs, "path": s.ckpt.path()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mechanism": s.spec.Mechanism})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.met.snapshot(st.Mechanism, st.Streams, st.Observations))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.writePrometheus(w, st.Mechanism, st.Streams, st.Observations)
+}

@@ -1,0 +1,521 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Mechanism: "gradient",
+		Epsilon:   1,
+		Delta:     1e-6,
+		Horizon:   64,
+		Dim:       4,
+		Radius:    1,
+		Seed:      42,
+	}
+}
+
+// newTestServer builds a Server (periodic checkpointing off unless dir given)
+// and registers cleanup.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Spec == (Spec{}) {
+		cfg.Spec = testSpec()
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = -1
+	}
+	cfg.Logf = t.Logf
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = s.Close() })
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %s %s response %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func observeBody(xs [][]float64, ys []float64) map[string]any {
+	return map[string]any{"xs": xs, "ys": ys}
+}
+
+func point(i, dim int) ([]float64, float64) {
+	x := make([]float64, dim)
+	x[i%dim] = 0.8
+	x[(i+1)%dim] = -0.3
+	return x, 0.5 * x[i%dim]
+}
+
+func TestObserveEstimateStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Single-point form.
+	x, y := point(0, 4)
+	var obs observeResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/streams/alice/observe", map[string]any{"x": x, "y": y}, &obs)
+	if code != http.StatusOK || obs.Applied != 1 || obs.Len != 1 {
+		t.Fatalf("single observe: code=%d body=%s", code, raw)
+	}
+
+	// Batch form.
+	var xs [][]float64
+	var ys []float64
+	for i := 1; i < 5; i++ {
+		xi, yi := point(i, 4)
+		xs = append(xs, xi)
+		ys = append(ys, yi)
+	}
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/streams/alice/observe", observeBody(xs, ys), &obs)
+	if code != http.StatusOK || obs.Applied != 4 || obs.Len != 5 {
+		t.Fatalf("batch observe: code=%d body=%s", code, raw)
+	}
+
+	var est estimateResponse
+	code, raw = doJSON(t, "GET", ts.URL+"/v1/streams/alice/estimate", nil, &est)
+	if code != http.StatusOK || est.Len != 5 || len(est.Estimate) != 4 {
+		t.Fatalf("estimate: code=%d body=%s", code, raw)
+	}
+
+	var st streamStatsResponse
+	code, _ = doJSON(t, "GET", ts.URL+"/v1/streams/alice/stats", nil, &st)
+	if code != http.StatusOK || st.Len != 5 || st.ID != "alice" {
+		t.Fatalf("stream stats: code=%d %+v", code, st)
+	}
+
+	var listing struct {
+		Count   int      `json:"count"`
+		Streams []string `json:"streams"`
+	}
+	code, _ = doJSON(t, "GET", ts.URL+"/v1/streams", nil, &listing)
+	if code != http.StatusOK || listing.Count != 1 || listing.Streams[0] != "alice" {
+		t.Fatalf("streams listing: code=%d %+v", code, listing)
+	}
+
+	var dropped map[string]bool
+	code, _ = doJSON(t, "DELETE", ts.URL+"/v1/streams/alice", nil, &dropped)
+	if code != http.StatusOK || !dropped["dropped"] {
+		t.Fatalf("drop: code=%d %+v", code, dropped)
+	}
+	code, _ = doJSON(t, "GET", ts.URL+"/v1/streams/alice/estimate", nil, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("estimate after drop: code=%d, want 404", code)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	url := ts.URL + "/v1/streams/v/observe"
+
+	for name, body := range map[string]any{
+		"empty object":       map[string]any{},
+		"both forms":         map[string]any{"x": []float64{1, 0, 0, 0}, "y": 1.0, "xs": [][]float64{{1, 0, 0, 0}}, "ys": []float64{1}},
+		"x without y":        map[string]any{"x": []float64{1, 0, 0, 0}},
+		"length mismatch":    observeBody([][]float64{{1, 0, 0, 0}}, []float64{1, 2}),
+		"dimension mismatch": observeBody([][]float64{{1, 0}}, []float64{1}),
+		"unknown field":      map[string]any{"x": []float64{1, 0, 0, 0}, "y": 1.0, "bogus": 1},
+	} {
+		if code, raw := doJSON(t, "POST", url, body, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: code=%d body=%s, want 400", name, code, raw)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(url, "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: code=%d, want 400", resp.StatusCode)
+	}
+	// Nothing got ingested.
+	var listing struct {
+		Count int `json:"count"`
+	}
+	if _, _ = doJSON(t, "GET", ts.URL+"/v1/streams", nil, &listing); listing.Count != 0 {
+		t.Fatalf("invalid requests created %d streams", listing.Count)
+	}
+}
+
+func TestOversizedBatch413(t *testing.T) {
+	// A single request larger than the per-stream queue bound can never be
+	// accepted — that is a permanent 413, not a retryable 429.
+	_, ts := newTestServer(t, Config{MaxQueuedPoints: 2})
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 3; i++ {
+		x, y := point(i, 4)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/streams/big/observe", observeBody(xs, ys), nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized request: code=%d body=%s, want 413", code, raw)
+	}
+	// The stream was never created.
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/streams/big/stats", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("rejected request created the stream (stats code=%d)", code)
+	}
+	// A fitting batch on the same stream still lands.
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/streams/big/observe", observeBody(xs[:2], ys[:2]), nil); code != http.StatusOK {
+		t.Fatalf("fitting batch: code=%d body=%s", code, raw)
+	}
+}
+
+func TestIngesterQueueFull429(t *testing.T) {
+	// White-box test of the transient queue-full path: simulate a busy
+	// drainer by pre-marking the queue active, fill the queue to its bound,
+	// and check the next request bounces with errQueueFull; then run a real
+	// drainer and check the queued work still lands.
+	pool, err := testSpec().NewPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := newIngester(pool, 2, newMetrics())
+	q := &streamQueue{active: true} // pretend a drainer owns the queue
+	in.queues["s"] = q
+
+	done := make(chan error, 1)
+	x0, y0 := point(0, 4)
+	x1, y1 := point(1, 4)
+	go func() { done <- in.enqueue("s", [][]float64{x0, x1}, []float64{y0, y1}) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q.mu.Lock()
+		points := q.points
+		q.mu.Unlock()
+		if points == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("enqueue never queued its points")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	x2, y2 := point(2, 4)
+	if err := in.enqueue("s", [][]float64{x2}, []float64{y2}); !errors.Is(err, errQueueFull) {
+		t.Fatalf("enqueue on a full queue = %v, want errQueueFull", err)
+	}
+
+	// Release: attach a real drainer to the parked queue.
+	in.wg.Add(1)
+	go in.drainQueue("s", q)
+	if err := <-done; err != nil {
+		t.Fatalf("queued request failed after drain: %v", err)
+	}
+	if got := pool.Len("s"); got != 2 {
+		t.Fatalf("pool holds %d points, want 2", got)
+	}
+	in.drain()
+}
+
+func TestIngesterRetiresIdleQueues(t *testing.T) {
+	// After the drainer finishes, the ingester must hold no per-stream state
+	// (the queue map would otherwise grow with every stream ID ever seen).
+	s, ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		x, y := point(i, 4)
+		if code, _ := doJSON(t, "POST", ts.URL+fmt.Sprintf("/v1/streams/q%d/observe", i), map[string]any{"x": x, "y": y}, nil); code != http.StatusOK {
+			t.Fatal("observe failed")
+		}
+	}
+	// Acks are post-application, so by now each drainer has nothing pending;
+	// retirement races only with the drainer's own exit — give it a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.ing.mu.Lock()
+		n := len(s.ing.queues)
+		s.ing.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d idle queues never retired", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The streams themselves are intact.
+	if got := s.Pool().Stats().Streams; got != 3 {
+		t.Fatalf("streams = %d, want 3", got)
+	}
+}
+
+func TestHorizonOverrun409(t *testing.T) {
+	spec := testSpec()
+	spec.Horizon = 3
+	_, ts := newTestServer(t, Config{Spec: spec})
+	for i := 0; i < 3; i++ {
+		x, y := point(i, 4)
+		if code, raw := doJSON(t, "POST", ts.URL+"/v1/streams/full/observe", map[string]any{"x": x, "y": y}, nil); code != http.StatusOK {
+			t.Fatalf("observe %d: code=%d body=%s", i, code, raw)
+		}
+	}
+	x, y := point(3, 4)
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/streams/full/observe", map[string]any{"x": x, "y": y}, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("overrun observe: code=%d body=%s, want 409", code, raw)
+	}
+}
+
+func TestDrainRejectsWith503(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	x, y := point(0, 4)
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams/d/observe", map[string]any{"x": x, "y": y}, nil); code != http.StatusOK {
+		t.Fatal("pre-drain observe failed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams/d/observe", map[string]any{"x": x, "y": y}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain observe should 503, got %d", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain healthz should 503, got %d", code)
+	}
+	// Reads still work during/after drain.
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/streams/d/estimate", nil, nil); code != http.StatusOK {
+		t.Fatalf("post-drain estimate should still serve, got %d", code)
+	}
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{CheckpointDir: dir})
+
+	var health map[string]string
+	if code, _ := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %v %v", code, health)
+	}
+
+	var spec Spec
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/config", nil, &spec); code != http.StatusOK || spec != testSpec() {
+		t.Fatalf("config: %+v", spec)
+	}
+
+	var mechs struct {
+		Mechanisms []struct {
+			Name    string `json:"Name"`
+			Private bool   `json:"Private"`
+		} `json:"mechanisms"`
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/mechanisms", nil, &mechs); code != http.StatusOK || len(mechs.Mechanisms) != 6 {
+		t.Fatalf("mechanisms: code=%d got %d entries", code, len(mechs.Mechanisms))
+	}
+	if mechs.Mechanisms[0].Name != "gradient" || !mechs.Mechanisms[0].Private {
+		t.Fatalf("mechanism listing malformed: %+v", mechs.Mechanisms[0])
+	}
+
+	x, y := point(0, 4)
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams/a/observe", map[string]any{"x": x, "y": y}, nil); code != http.StatusOK {
+		t.Fatal("observe failed")
+	}
+
+	var ck map[string]any
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/checkpoint", nil, &ck); code != http.StatusOK || ck["bytes"].(float64) <= 0 {
+		t.Fatalf("checkpoint: code=%d body=%s", code, raw)
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointFile)); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+
+	var stats struct {
+		Mechanism    string `json:"Mechanism"`
+		Streams      int    `json:"Streams"`
+		Observations int64  `json:"Observations"`
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK || stats.Streams != 1 || stats.Observations != 1 || stats.Mechanism != "gradient" {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	_ = s
+}
+
+func TestCheckpointDisabled501(t *testing.T) {
+	_, ts := newTestServer(t, Config{}) // no CheckpointDir
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/checkpoint", nil, nil); code != http.StatusNotImplemented {
+		t.Fatalf("checkpoint without dir: code=%d, want 501", code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	x, y := point(0, 4)
+	doJSON(t, "POST", ts.URL+"/v1/streams/m/observe", map[string]any{"x": x, "y": y}, nil)
+	doJSON(t, "GET", ts.URL+"/v1/streams/m/estimate", nil, nil)
+	doJSON(t, "GET", ts.URL+"/v1/streams/nope/estimate", nil, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`privreg_requests_total{route="observe",code="200"} 1`,
+		`privreg_requests_total{route="estimate",code="200"} 1`,
+		`privreg_requests_total{route="estimate",code="404"} 1`,
+		`privreg_ingested_points_total 1`,
+		`privreg_streams{mechanism="gradient"} 1`,
+		`privreg_observations_total{mechanism="gradient"} 1`,
+		`privreg_request_seconds_bucket{route="observe",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	var snap metricsSnapshot
+	if code, _ := doJSON(t, "GET", ts.URL+"/metrics?format=json", nil, &snap); code != http.StatusOK {
+		t.Fatal("json metrics failed")
+	}
+	if snap.Ingest.Points != 1 || snap.Pool.Streams != 1 || snap.Pool.Mechanism != "gradient" {
+		t.Fatalf("metrics snapshot: %+v", snap)
+	}
+	if snap.Requests["observe/200"] != 1 {
+		t.Fatalf("request counters: %+v", snap.Requests)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"unknown mechanism", Spec{Mechanism: "nope", Horizon: 8, Dim: 2}},
+		{"oracle mechanism", Spec{Mechanism: "robust-projected", Epsilon: 1, Delta: 1e-6, Horizon: 8, Dim: 2}},
+		{"zero dim", Spec{Mechanism: "gradient", Epsilon: 1, Delta: 1e-6, Horizon: 8}},
+		{"zero horizon", Spec{Mechanism: "gradient", Epsilon: 1, Delta: 1e-6, Dim: 2}},
+		{"negative radius", Spec{Mechanism: "gradient", Epsilon: 1, Delta: 1e-6, Horizon: 8, Dim: 2, Radius: -1}},
+		{"bad budget", Spec{Mechanism: "gradient", Epsilon: -1, Delta: 1e-6, Horizon: 8, Dim: 2}},
+	}
+	for _, tc := range cases {
+		if _, err := New(Config{Spec: tc.spec, CheckpointInterval: -1}); err == nil {
+			t.Errorf("%s: New accepted invalid spec %+v", tc.name, tc.spec)
+		}
+	}
+
+	// Aliases canonicalize.
+	sp := Spec{Mechanism: "reg1", Epsilon: 1, Delta: 1e-6, Horizon: 8, Dim: 2}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Mechanism != "gradient" || sp.Radius != 1 {
+		t.Fatalf("Validate did not canonicalize: %+v", sp)
+	}
+
+	// The nonprivate mechanism needs no budget.
+	np := Spec{Mechanism: "nonprivate", Horizon: 8, Dim: 2}
+	if _, err := np.NewPool(); err != nil {
+		t.Fatalf("nonprivate spec: %v", err)
+	}
+}
+
+func TestPeriodicCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{CheckpointDir: dir, CheckpointInterval: 20 * time.Millisecond})
+	x, y := point(0, 4)
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams/p/observe", map[string]any{"x": x, "y": y}, nil); code != http.StatusOK {
+		t.Fatal("observe failed")
+	}
+	path := filepath.Join(dir, checkpointFile)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The written checkpoint restores into a fresh pool.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := testSpec().NewPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(data); err != nil {
+		t.Fatalf("periodic checkpoint not restorable: %v", err)
+	}
+	_ = s
+}
+
+func TestIngestCoalescingUnderConcurrency(t *testing.T) {
+	// Many concurrent single-point observes on the same stream: all must be
+	// acknowledged, the pool must hold exactly the total, and the coalescing
+	// path should have merged at least some of them (probabilistically ~always
+	// under this load; we only assert totals, which are deterministic).
+	s, ts := newTestServer(t, Config{})
+	const writers = 8
+	const perWriter = 6
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < perWriter; i++ {
+				x, y := point(w*perWriter+i, 4)
+				code, raw := doJSON(t, "POST", ts.URL+"/v1/streams/hot/observe", map[string]any{"x": x, "y": y}, nil)
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("writer %d: code=%d body=%s", w, code, raw)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Pool().Len("hot"); got != writers*perWriter {
+		t.Fatalf("pool holds %d points, want %d", got, writers*perWriter)
+	}
+}

@@ -45,6 +45,11 @@ type poolStream struct {
 	est Estimator
 }
 
+// ErrUnknownStream is returned (wrapped with the stream ID) by Pool methods
+// that require an existing stream, such as Estimate on an ID that never
+// observed anything. Match it with errors.Is.
+var ErrUnknownStream = errors.New("privreg: unknown stream")
+
 // PoolStats is a point-in-time snapshot of a Pool.
 type PoolStats struct {
 	// Mechanism is the canonical registry name of the pooled mechanism.
@@ -131,7 +136,7 @@ func (p *Pool) stream(id string, create bool) (*poolStream, error) {
 		return ps, nil
 	}
 	if !create {
-		return nil, fmt.Errorf("privreg: unknown stream %q", id)
+		return nil, fmt.Errorf("%w %q", ErrUnknownStream, id)
 	}
 	// Build outside the shard lock (construction can be expensive: sketch
 	// sampling, tree allocation), then insert; on a race the loser's estimator
@@ -199,6 +204,16 @@ func (p *Pool) Len(id string) int {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	return ps.est.Len()
+}
+
+// Has reports whether the stream exists (has observed at least one batch, or
+// was restored from a checkpoint, and has not been dropped).
+func (p *Pool) Has(id string) bool {
+	sh := p.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.streams[id]
+	sh.mu.RUnlock()
+	return ok
 }
 
 // Drop removes a stream and reports whether it existed. Its budgeted private

@@ -1,6 +1,7 @@
 package privreg
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -163,6 +164,140 @@ func TestPoolConcurrentMultiStream(t *testing.T) {
 	}
 	if st.Streams != streams {
 		t.Fatalf("Streams = %d, want %d", st.Streams, streams)
+	}
+}
+
+// TestPoolCheckpointDuringTraffic takes checkpoints while writer goroutines
+// are actively feeding the pool (run under -race in CI). Every snapshot must
+// be internally consistent — each stream's state is some prefix of the points
+// that stream was fed — and restorable: restoring the blob into a fresh pool
+// and re-feeding the observed prefix into a reference pool must produce
+// bit-identical estimates.
+func TestPoolCheckpointDuringTraffic(t *testing.T) {
+	const (
+		streams   = 8
+		perStream = 32
+		snapshots = 5
+	)
+	p, err := NewPool("gradient", testPoolOptions(11)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamID := func(s int) string { return fmt.Sprintf("live-%d", s) }
+
+	var wg sync.WaitGroup
+	errc := make(chan error, streams+snapshots)
+	blobs := make([][]byte, snapshots)
+	start := make(chan struct{})
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			<-start
+			id := streamID(s)
+			for i := 0; i < perStream; {
+				x, y := syntheticPoint(i, 4)
+				if i%3 == 2 && i+1 < perStream {
+					x2, y2 := syntheticPoint(i+1, 4)
+					if err := p.ObserveBatch(id, [][]float64{x, x2}, []float64{y, y2}); err != nil {
+						errc <- err
+						return
+					}
+					i += 2
+				} else {
+					if err := p.Observe(id, x, y); err != nil {
+						errc <- err
+						return
+					}
+					i++
+				}
+			}
+		}(s)
+	}
+	for c := 0; c < snapshots; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			blob, err := p.Checkpoint()
+			if err != nil {
+				errc <- err
+				return
+			}
+			blobs[c] = blob
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	for c, blob := range blobs {
+		restored, err := NewPool("gradient", testPoolOptions(11)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Restore(blob); err != nil {
+			t.Fatalf("snapshot %d not restorable: %v", c, err)
+		}
+		reference, err := NewPool("gradient", testPoolOptions(11)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range restored.Streams() {
+			k := restored.Len(id)
+			if k < 0 || k > perStream {
+				t.Fatalf("snapshot %d stream %s: Len %d outside fed range [0, %d]", c, id, k, perStream)
+			}
+			if k == 0 {
+				// The checkpoint caught the stream between creation and its
+				// first observation; nothing to compare.
+				continue
+			}
+			// The snapshot must equal the state after exactly the first k
+			// points of this stream's deterministic sequence: scalar and
+			// batched ingestion are bit-identical, so a scalar replay is a
+			// valid reference regardless of how the writer chunked them.
+			for i := 0; i < k; i++ {
+				x, y := syntheticPoint(i, 4)
+				if err := reference.Observe(id, x, y); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := reference.Estimate(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := restored.Estimate(id)
+			if err != nil {
+				t.Fatalf("snapshot %d stream %s: estimate after restore: %v", c, id, err)
+			}
+			sameVector(t, fmt.Sprintf("snapshot %d stream %s (k=%d)", c, id, k), want, got)
+		}
+	}
+}
+
+// TestPoolUnknownStreamSentinel verifies the exported sentinel servers match
+// on to translate "no such stream" into a 404.
+func TestPoolUnknownStreamSentinel(t *testing.T) {
+	p, err := NewPool("gradient", testPoolOptions(5)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Estimate("ghost"); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("Estimate(unknown) = %v, want ErrUnknownStream", err)
+	}
+	if p.Has("ghost") {
+		t.Fatal("Has(unknown) = true")
+	}
+	x, y := syntheticPoint(0, 4)
+	if err := p.Observe("ghost", x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has("ghost") {
+		t.Fatal("Has(existing) = false")
 	}
 }
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# e2e_smoke.sh — boot privreg-server, drive it with privreg-loadgen, SIGTERM,
+# restart from the checkpoint, and verify the server resumed bit-identically.
+#
+# This is the CI e2e job (and runnable locally: ./scripts/e2e_smoke.sh). It
+# exercises the full binary path the Go tests can't: process boot, flag
+# parsing, signal-driven drain, checkpoint files surviving an actual process
+# death, and the loadgen's shadow-pool verification across both phases.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+bin="$(mktemp -d)"
+data="$(mktemp -d)"
+addr="127.0.0.1:18329"
+srv_pid=""
+
+cleanup() {
+  if [ -n "$srv_pid" ] && kill -0 "$srv_pid" 2>/dev/null; then
+    kill -9 "$srv_pid" 2>/dev/null || true
+  fi
+  rm -rf "$bin" "$data"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$bin/privreg-server" ./cmd/privreg-server
+go build -o "$bin/privreg-loadgen" ./cmd/privreg-loadgen
+
+server_flags=(
+  -addr "$addr"
+  -mechanism gradient -epsilon 1 -delta 1e-6
+  -horizon 512 -dim 8 -radius 1 -seed 42
+  -checkpoint-dir "$data" -checkpoint-interval 2s
+)
+
+start_server() {
+  "$bin/privreg-server" "${server_flags[@]}" &
+  srv_pid=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$srv_pid" 2>/dev/null; then
+      echo "server died during startup" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "server never became healthy" >&2
+  return 1
+}
+
+stop_server() {
+  kill -TERM "$srv_pid"
+  # The server must drain and exit 0: queued points applied, final checkpoint
+  # written.
+  wait "$srv_pid"
+  srv_pid=""
+}
+
+echo "== phase 1: boot + ingest 8 streams x 24 points + verify"
+start_server
+"$bin/privreg-loadgen" -addr "http://$addr" -streams 8 -points 24 -batch 6
+
+echo "== SIGTERM (graceful drain + final checkpoint)"
+stop_server
+test -f "$data/pool.ckpt" || { echo "no checkpoint written" >&2; exit 1; }
+
+echo "== phase 2: restart from checkpoint + ingest 16 more points + verify"
+start_server
+# -from 24: the loadgen replays points [0,24) into its shadow pool locally,
+# sends [24,40) to the server, and then requires the server's estimates at
+# t=40 to be bit-identical — which only holds if the restart resumed every
+# stream exactly where the killed process left it.
+"$bin/privreg-loadgen" -addr "http://$addr" -streams 8 -points 16 -from 24 -batch 4
+
+echo "== graceful shutdown"
+stop_server
+
+echo "e2e smoke OK: restart from checkpoint is bit-identical"
