@@ -83,16 +83,16 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("identical docs: findings=%v regressions=%d", findings, regressions)
 	}
 
-	// A 2x timing slowdown regresses; a 2x speedup is a notice; a byte change
-	// always warns; a missing metric warns.
+	// A 2x ingest slowdown is a gated regression; a 2x speedup is a notice; a
+	// byte change and a missing advisory metric warn without gating -strict.
 	cand, _ = normalize([]byte(sampleRaw))
 	cand.Metrics["throughput/gradient/scalar_ns_per_point"] *= 2
 	cand.Metrics["throughput/projected/estimate_ns"] /= 2
 	cand.Metrics["throughput/gradient/checkpoint_bytes"] += 8
 	delete(cand.Metrics, "throughput/projected/checkpoint_ns")
 	findings, regressions = compare(base, cand, 1.6)
-	if regressions != 3 {
-		t.Fatalf("regressions = %d, want 3 (slowdown, byte change, missing metric); findings: %v", regressions, findings)
+	if regressions != 1 {
+		t.Fatalf("gated regressions = %d, want 1 (the ingest slowdown; byte change and missing checkpoint metric are advisory); findings: %v", regressions, findings)
 	}
 	var texts []string
 	for _, f := range findings {
@@ -108,6 +108,20 @@ func TestCompare(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Errorf("findings missing %q in:\n%s", want, joined)
 		}
+	}
+
+	// A missing gated metric and a gated batch-ingest slowdown both gate; a
+	// checkpoint-latency slowdown warns without gating.
+	cand, _ = normalize([]byte(sampleRaw))
+	delete(cand.Metrics, "throughput/gradient/estimate_ns")
+	cand.Metrics["throughput/projected/batch_ns_per_point"] *= 3
+	cand.Metrics["throughput/gradient/checkpoint_ns"] *= 3
+	findings, regressions = compare(base, cand, 1.6)
+	if regressions != 2 {
+		t.Fatalf("gated regressions = %d, want 2 (missing estimate metric + batch slowdown); findings: %v", regressions, findings)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %v, want 3 warnings (the checkpoint slowdown still warns)", findings)
 	}
 
 	// Small jitter below threshold is silent.

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux served by -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,8 +63,20 @@ func run() int {
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for pool checkpoints (empty disables persistence)")
 		ckptInterval = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint cadence (<=0 disables periodic saves)")
 		queuePoints  = flag.Int("queue-points", 4096, "per-stream ingest queue bound, in points (overload returns 429)")
+		pprofAddr    = flag.String("pprof-addr", "", "optional listen address for net/http/pprof diagnostics (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+
+	// Profiling runs on its own listener so the diagnostics surface is never
+	// exposed on the serving address; off by default. See docs/SERVING.md.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	interval := *ckptInterval
 	if interval <= 0 {

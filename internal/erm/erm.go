@@ -108,12 +108,21 @@ type LeastSquaresState struct {
 	ata *vec.Matrix
 	aty vec.Vector
 	yy  float64
+	// sol memoizes the minimizer computed at observation count solN with
+	// solIters iterations (solN < 0 = none): the statistics are the complete
+	// solver input, so while no new points arrive Minimize returns the
+	// previous solution instead of re-solving. ridge holds the reusable
+	// factorization buffers of the normal-equation solve.
+	sol      vec.Vector
+	solN     int
+	solIters int
+	ridge    vec.RidgeWorkspace
 }
 
 // NewLeastSquaresState returns an empty state for d-dimensional covariates
 // constrained to c (c may be nil for unconstrained least squares).
 func NewLeastSquaresState(d int, c constraint.Set) *LeastSquaresState {
-	return &LeastSquaresState{d: d, c: c, ata: vec.NewMatrix(d, d), aty: vec.NewVector(d)}
+	return &LeastSquaresState{d: d, c: c, ata: vec.NewMatrix(d, d), aty: vec.NewVector(d), solN: -1}
 }
 
 // Observe folds the pair (x, y) into the sufficient statistics.
@@ -149,11 +158,25 @@ func (s *LeastSquaresState) Gradient(theta vec.Vector) vec.Vector {
 // observed prefix. The unconstrained solution is attempted first via the
 // (ridge-stabilized) normal equations; when it is feasible it is optimal and is
 // returned directly, otherwise projected gradient descent on the sufficient
-// statistics is run with iters steps (default 2000 when iters <= 0).
+// statistics is run with iters steps (default 2000 when iters <= 0). Repeat
+// calls with no new observations return the memoized solution; the normal
+// equations reuse the state's factorization buffers.
 func (s *LeastSquaresState) Minimize(iters int) vec.Vector {
 	if iters <= 0 {
 		iters = 2000
 	}
+	if s.solN == s.n && s.solIters == iters && s.sol != nil {
+		return s.sol.Clone()
+	}
+	theta := s.minimize(iters)
+	s.sol = theta.Clone()
+	s.solN = s.n
+	s.solIters = iters
+	return theta
+}
+
+// minimize is the memoization-free solver body behind Minimize.
+func (s *LeastSquaresState) minimize(iters int) vec.Vector {
 	if s.n == 0 {
 		if s.c != nil {
 			return s.c.Project(vec.NewVector(s.d))
@@ -161,7 +184,7 @@ func (s *LeastSquaresState) Minimize(iters int) vec.Vector {
 		return vec.NewVector(s.d)
 	}
 	eps := 1e-10 * (1 + s.ata.Trace())
-	unconstrained, err := vec.SolveRidge(s.ata, s.aty, eps)
+	unconstrained, err := vec.SolveRidgeWith(&s.ridge, s.ata, s.aty, eps)
 	if err == nil {
 		if s.c == nil || s.c.Contains(unconstrained, 1e-9) {
 			if s.c == nil {
@@ -245,6 +268,10 @@ func (s *LeastSquaresState) UnmarshalState(data []byte) error {
 	}
 	s.n = n
 	s.yy = yy
+	// The solution memo is not part of the checkpoint; the next Minimize
+	// recomputes (deterministically) from the restored statistics.
+	s.sol = nil
+	s.solN = -1
 	return nil
 }
 

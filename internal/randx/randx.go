@@ -1,7 +1,11 @@
 // Package randx provides the random-sampling substrate for the library:
 // Gaussian and Laplace samplers, random vectors and matrices, sparse and
 // unit-sphere samples, and a splittable, seedable Source so every mechanism,
-// test, and benchmark is reproducible.
+// test, and benchmark is reproducible. Normal sampling runs a shared
+// double-precision ziggurat (ziggurat.go); counter.go adds the counter-keyed
+// PRF streams (CounterSource, FillNormalAt) behind the lazy Tree-Mechanism
+// node noise, whose output is a pure function of (key, node) rather than of
+// draw order.
 //
 // All samplers take an explicit *Source; nothing in the library uses the global
 // math/rand state. This matters for differential privacy experiments where we
@@ -72,11 +76,12 @@ func NewSource(seed int64) *Source {
 }
 
 // MaxReplayDraws bounds the stream position NewSourceAt will replay. It sits
-// an order of magnitude above any draw count the library's mechanisms can
-// legitimately accumulate (the heaviest consumer, a d=512 second-moment tree
-// over a 10⁷-point stream, is ≈ 2⁴¹), so real checkpoints always restore while
-// a corrupt Draws field — which would otherwise spin the replay loop for
-// centuries — is rejected immediately.
+// orders of magnitude above any draw count the library's mechanisms can
+// legitimately accumulate (with tree-node noise now counter-keyed rather than
+// stream-drawn, the heaviest remaining consumer is the private batch ERM
+// solver's per-iteration noise, far below 2⁴⁴ for any real stream), so real
+// checkpoints always restore while a corrupt Draws field — which would
+// otherwise spin the replay loop for centuries — is rejected immediately.
 const MaxReplayDraws = 1 << 44
 
 // ErrReplayTooLarge is returned by NewSourceAt for stream positions beyond
@@ -125,10 +130,19 @@ func Mix64(z uint64) uint64 {
 // to hand separate randomness to sub-components (e.g. the two Tree Mechanism
 // instances inside a regression mechanism).
 func (s *Source) Split() *Source {
-	// Derive a 63-bit seed from the parent stream. SplitMix-style mixing keeps
-	// derived streams well separated even for small consecutive parent draws.
-	z := Mix64(s.rng.Uint64())
-	return NewSource(int64(z & 0x7fffffffffffffff))
+	return NewSource(s.DeriveKey())
+}
+
+// DeriveKey draws a 63-bit key from the parent stream — the allocation-free
+// form of Split().Seed(), and the derivation the continual-sum mechanisms use
+// for their noise keys. Like Split it consumes one parent draw, so distinct
+// mechanisms constructed from the same Source receive independent keys (and
+// hence independent noise) exactly as they received independent sub-streams
+// under the draw-based scheme.
+func (s *Source) DeriveKey() int64 {
+	// SplitMix-style mixing keeps derived keys well separated even for small
+	// consecutive parent draws.
+	return int64(Mix64(s.rng.Uint64()) & 0x7fffffffffffffff)
 }
 
 // SplitN returns n Sources split off the parent in sequence, a convenience
@@ -159,7 +173,10 @@ func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
 
 // Normal returns a sample from N(mu, sigma^2). sigma must be non-negative;
-// sigma == 0 returns mu exactly.
+// sigma == 0 returns mu exactly. All of the Source's normal samplers (Normal,
+// StdNormal, FillNormal, NormalVector, NormalMatrix) share one
+// double-precision ziggurat (see ziggurat.go) over the counting generator, so
+// they consume the stream identically per sample and remain interchangeable.
 func (s *Source) Normal(mu, sigma float64) float64 {
 	if sigma < 0 {
 		panic("randx: negative standard deviation")
@@ -167,16 +184,17 @@ func (s *Source) Normal(mu, sigma float64) float64 {
 	if sigma == 0 {
 		return mu
 	}
-	return mu + sigma*s.rng.NormFloat64()
+	return mu + sigma*zigNormal(s.counter)
 }
 
 // StdNormal returns a sample from N(0, 1).
-func (s *Source) StdNormal() float64 { return s.rng.NormFloat64() }
+func (s *Source) StdNormal() float64 { return zigNormal(s.counter) }
 
 // FillNormal fills dst with i.i.d. N(mu, sigma^2) samples without allocating.
-// It draws exactly len(dst) normals in index order, so it consumes the
-// underlying stream identically to a scalar Normal loop — swapping one for the
-// other never changes downstream randomness.
+// It draws exactly len(dst) normals in index order through the same ziggurat
+// as Normal, so it consumes the underlying stream identically to a scalar
+// Normal loop — swapping one for the other never changes downstream
+// randomness.
 func (s *Source) FillNormal(dst []float64, mu, sigma float64) {
 	if sigma < 0 {
 		panic("randx: negative standard deviation")
@@ -187,9 +205,9 @@ func (s *Source) FillNormal(dst []float64, mu, sigma float64) {
 		}
 		return
 	}
-	rng := s.rng
+	c := s.counter
 	for i := range dst {
-		dst[i] = mu + sigma*rng.NormFloat64()
+		dst[i] = mu + sigma*zigNormal(c)
 	}
 }
 
@@ -255,7 +273,7 @@ func (s *Source) NormalVector(d int, sigma float64) []float64 {
 		return out
 	}
 	for i := range out {
-		out[i] = sigma * s.rng.NormFloat64()
+		out[i] = sigma * zigNormal(s.counter)
 	}
 	return out
 }
@@ -327,7 +345,7 @@ func (s *Source) NormalMatrix(m, d int, sigma float64) []float64 {
 		return out
 	}
 	for i := range out {
-		out[i] = sigma * s.rng.NormFloat64()
+		out[i] = sigma * zigNormal(s.counter)
 	}
 	return out
 }

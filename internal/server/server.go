@@ -12,6 +12,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -298,12 +299,25 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// jsonBufPool recycles response-encoding buffers: every response is encoded
+// into a pooled buffer and written with a single Write, instead of letting
+// the encoder allocate and chunk through the ResponseWriter per request.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	jsonBufPool.Put(buf)
 }
 
 type errorBody struct {
@@ -328,12 +342,30 @@ type observeResponse struct {
 	Len     int `json:"len"`
 }
 
+// observeScratch is the pooled per-request scratch of the observe handler:
+// the body-read buffer (the dominant per-request allocation at serving batch
+// sizes) and the single-point batch wrapper. Safe to recycle after the
+// handler returns because enqueue blocks until the points are applied.
+type observeScratch struct {
+	body bytes.Buffer
+	xs1  [1][]float64
+	ys1  [1]float64
+}
+
+var observeScratchPool = sync.Pool{New: func() any { return new(observeScratch) }}
+
 // decodeObserve validates the request shape eagerly — length and dimension
 // mismatches are caught here, before anything is queued, so a coalesced
 // batch downstream can only fail for per-stream reasons (horizon overrun).
-func (s *Server) decodeObserve(r *http.Request) ([][]float64, []float64, error) {
+// The returned slices may reference sc, which the caller releases back to the
+// pool when done.
+func (s *Server) decodeObserve(sc *observeScratch, r *http.Request) ([][]float64, []float64, error) {
+	sc.body.Reset()
+	if _, err := sc.body.ReadFrom(r.Body); err != nil {
+		return nil, nil, fmt.Errorf("server: reading observe body: %w", err)
+	}
 	var req observeRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(sc.body.Bytes()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return nil, nil, fmt.Errorf("server: decoding observe body: %w", err)
@@ -347,8 +379,10 @@ func (s *Server) decodeObserve(r *http.Request) ([][]float64, []float64, error) 
 		if req.X == nil || req.Y == nil {
 			return nil, nil, errors.New(`server: single-point observe requires both "x" and "y"`)
 		}
-		req.Xs = [][]float64{req.X}
-		req.Ys = []float64{*req.Y}
+		sc.xs1[0] = req.X
+		sc.ys1[0] = *req.Y
+		req.Xs = sc.xs1[:]
+		req.Ys = sc.ys1[:]
 	case batch:
 		if len(req.Xs) != len(req.Ys) {
 			return nil, nil, fmt.Errorf("server: batch covariate count %d does not match response count %d", len(req.Xs), len(req.Ys))
@@ -370,7 +404,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("server: empty stream id"))
 		return
 	}
-	xs, ys, err := s.decodeObserve(r)
+	sc := observeScratchPool.Get().(*observeScratch)
+	defer observeScratchPool.Put(sc)
+	xs, ys, err := s.decodeObserve(sc, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -9,6 +9,18 @@ import (
 	"privreg/internal/randx"
 )
 
+// snapshotNode is the PRF node-coordinate namespace of the Hybrid mechanism's
+// per-epoch snapshot noise; the high bit separates it from any tree node
+// coordinate (whose level field is < 64).
+func snapshotNode(epoch int) uint64 { return 1<<63 | uint64(epoch) }
+
+// epochTreeKey derives the noise key of epoch k's in-epoch tree from the
+// Hybrid's own key — a pure function, so a restored mechanism re-derives the
+// identical keys without replaying any stream.
+func epochTreeKey(noiseKey int64, epoch int) int64 {
+	return randx.SubKey(noiseKey, uint64(epoch)+1)
+}
+
 // Hybrid implements the Hybrid Mechanism of Chan, Shi and Song: a continual
 // private sum mechanism that does not require the stream length in advance and
 // achieves asymptotically the same error as the Tree Mechanism (footnote 13 of
@@ -18,44 +30,52 @@ import (
 // budget:
 //
 //   - a "logarithmic" mechanism that, every time the stream length reaches a
-//     power of two, publishes a fresh noisy snapshot of the total sum so far
-//     (each element is included in at most one snapshot *release period*, and
-//     snapshots are produced at most ⌈log₂ t⌉ + 1 times, so each contributes
-//     to at most that many outputs via post-processing of a per-epoch sum); and
+//     power of two, publishes a fresh noisy snapshot of that epoch's sum (the
+//     epochs partition the stream, so each element is perturbed once here, and
+//     prefixes are reconstructed as sums of at most ⌈log₂ t⌉ noisy terms); and
 //   - within each epoch (2^k, 2^{k+1}], a fresh Tree Mechanism of length 2^k
 //     over only the elements of that epoch.
 //
-// The reported running sum is snapshot + in-epoch tree sum.
+// The reported running sum is Σ completed-epoch snapshots + in-epoch tree sum.
+//
+// Like Tree, all noise is counter-keyed and lazy: epoch k's snapshot noise is
+// a pure function of (noiseKey, k) and epoch trees derive their keys with
+// epochTreeKey, so ingestion — including epoch rollover — samples nothing and
+// the released sequence is independent of when estimates are read.
 type Hybrid struct {
 	dim         int
 	sensitivity float64
 	privacy     dp.Params
-	src         *randx.Source
+	noiseKey    int64
 
 	t int
-	// snapshot is the noisy sum of all elements in completed epochs.
-	snapshot []float64
-	// exactPrefix is the noise-free sum of elements in completed epochs; kept
-	// only until the snapshot for the epoch boundary has been produced (it is
-	// perturbed and then discarded into snapshot; never released raw).
-	exactPrefix []float64
+	// completedExact is the noise-free sum of all elements in completed epochs
+	// (private state; never released raw — releases add the snapshot noise).
+	completedExact []float64
+	// epochs counts completed epochs; epoch k (0-based) has length 2^k.
+	epochs int
+	// noiseSum memoizes Σ_{k < noised} snapshot noise of completed epochs;
+	// lagging epochs are materialized at the next released estimate.
+	noiseSum []float64
+	noised   int
+	// epochExact is the noise-free sum of the current epoch's elements, folded
+	// into completedExact at the epoch boundary.
+	epochExact []float64
 	// epochTree handles the current epoch.
 	epochTree *Tree
 	epochLen  int
 	logSigma  float64
 	// sum is the cached running-sum estimate, maintained lazily like
-	// Tree.sum: batched adds mark it dirty and the snapshot+epoch aggregation
-	// runs once at the next Sum/SumInto.
-	sum   []float64
-	dirty bool
-	// epochSum and noiseWork are reusable scratch buffers that keep the
-	// per-timestep path allocation-free.
-	epochSum  []float64
-	noiseWork []float64
+	// Tree.sum; epochSum is a reusable scratch buffer.
+	sum      []float64
+	dirty    bool
+	epochSum []float64
 }
 
 // NewHybrid returns a Hybrid mechanism for streams of unbounded (unknown)
 // length with the given element dimension, L2 sensitivity and privacy budget.
+// The noise key is drawn from the source (one draw, like Split); after
+// construction the source is never consumed again.
 func NewHybrid(dim int, sensitivity float64, p dp.Params, src *randx.Source) (*Hybrid, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("tree: dimension must be positive, got %d", dim)
@@ -85,31 +105,33 @@ func NewHybrid(dim int, sensitivity float64, p dp.Params, src *randx.Source) (*H
 		return nil, err
 	}
 	h := &Hybrid{
-		dim:         dim,
-		sensitivity: sensitivity,
-		privacy:     p,
-		src:         src,
-		snapshot:    make([]float64, dim),
-		exactPrefix: make([]float64, dim),
-		logSigma:    logSigma,
-		sum:         make([]float64, dim),
-		epochSum:    make([]float64, dim),
-		noiseWork:   make([]float64, dim),
+		dim:            dim,
+		sensitivity:    sensitivity,
+		privacy:        p,
+		noiseKey:       src.DeriveKey(),
+		completedExact: make([]float64, dim),
+		noiseSum:       make([]float64, dim),
+		epochExact:     make([]float64, dim),
+		logSigma:       logSigma,
+		sum:            make([]float64, dim),
+		epochSum:       make([]float64, dim),
 	}
-	if err := h.startEpoch(1); err != nil {
+	if err := h.startEpoch(0); err != nil {
 		return nil, err
 	}
 	return h, nil
 }
 
-func (h *Hybrid) startEpoch(length int) error {
-	half := h.privacy.Halve()
-	et, err := New(Config{
+// startEpoch constructs epoch k's in-epoch tree (length 2^k) with its derived
+// noise key.
+func (h *Hybrid) startEpoch(epoch int) error {
+	length := 1 << uint(epoch)
+	et, err := newWithKey(Config{
 		Dim:         h.dim,
 		MaxLen:      length,
 		Sensitivity: h.sensitivity,
-		Privacy:     half,
-	}, h.src.Split())
+		Privacy:     h.privacy.Halve(),
+	}, epochTreeKey(h.noiseKey, epoch))
 	if err != nil {
 		return err
 	}
@@ -140,7 +162,9 @@ func (h *Hybrid) Add(v []float64) ([]float64, error) {
 // AddTo consumes the next stream element and, when dst is non-nil, writes the
 // private running-sum estimate into dst. The steady-state path (all timesteps
 // except the O(log T) epoch boundaries, which construct the next epoch's tree)
-// performs no heap allocation.
+// performs no heap allocation, and no path samples noise: an epoch boundary
+// only folds the exact epoch sum forward — its snapshot noise is materialized
+// at the next released estimate.
 func (h *Hybrid) AddTo(dst, v []float64) error {
 	if len(v) != h.dim {
 		return fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), h.dim)
@@ -149,48 +173,55 @@ func (h *Hybrid) AddTo(dst, v []float64) error {
 		return fmt.Errorf("tree: destination dimension %d does not match mechanism dimension %d", len(dst), h.dim)
 	}
 	h.t++
-	// Track the epoch's exact contribution (private state; never released raw).
-	for k := range h.exactPrefix {
-		h.exactPrefix[k] += v[k]
+	for k := range h.epochExact {
+		h.epochExact[k] += v[k]
 	}
 	if err := h.epochTree.AddTo(nil, v); err != nil {
 		return err
 	}
-	// At an epoch boundary the estimate must be materialized before the
-	// snapshot fold so that Sum after this call reports the same tree-based
-	// value it always has; otherwise the aggregation is deferred exactly as in
-	// Tree.AddTo.
-	boundary := h.epochTree.Len() == h.epochLen
-	if dst != nil || boundary {
-		h.refreshSum()
-		if dst != nil {
-			copy(dst, h.sum)
+	// If the epoch just completed, fold its exact sum into the completed-epoch
+	// accumulator and start the next (doubled) epoch. Estimates at and after
+	// this timestep use the epoch's snapshot noise (one Gaussian per
+	// coordinate) instead of its tree sum — a strictly less noisy, equally
+	// private release of the same prefix.
+	if h.epochTree.Len() == h.epochLen {
+		for k := range h.completedExact {
+			h.completedExact[k] += h.epochExact[k]
 		}
-	} else {
-		h.dirty = true
-	}
-
-	// If the epoch just completed, fold a fresh noisy snapshot of this epoch's
-	// exact sum into the cumulative snapshot and start the next (doubled) epoch.
-	if boundary {
-		h.src.FillNormal(h.noiseWork, 0, h.logSigma)
-		for k := range h.snapshot {
-			h.snapshot[k] += h.exactPrefix[k] + h.noiseWork[k]
-		}
-		zero(h.exactPrefix)
-		if err := h.startEpoch(h.epochLen * 2); err != nil {
+		zero(h.epochExact)
+		h.epochs++
+		if err := h.startEpoch(h.epochs); err != nil {
 			return err
 		}
+	}
+	if dst != nil {
+		h.refreshSum()
+		copy(dst, h.sum)
+	} else {
+		h.dirty = true
 	}
 	return nil
 }
 
-// refreshSum recomputes the cached estimate snapshot + in-epoch tree sum.
-// Deterministic, so lazy and eager callers observe bit-identical estimates.
+// refreshSum recomputes the cached estimate: completed-epoch snapshots plus
+// the in-epoch tree sum, materializing any lagging snapshot noise first.
+// Deterministic given (noiseKey, t), so lazy and eager callers observe
+// bit-identical estimates.
 func (h *Hybrid) refreshSum() {
+	if h.noised < h.epochs {
+		buf := randx.GetBuf(h.dim)
+		for h.noised < h.epochs {
+			randx.FillNormalAt(h.noiseKey, snapshotNode(h.noised), *buf, h.logSigma)
+			for k := range h.noiseSum {
+				h.noiseSum[k] += (*buf)[k]
+			}
+			h.noised++
+		}
+		randx.PutBuf(buf)
+	}
 	h.epochTree.SumInto(h.epochSum)
 	for k := range h.sum {
-		h.sum[k] = h.snapshot[k] + h.epochSum[k]
+		h.sum[k] = h.completedExact[k] + h.noiseSum[k] + h.epochSum[k]
 	}
 	h.dirty = false
 }
@@ -211,12 +242,14 @@ func (h *Hybrid) SumInto(dst []float64) {
 	copy(dst, h.sum)
 }
 
-// hybridStateVersion is the Hybrid checkpoint format version.
-const hybridStateVersion = 1
+// hybridStateVersion is the Hybrid checkpoint format version. Version 2 is
+// the counter-keyed lazy-noise format (see treeStateVersion).
+const hybridStateVersion = 2
 
 // MarshalState implements Mechanism for the Hybrid mechanism: it captures the
-// snapshot accumulator, the in-progress epoch (as a nested Tree checkpoint),
-// and both randomness positions.
+// exact accumulators, the epoch counter, the in-progress epoch (as a nested
+// Tree checkpoint), and the noise key. Snapshot noise is a pure function of
+// (noiseKey, epoch) and is re-materialized on demand after restore.
 func (h *Hybrid) MarshalState() ([]byte, error) {
 	var w codec.Writer
 	w.Version(hybridStateVersion)
@@ -225,19 +258,15 @@ func (h *Hybrid) MarshalState() ([]byte, error) {
 	w.F64(h.sensitivity)
 	w.F64(h.logSigma)
 	w.Int(h.t)
-	w.F64s(h.snapshot)
-	w.F64s(h.exactPrefix)
-	w.F64s(h.sum)
-	w.Bool(h.dirty)
-	w.Int(h.epochLen)
+	w.F64s(h.completedExact)
+	w.F64s(h.epochExact)
+	w.Int(h.epochs)
 	et, err := h.epochTree.MarshalState()
 	if err != nil {
 		return nil, err
 	}
 	w.Blob(et)
-	st := h.src.State()
-	w.I64(st.Seed)
-	w.U64(st.Draws)
+	w.I64(h.noiseKey)
 	return w.Bytes(), nil
 }
 
@@ -255,42 +284,33 @@ func (h *Hybrid) UnmarshalState(data []byte) error {
 		return fmt.Errorf("tree: checkpoint noise scale %g does not match configured %g (privacy parameters differ)", s, h.logSigma)
 	}
 	t := r.Int()
-	r.F64sInto(h.snapshot)
-	r.F64sInto(h.exactPrefix)
-	r.F64sInto(h.sum)
-	dirty := r.Bool()
-	epochLen := r.Int()
+	r.F64sInto(h.completedExact)
+	r.F64sInto(h.epochExact)
+	epochs := r.Int()
 	treeBlob := r.Blob()
-	st := randx.State{Seed: r.I64(), Draws: r.U64()}
+	noiseKey := r.I64()
 	if err := r.Finish(); err != nil {
 		return err
 	}
-	if t < 0 || epochLen <= 0 {
-		return fmt.Errorf("tree: corrupt hybrid checkpoint (t=%d, epochLen=%d)", t, epochLen)
-	}
-	// Rebuild the in-progress epoch tree with the checkpointed epoch length and
-	// restore its state; the placeholder source is replaced by the restore.
-	et, err := New(Config{
-		Dim:         h.dim,
-		MaxLen:      epochLen,
-		Sensitivity: h.sensitivity,
-		Privacy:     h.privacy.Halve(),
-	}, randx.NewSource(0))
-	if err != nil {
-		return err
-	}
-	if err := et.UnmarshalState(treeBlob); err != nil {
-		return err
-	}
-	src, err := randx.NewSourceAt(st)
-	if err != nil {
-		return err
+	if t < 0 || epochs < 0 || epochs > 62 {
+		return fmt.Errorf("tree: corrupt hybrid checkpoint (t=%d, epochs=%d)", t, epochs)
 	}
 	h.t = t
-	h.dirty = dirty
-	h.epochLen = epochLen
-	h.epochTree = et
-	h.src = src
+	h.epochs = epochs
+	h.noiseKey = noiseKey
+	// Rebuild the in-progress epoch tree for the checkpointed epoch and restore
+	// its state (which carries its own noise key).
+	if err := h.startEpoch(epochs); err != nil {
+		return err
+	}
+	if err := h.epochTree.UnmarshalState(treeBlob); err != nil {
+		return err
+	}
+	// Snapshot-noise memoization restarts from scratch; it re-materializes
+	// identically from (noiseKey, epoch) at the next released estimate.
+	zero(h.noiseSum)
+	h.noised = 0
+	h.dirty = true
 	return nil
 }
 
@@ -299,13 +319,22 @@ func (h *Hybrid) UnmarshalState(data []byte) error {
 // T releases with advanced composition. Its error grows like √T (times √d),
 // versus polylog(T) for the Tree Mechanism; the ablation benchmark
 // BenchmarkAblationTreeVsNaiveSum quantifies the gap.
+//
+// The per-release noise is counter-keyed by the timestep: release t carries
+// the noise vector FillNormalAt(noiseKey, t, ·, σ), drawn lazily when the
+// release is actually read and memoized per timestep, so repeated reads of the
+// same release observe the same value — exactly as the eager implementation's
+// cached release did.
 type NaiveSum struct {
-	dim   int
-	sigma float64
-	src   *randx.Source
-	t     int
-	exact []float64
-	sum   []float64
+	dim      int
+	sigma    float64
+	noiseKey int64
+	t        int
+	exact    []float64
+	// noise memoizes the release noise of timestep noiseT (0 = none yet).
+	noise  []float64
+	noiseT int
+	cs     randx.CounterSource
 }
 
 // NewNaiveSum returns a naive continual-sum mechanism for streams of length at
@@ -326,11 +355,11 @@ func NewNaiveSum(dim, maxLen int, sensitivity float64, p dp.Params, src *randx.S
 		return nil, err
 	}
 	return &NaiveSum{
-		dim:   dim,
-		sigma: sigma,
-		src:   src,
-		exact: make([]float64, dim),
-		sum:   make([]float64, dim),
+		dim:      dim,
+		sigma:    sigma,
+		noiseKey: src.DeriveKey(),
+		exact:    make([]float64, dim),
+		noise:    make([]float64, dim),
 	}, nil
 }
 
@@ -340,7 +369,7 @@ func (n *NaiveSum) Len() int { return n.t }
 // NoiseSigma returns the per-release noise standard deviation.
 func (n *NaiveSum) NoiseSigma() float64 { return n.sigma }
 
-// Add consumes the next stream element and returns a freshly perturbed running sum.
+// Add consumes the next stream element and returns the perturbed running sum.
 func (n *NaiveSum) Add(v []float64) ([]float64, error) {
 	out := make([]float64, n.dim)
 	if err := n.AddTo(out, v); err != nil {
@@ -349,8 +378,10 @@ func (n *NaiveSum) Add(v []float64) ([]float64, error) {
 	return out, nil
 }
 
-// AddTo consumes the next stream element and, when dst is non-nil, writes a
-// freshly perturbed running sum into dst without allocating.
+// AddTo consumes the next stream element and, when dst is non-nil, writes the
+// timestep's perturbed running sum into dst without allocating. With a nil
+// dst nothing is sampled: the release noise of a timestep materializes only
+// when that release is read.
 func (n *NaiveSum) AddTo(dst, v []float64) error {
 	if len(v) != n.dim {
 		return fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), n.dim)
@@ -362,35 +393,44 @@ func (n *NaiveSum) AddTo(dst, v []float64) error {
 	for k := range n.exact {
 		n.exact[k] += v[k]
 	}
-	n.src.FillNormal(n.sum, 0, n.sigma)
-	for k := range n.sum {
-		n.sum[k] += n.exact[k]
-	}
 	if dst != nil {
-		copy(dst, n.sum)
+		n.SumInto(dst)
 	}
 	return nil
 }
 
-// Sum returns a copy of the most recent private running-sum estimate.
+// Sum returns a copy of the current timestep's private running-sum estimate.
 func (n *NaiveSum) Sum() []float64 {
 	out := make([]float64, n.dim)
-	copy(out, n.sum)
+	n.SumInto(out)
 	return out
 }
 
-// SumInto writes the most recent private running-sum estimate into dst without
-// allocating.
+// SumInto writes the current timestep's private running-sum estimate into dst
+// without allocating. Before any Add it writes the zero vector.
 func (n *NaiveSum) SumInto(dst []float64) {
-	copy(dst, n.sum)
+	if n.t == 0 {
+		for k := range dst {
+			dst[k] = 0
+		}
+		return
+	}
+	if n.noiseT != n.t {
+		n.cs = randx.NewCounterSource(n.noiseKey, uint64(n.t))
+		n.cs.FillNormal(n.noise, n.sigma)
+		n.noiseT = n.t
+	}
+	for k := range dst {
+		dst[k] = n.exact[k] + n.noise[k]
+	}
 }
 
-// naiveSumStateVersion is the NaiveSum checkpoint format version.
-const naiveSumStateVersion = 1
+// naiveSumStateVersion is the NaiveSum checkpoint format version. Version 2
+// is the counter-keyed lazy-noise format (see treeStateVersion).
+const naiveSumStateVersion = 2
 
-// MarshalState implements Mechanism. Unlike Tree/Hybrid the released sum is
-// not recomputable post-processing (fresh noise is drawn at every release), so
-// both the exact accumulator and the last released sum are captured.
+// MarshalState implements Mechanism: the exact accumulator, stream position,
+// and noise key. Release noise is a pure function of (noiseKey, t).
 func (n *NaiveSum) MarshalState() ([]byte, error) {
 	var w codec.Writer
 	w.Version(naiveSumStateVersion)
@@ -399,10 +439,7 @@ func (n *NaiveSum) MarshalState() ([]byte, error) {
 	w.F64(n.sigma)
 	w.Int(n.t)
 	w.F64s(n.exact)
-	w.F64s(n.sum)
-	st := n.src.State()
-	w.I64(st.Seed)
-	w.U64(st.Draws)
+	w.I64(n.noiseKey)
 	return w.Bytes(), nil
 }
 
@@ -417,17 +454,16 @@ func (n *NaiveSum) UnmarshalState(data []byte) error {
 	}
 	t := r.Int()
 	r.F64sInto(n.exact)
-	r.F64sInto(n.sum)
-	st := randx.State{Seed: r.I64(), Draws: r.U64()}
+	noiseKey := r.I64()
 	if err := r.Finish(); err != nil {
 		return err
 	}
-	src, err := randx.NewSourceAt(st)
-	if err != nil {
-		return err
+	if t < 0 {
+		return fmt.Errorf("tree: corrupt naive-sum checkpoint (t=%d)", t)
 	}
 	n.t = t
-	n.src = src
+	n.noiseKey = noiseKey
+	n.noiseT = 0
 	return nil
 }
 

@@ -11,6 +11,19 @@
 // polylogarithmically in T (Proposition C.1), while the whole output sequence
 // is (ε, δ)-differentially private with respect to changing one stream element.
 // Space usage is O(d log T): only one partial sum per tree level is retained.
+//
+// Noise is counter-keyed and lazy: the noise vector of tree node (level j,
+// dyadic index i) is a pure function of (noiseKey, j, i) — a keyed PRF stream
+// fed through the ziggurat (randx.CounterSource) — and is materialized (and
+// memoized per level) only when the node first participates in a released
+// prefix sum. Ingestion is therefore pure accumulation, and because noise
+// depends on the node's identity rather than on draw order, batch and scalar
+// ingestion, eager and deferred estimates, and checkpoint/restore at any cut
+// point all observe bit-identical outputs by construction. The privacy
+// analysis is unchanged: each node still carries one fixed N(0, σ²I_d) draw,
+// used consistently across every release it contributes to — laziness moves
+// the computation of that draw, not its joint distribution (see
+// docs/PERFORMANCE.md for the design note).
 package tree
 
 import (
@@ -34,7 +47,7 @@ type Mechanism interface {
 	// AddTo appends v to the stream and, when dst is non-nil, writes the private
 	// running-sum estimate into dst (which must have the mechanism's dimension).
 	// It is the allocation-free fast path of Add: a nil dst consumes the element
-	// and updates internal state without copying the estimate out.
+	// and updates internal state without computing the estimate at all.
 	AddTo(dst, v []float64) error
 	// Sum returns the private running-sum estimate at the current timestep
 	// without consuming a new element. Before any Add it returns the zero vector.
@@ -48,9 +61,9 @@ type Mechanism interface {
 	// deviation used internally. Exposed for diagnostics and tests.
 	NoiseSigma() float64
 	// MarshalState serializes the mechanism's complete mutable state — partial
-	// sums, stream position, and randomness-source position — such that a
-	// mechanism constructed with the same configuration and restored with
-	// UnmarshalState continues bit-identically to the original.
+	// sums, stream position, and the noise key — such that a mechanism
+	// constructed with the same configuration and restored with UnmarshalState
+	// continues bit-identically to the original.
 	MarshalState() ([]byte, error)
 	// UnmarshalState restores state captured by MarshalState into a mechanism
 	// constructed with the same configuration; structural parameters are
@@ -65,18 +78,28 @@ type Tree struct {
 	levels      int
 	sensitivity float64
 	sigma       float64
-	src         *randx.Source
+	// noiseKey keys the counter-based PRF: node (level j, dyadic index i) gets
+	// the noise vector FillNormalAt(noiseKey, nodeIndex(j, i), ·, sigma),
+	// independent of draw order.
+	noiseKey int64
 
 	t int
 	// alpha[j] is the in-progress (noise-free) partial sum at level j
 	// (covering a dyadic range of length 2^j that has not yet been "closed").
 	alpha [][]float64
-	// beta[j] is the noisy version of alpha[j], published when the range closed.
-	beta [][]float64
-	// current private running sum. Maintained lazily: adds that do not need the
-	// estimate immediately (AddTo with a nil destination, the batch-ingestion
-	// path) only mark it dirty, and the O(levels·dim) aggregation runs once at
-	// the next Sum/SumInto instead of once per element.
+	// noise[j] memoizes the materialized noise vector of the level-j node
+	// noiseIdx[j] (0 = none; live node indices are ≥ 1). A node stays the
+	// level's active one for up to 2^j steps, so one buffer per level gives
+	// full reuse across repeated estimates.
+	noise    [][]float64
+	noiseIdx []uint64
+	// cs is the reusable PRF stream for noise materialization (kept as a field
+	// so the hot path takes no address of a stack local).
+	cs randx.CounterSource
+	// current private running sum, maintained lazily: adds that do not need
+	// the estimate immediately (AddTo with a nil destination, the batch
+	// ingestion path) only mark it dirty, and the O(levels·dim) aggregation —
+	// including any noise materialization — runs once at the next Sum/SumInto.
 	sum   []float64
 	dirty bool
 }
@@ -103,12 +126,35 @@ type Config struct {
 // Gaussian mechanism and L-fold composition over levels the full sequence of
 // node values — and hence every prefix-sum output, which is a post-processing of
 // them — is (ε, δ)-differentially private.
+//
+// The noise key is drawn from the source (one draw, like Split), so distinct
+// mechanisms constructed from the same Source receive independent keys —
+// after construction the source is never consumed again, and all node noise
+// is a pure function of (key, node identity).
 func New(cfg Config, src *randx.Source) (*Tree, error) {
+	if src == nil {
+		return nil, errors.New("tree: nil randomness source")
+	}
+	return newWithKey(cfg, src.DeriveKey())
+}
+
+// newWithKey is the construction path shared by New and the Hybrid mechanism's
+// per-epoch trees (which derive their keys with randx.SubKey rather than from
+// a Source).
+func newWithKey(cfg Config, noiseKey int64) (*Tree, error) {
 	if cfg.Dim <= 0 {
 		return nil, fmt.Errorf("tree: dimension must be positive, got %d", cfg.Dim)
 	}
 	if cfg.MaxLen <= 0 {
 		return nil, fmt.Errorf("tree: max length must be positive, got %d", cfg.MaxLen)
+	}
+	if int64(cfg.MaxLen) > maxTreeLen {
+		// Enforces the nodeIndex packing invariant: dyadic indices must fit
+		// below the level field, or distinct nodes would share a PRF
+		// coordinate (and thus a noise vector, voiding the independence the
+		// composition analysis assumes). 2^48 is far beyond any storable
+		// stream (the partial sums alone would exceed memory first).
+		return nil, fmt.Errorf("tree: max length %d exceeds the supported maximum %d", cfg.MaxLen, maxTreeLen)
 	}
 	if cfg.Sensitivity < 0 {
 		return nil, errors.New("tree: negative sensitivity")
@@ -119,9 +165,6 @@ func New(cfg Config, src *randx.Source) (*Tree, error) {
 	if cfg.Privacy.Delta == 0 {
 		return nil, errors.New("tree: the Tree Mechanism with Gaussian noise requires delta > 0")
 	}
-	if src == nil {
-		return nil, errors.New("tree: nil randomness source")
-	}
 	levels := numLevels(cfg.MaxLen)
 	sigma := cfg.Sensitivity * float64(levels) * math.Sqrt(2*math.Log(2/cfg.Privacy.Delta)) / cfg.Privacy.Epsilon
 	tr := &Tree{
@@ -130,14 +173,15 @@ func New(cfg Config, src *randx.Source) (*Tree, error) {
 		levels:      levels,
 		sensitivity: cfg.Sensitivity,
 		sigma:       sigma,
-		src:         src,
+		noiseKey:    noiseKey,
 		alpha:       make([][]float64, levels),
-		beta:        make([][]float64, levels),
+		noise:       make([][]float64, levels),
+		noiseIdx:    make([]uint64, levels),
 		sum:         make([]float64, cfg.Dim),
 	}
 	for j := 0; j < levels; j++ {
 		tr.alpha[j] = make([]float64, cfg.Dim)
-		tr.beta[j] = make([]float64, cfg.Dim)
+		tr.noise[j] = make([]float64, cfg.Dim)
 	}
 	return tr, nil
 }
@@ -149,6 +193,19 @@ func numLevels(n int) int {
 		l++
 	}
 	return l
+}
+
+// maxTreeLen bounds MaxLen so dyadic node indices (at most MaxLen) always fit
+// below the level field of nodeIndex. Typed int64 so the bound compiles (and
+// is vacuously unreachable) on 32-bit platforms.
+const maxTreeLen int64 = 1 << 48
+
+// nodeIndex packs a tree node's identity — its level and its dyadic index
+// within the level — into the 64-bit PRF node coordinate. Level fits in 8
+// bits (levels ≤ 64); dyadic indices are at most maxTreeLen < 2^56, enforced
+// at construction.
+func nodeIndex(level int, idx uint64) uint64 {
+	return uint64(level)<<56 | idx
 }
 
 // Dim returns the dimension of the stream elements.
@@ -176,9 +233,11 @@ func (tr *Tree) Add(v []float64) ([]float64, error) {
 }
 
 // AddTo consumes the next stream element and, when dst is non-nil, writes the
-// private running-sum estimate into dst. It performs no heap allocation: all
-// partial sums live in preallocated per-level buffers and noise is drawn with
-// a single vectorized FillNormal per closed node.
+// private running-sum estimate into dst. It performs no heap allocation and —
+// with a nil dst — no noise sampling at all: ingestion is pure accumulation
+// into the preallocated per-level partial sums, and node noise is materialized
+// only when an estimate is actually released (here with dst non-nil, or at a
+// later Sum/SumInto).
 func (tr *Tree) AddTo(dst, v []float64) error {
 	if len(v) != tr.dim {
 		return fmt.Errorf("tree: element dimension %d does not match mechanism dimension %d", len(v), tr.dim)
@@ -214,19 +273,13 @@ func (tr *Tree) AddTo(dst, v []float64) error {
 	// Zero the lower levels.
 	for j := 0; j < i; j++ {
 		zero(tr.alpha[j])
-		zero(tr.beta[j])
-	}
-	// Publish the noisy partial sum for level i: b_i ← a_i + N(0, σ²I).
-	bi := tr.beta[i]
-	tr.src.FillNormal(bi, 0, tr.sigma)
-	for k := range bi {
-		bi[k] += ai[k]
 	}
 
-	// The running sum s_t = Σ_{j : Bin_j(t) ≠ 0} b_j is pure post-processing of
-	// the published nodes, so it is computed lazily: eagerly only when the
-	// caller asked for the estimate now (dst non-nil), otherwise deferred to the
-	// next Sum/SumInto, which amortizes the aggregation across batched adds.
+	// The running sum s_t = Σ_{j : Bin_j(t) ≠ 0} (a_j + noise_j) is pure
+	// post-processing of the node values, so it is computed lazily: eagerly
+	// only when the caller asked for the estimate now (dst non-nil), otherwise
+	// deferred to the next Sum/SumInto, which amortizes both the aggregation
+	// and the noise materialization across batched adds.
 	if dst != nil {
 		tr.refreshSum()
 		copy(dst, tr.sum)
@@ -236,17 +289,32 @@ func (tr *Tree) AddTo(dst, v []float64) error {
 	return nil
 }
 
-// refreshSum recomputes s_t ← Σ_{j : Bin_j(t) ≠ 0} b_j from the published
-// nodes. Deterministic (no randomness is consumed), so lazy and eager callers
+// nodeNoise returns the memoized noise vector of the level-j node with dyadic
+// index idx, materializing it from the PRF stream on first use. Pure in
+// (noiseKey, j, idx): re-materializing after a restore, or in a different
+// instance, reproduces the identical vector.
+func (tr *Tree) nodeNoise(j int, idx uint64) []float64 {
+	if tr.noiseIdx[j] != idx {
+		tr.cs = randx.NewCounterSource(tr.noiseKey, nodeIndex(j, idx))
+		tr.cs.FillNormal(tr.noise[j], tr.sigma)
+		tr.noiseIdx[j] = idx
+	}
+	return tr.noise[j]
+}
+
+// refreshSum recomputes s_t ← Σ_{j : Bin_j(t) ≠ 0} (a_j + noise_j) from the
+// closed nodes. Deterministic given (noiseKey, t), so lazy and eager callers
 // observe bit-identical estimates.
 func (tr *Tree) refreshSum() {
 	zero(tr.sum)
 	for j := 0; j < tr.levels; j++ {
-		if tr.t&(1<<uint(j)) != 0 {
-			bj := tr.beta[j]
-			for k := range tr.sum {
-				tr.sum[k] += bj[k]
-			}
+		if tr.t&(1<<uint(j)) == 0 {
+			continue
+		}
+		aj := tr.alpha[j]
+		nj := tr.nodeNoise(j, uint64(tr.t)>>uint(j))
+		for k := range tr.sum {
+			tr.sum[k] += aj[k] + nj[k]
 		}
 	}
 	tr.dirty = false
@@ -286,14 +354,20 @@ func (tr *Tree) ErrorBound(beta float64) float64 {
 	return tr.sigma * (math.Sqrt(l*d) + math.Sqrt(2*l*math.Log(1/beta)))
 }
 
-// treeStateVersion is the Tree checkpoint format version.
-const treeStateVersion = 1
+// treeStateVersion is the Tree checkpoint format version. Version 2 is the
+// counter-keyed lazy-noise format: it persists the noise key and the exact
+// per-level partial sums only — node noise and the cached running sum are pure
+// functions of them and are re-materialized on demand after restore. Version-1
+// blobs (which carried noisy node buffers and a generator stream position) are
+// rejected.
+const treeStateVersion = 2
 
 // MarshalState implements Mechanism: it serializes the stream position, the
-// per-level partial sums (raw and noisy), the cached running sum, and the
-// randomness-source position. Together with the construction parameters —
-// which the restoring instance must share, and which are embedded for
-// verification — this is everything needed to continue bit-identically.
+// per-level exact partial sums, and the noise key. Together with the
+// construction parameters — which the restoring instance must share, and which
+// are embedded for verification — this is everything needed to continue
+// bit-identically: noise is a pure function of (noiseKey, node), so no sampler
+// position exists to capture.
 func (tr *Tree) MarshalState() ([]byte, error) {
 	var w codec.Writer
 	w.Version(treeStateVersion)
@@ -305,18 +379,16 @@ func (tr *Tree) MarshalState() ([]byte, error) {
 	w.Int(tr.t)
 	for j := 0; j < tr.levels; j++ {
 		w.F64s(tr.alpha[j])
-		w.F64s(tr.beta[j])
 	}
-	w.F64s(tr.sum)
-	w.Bool(tr.dirty)
-	st := tr.src.State()
-	w.I64(st.Seed)
-	w.U64(st.Draws)
+	w.I64(tr.noiseKey)
 	return w.Bytes(), nil
 }
 
 // UnmarshalState implements Mechanism: it restores state captured by
-// MarshalState into a Tree constructed with the same configuration.
+// MarshalState into a Tree constructed with the same configuration. The noise
+// key is taken from the checkpoint (the restoring instance may have been built
+// with a different seed), and all noise memoization is invalidated — it will
+// re-materialize identically on the next released estimate.
 func (tr *Tree) UnmarshalState(data []byte) error {
 	r := codec.NewReader(data)
 	r.Version(treeStateVersion)
@@ -335,21 +407,17 @@ func (tr *Tree) UnmarshalState(data []byte) error {
 	}
 	for j := 0; j < tr.levels; j++ {
 		r.F64sInto(tr.alpha[j])
-		r.F64sInto(tr.beta[j])
 	}
-	r.F64sInto(tr.sum)
-	dirty := r.Bool()
-	st := randx.State{Seed: r.I64(), Draws: r.U64()}
+	noiseKey := r.I64()
 	if err := r.Finish(); err != nil {
 		return err
 	}
-	src, err := randx.NewSourceAt(st)
-	if err != nil {
-		return err
-	}
 	tr.t = t
-	tr.dirty = dirty
-	tr.src = src
+	tr.noiseKey = noiseKey
+	for j := range tr.noiseIdx {
+		tr.noiseIdx[j] = 0
+	}
+	tr.dirty = true
 	return nil
 }
 

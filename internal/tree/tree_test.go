@@ -157,8 +157,8 @@ func TestTreeSpaceUsage(t *testing.T) {
 	if got, want := len(mech.alpha), mech.Levels(); got != want {
 		t.Fatalf("alpha buffers = %d, want %d", got, want)
 	}
-	if got, want := len(mech.beta), mech.Levels(); got != want {
-		t.Fatalf("beta buffers = %d, want %d", got, want)
+	if got, want := len(mech.noise), mech.Levels(); got != want {
+		t.Fatalf("noise buffers = %d, want %d", got, want)
 	}
 }
 
@@ -287,6 +287,40 @@ func TestHybridAddToMatchesAdd(t *testing.T) {
 		if got[0] != dst[0] || got[1] != dst[1] {
 			t.Fatalf("t=%d: Add=%v AddTo=%v", i, got, dst)
 		}
+	}
+}
+
+// TestSharedSourceMechanismsGetIndependentNoise guards the key-derivation
+// contract: two mechanisms constructed from the *same* Source must receive
+// distinct noise keys (the derivation consumes a parent draw, like Split), so
+// their releases never share noise — subtracting two releases must not cancel
+// the perturbation.
+func TestSharedSourceMechanismsGetIndependentNoise(t *testing.T) {
+	p := dp.Params{Epsilon: 1, Delta: 1e-6}
+	src := randx.NewSource(7)
+	tr, err := New(Config{Dim: 1, MaxLen: 8, Sensitivity: 2, Privacy: p}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := NewNaiveSum(1, 8, 2, p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.noiseKey == nv.noiseKey {
+		t.Fatal("mechanisms built from one source share a noise key")
+	}
+	a, err := tr.Add([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nv.Add([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero inputs make the releases pure noise; normalized by each sigma they
+	// must differ (equality would mean a shared underlying draw).
+	if a[0]/tr.NoiseSigma() == b[0]/nv.NoiseSigma() {
+		t.Fatal("releases of shared-source mechanisms carry identical noise")
 	}
 }
 

@@ -20,8 +20,17 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	if a.Rows() != a.Cols() {
 		return nil, errors.New("vec: Cholesky requires a square matrix")
 	}
+	l := NewMatrix(a.Rows(), a.Rows())
+	if err := choleskyInto(a, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// choleskyInto factors a into the caller-provided l (same shape, zeroed or
+// reused), the buffer-reusing core of Cholesky.
+func choleskyInto(a, l *Matrix) error {
 	n := a.Rows()
-	l := NewMatrix(n, n)
 	for j := 0; j < n; j++ {
 		var sum float64
 		for k := 0; k < j; k++ {
@@ -30,7 +39,7 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 		}
 		diag := a.At(j, j) - sum
 		if diag <= 0 || math.IsNaN(diag) {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 		ljj := math.Sqrt(diag)
 		l.Set(j, j, ljj)
@@ -42,7 +51,7 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 			l.Set(i, j, (a.At(i, j)-s)/ljj)
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // SolveSPD solves A x = b for a symmetric positive definite A via Cholesky
@@ -53,12 +62,17 @@ func SolveSPD(a *Matrix, b Vector) (Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Forward substitution: L y = b.
-	n := a.Rows()
-	if len(b) != n {
+	if len(b) != a.Rows() {
 		return nil, errors.New("vec: SolveSPD dimension mismatch")
 	}
-	y := make(Vector, n)
+	return solveCholesky(l, b, make(Vector, len(b))), nil
+}
+
+// solveCholesky solves L Lᵀ x = b given the Cholesky factor L, using y as the
+// forward-substitution scratch; the returned solution is freshly allocated.
+func solveCholesky(l *Matrix, b, y Vector) Vector {
+	n := len(b)
+	// Forward substitution: L y = b.
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
@@ -75,20 +89,59 @@ func SolveSPD(a *Matrix, b Vector) (Vector, error) {
 		}
 		x[i] = s / l.At(i, i)
 	}
-	return x, nil
+	return x
 }
 
 // SolveRidge solves (A + lambda I) x = b. It is the workhorse for solving the
 // regularized normal equations of least squares. lambda must be non-negative.
 func SolveRidge(a *Matrix, b Vector, lambda float64) (Vector, error) {
+	return SolveRidgeWith(nil, a, b, lambda)
+}
+
+// RidgeWorkspace holds the factorization buffers of a ridge solve — the
+// regularized copy of A, its Cholesky factor, and the substitution
+// intermediate — so repeated solves of same-shaped systems (the incremental
+// least-squares estimators re-solve their d×d normal equations on every new
+// estimate) allocate only the returned solution vector.
+type RidgeWorkspace struct {
+	reg *Matrix
+	l   *Matrix
+	y   Vector
+}
+
+func (ws *RidgeWorkspace) ensure(n int) {
+	if ws.reg == nil || ws.reg.Rows() != n {
+		ws.reg = NewMatrix(n, n)
+		ws.l = NewMatrix(n, n)
+		ws.y = NewVector(n)
+	}
+}
+
+// SolveRidgeWith is SolveRidge with reusable factorization buffers; ws may be
+// nil (a transient workspace is used).
+func SolveRidgeWith(ws *RidgeWorkspace, a *Matrix, b Vector, lambda float64) (Vector, error) {
 	if lambda < 0 {
 		return nil, errors.New("vec: negative ridge parameter")
 	}
-	reg := a.Clone()
-	for i := 0; i < reg.Rows(); i++ {
-		reg.Incr(i, i, lambda)
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, errors.New("vec: SolveRidge requires a square matrix")
 	}
-	return SolveSPD(reg, b)
+	if len(b) != n {
+		return nil, errors.New("vec: SolveRidge dimension mismatch")
+	}
+	if ws == nil {
+		ws = &RidgeWorkspace{}
+	}
+	ws.ensure(n)
+	copy(ws.reg.Data(), a.Data())
+	for i := 0; i < n; i++ {
+		ws.reg.Incr(i, i, lambda)
+	}
+	if err := choleskyInto(ws.reg, ws.l); err != nil {
+		return nil, err
+	}
+	return solveCholesky(ws.l, b, ws.y), nil
 }
 
 // QR holds a thin Householder QR factorization of an n x d matrix with n >= d.

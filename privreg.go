@@ -246,10 +246,15 @@ func (a *estimatorAdapter) Estimate() ([]float64, error) {
 func (a *estimatorAdapter) Len() int { return a.inner.Len() }
 
 // checkpointMagic identifies a privreg estimator checkpoint; the byte after it
-// is the envelope format version.
+// is the envelope format version. Version 2 marks the counter-keyed lazy
+// noise scheme of the continual-sum mechanisms (noise is a pure function of
+// (key, node), so checkpoints persist keys instead of generator positions);
+// version-1 checkpoints are rejected with a version error and cannot be
+// migrated (their remaining noise stream is not reconstructible under the new
+// scheme).
 const (
 	checkpointMagic   = "PRCK"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
 func (a *estimatorAdapter) MarshalBinary() ([]byte, error) {
