@@ -379,6 +379,132 @@ func BenchmarkObserveBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkPoolFaultIn measures the spill store's worst case: a resident cap
+// of 1 with two streams accessed alternately, so every Observe pays one full
+// eviction (marshal + segment write) and one fault-in (segment read +
+// unmarshal + rebuild). The gap to BenchmarkMechanismObserve is the price of
+// a 100% cache miss; real skewed workloads sit in between (see
+// docs/PERFORMANCE.md and docs/SERVING.md for capacity planning).
+func BenchmarkPoolFaultIn(b *testing.B) {
+	const d = 16
+	newSpillPool := func(cap int) *Pool {
+		p, err := NewPool("gradient",
+			WithEpsilonDelta(1, 1e-6),
+			WithUnknownHorizon(),
+			WithConstraint(L2Constraint(d, 1)),
+			WithSeed(1),
+			WithSpillDir(b.TempDir()),
+			WithStoreCap(cap),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	x := make([]float64, d)
+	x[0] = 0.5
+	seed := func(p *Pool) {
+		for _, id := range []string{"a", "b"} {
+			for i := 0; i < 64; i++ {
+				if err := p.Observe(id, x, 0.3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("thrash/cap=1", func(b *testing.B) {
+		p := newSpillPool(1)
+		seed(p)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := "a"
+			if i%2 == 1 {
+				id = "b"
+			}
+			if err := p.Observe(id, x, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("resident/cap=2", func(b *testing.B) {
+		// Same workload with both streams resident: the no-spill baseline.
+		p := newSpillPool(2)
+		seed(p)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := "a"
+			if i%2 == 1 {
+				id = "b"
+			}
+			if err := p.Observe(id, x, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPoolIncrementalCheckpoint measures the dirty-checkpoint property:
+// with N streams on disk, a Flush after touching M streams costs O(M) segment
+// writes plus one manifest, not O(N). Compare dirty=8 against dirty=all at
+// the same N.
+func BenchmarkPoolIncrementalCheckpoint(b *testing.B) {
+	const (
+		d = 16
+		n = 256
+	)
+	x := make([]float64, d)
+	x[0] = 0.5
+	build := func(b *testing.B) *Pool {
+		p, err := NewPool("gradient",
+			WithEpsilonDelta(1, 1e-6),
+			WithUnknownHorizon(),
+			WithConstraint(L2Constraint(d, 1)),
+			WithSeed(1),
+			WithSpillDir(b.TempDir()),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < n; s++ {
+			id := fmt.Sprintf("bench-%03d", s)
+			for i := 0; i < 16; i++ {
+				if err := p.Observe(id, x, 0.3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := p.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	for _, dirty := range []int{8, n} {
+		b.Run(fmt.Sprintf("dirty=%d/streams=%d", dirty, n), func(b *testing.B) {
+			p := build(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for s := 0; s < dirty; s++ {
+					if err := p.Observe(fmt.Sprintf("bench-%03d", s), x, 0.3); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				fs, err := p.Flush()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fs.Segments != dirty {
+					b.Fatalf("flush wrote %d segments, want %d", fs.Segments, dirty)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCheckpoint measures the cost of the checkpoint/restore cycle for
 // the serving-relevant mechanisms (see docs/SERVING.md for the size model).
 func BenchmarkCheckpoint(b *testing.B) {

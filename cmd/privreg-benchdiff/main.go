@@ -17,10 +17,14 @@
 //	privreg-benchdiff -baseline BENCH_baseline.json -candidate BENCH_pr.json -threshold 1.5 -strict
 //
 // Timing metrics (ns suffixes) are compared by ratio against the threshold in
-// both directions — regressions warn, speedups are reported as notices.
-// Deterministic metrics (checkpoint bytes, experiment counts) warn on any
-// change, since a change means the code changed shape, not that the runner
-// was noisy. Only the serving-critical ingest and estimate metrics
+// both directions — regressions warn, speedups are reported as notices. Size
+// metrics (bytes suffixes, e.g. checkpoint_bytes) get the same warn-only
+// ratio treatment: a checkpoint that grows past the threshold surfaces as a
+// PR annotation, shrinkage is a notice, and byte-level drift from legitimate
+// format evolution stays silent. Remaining deterministic metrics (experiment
+// counts) warn on any change, since a change means the code changed shape,
+// not that the runner was noisy. Only the serving-critical ingest and
+// estimate metrics
 // (scalar_ns_per_point, batch_ns_per_point, estimate_ns) gate the -strict
 // exit code: they are the hot-path guarantees CI locks in, while whole-sweep
 // wall time, checkpoint latency, and shape facts stay advisory (they move for
@@ -147,6 +151,15 @@ func nsMetric(key string) bool {
 	return strings.HasSuffix(key, "_ns") || strings.HasSuffix(key, "_ns_per_point")
 }
 
+// sizeMetric reports whether a metric is a byte count (checkpoint sizes,
+// segment sizes). Sizes are deterministic but evolve with the on-disk format,
+// so they get the ratio treatment rather than any-change warnings: only
+// growth past the threshold is worth a PR annotation, and it never gates
+// -strict.
+func sizeMetric(key string) bool {
+	return strings.HasSuffix(key, "_bytes")
+}
+
 // gatedMetric reports whether a metric participates in the -strict exit gate:
 // the per-point ingest costs and the estimate latency — the serving hot
 // paths. Everything else (wall time, checkpoint cost/size, experiment count)
@@ -195,6 +208,21 @@ func compare(base, cand *normalized, threshold float64) (findings []finding, reg
 			case ratio < 1/threshold:
 				findings = append(findings, finding{"notice",
 					fmt.Sprintf("%s improved %.2fx (baseline %.0f, candidate %.0f)", k, 1/ratio, b, c)})
+			}
+			continue
+		}
+		if sizeMetric(k) {
+			if b <= 0 {
+				continue
+			}
+			ratio := c / b
+			switch {
+			case ratio > threshold:
+				findings = append(findings, finding{"warning",
+					fmt.Sprintf("%s grew %.2fx (baseline %.0f, candidate %.0f) — checkpoint-size regression", k, ratio, b, c)})
+			case ratio < 1/threshold:
+				findings = append(findings, finding{"notice",
+					fmt.Sprintf("%s shrank %.2fx (baseline %.0f, candidate %.0f)", k, 1/ratio, b, c)})
 			}
 			continue
 		}

@@ -84,15 +84,17 @@ func TestCompare(t *testing.T) {
 	}
 
 	// A 2x ingest slowdown is a gated regression; a 2x speedup is a notice; a
-	// byte change and a missing advisory metric warn without gating -strict.
+	// doubled checkpoint size and a missing advisory metric warn without
+	// gating -strict; small byte drift (format evolution) stays silent.
 	cand, _ = normalize([]byte(sampleRaw))
 	cand.Metrics["throughput/gradient/scalar_ns_per_point"] *= 2
 	cand.Metrics["throughput/projected/estimate_ns"] /= 2
-	cand.Metrics["throughput/gradient/checkpoint_bytes"] += 8
+	cand.Metrics["throughput/gradient/checkpoint_bytes"] *= 2
+	cand.Metrics["throughput/projected/checkpoint_bytes"] += 8
 	delete(cand.Metrics, "throughput/projected/checkpoint_ns")
 	findings, regressions = compare(base, cand, 1.6)
 	if regressions != 1 {
-		t.Fatalf("gated regressions = %d, want 1 (the ingest slowdown; byte change and missing checkpoint metric are advisory); findings: %v", regressions, findings)
+		t.Fatalf("gated regressions = %d, want 1 (the ingest slowdown; size growth and missing checkpoint metric are advisory); findings: %v", regressions, findings)
 	}
 	var texts []string
 	for _, f := range findings {
@@ -101,13 +103,16 @@ func TestCompare(t *testing.T) {
 	joined := strings.Join(texts, "\n")
 	for _, want := range []string{
 		"warning: throughput/gradient/scalar_ns_per_point regressed 2.00x",
-		"warning: throughput/gradient/checkpoint_bytes changed",
+		"warning: throughput/gradient/checkpoint_bytes grew 2.00x",
 		"warning: throughput/projected/checkpoint_ns: present in baseline, missing from candidate",
 		"notice: throughput/projected/estimate_ns improved 2.00x",
 	} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("findings missing %q in:\n%s", want, joined)
 		}
+	}
+	if strings.Contains(joined, "projected/checkpoint_bytes") {
+		t.Errorf("sub-threshold byte drift should be silent:\n%s", joined)
 	}
 
 	// A missing gated metric and a gated batch-ingest slowdown both gate; a

@@ -23,6 +23,14 @@
 //	privreg-loadgen -addr $URL -streams 8 -points 24            # phase 1
 //	# SIGTERM + restart privreg-server
 //	privreg-loadgen -addr $URL -streams 8 -points 16 -from 24   # phase 2
+//
+// Churn mode: with -skew s > 0 the per-stream point counts follow a Zipf-like
+// profile — stream i receives round(points / (i+1)^s) points (min 1) — so a
+// few streams are hot and the long tail is cold. Combined with -streams far
+// above the server's -store-cap this drives the spill store's worst case:
+// constant eviction and fault-in under concurrent traffic. The skewed targets
+// are a pure function of (i, points, skew), so the shadow-pool verification
+// and -from restart phases work exactly as in the uniform case.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sync"
@@ -38,6 +47,27 @@ import (
 
 	"privreg/internal/server"
 )
+
+// streamTarget is the cumulative number of points stream i has received once
+// `points` points have been offered per hot stream: the full count for
+// stream 0, decaying as 1/(i+1)^skew down the tail (min 1). Monotone in
+// points, so phase boundaries (-from) slice it consistently.
+func streamTarget(i, points int, skew float64) int {
+	if points <= 0 {
+		return 0
+	}
+	if skew <= 0 {
+		return points
+	}
+	t := int(math.Round(float64(points) / math.Pow(float64(i+1), skew)))
+	if t < 1 {
+		t = 1
+	}
+	if t > points {
+		t = points
+	}
+	return t
+}
 
 func main() {
 	os.Exit(run())
@@ -53,10 +83,15 @@ func run() int {
 		rate    = flag.Float64("rate", 0, "target ingest rate in points/sec per stream (0 = unlimited)")
 		verify  = flag.Bool("verify", true, "verify server estimates bit-identically against an in-process shadow pool")
 		prefix  = flag.String("stream-prefix", "load", "stream ID prefix")
+		skew    = flag.Float64("skew", 0, "churn mode: Zipf-like exponent for per-stream point counts (stream i gets ~points/(i+1)^skew; 0 = uniform)")
 	)
 	flag.Parse()
 	if *streams < 1 || *points < 1 || *batch < 1 || *from < 0 {
 		fmt.Fprintln(os.Stderr, "error: -streams, -points, -batch must be positive and -from non-negative")
+		return 2
+	}
+	if *skew < 0 {
+		fmt.Fprintln(os.Stderr, "error: -skew must be non-negative")
 		return 2
 	}
 
@@ -77,8 +112,20 @@ func run() int {
 	}
 
 	ids := make([]string, *streams)
+	froms := make([]int, *streams)
+	tos := make([]int, *streams)
+	totalPlanned := 0
 	for i := range ids {
 		ids[i] = fmt.Sprintf("%s-%03d", *prefix, i)
+		// Cumulative skewed targets: this phase sends the slice between the
+		// profile at -from and the profile at -from+points.
+		froms[i] = streamTarget(i, *from, *skew)
+		tos[i] = streamTarget(i, to, *skew)
+		totalPlanned += tos[i] - froms[i]
+	}
+	if *skew > 0 {
+		fmt.Printf("churn: skew=%g, per-stream targets %d (hot) .. %d (cold), %d points total this phase\n",
+			*skew, tos[0]-froms[0], tos[len(tos)-1]-froms[len(tos)-1], totalPlanned)
 	}
 
 	// Drive the server: one goroutine per stream, batched, paced to -rate.
@@ -88,16 +135,16 @@ func run() int {
 	var sent int
 	var retries429 int
 	errc := make(chan error, len(ids))
-	for _, id := range ids {
+	for i, id := range ids {
 		wg.Add(1)
-		go func(id string) {
+		go func(id string, from, to int) {
 			defer wg.Done()
 			var interval time.Duration
 			if *rate > 0 {
 				interval = time.Duration(float64(*batch) / *rate * float64(time.Second))
 			}
 			next := time.Now()
-			for lo := *from; lo < to; lo += *batch {
+			for lo := from; lo < to; lo += *batch {
 				hi := lo + *batch
 				if hi > to {
 					hi = to
@@ -116,7 +163,7 @@ func run() int {
 				retries429 += retr
 				mu.Unlock()
 			}
-		}(id)
+		}(id, froms[i], tos[i])
 	}
 	wg.Wait()
 	close(errc)
@@ -133,14 +180,15 @@ func run() int {
 	}
 
 	// Build the shadow pool and replay the server's entire point history
-	// [0, to) — including any earlier phases this process never sent.
+	// [0, tos[i]) per stream — including any earlier phases this process
+	// never sent.
 	shadow, err := spec.NewPool()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error: building shadow pool:", err)
 		return 1
 	}
-	for _, id := range ids {
-		for j := 0; j < to; j++ {
+	for i, id := range ids {
+		for j := 0; j < tos[i]; j++ {
 			x, y := server.SyntheticPoint(id, j, spec.Dim)
 			if err := shadow.Observe(id, x, y); err != nil {
 				fmt.Fprintf(os.Stderr, "error: shadow %s point %d: %v\n", id, j, err)
@@ -150,14 +198,14 @@ func run() int {
 	}
 
 	mismatches := 0
-	for _, id := range ids {
+	for i, id := range ids {
 		est, n, err := fetchEstimate(client, *addr, id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return 1
 		}
-		if n != to {
-			fmt.Fprintf(os.Stderr, "MISMATCH %s: server len=%d, want %d\n", id, n, to)
+		if n != tos[i] {
+			fmt.Fprintf(os.Stderr, "MISMATCH %s: server len=%d, want %d\n", id, n, tos[i])
 			mismatches++
 			continue
 		}
@@ -175,7 +223,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "FAIL: %d/%d streams diverged\n", mismatches, len(ids))
 		return 1
 	}
-	fmt.Printf("verified: %d streams bit-identical to the in-process shadow pool at t=%d\n", len(ids), to)
+	fmt.Printf("verified: %d streams bit-identical to the in-process shadow pool at t=%d (hot-stream length)\n", len(ids), tos[0])
 	return 0
 }
 

@@ -8,7 +8,16 @@
 //
 //	privreg-server -addr :8080 -mechanism gradient \
 //	    -epsilon 1 -delta 1e-6 -horizon 100000 -dim 16 -seed 42 \
-//	    -checkpoint-dir /var/lib/privreg -checkpoint-interval 30s
+//	    -checkpoint-dir /var/lib/privreg -checkpoint-interval 30s \
+//	    -store-cap 50000
+//
+// With -store-cap K at most K estimators stay resident in memory; colder
+// streams spill to per-stream segment files under -checkpoint-dir and fault
+// back in transparently (bit-identically) on their next request, so the
+// server's estimator memory is O(K) regardless of how many streams it serves.
+// Checkpoints are incremental: each one rewrites only segments of streams
+// that changed since the last, plus a small fsynced manifest, and a restart
+// restores from the manifest lazily. See docs/SERVING.md for sizing guidance.
 //
 // Endpoints (see docs/SERVING.md for the full API):
 //
@@ -60,8 +69,9 @@ func run() int {
 		dim          = flag.Int("dim", 16, "covariate dimension d")
 		radius       = flag.Float64("radius", 1, "L2 constraint-ball radius")
 		seed         = flag.Int64("seed", 42, "pool template seed (per-stream seeds derive from it)")
-		ckptDir      = flag.String("checkpoint-dir", "", "directory for pool checkpoints (empty disables persistence)")
-		ckptInterval = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint cadence (<=0 disables periodic saves)")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for pool state: per-stream segments + manifest (empty disables persistence)")
+		ckptInterval = flag.Duration("checkpoint-interval", 30*time.Second, "periodic incremental checkpoint cadence (<=0 disables periodic saves)")
+		storeCap     = flag.Int("store-cap", 0, "max estimators resident in memory; colder streams spill to -checkpoint-dir and fault back in on access (0 = unbounded)")
 		queuePoints  = flag.Int("queue-points", 4096, "per-stream ingest queue bound, in points (overload returns 429)")
 		pprofAddr    = flag.String("pprof-addr", "", "optional listen address for net/http/pprof diagnostics (e.g. localhost:6060; empty disables)")
 	)
@@ -94,6 +104,7 @@ func run() int {
 		},
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: interval,
+		StoreCap:           *storeCap,
 		MaxQueuedPoints:    *queuePoints,
 		Logf:               log.Printf,
 	})

@@ -1,0 +1,136 @@
+package codec
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// This file defines the two on-disk record formats of the stream-store
+// engine (internal/store):
+//
+//   - a segment: one stream's serialized estimator state, framed with the
+//     store's meta string (the mechanism name), the stream ID, and a CRC so a
+//     torn or misdirected file is detected before its bytes reach an
+//     estimator;
+//   - a manifest: the atomic root of an incremental checkpoint, listing for
+//     every live stream the segment file holding its latest durable state.
+//
+// Both records share the package's little-endian primitives, carry an
+// explicit version byte, and end in a CRC-32 (IEEE) of everything before it.
+// The CRC is not for security — it catches the failure modes disks actually
+// have (truncation on crash, a partially applied rename) so restore fails
+// loudly instead of feeding garbage to UnmarshalBinary.
+
+const (
+	segmentMagic   = "PRSG"
+	segmentVersion = 1
+
+	manifestMagic   = "PRMF"
+	manifestVersion = 1
+)
+
+// crcOf is the checksum both records append: CRC-32 (IEEE) over the encoded
+// bytes preceding the checksum field.
+func crcOf(b []byte) uint64 { return uint64(crc32.ChecksumIEEE(b)) }
+
+// EncodeSegment frames one stream's checkpoint blob as a standalone segment
+// file: magic, version, the store meta string (mechanism name), the stream
+// ID, the blob, and a trailing CRC.
+func EncodeSegment(meta, id string, blob []byte) []byte {
+	var w Writer
+	w.String(segmentMagic)
+	w.Version(segmentVersion)
+	w.String(meta)
+	w.String(id)
+	w.Blob(blob)
+	w.U64(crcOf(w.Bytes()))
+	return w.Bytes()
+}
+
+// DecodeSegment parses and verifies a segment file, returning the meta
+// string, stream ID, and checkpoint blob. The returned blob aliases data.
+func DecodeSegment(data []byte) (meta, id string, blob []byte, err error) {
+	r := NewReader(data)
+	if r.String() != segmentMagic {
+		return "", "", nil, fmt.Errorf("codec: not a stream segment (bad magic)")
+	}
+	r.Version(segmentVersion)
+	meta = r.String()
+	id = r.String()
+	blob = r.Blob()
+	body := len(data) - r.Remaining()
+	crc := r.U64()
+	if err := r.Finish(); err != nil {
+		return "", "", nil, fmt.Errorf("codec: corrupt stream segment: %w", err)
+	}
+	if crc != crcOf(data[:body]) {
+		return "", "", nil, fmt.Errorf("codec: stream segment CRC mismatch (torn write or wrong file)")
+	}
+	return meta, id, blob, nil
+}
+
+// ManifestEntry records one stream in a checkpoint manifest: its ID, the
+// segment file (relative to the store's segment directory) holding its latest
+// durable state, and its observation count at the time that segment was
+// written (so stream lengths are known without faulting the stream in).
+type ManifestEntry struct {
+	ID   string
+	File string
+	Len  int64
+}
+
+// EncodeManifest serializes a checkpoint manifest. Entries are written in
+// sorted-ID order regardless of input order, so two manifests describing the
+// same state are byte-identical.
+func EncodeManifest(meta string, entries []ManifestEntry) []byte {
+	sorted := make([]ManifestEntry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	var w Writer
+	w.String(manifestMagic)
+	w.Version(manifestVersion)
+	w.String(meta)
+	w.Int(len(sorted))
+	for _, e := range sorted {
+		w.String(e.ID)
+		w.String(e.File)
+		w.I64(e.Len)
+	}
+	w.U64(crcOf(w.Bytes()))
+	return w.Bytes()
+}
+
+// DecodeManifest parses and verifies a checkpoint manifest.
+func DecodeManifest(data []byte) (meta string, entries []ManifestEntry, err error) {
+	r := NewReader(data)
+	if r.String() != manifestMagic {
+		return "", nil, fmt.Errorf("codec: not a checkpoint manifest (bad magic)")
+	}
+	r.Version(manifestVersion)
+	meta = r.String()
+	n := r.Int()
+	if r.Err() != nil {
+		return "", nil, fmt.Errorf("codec: corrupt manifest: %w", r.Err())
+	}
+	if n < 0 || n > maxSliceLen {
+		return "", nil, fmt.Errorf("codec: corrupt manifest (entry count %d)", n)
+	}
+	entries = make([]ManifestEntry, 0, min(n, 1<<16))
+	for i := 0; i < n; i++ {
+		e := ManifestEntry{ID: r.String(), File: r.String(), Len: r.I64()}
+		if r.Err() != nil {
+			return "", nil, fmt.Errorf("codec: corrupt manifest: %w", r.Err())
+		}
+		entries = append(entries, e)
+	}
+	body := len(data) - r.Remaining()
+	crc := r.U64()
+	if err := r.Finish(); err != nil {
+		return "", nil, fmt.Errorf("codec: corrupt manifest: %w", err)
+	}
+	if crc != crcOf(data[:body]) {
+		return "", nil, fmt.Errorf("codec: manifest CRC mismatch (torn write or wrong file)")
+	}
+	return meta, entries, nil
+}

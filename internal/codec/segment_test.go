@@ -1,0 +1,94 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	blob := []byte{1, 2, 3, 250, 0, 7}
+	data := EncodeSegment("gradient", "user/42", blob)
+	meta, id, got, err := DecodeSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != "gradient" || id != "user/42" || !bytes.Equal(got, blob) {
+		t.Fatalf("round trip: meta=%q id=%q blob=%v", meta, id, got)
+	}
+	// Empty blob and empty ID are legal.
+	if _, _, _, err := DecodeSegment(EncodeSegment("m", "", nil)); err != nil {
+		t.Fatalf("empty segment: %v", err)
+	}
+}
+
+func TestSegmentDetectsCorruption(t *testing.T) {
+	data := EncodeSegment("gradient", "alice", []byte("state-bytes"))
+
+	// Truncation at every length must be rejected, not silently decoded.
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, _, err := DecodeSegment(data[:cut]); err == nil {
+			t.Fatalf("truncated segment (%d/%d bytes) decoded without error", cut, len(data))
+		}
+	}
+	// A single flipped byte anywhere must fail the CRC (or the framing).
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, _, _, err := DecodeSegment(mut); err == nil {
+			t.Fatalf("bit flip at offset %d decoded without error", i)
+		}
+	}
+	// Wrong magic gets a distinct message.
+	if _, _, _, err := DecodeSegment([]byte("not a segment at all")); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+}
+
+func TestManifestRoundTripAndOrder(t *testing.T) {
+	entries := []ManifestEntry{
+		{ID: "zed", File: "00aa-3.seg", Len: 7},
+		{ID: "alice", File: "00bb-1.seg", Len: 42},
+		{ID: "bob", File: "00cc-2.seg", Len: 0},
+	}
+	data := EncodeManifest("gradient", entries)
+	meta, got, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != "gradient" || len(got) != 3 {
+		t.Fatalf("decode: meta=%q entries=%v", meta, got)
+	}
+	// Entries come back in sorted-ID order regardless of input order, so two
+	// manifests describing the same state are byte-identical.
+	if got[0].ID != "alice" || got[1].ID != "bob" || got[2].ID != "zed" {
+		t.Fatalf("entries not sorted: %v", got)
+	}
+	if got[0].Len != 42 || got[0].File != "00bb-1.seg" {
+		t.Fatalf("entry fields mangled: %+v", got[0])
+	}
+	shuffled := []ManifestEntry{entries[1], entries[2], entries[0]}
+	if !bytes.Equal(data, EncodeManifest("gradient", shuffled)) {
+		t.Fatal("same entries in a different order produced different manifest bytes")
+	}
+	// Empty manifest (no streams yet) round-trips.
+	if _, got, err := DecodeManifest(EncodeManifest("m", nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty manifest: %v %v", got, err)
+	}
+}
+
+func TestManifestDetectsCorruption(t *testing.T) {
+	data := EncodeManifest("gradient", []ManifestEntry{{ID: "a", File: "f.seg", Len: 3}})
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, err := DecodeManifest(data[:cut]); err == nil {
+			t.Fatalf("truncated manifest (%d/%d bytes) decoded without error", cut, len(data))
+		}
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x08
+		if _, _, err := DecodeManifest(mut); err == nil {
+			t.Fatalf("bit flip at offset %d decoded without error", i)
+		}
+	}
+}

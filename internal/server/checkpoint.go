@@ -10,93 +10,93 @@ import (
 	"time"
 
 	"privreg"
+	"privreg/internal/store"
 )
 
-// checkpointFile is the name of the pool checkpoint inside the checkpoint
-// directory; writes go to a sibling temp file and land via atomic rename, so
-// the file is always either absent or a complete checkpoint.
-const checkpointFile = "pool.ckpt"
+// legacyCheckpointFile is the pre-segment monolithic pool checkpoint (one
+// blob rewritten whole on every save). Servers that find one — and no
+// manifest — migrate it into the segment store on boot, then remove it.
+const legacyCheckpointFile = "pool.ckpt"
 
-// checkpointer persists the pool to disk: restore-on-boot, periodic
-// background saves, operator-triggered saves (POST /v1/checkpoint), and the
-// final save during graceful drain.
+// checkpointer persists the pool to disk. Since the stream-store engine the
+// pool itself owns the durable format — per-stream segment files plus an
+// atomically replaced manifest — and the checkpointer is the policy layer on
+// top: restore/migrate on boot, periodic incremental flushes, an
+// operator-triggered flush (POST /v1/checkpoint), and the final flush during
+// graceful drain. Each flush rewrites only segments of streams that changed
+// since the last one, so its cost tracks traffic, not total stream count.
 type checkpointer struct {
 	pool *privreg.Pool
 	dir  string
 	met  *metrics
 	logf func(format string, args ...any)
 
-	// mu serializes saves: without it a slow periodic save could rename an
-	// older snapshot over a newer operator-triggered one.
+	// mu serializes saves so checkpoint metrics and logs are coherent (the
+	// store additionally serializes the flush itself).
 	mu sync.Mutex
 }
 
-func (c *checkpointer) path() string { return filepath.Join(c.dir, checkpointFile) }
+func (c *checkpointer) path() string { return filepath.Join(c.dir, store.ManifestFile) }
 
-// restore loads the on-disk checkpoint into the pool if one exists, returning
-// the number of restored streams. A missing file is a clean first boot, not
-// an error; an unreadable or mismatched checkpoint is an error (refusing to
-// serve beats silently restarting every stream's budget from zero).
+// restore completes boot-time recovery. The pool already opened the manifest
+// (streams register lazily; nothing deserializes until first access), so the
+// usual path only has to report the stream count. The legacy path migrates a
+// monolithic pool.ckpt left by an older server: restore it into the pool,
+// flush it into segments + manifest, and remove the old blob. An unreadable
+// checkpoint in either format is an error — refusing to serve beats silently
+// restarting every stream's budget from zero.
 func (c *checkpointer) restore() (int, error) {
-	data, err := os.ReadFile(c.path())
-	if errors.Is(err, fs.ErrNotExist) {
-		return 0, nil
+	legacy := filepath.Join(c.dir, legacyCheckpointFile)
+	if _, err := os.Stat(c.path()); errors.Is(err, fs.ErrNotExist) {
+		data, err := os.ReadFile(legacy)
+		if errors.Is(err, fs.ErrNotExist) {
+			// Clean first boot: no manifest, no legacy blob.
+			n := c.pool.Stats().Streams
+			c.met.setRestoredStreams(n)
+			return n, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("server: reading legacy checkpoint: %w", err)
+		}
+		if err := c.pool.Restore(data); err != nil {
+			return 0, fmt.Errorf("server: restoring legacy checkpoint %s: %w", legacy, err)
+		}
+		if _, _, err := c.save(); err != nil {
+			return 0, fmt.Errorf("server: migrating legacy checkpoint to segments: %w", err)
+		}
+		if err := os.Remove(legacy); err != nil {
+			c.logf("legacy checkpoint %s migrated but not removable: %v", legacy, err)
+		} else {
+			c.logf("migrated legacy checkpoint %s into segment store", legacy)
+		}
+	} else if _, err := os.Stat(legacy); err == nil {
+		c.logf("ignoring stale legacy checkpoint %s (manifest %s is authoritative)", legacy, c.path())
 	}
-	if err != nil {
-		return 0, fmt.Errorf("server: reading checkpoint: %w", err)
-	}
-	if err := c.pool.Restore(data); err != nil {
-		return 0, fmt.Errorf("server: restoring checkpoint %s: %w", c.path(), err)
-	}
-	n := len(c.pool.Streams())
+	n := c.pool.Stats().Streams
 	c.met.setRestoredStreams(n)
 	return n, nil
 }
 
-// save writes one checkpoint: serialize the pool (per-stream-consistent even
-// under live traffic), write to a temp file, fsync, and atomically rename
-// over the previous checkpoint. Saves are serialized so the on-disk file
-// only ever moves forward in time.
-func (c *checkpointer) save() (bytes int, seconds float64, err error) {
+// save writes one incremental checkpoint: dirty streams' segments (fsynced),
+// then the manifest via temp file + fsync + atomic rename, so the on-disk
+// recovery root only ever moves forward in time.
+func (c *checkpointer) save() (fs privreg.FlushStats, seconds float64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	start := time.Now()
 	defer func() {
 		seconds = time.Since(start).Seconds()
-		c.met.recordCheckpoint(bytes, seconds, err)
+		c.met.recordCheckpoint(fs, seconds, err)
 	}()
-	blob, err := c.pool.Checkpoint()
+	fs, err = c.pool.Flush()
 	if err != nil {
-		return 0, 0, fmt.Errorf("server: serializing pool: %w", err)
+		return fs, 0, fmt.Errorf("server: flushing pool: %w", err)
 	}
-	tmp, err := os.CreateTemp(c.dir, checkpointFile+".tmp-*")
-	if err != nil {
-		return 0, 0, err
-	}
-	if _, err := tmp.Write(blob); err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp.Name())
-		return 0, 0, fmt.Errorf("server: writing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path()); err != nil {
-		os.Remove(tmp.Name())
-		return 0, 0, fmt.Errorf("server: installing checkpoint: %w", err)
-	}
-	// Best-effort directory sync so the rename itself is durable.
-	if d, derr := os.Open(c.dir); derr == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
-	return len(blob), 0, nil
+	return fs, 0, nil
 }
 
 // run saves on every tick until stop is closed. Errors are logged and
-// counted, not fatal: the previous checkpoint stays in place (atomic rename)
+// counted, not fatal: the previous manifest stays in place (atomic rename)
 // and the next tick retries.
 func (c *checkpointer) run(interval time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(interval)
@@ -106,10 +106,11 @@ func (c *checkpointer) run(interval time.Duration, stop <-chan struct{}) {
 		case <-stop:
 			return
 		case <-t.C:
-			if bytes, secs, err := c.save(); err != nil {
+			if fs, secs, err := c.save(); err != nil {
 				c.logf("periodic checkpoint failed: %v", err)
 			} else {
-				c.logf("checkpoint: %d streams, %d bytes in %.3fs", len(c.pool.Streams()), bytes, secs)
+				c.logf("checkpoint: %d/%d dirty segments (%d bytes) + manifest (%d bytes) in %.3fs",
+					fs.Segments, fs.Streams, fs.SegmentBytes, fs.ManifestBytes, secs)
 			}
 		}
 	}

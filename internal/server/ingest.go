@@ -2,7 +2,10 @@ package server
 
 import (
 	"errors"
+	"math"
+	"math/rand/v2"
 	"sync"
+	"time"
 
 	"privreg"
 )
@@ -10,12 +13,88 @@ import (
 // Sentinel errors the HTTP layer maps to status codes.
 var (
 	// errQueueFull means the stream's bounded ingest queue cannot hold the
-	// request — the client should back off and retry (429).
+	// request — the client should back off and retry (429). Rejections carry
+	// it wrapped in a queueFullError with a Retry-After hint.
 	errQueueFull = errors.New("server: stream ingest queue is full")
 	// errDraining means the server is shutting down and no longer accepts
 	// ingestion (503).
 	errDraining = errors.New("server: draining, not accepting new observations")
 )
+
+// queueFullError is the concrete 429 rejection: errQueueFull (matchable with
+// errors.Is) plus a Retry-After hint derived from how long the stream's
+// queued backlog will take to drain at the recently observed apply rate.
+type queueFullError struct {
+	// retryAfter is the suggested client back-off, in whole seconds (the
+	// Retry-After header's granularity), jittered so synchronized clients
+	// spread out instead of retrying in lockstep.
+	retryAfter int
+}
+
+func (e *queueFullError) Error() string { return errQueueFull.Error() }
+func (e *queueFullError) Unwrap() error { return errQueueFull }
+
+// retryAfterHint bounds the header value: at least 1 (the header cannot say
+// "fractions of a second"), at most 30 (past that the estimate says "shed
+// load", not "wait this exact long").
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 30
+)
+
+// retryAfter builds the 429 hint for a stream with queuedPoints waiting:
+// backlog ÷ drain-rate seconds, stretched by a multiplicative jitter in
+// [1, 1.5) and nudged by an additive 0–1s jitter so clients rejected in the
+// same instant come back staggered even when the base estimate rounds to the
+// minimum. The EWMA tracks the pool-wide apply rate while the backlog is
+// per-stream, so the rate is scaled down by the number of streams currently
+// draining — an approximation (streams drain in parallel on multi-core
+// hosts), erring toward longer hints rather than telling every client on an
+// overloaded server to come back in a second.
+func (in *ingester) retryAfter(queuedPoints int) *queueFullError {
+	in.rateMu.Lock()
+	rate := in.applyRate
+	in.rateMu.Unlock()
+	in.mu.Lock()
+	active := len(in.queues)
+	in.mu.Unlock()
+	if active > 1 {
+		rate /= float64(active)
+	}
+	base := 1.0
+	if rate > 0 && queuedPoints > 0 {
+		base = float64(queuedPoints) / rate
+	}
+	secs := int(math.Ceil(base*(1+rand.Float64()/2))) + rand.IntN(2)
+	if secs < minRetryAfter {
+		secs = minRetryAfter
+	}
+	if secs > maxRetryAfter {
+		secs = maxRetryAfter
+	}
+	return &queueFullError{retryAfter: secs}
+}
+
+// noteApplied feeds the drain-rate estimator: an exponentially weighted
+// moving average of points applied per second, cheap enough to update on
+// every apply and robust to the bursty group-commit cadence.
+func (in *ingester) noteApplied(points int) {
+	now := time.Now()
+	in.rateMu.Lock()
+	if !in.lastApply.IsZero() {
+		if dt := now.Sub(in.lastApply).Seconds(); dt > 0 {
+			inst := float64(points) / dt
+			if in.applyRate == 0 {
+				in.applyRate = inst
+			} else {
+				const alpha = 0.2
+				in.applyRate = (1-alpha)*in.applyRate + alpha*inst
+			}
+		}
+	}
+	in.lastApply = now
+	in.rateMu.Unlock()
+}
 
 // ingestReq is one observation request waiting in a stream's queue. done
 // receives the application result exactly once (buffered so the drainer never
@@ -68,6 +147,11 @@ type ingester struct {
 	mu     sync.Mutex
 	queues map[string]*streamQueue
 	wg     sync.WaitGroup
+
+	// rateMu guards the drain-rate EWMA behind 429 Retry-After hints.
+	rateMu    sync.Mutex
+	applyRate float64 // points/second recently applied to the pool
+	lastApply time.Time
 }
 
 func newIngester(pool *privreg.Pool, maxPoints int, met *metrics) *ingester {
@@ -111,10 +195,11 @@ func (in *ingester) enqueue(id string, xs [][]float64, ys []float64) error {
 			continue
 		}
 		if q.points+len(xs) > in.maxPoints {
+			queued := q.points
 			q.mu.Unlock()
 			in.drainMu.RUnlock()
 			in.met.addRejected(false)
-			return errQueueFull
+			return in.retryAfter(queued)
 		}
 		q.pending = append(q.pending, req)
 		q.points += len(xs)
@@ -180,6 +265,7 @@ func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 		err := in.pool.ObserveBatch(id, batch[0].xs, batch[0].ys)
 		if err == nil {
 			in.met.addIngested(points, 1)
+			in.noteApplied(points)
 		}
 		batch[0].done <- err
 		return
@@ -192,6 +278,7 @@ func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 	}
 	if err := in.pool.ObserveBatch(id, xs, ys); err == nil {
 		in.met.addIngested(points, len(batch))
+		in.noteApplied(points)
 		for _, r := range batch {
 			r.done <- nil
 		}
@@ -201,6 +288,7 @@ func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 		err := in.pool.ObserveBatch(id, r.xs, r.ys)
 		if err == nil {
 			in.met.addIngested(len(r.xs), 1)
+			in.noteApplied(len(r.xs))
 		}
 		r.done <- err
 	}

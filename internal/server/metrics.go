@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"privreg"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
@@ -51,11 +53,14 @@ type metrics struct {
 	rejectedFull     int64 // 429s: per-stream queue bound exceeded
 	rejectedDraining int64 // 503s: ingestion after drain started
 
-	checkpoints           int64
-	checkpointErrors      int64
-	lastCheckpointBytes   int64
-	lastCheckpointSecs    float64
-	restoredStreamsAtBoot int64
+	checkpoints             int64
+	checkpointErrors        int64
+	lastCheckpointSegments  int64 // dirty segments rewritten by the last save
+	lastCheckpointBytes     int64 // segment bytes written by the last save
+	lastCheckpointManifestB int64
+	lastCheckpointStreams   int64 // streams the last manifest covers
+	lastCheckpointSecs      float64
+	restoredStreamsAtBoot   int64
 }
 
 func newMetrics() *metrics {
@@ -97,13 +102,16 @@ func (m *metrics) addRejected(draining bool) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) recordCheckpoint(bytes int, seconds float64, err error) {
+func (m *metrics) recordCheckpoint(fs privreg.FlushStats, seconds float64, err error) {
 	m.mu.Lock()
 	if err != nil {
 		m.checkpointErrors++
 	} else {
 		m.checkpoints++
-		m.lastCheckpointBytes = int64(bytes)
+		m.lastCheckpointSegments = int64(fs.Segments)
+		m.lastCheckpointBytes = int64(fs.SegmentBytes)
+		m.lastCheckpointManifestB = int64(fs.ManifestBytes)
+		m.lastCheckpointStreams = int64(fs.Streams)
 		m.lastCheckpointSecs = seconds
 	}
 	m.mu.Unlock()
@@ -129,7 +137,10 @@ type metricsSnapshot struct {
 	Checkpoint struct {
 		Count           int64   `json:"count"`
 		Errors          int64   `json:"errors"`
+		LastSegments    int64   `json:"last_segments"`
 		LastBytes       int64   `json:"last_bytes"`
+		LastManifest    int64   `json:"last_manifest_bytes"`
+		LastStreams     int64   `json:"last_streams"`
 		LastSeconds     float64 `json:"last_seconds"`
 		RestoredStreams int64   `json:"restored_streams_at_boot"`
 	} `json:"checkpoint"`
@@ -137,10 +148,16 @@ type metricsSnapshot struct {
 		Mechanism    string `json:"mechanism"`
 		Streams      int    `json:"streams"`
 		Observations int64  `json:"observations"`
+		Resident     int    `json:"resident"`
+		Spilled      int    `json:"spilled"`
+		Dirty        int    `json:"dirty"`
+		StoreCap     int    `json:"store_cap"`
+		Evictions    int64  `json:"evictions"`
+		FaultIns     int64  `json:"fault_ins"`
 	} `json:"pool"`
 }
 
-func (m *metrics) snapshot(mechanism string, streams int, observations int64) metricsSnapshot {
+func (m *metrics) snapshot(st privreg.PoolStats) metricsSnapshot {
 	var s metricsSnapshot
 	s.Requests = make(map[string]int64)
 	m.mu.Lock()
@@ -154,19 +171,28 @@ func (m *metrics) snapshot(mechanism string, streams int, observations int64) me
 	s.Ingest.RejectedDraining = m.rejectedDraining
 	s.Checkpoint.Count = m.checkpoints
 	s.Checkpoint.Errors = m.checkpointErrors
+	s.Checkpoint.LastSegments = m.lastCheckpointSegments
 	s.Checkpoint.LastBytes = m.lastCheckpointBytes
+	s.Checkpoint.LastManifest = m.lastCheckpointManifestB
+	s.Checkpoint.LastStreams = m.lastCheckpointStreams
 	s.Checkpoint.LastSeconds = m.lastCheckpointSecs
 	s.Checkpoint.RestoredStreams = m.restoredStreamsAtBoot
 	m.mu.Unlock()
-	s.Pool.Mechanism = mechanism
-	s.Pool.Streams = streams
-	s.Pool.Observations = observations
+	s.Pool.Mechanism = st.Mechanism
+	s.Pool.Streams = st.Streams
+	s.Pool.Observations = st.Observations
+	s.Pool.Resident = st.Resident
+	s.Pool.Spilled = st.Spilled
+	s.Pool.Dirty = st.DirtyStreams
+	s.Pool.StoreCap = st.StoreCap
+	s.Pool.Evictions = st.Evictions
+	s.Pool.FaultIns = st.FaultIns
 	return s
 }
 
 // writePrometheus renders the registry in the Prometheus text exposition
 // format. Series are emitted in sorted order so scrapes are diffable.
-func (m *metrics) writePrometheus(w io.Writer, mechanism string, streams int, observations int64) {
+func (m *metrics) writePrometheus(w io.Writer, st privreg.PoolStats) {
 	m.mu.Lock()
 	reqKeys := make([]routeKey, 0, len(m.requests))
 	for k := range m.requests {
@@ -222,9 +248,15 @@ func (m *metrics) writePrometheus(w io.Writer, mechanism string, streams int, ob
 	fmt.Fprintf(w, "# HELP privreg_checkpoint_errors_total Checkpoint attempts that failed.\n")
 	fmt.Fprintf(w, "# TYPE privreg_checkpoint_errors_total counter\n")
 	fmt.Fprintf(w, "privreg_checkpoint_errors_total %d\n", m.checkpointErrors)
-	fmt.Fprintf(w, "# HELP privreg_checkpoint_last_bytes Size of the most recent checkpoint.\n")
+	fmt.Fprintf(w, "# HELP privreg_checkpoint_last_segments Dirty segments rewritten by the most recent checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE privreg_checkpoint_last_segments gauge\n")
+	fmt.Fprintf(w, "privreg_checkpoint_last_segments %d\n", m.lastCheckpointSegments)
+	fmt.Fprintf(w, "# HELP privreg_checkpoint_last_bytes Segment bytes written by the most recent checkpoint.\n")
 	fmt.Fprintf(w, "# TYPE privreg_checkpoint_last_bytes gauge\n")
 	fmt.Fprintf(w, "privreg_checkpoint_last_bytes %d\n", m.lastCheckpointBytes)
+	fmt.Fprintf(w, "# HELP privreg_checkpoint_last_streams Streams covered by the most recent manifest.\n")
+	fmt.Fprintf(w, "# TYPE privreg_checkpoint_last_streams gauge\n")
+	fmt.Fprintf(w, "privreg_checkpoint_last_streams %d\n", m.lastCheckpointStreams)
 	fmt.Fprintf(w, "# HELP privreg_checkpoint_last_seconds Wall time of the most recent checkpoint.\n")
 	fmt.Fprintf(w, "# TYPE privreg_checkpoint_last_seconds gauge\n")
 	fmt.Fprintf(w, "privreg_checkpoint_last_seconds %g\n", m.lastCheckpointSecs)
@@ -233,10 +265,28 @@ func (m *metrics) writePrometheus(w io.Writer, mechanism string, streams int, ob
 	fmt.Fprintf(w, "privreg_restored_streams %d\n", m.restoredStreamsAtBoot)
 	m.mu.Unlock()
 
-	fmt.Fprintf(w, "# HELP privreg_streams Live streams, by mechanism.\n")
+	fmt.Fprintf(w, "# HELP privreg_streams Live streams (resident + spilled), by mechanism.\n")
 	fmt.Fprintf(w, "# TYPE privreg_streams gauge\n")
-	fmt.Fprintf(w, "privreg_streams{mechanism=%q} %d\n", mechanism, streams)
+	fmt.Fprintf(w, "privreg_streams{mechanism=%q} %d\n", st.Mechanism, st.Streams)
 	fmt.Fprintf(w, "# HELP privreg_observations_total Observations across all streams.\n")
 	fmt.Fprintf(w, "# TYPE privreg_observations_total gauge\n")
-	fmt.Fprintf(w, "privreg_observations_total{mechanism=%q} %d\n", mechanism, observations)
+	fmt.Fprintf(w, "privreg_observations_total{mechanism=%q} %d\n", st.Mechanism, st.Observations)
+	fmt.Fprintf(w, "# HELP privreg_resident_streams Streams currently materialized in memory.\n")
+	fmt.Fprintf(w, "# TYPE privreg_resident_streams gauge\n")
+	fmt.Fprintf(w, "privreg_resident_streams %d\n", st.Resident)
+	fmt.Fprintf(w, "# HELP privreg_spilled_streams Streams currently held only as on-disk segments.\n")
+	fmt.Fprintf(w, "# TYPE privreg_spilled_streams gauge\n")
+	fmt.Fprintf(w, "privreg_spilled_streams %d\n", st.Spilled)
+	fmt.Fprintf(w, "# HELP privreg_dirty_streams Streams modified since their last segment write.\n")
+	fmt.Fprintf(w, "# TYPE privreg_dirty_streams gauge\n")
+	fmt.Fprintf(w, "privreg_dirty_streams %d\n", st.DirtyStreams)
+	fmt.Fprintf(w, "# HELP privreg_store_cap Resident-estimator bound (0 = unbounded).\n")
+	fmt.Fprintf(w, "# TYPE privreg_store_cap gauge\n")
+	fmt.Fprintf(w, "privreg_store_cap %d\n", st.StoreCap)
+	fmt.Fprintf(w, "# HELP privreg_evictions_total Resident-to-disk spills since boot.\n")
+	fmt.Fprintf(w, "# TYPE privreg_evictions_total counter\n")
+	fmt.Fprintf(w, "privreg_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "# HELP privreg_faultins_total Disk-to-resident restores since boot.\n")
+	fmt.Fprintf(w, "# TYPE privreg_faultins_total counter\n")
+	fmt.Fprintf(w, "privreg_faultins_total %d\n", st.FaultIns)
 }

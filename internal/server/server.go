@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,9 +114,18 @@ func (sp Spec) NewPool() (*privreg.Pool, error) {
 type Config struct {
 	// Spec describes the pool to serve. Required.
 	Spec Spec
-	// CheckpointDir is where pool checkpoints live. Empty disables
-	// persistence (no restore-on-boot, /v1/checkpoint returns 501).
+	// CheckpointDir is where pool state lives on disk: per-stream segment
+	// files plus the manifest (the recovery root), written incrementally —
+	// a checkpoint rewrites only segments of streams that changed since the
+	// last one. Empty disables persistence (no restore-on-boot,
+	// /v1/checkpoint returns 501).
 	CheckpointDir string
+	// StoreCap bounds the number of estimators resident in memory; colder
+	// streams spill to CheckpointDir and fault back in transparently on
+	// access, so a server with StoreCap K serves any number of streams in
+	// O(K) estimator memory. 0 keeps every stream resident. Requires
+	// CheckpointDir.
+	StoreCap int
 	// CheckpointInterval is the periodic background checkpoint cadence.
 	// 0 means the 30s default; negative disables periodic checkpoints
 	// (explicit /v1/checkpoint and the final drain checkpoint still work).
@@ -159,7 +169,26 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
 	}
-	pool, err := cfg.Spec.NewPool()
+	if cfg.StoreCap < 0 {
+		return nil, fmt.Errorf("server: store cap must be non-negative, got %d", cfg.StoreCap)
+	}
+	if cfg.StoreCap > 0 && cfg.CheckpointDir == "" {
+		return nil, errors.New("server: a store cap requires a checkpoint directory (evicted streams spill there)")
+	}
+	opts, err := cfg.Spec.Options()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointDir != "" {
+		// With persistence enabled the pool runs on the disk-backed stream
+		// store: segment spill/fault-in under the residency cap, incremental
+		// checkpoints, and lazy manifest restore at construction time.
+		opts = append(opts, privreg.WithSpillDir(cfg.CheckpointDir))
+		if cfg.StoreCap > 0 {
+			opts = append(opts, privreg.WithStoreCap(cfg.StoreCap))
+		}
+	}
+	pool, err := privreg.NewPool(cfg.Spec.Mechanism, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +215,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		if n > 0 {
-			logf("restored %d streams from %s", n, s.ckpt.path())
+			logf("restored %d streams from %s (lazy: state faults in on first access)", n, s.ckpt.path())
 		}
 		interval := cfg.CheckpointInterval
 		if interval == 0 {
@@ -219,12 +248,12 @@ func (s *Server) Close() error {
 		close(s.stopPeriodic)
 		s.ing.drain()
 		if s.ckpt != nil {
-			bytes, secs, err := s.ckpt.save()
+			fs, secs, err := s.ckpt.save()
 			if err != nil {
 				s.closeErr = fmt.Errorf("server: final checkpoint: %w", err)
 				return
 			}
-			s.logf("final checkpoint: %d bytes in %.3fs", bytes, secs)
+			s.logf("final checkpoint: %d dirty segments (%d bytes) + manifest in %.3fs", fs.Segments, fs.SegmentBytes, secs)
 		}
 	})
 	return s.closeErr
@@ -422,7 +451,15 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusOK, observeResponse{Applied: len(xs), Len: s.pool.Len(id)})
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// The hint is derived from the stream's backlog and the recent drain
+		// rate, with jitter, so a fleet of synchronized clients rejected
+		// together comes back staggered instead of in lockstep.
+		retry := minRetryAfter
+		var qf *queueFullError
+		if errors.As(err, &qf) {
+			retry = qf.retryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -501,12 +538,19 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, errors.New("server: checkpointing is disabled (no checkpoint directory configured)"))
 		return
 	}
-	bytes, secs, err := s.ckpt.save()
+	fs, secs, err := s.ckpt.save()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"bytes": bytes, "seconds": secs, "path": s.ckpt.path()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"segments":       fs.Segments,
+		"segment_bytes":  fs.SegmentBytes,
+		"manifest_bytes": fs.ManifestBytes,
+		"streams":        fs.Streams,
+		"seconds":        secs,
+		"path":           s.ckpt.path(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -520,9 +564,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.pool.Stats()
 	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, http.StatusOK, s.met.snapshot(st.Mechanism, st.Streams, st.Observations))
+		writeJSON(w, http.StatusOK, s.met.snapshot(st))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.writePrometheus(w, st.Mechanism, st.Streams, st.Observations)
+	s.met.writePrometheus(w, st)
 }

@@ -10,9 +10,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"privreg"
+	"privreg/internal/store"
 )
 
 func testSpec() Spec {
@@ -355,11 +359,15 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 
 	var ck map[string]any
-	if code, raw := doJSON(t, "POST", ts.URL+"/v1/checkpoint", nil, &ck); code != http.StatusOK || ck["bytes"].(float64) <= 0 {
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/checkpoint", nil, &ck); code != http.StatusOK || ck["segment_bytes"].(float64) <= 0 || ck["segments"].(float64) != 1 {
 		t.Fatalf("checkpoint: code=%d body=%s", code, raw)
 	}
-	if _, err := os.Stat(filepath.Join(dir, checkpointFile)); err != nil {
-		t.Fatalf("checkpoint file not written: %v", err)
+	if _, err := os.Stat(filepath.Join(dir, store.ManifestFile)); err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	// A second checkpoint with no traffic in between rewrites nothing.
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/checkpoint", nil, &ck); code != http.StatusOK || ck["segments"].(float64) != 0 {
+		t.Fatalf("idle checkpoint: code=%d body=%s", code, raw)
 	}
 
 	var stats struct {
@@ -462,7 +470,7 @@ func TestPeriodicCheckpointing(t *testing.T) {
 	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams/p/observe", map[string]any{"x": x, "y": y}, nil); code != http.StatusOK {
 		t.Fatal("observe failed")
 	}
-	path := filepath.Join(dir, checkpointFile)
+	path := filepath.Join(dir, store.ManifestFile)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		if _, err := os.Stat(path); err == nil {
@@ -473,17 +481,249 @@ func TestPeriodicCheckpointing(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	// The written checkpoint restores into a fresh pool.
-	data, err := os.ReadFile(path)
+	// The written manifest restores into a fresh pool opened over the same
+	// directory: the stream registers lazily and its state faults in intact.
+	opts, err := testSpec().Options()
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := testSpec().NewPool()
+	fresh, err := privreg.NewPool(testSpec().Mechanism, append(opts, privreg.WithSpillDir(dir))...)
 	if err != nil {
-		t.Fatal(err)
-	}
-	if err := fresh.Restore(data); err != nil {
 		t.Fatalf("periodic checkpoint not restorable: %v", err)
+	}
+	if n, ok := fresh.LenOK("p"); !ok || n != 1 {
+		t.Fatalf("restored stream p: len=%d ok=%v", n, ok)
+	}
+	if _, err := fresh.Estimate("p"); err != nil {
+		t.Fatalf("restored stream p does not estimate: %v", err)
+	}
+	_ = s
+}
+
+// TestRetryAfterDerivedFromBacklog pins the 429 hint contract: the value is
+// backlog ÷ drain-rate seconds with jitter, always an integer in
+// [minRetryAfter, maxRetryAfter], and larger backlogs at the same rate never
+// produce a systematically smaller hint range.
+func TestRetryAfterDerivedFromBacklog(t *testing.T) {
+	pool, err := testSpec().NewPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := newIngester(pool, 64, newMetrics())
+
+	in.rateMu.Lock()
+	in.applyRate = 100 // points/sec
+	in.rateMu.Unlock()
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		qf := in.retryAfter(400) // 4s of backlog at 100 points/sec
+		if qf.retryAfter < 4 || qf.retryAfter > 8 {
+			t.Fatalf("retryAfter(400 @ 100/s) = %d, want within jittered [4, 8]", qf.retryAfter)
+		}
+		seen[qf.retryAfter] = true
+		if !errors.Is(qf, errQueueFull) {
+			t.Fatal("queueFullError does not match errQueueFull")
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("no jitter: every rejection hinted %v", seen)
+	}
+	// With other streams draining concurrently, the pool-wide rate is split
+	// across them: the same backlog at the same global rate yields a
+	// proportionally longer hint.
+	in.mu.Lock()
+	for i := 0; i < 4; i++ {
+		in.queues[fmt.Sprintf("busy-%d", i)] = &streamQueue{active: true}
+	}
+	in.mu.Unlock()
+	if qf := in.retryAfter(400); qf.retryAfter < 16 {
+		// 400 points at 100/s split 4 ways → ≥16s before jitter.
+		t.Fatalf("retryAfter with 4 active streams = %d, want >= 16", qf.retryAfter)
+	}
+	in.mu.Lock()
+	in.queues = make(map[string]*streamQueue)
+	in.mu.Unlock()
+
+	// With no rate observed yet the hint falls back to the 1–2s floor.
+	in.rateMu.Lock()
+	in.applyRate = 0
+	in.rateMu.Unlock()
+	for i := 0; i < 50; i++ {
+		// base 1s, multiplicative jitter up to 1.5x, additive up to 1s → [1, 3].
+		if qf := in.retryAfter(1000); qf.retryAfter < minRetryAfter || qf.retryAfter > 3 {
+			t.Fatalf("retryAfter with unknown rate = %d", qf.retryAfter)
+		}
+	}
+	// A huge backlog clamps at the ceiling rather than telling clients to
+	// come back in an hour.
+	in.rateMu.Lock()
+	in.applyRate = 0.001
+	in.rateMu.Unlock()
+	if qf := in.retryAfter(10000); qf.retryAfter != maxRetryAfter {
+		t.Fatalf("retryAfter clamp = %d, want %d", qf.retryAfter, maxRetryAfter)
+	}
+}
+
+// TestRetryAfterHeaderOn429 drives the HTTP path: a queue-full rejection must
+// carry a parseable, positive Retry-After header (no longer the hard-coded 1).
+func TestRetryAfterHeaderOn429(t *testing.T) {
+	pool, err := testSpec().NewPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{MaxQueuedPoints: 2})
+	_ = pool
+	// Park a fake busy drainer so enqueued points pile up (same technique as
+	// TestIngesterQueueFull429), then overflow over HTTP.
+	q := &streamQueue{active: true}
+	s.ing.mu.Lock()
+	s.ing.queues["jam"] = q
+	s.ing.mu.Unlock()
+	x0, y0 := point(0, 4)
+	go func() {
+		_ = s.ing.enqueue("jam", [][]float64{x0, x0}, []float64{y0, y0})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q.mu.Lock()
+		n := q.points
+		q.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	x, y := point(1, 4)
+	body, _ := json.Marshal(map[string]any{"x": x, "y": y})
+	resp, err := http.Post(ts.URL+"/v1/streams/jam/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow observe: code=%d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < minRetryAfter || ra > maxRetryAfter {
+		t.Fatalf("Retry-After = %q, want integer in [%d, %d]", resp.Header.Get("Retry-After"), minRetryAfter, maxRetryAfter)
+	}
+	// Unjam so Close can drain.
+	s.ing.wg.Add(1)
+	go s.ing.drainQueue("jam", q)
+}
+
+// TestServerStoreCapBoundsResidency boots a server with a resident cap far
+// below its stream count and verifies (a) the cap holds, (b) every stream —
+// resident or spilled — still serves estimates bit-identical to a fully
+// resident shadow pool, and (c) the residency surface shows up in stats and
+// metrics.
+func TestServerStoreCapBoundsResidency(t *testing.T) {
+	const (
+		nStreams = 12
+		cap      = 3
+		points   = 6
+	)
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{CheckpointDir: dir, StoreCap: cap})
+	streams := make([]string, nStreams)
+	for i := range streams {
+		streams[i] = fmt.Sprintf("cap-%02d", i)
+	}
+	driveHTTP(t, ts.URL, streams, 0, points, 4, 3)
+
+	shadow, err := testSpec().NewPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedShadow(t, shadow, streams, points, 4)
+	compareEstimates(t, ts.URL, shadow, streams, points, "capped")
+
+	var stats privreg.PoolStats
+	if code, raw := doJSON(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: code=%d body=%s", code, raw)
+	}
+	if stats.Streams != nStreams || stats.Resident > cap || stats.Spilled < nStreams-cap {
+		t.Fatalf("residency stats = %+v, want %d streams with resident <= %d", stats, nStreams, cap)
+	}
+	if stats.Evictions == 0 || stats.FaultIns == 0 {
+		t.Fatalf("expected eviction/fault-in traffic, got %+v", stats)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"privreg_resident_streams", "privreg_spilled_streams", "privreg_store_cap 3", "privreg_evictions_total"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	_ = s
+}
+
+// TestStoreCapRequiresCheckpointDir pins the config contract: evicting
+// without a spill directory would discard budgeted private state.
+func TestStoreCapRequiresCheckpointDir(t *testing.T) {
+	if _, err := New(Config{Spec: testSpec(), StoreCap: 4, CheckpointInterval: -1}); err == nil {
+		t.Fatal("StoreCap without CheckpointDir accepted")
+	}
+	if _, err := New(Config{Spec: testSpec(), StoreCap: -1, CheckpointInterval: -1}); err == nil {
+		t.Fatal("negative StoreCap accepted")
+	}
+}
+
+// TestLegacyCheckpointMigration boots a server over a directory holding only
+// the pre-segment monolithic pool.ckpt: the state must be migrated into the
+// segment store (manifest written, legacy blob removed) with every stream
+// intact.
+func TestLegacyCheckpointMigration(t *testing.T) {
+	dir := t.TempDir()
+	old, err := testSpec().NewPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		x, y := point(i, 4)
+		if err := old.Observe("legacy-stream", x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := old.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, legacyCheckpointFile), blob, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, Config{CheckpointDir: dir})
+	var st streamStatsResponse
+	if code, raw := doJSON(t, "GET", ts.URL+"/v1/streams/legacy-stream/stats", nil, &st); code != http.StatusOK || st.Len != 5 {
+		t.Fatalf("migrated stream: code=%d body=%s", code, raw)
+	}
+	want, err := old.Estimate("legacy-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est estimateResponse
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/streams/legacy-stream/estimate", nil, &est); code != http.StatusOK {
+		t.Fatal("estimate failed")
+	}
+	for k := range want {
+		if est.Estimate[k] != want[k] {
+			t.Fatalf("migrated estimate diverges at %d: %v != %v", k, est.Estimate[k], want[k])
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, store.ManifestFile)); err != nil {
+		t.Fatalf("migration wrote no manifest: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyCheckpointFile)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("legacy checkpoint not removed after migration: %v", err)
 	}
 	_ = s
 }

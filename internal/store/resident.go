@@ -1,0 +1,185 @@
+package store
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// residentShards is the number of lock shards a Resident store spreads its
+// streams over (the Pool's historical value): stream IDs hash to shards, so
+// unrelated streams contend only 1/residentShards of the time, and each
+// stream carries its own mutex for the (much longer) estimator work.
+const residentShards = 64
+
+// Resident is the fully-resident StreamStore: every stream stays in memory
+// for the life of the process. It is the default backend and preserves the
+// Pool's original sharded-locking behavior exactly.
+type Resident struct {
+	factory Factory
+	shards  [residentShards]residentShard
+}
+
+type residentShard struct {
+	mu      sync.RWMutex
+	streams map[string]*residentEntry
+}
+
+type residentEntry struct {
+	mu  sync.Mutex
+	st  Stream
+	len atomic.Int64
+}
+
+// NewResident returns an empty fully-resident store building streams with
+// the given factory.
+func NewResident(factory Factory) *Resident {
+	r := &Resident{factory: factory}
+	for i := range r.shards {
+		r.shards[i].streams = make(map[string]*residentEntry)
+	}
+	return r
+}
+
+func shardIndex(id string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}
+
+func (r *Resident) shardFor(id string) *residentShard {
+	return &r.shards[shardIndex(id, residentShards)]
+}
+
+// entry returns the residentEntry for id, creating it when create is set.
+func (r *Resident) entry(id string, create bool) (*residentEntry, error) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	e := sh.streams[id]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e, nil
+	}
+	if !create {
+		return nil, ErrNotFound
+	}
+	// Build outside the shard lock (construction can be expensive: sketch
+	// sampling, tree allocation), then insert; on a race the loser's stream
+	// is discarded.
+	st, err := r.factory(id)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	if existing := sh.streams[id]; existing != nil {
+		sh.mu.Unlock()
+		return existing, nil
+	}
+	e = &residentEntry{st: st}
+	sh.streams[id] = e
+	sh.mu.Unlock()
+	return e, nil
+}
+
+func (r *Resident) Update(id string, create bool, fn func(Stream) error) error {
+	e, err := r.entry(id, create)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	err = fn(e.st)
+	e.len.Store(int64(e.st.Len()))
+	return err
+}
+
+// Read is Update without creation; a fully-resident store has no dirty
+// tracking to skip.
+func (r *Resident) Read(id string, fn func(Stream) error) error {
+	return r.Update(id, false, fn)
+}
+
+func (r *Resident) Length(id string) (int, bool) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	e := sh.streams[id]
+	sh.mu.RUnlock()
+	if e == nil {
+		return 0, false
+	}
+	return int(e.len.Load()), true
+}
+
+func (r *Resident) Has(id string) bool {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.streams[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
+func (r *Resident) Delete(id string) bool {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.streams[id]
+	delete(sh.streams, id)
+	sh.mu.Unlock()
+	return ok
+}
+
+func (r *Resident) Keys() []string {
+	var out []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for id := range sh.streams {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Resident) Install(id string, st Stream) {
+	e := &residentEntry{st: st}
+	e.len.Store(int64(st.Len()))
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	sh.streams[id] = e
+	sh.mu.Unlock()
+}
+
+func (r *Resident) Marshal(id string) ([]byte, error) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	e := sh.streams[id]
+	sh.mu.RUnlock()
+	if e == nil {
+		return nil, ErrNotFound
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.st.MarshalBinary()
+}
+
+func (r *Resident) Stats() Stats {
+	var s Stats
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		s.Streams += len(sh.streams)
+		for _, e := range sh.streams {
+			s.Observations += e.len.Load()
+		}
+		sh.mu.RUnlock()
+	}
+	s.Resident = s.Streams
+	s.Dirty = s.Streams
+	return s
+}
+
+func (r *Resident) Flush() (FlushStats, error) {
+	return FlushStats{}, ErrNotPersistent
+}

@@ -15,6 +15,10 @@ type settings struct {
 	loss    Loss
 	lossSet bool
 	oracle  func(x []float64) bool
+
+	// Pool-scoped storage options (rejected by New; see NewPool).
+	storeCap int
+	spillDir string
 }
 
 // Option configures the construction of an estimator (or of every estimator a
@@ -176,6 +180,42 @@ func WithDomainOracle(oracle func(x []float64) bool) Option {
 			return errors.New("privreg: WithDomainOracle requires a non-nil oracle")
 		}
 		s.oracle = oracle
+		return nil
+	}
+}
+
+// WithSpillDir switches a Pool to the disk-backed stream store rooted at the
+// given directory: stream state spills to per-stream segment files when the
+// resident cap (WithStoreCap) is exceeded, Pool.Flush writes incremental
+// checkpoints (only segments of streams touched since the last flush), and a
+// new pool opened over the same directory restores lazily from the manifest —
+// boot cost is O(manifest), streams fault in on first access. The directory
+// is created if missing and must not be shared between pools of different
+// mechanisms (the manifest records the mechanism and a mismatch refuses to
+// open). Pool-scoped: New rejects it.
+func WithSpillDir(dir string) Option {
+	return func(s *settings) error {
+		if dir == "" {
+			return errors.New("privreg: WithSpillDir requires a non-empty directory")
+		}
+		s.spillDir = dir
+		return nil
+	}
+}
+
+// WithStoreCap bounds the number of estimators a Pool keeps resident in
+// memory: beyond cap, the least-recently-used streams are serialized to the
+// spill directory and transparently faulted back in on their next
+// Observe/Estimate — bit-identically, so a capped pool's outputs equal an
+// uncapped pool's. Requires WithSpillDir (evicting without a spill target
+// would discard budgeted private state); 0 restores the unbounded default.
+// Pool-scoped: New rejects it.
+func WithStoreCap(cap int) Option {
+	return func(s *settings) error {
+		if cap < 0 {
+			return fmt.Errorf("privreg: WithStoreCap requires a non-negative cap, got %d", cap)
+		}
+		s.storeCap = cap
 		return nil
 	}
 }

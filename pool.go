@@ -4,18 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
 	"sync"
 
 	"privreg/internal/codec"
 	"privreg/internal/randx"
+	"privreg/internal/store"
 )
-
-// poolShards is the number of lock shards a Pool spreads its streams over.
-// Stream IDs hash to shards, so unrelated streams contend only 1/poolShards of
-// the time; within a shard the map lock is held only for lookup/insert, and
-// each stream carries its own mutex for the (much longer) estimator work.
-const poolShards = 64
 
 // Pool manages one estimator per stream ID — the unit a server fronting many
 // users holds. All methods are safe for concurrent use by any number of
@@ -27,28 +21,36 @@ const poolShards = 64
 // difference: the random seed is derived deterministically from the template
 // seed and the stream ID, so each stream draws independent noise yet the whole
 // pool is reproducible and checkpoint/restore-stable.
+//
+// Storage is pluggable. By default every stream stays resident in memory for
+// the life of the process. With WithSpillDir the pool runs on the
+// bounded-memory spill store instead: at most WithStoreCap estimators are
+// resident, colder streams are serialized to per-stream segment files on disk
+// and transparently faulted back in on access (bit-identical — spilling is
+// invisible in the output sequence), and Flush writes incremental
+// checkpoints whose cost scales with the number of streams touched since the
+// last flush, not with the total stream count. See docs/SERVING.md.
 type Pool struct {
 	mech     *mechanism
 	template settings
-	stats    PoolStats // immutable identity fields only (Mechanism, Privacy)
+	stats    PoolStats // immutable identity fields only (Mechanism, Privacy, …)
 
-	shards [poolShards]poolShard
-}
+	store store.StreamStore
 
-type poolShard struct {
-	mu      sync.RWMutex
-	streams map[string]*poolStream
-}
-
-type poolStream struct {
-	mu  sync.Mutex
-	est Estimator
+	// restoreMu serializes Restore's install phase against other restores,
+	// so two concurrent monolithic restores cannot interleave installs.
+	restoreMu sync.Mutex
 }
 
 // ErrUnknownStream is returned (wrapped with the stream ID) by Pool methods
 // that require an existing stream, such as Estimate on an ID that never
 // observed anything. Match it with errors.Is.
 var ErrUnknownStream = errors.New("privreg: unknown stream")
+
+// ErrNotPersistent is returned by Pool.Flush when the pool was built without
+// WithSpillDir: there is no disk layer to checkpoint incrementally (use
+// Checkpoint for a monolithic blob instead).
+var ErrNotPersistent = errors.New("privreg: pool has no spill directory (build it with WithSpillDir to enable incremental checkpoints)")
 
 // PoolStats is a point-in-time snapshot of a Pool.
 type PoolStats struct {
@@ -59,18 +61,51 @@ type PoolStats struct {
 	// Horizon is the per-stream horizon from the template (0 when running with
 	// an unknown horizon).
 	Horizon int
-	// Streams is the number of live streams.
+	// Streams is the number of live streams, resident or spilled.
 	Streams int
 	// Observations is the total number of points observed across all streams.
 	Observations int64
 	// Shards is the number of lock shards.
 	Shards int
+
+	// StoreCap is the resident-estimator bound (0 = unbounded).
+	StoreCap int
+	// Resident is the number of streams currently materialized in memory
+	// (always equal to Streams for fully-resident pools).
+	Resident int
+	// Spilled is the number of streams currently held only as on-disk
+	// segments (always 0 for fully-resident pools).
+	Spilled int
+	// DirtyStreams is the number of streams modified since their last
+	// segment write — the number of segments the next Flush will rewrite.
+	DirtyStreams int
+	// Evictions counts resident→disk spills since the pool was created.
+	Evictions int64
+	// FaultIns counts disk→resident restores since the pool was created.
+	FaultIns int64
+}
+
+// FlushStats describes one incremental checkpoint written by Pool.Flush.
+type FlushStats struct {
+	// Segments is the number of per-stream segment files rewritten — the
+	// streams that changed since the last flush, not the total stream count.
+	Segments int
+	// SegmentBytes is the total encoded size of the rewritten segments.
+	SegmentBytes int
+	// ManifestBytes is the size of the manifest (the recovery root).
+	ManifestBytes int
+	// Streams is the number of streams the manifest covers.
+	Streams int
 }
 
 // NewPool returns a Pool that builds one estimator per stream from the given
 // mechanism name (see Mechanisms) and option template. The template is
 // validated eagerly by constructing and discarding a probe estimator, so a bad
 // budget or a missing constraint fails here rather than on the first request.
+//
+// With WithSpillDir the pool opens the directory's manifest (if any) and
+// registers every checkpointed stream immediately — restore-on-boot is
+// O(manifest); stream state faults in lazily on first access.
 func NewPool(mechanism string, opts ...Option) (*Pool, error) {
 	m, err := lookupMechanism(mechanism)
 	if err != nil {
@@ -79,6 +114,12 @@ func NewPool(mechanism string, opts ...Option) (*Pool, error) {
 	s, err := applyOptions(opts)
 	if err != nil {
 		return nil, err
+	}
+	if s.storeCap < 0 {
+		return nil, fmt.Errorf("privreg: WithStoreCap requires a non-negative cap, got %d", s.storeCap)
+	}
+	if s.storeCap > 0 && s.spillDir == "" {
+		return nil, errors.New("privreg: WithStoreCap requires WithSpillDir (evicting without a spill directory would discard budgeted private state)")
 	}
 	if _, err := buildEstimator(m, s); err != nil {
 		return nil, err
@@ -90,16 +131,28 @@ func NewPool(mechanism string, opts ...Option) (*Pool, error) {
 			Mechanism: m.info.Name,
 			Horizon:   s.cfg.Horizon,
 			Shards:    poolShards,
+			StoreCap:  s.storeCap,
 		},
 	}
 	if m.info.Private {
 		p.stats.Privacy = s.cfg.Privacy
 	}
-	for i := range p.shards {
-		p.shards[i].streams = make(map[string]*poolStream)
+	factory := func(id string) (store.Stream, error) { return p.buildStream(id) }
+	if s.spillDir != "" {
+		sp, err := store.OpenSpill(s.spillDir, m.info.Name, s.storeCap, factory)
+		if err != nil {
+			return nil, err
+		}
+		p.store = sp
+	} else {
+		p.store = store.NewResident(factory)
 	}
 	return p, nil
 }
+
+// poolShards is the number of lock shards the stream store spreads streams
+// over; kept for PoolStats continuity.
+const poolShards = 64
 
 // streamSeed derives a per-stream seed from the template seed and the stream
 // ID with FNV-1a followed by the SplitMix64 finalizer (randx.Mix64, the same
@@ -112,160 +165,135 @@ func (p *Pool) streamSeed(id string) int64 {
 	return int64(z & 0x7fffffffffffffff)
 }
 
-func (p *Pool) shardFor(id string) *poolShard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(id))
-	return &p.shards[h.Sum32()%poolShards]
-}
-
 // buildStream constructs a fresh estimator for the given stream ID from the
-// pool template.
+// pool template. It is also the spill store's fault-in factory: the estimator
+// it returns absorbs the stream's segment blob via UnmarshalBinary, after
+// which it continues bit-identically (the checkpoint/restore contract).
 func (p *Pool) buildStream(id string) (Estimator, error) {
 	s := p.template
 	s.cfg.Seed = p.streamSeed(id)
 	return buildEstimator(p.mech, &s)
 }
 
-// stream returns the poolStream for id, creating it when create is set.
-func (p *Pool) stream(id string, create bool) (*poolStream, error) {
-	sh := p.shardFor(id)
-	sh.mu.RLock()
-	ps := sh.streams[id]
-	sh.mu.RUnlock()
-	if ps != nil {
-		return ps, nil
+// wrapUnknown translates the store's not-found sentinel into the public
+// ErrUnknownStream, stamped with the stream ID.
+func wrapUnknown(err error, id string) error {
+	if errors.Is(err, store.ErrNotFound) {
+		return fmt.Errorf("%w %q", ErrUnknownStream, id)
 	}
-	if !create {
-		return nil, fmt.Errorf("%w %q", ErrUnknownStream, id)
-	}
-	// Build outside the shard lock (construction can be expensive: sketch
-	// sampling, tree allocation), then insert; on a race the loser's estimator
-	// is discarded.
-	est, err := p.buildStream(id)
-	if err != nil {
-		return nil, err
-	}
-	sh.mu.Lock()
-	if existing := sh.streams[id]; existing != nil {
-		sh.mu.Unlock()
-		return existing, nil
-	}
-	ps = &poolStream{est: est}
-	sh.streams[id] = ps
-	sh.mu.Unlock()
-	return ps, nil
+	return err
 }
 
 // Observe feeds one covariate/response pair to the given stream, creating the
-// stream on first use.
+// stream on first use (and faulting it in from disk if it was spilled).
 func (p *Pool) Observe(id string, x []float64, y float64) error {
-	ps, err := p.stream(id, true)
-	if err != nil {
-		return err
-	}
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	return ps.est.Observe(x, y)
+	return p.store.Update(id, true, func(st store.Stream) error {
+		return st.(Estimator).Observe(x, y)
+	})
 }
 
 // ObserveBatch feeds a contiguous batch to the given stream, creating the
 // stream on first use. The batch is applied atomically with respect to other
 // operations on the same stream.
 func (p *Pool) ObserveBatch(id string, xs [][]float64, ys []float64) error {
-	ps, err := p.stream(id, true)
-	if err != nil {
-		return err
-	}
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	return ps.est.ObserveBatch(xs, ys)
+	return p.store.Update(id, true, func(st store.Stream) error {
+		return st.(Estimator).ObserveBatch(xs, ys)
+	})
 }
 
 // Estimate returns the current private estimate for the given stream. Unknown
 // streams are an error (an estimate for a stream that never observed anything
 // is almost always a caller bug; create streams by observing).
+//
+// On a spill-backed pool, Estimate normally does not mark the stream dirty:
+// the state it touches (the estimate memo, lazily materialized counter-keyed
+// noise) is a deterministic function of the last persisted state, so the
+// on-disk segment stays a valid snapshot and estimate-only traffic costs no
+// checkpoint writes. With WithWarmStart the optimizer's start point feeds
+// future outputs, so warm-started pools treat Estimate as a mutation.
 func (p *Pool) Estimate(id string) ([]float64, error) {
-	ps, err := p.stream(id, false)
-	if err != nil {
-		return nil, err
+	access := p.store.Read
+	if p.template.cfg.WarmStart {
+		access = func(id string, fn func(store.Stream) error) error {
+			return p.store.Update(id, false, fn)
+		}
 	}
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	return ps.est.Estimate()
+	var theta []float64
+	err := access(id, func(st store.Stream) error {
+		var err error
+		theta, err = st.(Estimator).Estimate()
+		return err
+	})
+	if err != nil {
+		return nil, wrapUnknown(err, id)
+	}
+	return theta, nil
 }
 
-// Len returns the number of observations of the given stream (0 for unknown
-// streams).
+// LenOK returns the number of observations of the given stream and whether
+// the stream exists, distinguishing an empty stream (0, true) from an unknown
+// one (0, false). It never faults a spilled stream in: lengths are tracked
+// alongside the residency state.
+func (p *Pool) LenOK(id string) (int, bool) {
+	return p.store.Length(id)
+}
+
+// Len returns the number of observations of the given stream, or 0 when the
+// stream does not exist. Callers that need to tell an unknown stream from an
+// empty one should use LenOK; Len remains as the historical shim (Estimate,
+// by contrast, reports unknown streams as errors).
 func (p *Pool) Len(id string) int {
-	ps, err := p.stream(id, false)
-	if err != nil {
-		return 0
-	}
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	return ps.est.Len()
+	n, _ := p.store.Length(id)
+	return n
 }
 
 // Has reports whether the stream exists (has observed at least one batch, or
-// was restored from a checkpoint, and has not been dropped).
+// was restored from a checkpoint, and has not been dropped). Spilled streams
+// exist.
 func (p *Pool) Has(id string) bool {
-	sh := p.shardFor(id)
-	sh.mu.RLock()
-	_, ok := sh.streams[id]
-	sh.mu.RUnlock()
-	return ok
+	return p.store.Has(id)
 }
 
 // Drop removes a stream and reports whether it existed. Its budgeted private
-// state is discarded; a subsequent Observe under the same ID starts a fresh
+// state is discarded (the on-disk segment of a spilled stream is deleted at
+// the next Flush); a subsequent Observe under the same ID starts a fresh
 // stream (with the same derived seed).
 func (p *Pool) Drop(id string) bool {
-	sh := p.shardFor(id)
-	sh.mu.Lock()
-	_, ok := sh.streams[id]
-	delete(sh.streams, id)
-	sh.mu.Unlock()
-	return ok
+	return p.store.Delete(id)
 }
 
-// Streams returns the IDs of all live streams, sorted.
+// Streams returns the IDs of all live streams (resident and spilled), sorted.
 func (p *Pool) Streams() []string {
-	var out []string
-	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.RLock()
-		for id := range sh.streams {
-			out = append(out, id)
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Strings(out)
-	return out
+	return p.store.Keys()
 }
 
-// Stats returns a snapshot of the pool: stream and observation counts plus the
-// budget parameters every stream runs under.
+// Stats returns a snapshot of the pool: stream, observation, and residency
+// counts plus the budget parameters every stream runs under. Stats never
+// faults spilled streams in.
 func (p *Pool) Stats() PoolStats {
 	st := p.stats
-	// Snapshot the stream pointers under the shard lock, then count under each
-	// stream's own lock with the shard lock released: holding both would let
-	// one slow in-flight solve stall new-stream creation across its shard.
-	var snapshot []*poolStream
-	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.RLock()
-		st.Streams += len(sh.streams)
-		for _, ps := range sh.streams {
-			snapshot = append(snapshot, ps)
-		}
-		sh.mu.RUnlock()
-	}
-	for _, ps := range snapshot {
-		ps.mu.Lock()
-		st.Observations += int64(ps.est.Len())
-		ps.mu.Unlock()
-	}
+	ss := p.store.Stats()
+	st.Streams = ss.Streams
+	st.Observations = ss.Observations
+	st.Resident = ss.Resident
+	st.Spilled = ss.Spilled
+	st.DirtyStreams = ss.Dirty
+	st.Evictions = ss.Evictions
+	st.FaultIns = ss.Faults
 	return st
+}
+
+// Flush writes an incremental checkpoint of a spill-backed pool: every
+// stream modified since the last flush gets a fresh fsynced segment file, and
+// the manifest — the recovery root a restarted pool boots from — is atomically
+// replaced. Cost is O(streams touched since the last flush), not O(total
+// streams). Pools without WithSpillDir return ErrNotPersistent.
+func (p *Pool) Flush() (FlushStats, error) {
+	fs, err := p.store.Flush()
+	if errors.Is(err, store.ErrNotPersistent) {
+		return FlushStats{}, ErrNotPersistent
+	}
+	return FlushStats(fs), err
 }
 
 // poolCheckpointMagic identifies a Pool checkpoint blob.
@@ -278,7 +306,13 @@ const (
 // are written in sorted-ID order, so two pools with identical state produce
 // identical blobs. Concurrent observations are not blocked globally — each
 // stream is locked only while its own state is serialized — so a checkpoint
-// taken under load is a per-stream-consistent snapshot.
+// taken under load is a per-stream-consistent snapshot. On a spill-backed
+// pool, spilled streams are copied from their segment files without being
+// faulted in.
+//
+// Checkpoint is the monolithic portability format (one self-contained blob);
+// spill-backed pools usually persist with Flush instead, which rewrites only
+// what changed.
 func (p *Pool) Checkpoint() ([]byte, error) {
 	type entry struct {
 		id   string
@@ -287,15 +321,12 @@ func (p *Pool) Checkpoint() ([]byte, error) {
 	ids := p.Streams()
 	entries := make([]entry, 0, len(ids))
 	for _, id := range ids {
-		ps, err := p.stream(id, false)
-		if err != nil {
+		blob, err := p.store.Marshal(id)
+		if errors.Is(err, store.ErrNotFound) {
 			// The stream was dropped between listing and serialization; record
 			// nothing for it.
 			continue
 		}
-		ps.mu.Lock()
-		blob, err := ps.est.MarshalBinary()
-		ps.mu.Unlock()
 		if err != nil {
 			return nil, fmt.Errorf("privreg: checkpointing stream %q: %w", id, err)
 		}
@@ -320,7 +351,8 @@ func (p *Pool) Checkpoint() ([]byte, error) {
 // Restore is all-or-nothing: every stream in the checkpoint is rebuilt and
 // verified before any is installed, so on error the pool is unchanged. After
 // a successful restore, every restored stream continues bit-identically to
-// the pool that was checkpointed.
+// the pool that was checkpointed. Restored streams are installed resident and
+// dirty; on a capped pool, installs beyond the cap spill as they land.
 func (p *Pool) Restore(data []byte) error {
 	r := codec.NewReader(data)
 	if r.String() != poolCheckpointMagic {
@@ -367,11 +399,10 @@ func (p *Pool) Restore(data []byte) error {
 		}
 		restored[i] = est
 	}
+	p.restoreMu.Lock()
+	defer p.restoreMu.Unlock()
 	for i, e := range entries {
-		sh := p.shardFor(e.id)
-		sh.mu.Lock()
-		sh.streams[e.id] = &poolStream{est: restored[i]}
-		sh.mu.Unlock()
+		p.store.Install(e.id, restored[i])
 	}
 	return nil
 }

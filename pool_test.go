@@ -279,6 +279,117 @@ func TestPoolCheckpointDuringTraffic(t *testing.T) {
 	}
 }
 
+// TestPoolDropRacesSameStreamWrites hammers one stream ID with concurrent
+// Drop, Observe, ObserveBatch, Estimate, and Checkpoint calls — the
+// drop-vs-write interleavings on a single stream that the multi-stream
+// concurrency test never produces. Run under -race in CI. There is no single
+// "right" winner for any interleaving; the invariants are: no data race, no
+// error other than the documented sentinels, and a pool that is still
+// coherent (checkpointable and restorable) afterwards. Runs against both
+// store backends, since the spill store's eviction path adds interleavings
+// of its own.
+func TestPoolDropRacesSameStreamWrites(t *testing.T) {
+	baseOpts := func(seed int64) []Option {
+		return []Option{
+			WithEpsilonDelta(1, 1e-6),
+			WithHorizon(1 << 16), // far beyond what the test feeds: ErrStreamFull never fires
+			WithConstraint(L2Constraint(4, 1)),
+			WithSeed(seed),
+			WithMaxIterations(10),
+		}
+	}
+	run := func(t *testing.T, opts []Option) {
+		p, err := NewPool("gradient", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const (
+			id    = "contended"
+			iters = 150
+		)
+		var wg sync.WaitGroup
+		errc := make(chan error, 5)
+		wg.Add(5)
+		go func() { // scalar writer
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				x, y := syntheticPoint(i, 4)
+				if err := p.Observe(id, x, y); err != nil {
+					errc <- fmt.Errorf("observe: %w", err)
+					return
+				}
+			}
+		}()
+		go func() { // batch writer
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				x1, y1 := syntheticPoint(i, 4)
+				x2, y2 := syntheticPoint(i+1, 4)
+				if err := p.ObserveBatch(id, [][]float64{x1, x2}, []float64{y1, y2}); err != nil {
+					errc <- fmt.Errorf("batch: %w", err)
+					return
+				}
+			}
+		}()
+		go func() { // reader
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := p.Estimate(id); err != nil && !errors.Is(err, ErrUnknownStream) {
+					errc <- fmt.Errorf("estimate: %w", err)
+					return
+				}
+				if n, ok := p.LenOK(id); ok && n < 0 {
+					errc <- fmt.Errorf("LenOK returned negative length %d", n)
+					return
+				}
+			}
+		}()
+		go func() { // checkpointer
+			defer wg.Done()
+			for i := 0; i < iters/10; i++ {
+				if _, err := p.Checkpoint(); err != nil {
+					errc <- fmt.Errorf("checkpoint: %w", err)
+					return
+				}
+			}
+		}()
+		go func() { // dropper
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p.Drop(id)
+			}
+		}()
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatal(err)
+		}
+		// Whatever interleaving happened, the pool is still coherent: the
+		// contended stream (if alive) reports a consistent length, and the
+		// whole pool checkpoints and restores.
+		if p.Has(id) {
+			if n, ok := p.LenOK(id); !ok || n < 0 {
+				t.Fatalf("surviving stream reports (%d, %v)", n, ok)
+			}
+		}
+		blob, err := p.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewPool("gradient", baseOpts(21)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Restore(blob); err != nil {
+			t.Fatalf("post-race checkpoint not restorable: %v", err)
+		}
+	}
+	t.Run("resident", func(t *testing.T) { run(t, baseOpts(21)) })
+	t.Run("spill", func(t *testing.T) {
+		run(t, append(baseOpts(21), WithSpillDir(t.TempDir()), WithStoreCap(1)))
+	})
+}
+
 // TestPoolUnknownStreamSentinel verifies the exported sentinel servers match
 // on to translate "no such stream" into a 404.
 func TestPoolUnknownStreamSentinel(t *testing.T) {

@@ -258,6 +258,9 @@ func New(name string, opts ...Option) (Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.spillDir != "" || s.storeCap != 0 {
+		return nil, errors.New("privreg: WithSpillDir/WithStoreCap configure a Pool's stream store and do not apply to a single estimator; use NewPool")
+	}
 	return buildEstimator(m, s)
 }
 

@@ -66,7 +66,8 @@ start_server
 
 echo "== SIGTERM (graceful drain + final checkpoint)"
 stop_server
-test -f "$data/pool.ckpt" || { echo "no checkpoint written" >&2; exit 1; }
+test -f "$data/MANIFEST" || { echo "no checkpoint manifest written" >&2; exit 1; }
+test -d "$data/segments" || { echo "no segment directory written" >&2; exit 1; }
 
 echo "== phase 2: restart from checkpoint + ingest 16 more points + verify"
 start_server
@@ -80,3 +81,83 @@ echo "== graceful shutdown"
 stop_server
 
 echo "e2e smoke OK: restart from checkpoint is bit-identical"
+
+# ---------------------------------------------------------------------------
+# Churn phase: the bounded-memory spill store under 4x-cap skewed load.
+#
+# A second server runs with -store-cap 16 while the loadgen drives 64 streams
+# (4x the resident cap) with a Zipf-skewed point profile, so the store is
+# constantly evicting cold streams to segment files and faulting them back in.
+# The phase then kills the server mid-churn (graceful SIGTERM: queued points
+# land, dirty segments flush, the manifest is renamed into place), restarts it
+# from the manifest, pushes more skewed traffic, and requires every stream —
+# resident or spilled, restored lazily — to be bit-identical to the loadgen's
+# fully-resident shadow pool.
+# ---------------------------------------------------------------------------
+
+churn_data="$(mktemp -d)"
+churn_addr="127.0.0.1:18330"
+trap 'cleanup; rm -rf "$churn_data"' EXIT
+
+churn_flags=(
+  -addr "$churn_addr"
+  -mechanism gradient -epsilon 1 -delta 1e-6
+  -horizon 512 -dim 8 -radius 1 -seed 42
+  -checkpoint-dir "$churn_data" -checkpoint-interval 2s
+  -store-cap 16
+)
+
+start_churn_server() {
+  "$bin/privreg-server" "${churn_flags[@]}" &
+  srv_pid=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$churn_addr/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$srv_pid" 2>/dev/null; then
+      echo "churn server died during startup" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "churn server never became healthy" >&2
+  return 1
+}
+
+stat_field() {
+  # Extracts an integer PoolStats field from GET /v1/stats.
+  curl -fsS "http://$churn_addr/v1/stats" | grep -o "\"$1\": [0-9-]*" | grep -o '[0-9-]*$'
+}
+
+echo "== churn phase 1: 64 streams over a 16-stream resident cap, skewed"
+start_churn_server
+"$bin/privreg-loadgen" -addr "http://$churn_addr" -streams 64 -points 24 -batch 6 -skew 1.2
+
+resident="$(stat_field Resident)"
+spilled="$(stat_field Spilled)"
+echo "residency after churn: resident=$resident spilled=$spilled (cap 16)"
+[ "$resident" -le 16 ] || { echo "resident $resident exceeds the store cap 16" >&2; exit 1; }
+[ "$spilled" -ge 1 ] || { echo "no streams spilled under 4x-cap load" >&2; exit 1; }
+
+echo "== kill mid-churn (drain flushes dirty segments + manifest)"
+stop_server
+test -f "$churn_data/MANIFEST" || { echo "no manifest written" >&2; exit 1; }
+segs=$(ls "$churn_data/segments" | wc -l)
+[ "$segs" -ge 64 ] || { echo "only $segs segment files for 64 streams" >&2; exit 1; }
+
+echo "== churn phase 2: restart from manifest + more skewed traffic + verify"
+start_churn_server
+# Restore is lazy: before any traffic, no stream state is resident.
+resident="$(stat_field Resident)"
+streams="$(stat_field Streams)"
+[ "$streams" -eq 64 ] || { echo "restart registered $streams streams, want 64" >&2; exit 1; }
+[ "$resident" -eq 0 ] || { echo "restart faulted $resident streams in eagerly, want lazy restore" >&2; exit 1; }
+# The shadow pool replays the full skewed history [0, target(i, 32)) per
+# stream; estimates must be bit-identical across cap-evictions AND the
+# restart, for hot and cold streams alike.
+"$bin/privreg-loadgen" -addr "http://$churn_addr" -streams 64 -points 8 -from 24 -batch 4 -skew 1.2
+
+echo "== graceful shutdown"
+stop_server
+
+echo "e2e smoke OK: restart from checkpoint is bit-identical (uniform + churn/spill)"
