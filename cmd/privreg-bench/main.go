@@ -62,6 +62,7 @@ type jsonReport struct {
 	WallSeconds float64       `json:"wall_seconds"`
 	Results     []jsonResult  `json:"results"`
 	Throughput  []probeResult `json:"throughput,omitempty"`
+	Edge        []edgeResult  `json:"edge,omitempty"`
 	Error       string        `json:"error,omitempty"`
 }
 
@@ -121,6 +122,7 @@ func run() int {
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON results on stdout")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		mechanism  = flag.String("mechanism", "", "run a throughput probe of one registry mechanism instead of the paper experiments (see privreg-demo -list)")
+		edge       = flag.Bool("edge", false, "run only the edge-throughput probes (HTTP/JSON vs binary wire) and print the rates")
 		horizon    = flag.Int("T", 1000, "throughput probe: stream length")
 		dim        = flag.Int("d", 32, "throughput probe: covariate dimension")
 		batch      = flag.Int("batch", 32, "throughput probe: batch size for the batched ingestion pass")
@@ -137,6 +139,10 @@ func run() int {
 
 	if *mechanism != "" {
 		return runThroughputProbe(*mechanism, *horizon, *dim, *batch, *epsilon, *delta, *seed, *asJSON)
+	}
+
+	if *edge {
+		return runEdgeCLI(*quick, *seed, *asJSON)
 	}
 
 	opts := experiments.Options{
@@ -176,7 +182,8 @@ func run() int {
 			report.Results = append(report.Results, toJSONResult(r))
 		}
 		// The JSON report doubles as the perf-trajectory artifact, so append a
-		// serving-shaped throughput probe of every registry mechanism.
+		// serving-shaped throughput probe of every registry mechanism, then the
+		// edge probes that measure the two serving transports end to end.
 		if runErr == nil {
 			for _, name := range privreg.Mechanisms() {
 				p, err := probe(name, probeHorizon(name), 32, 32, *epsilon, *delta, *seed)
@@ -185,6 +192,13 @@ func run() int {
 					break
 				}
 				report.Throughput = append(report.Throughput, *p)
+			}
+		}
+		if runErr == nil {
+			var err error
+			report.Edge, err = runEdgeProbes(*quick, *seed)
+			if err != nil {
+				runErr = err
 			}
 			report.WallSeconds = time.Since(start).Seconds()
 		}

@@ -21,7 +21,13 @@
 // metrics (bytes suffixes, e.g. checkpoint_bytes) get the same warn-only
 // ratio treatment: a checkpoint that grows past the threshold surfaces as a
 // PR annotation, shrinkage is a notice, and byte-level drift from legitimate
-// format evolution stays silent. Remaining deterministic metrics (experiment
+// format evolution stays silent. Rate metrics (points_per_sec suffixes, the
+// edge-transport probes) are thresholded the same way with the direction
+// inverted — higher is better — and under -normalize reduce to the per-run
+// maximum instead of the minimum. Metrics that exist only in the candidate
+// are reported as notices, never regressions, so an older committed baseline
+// stays comparable with a PR that grows the bench surface. Remaining
+// deterministic metrics (experiment
 // counts) warn on any change, since a change means the code changed shape,
 // not that the runner was noisy. Only the serving-critical ingest and
 // estimate metrics
@@ -75,6 +81,10 @@ type rawReport struct {
 		CheckpointNs     float64 `json:"checkpoint_ns"`
 		CheckpointBytes  int     `json:"checkpoint_bytes"`
 	} `json:"throughput"`
+	Edge []struct {
+		Proto        string  `json:"proto"`
+		PointsPerSec float64 `json:"points_per_sec"`
+	} `json:"edge"`
 	Error string `json:"error"`
 }
 
@@ -107,6 +117,9 @@ func normalize(raws ...[]byte) (*normalized, error) {
 			one.Metrics["throughput/"+p.Mechanism+"/checkpoint_ns"] = p.CheckpointNs
 			one.Metrics["throughput/"+p.Mechanism+"/checkpoint_bytes"] = float64(p.CheckpointBytes)
 		}
+		for _, e := range r.Edge {
+			one.Metrics["throughput/edge/"+e.Proto+"/points_per_sec"] = e.PointsPerSec
+		}
 		one.Metrics["experiments/count"] = float64(len(r.Results))
 		one.Metrics["experiments/wall_seconds"] = r.WallSeconds
 		if n == nil {
@@ -121,7 +134,14 @@ func normalize(raws ...[]byte) (*normalized, error) {
 			if !ok {
 				return nil, fmt.Errorf("benchdiff: reports disagree on metric set (%s) — not repeated runs of the same sweep", k)
 			}
-			n.Metrics[k] = math.Min(prev, v)
+			// Costs take the minimum across runs; rates (higher is better)
+			// take the maximum — both pick the run least disturbed by the
+			// machine.
+			if rateMetric(k) {
+				n.Metrics[k] = math.Max(prev, v)
+			} else {
+				n.Metrics[k] = math.Min(prev, v)
+			}
 		}
 	}
 	return n, nil
@@ -149,6 +169,16 @@ const timingFloorNs = 1000.0
 
 func nsMetric(key string) bool {
 	return strings.HasSuffix(key, "_ns") || strings.HasSuffix(key, "_ns_per_point")
+}
+
+// rateMetric reports whether a metric is a throughput rate — higher is
+// better, so the regression direction inverts relative to timing metrics.
+// The edge probes (throughput/edge/{json,binary}/points_per_sec) are the
+// current members. Rates are noisy wall-time measurements like timings
+// (ratio-thresholded, warn-only), and under multi-run normalization they
+// reduce to the per-run maximum instead of the minimum.
+func rateMetric(key string) bool {
+	return strings.HasSuffix(key, "points_per_sec")
 }
 
 // sizeMetric reports whether a metric is a byte count (checkpoint sizes,
@@ -188,6 +218,21 @@ func compare(base, cand *normalized, threshold float64) (findings []finding, reg
 				regressions++
 			}
 			findings = append(findings, finding{"warning", fmt.Sprintf("%s: present in baseline, missing from candidate", k)})
+			continue
+		}
+		if rateMetric(k) {
+			if b <= 0 {
+				continue
+			}
+			ratio := c / b
+			switch {
+			case ratio < 1/threshold:
+				findings = append(findings, finding{"warning",
+					fmt.Sprintf("%s regressed %.2fx (baseline %.0f, candidate %.0f; higher is better)", k, 1/ratio, b, c)})
+			case ratio > threshold:
+				findings = append(findings, finding{"notice",
+					fmt.Sprintf("%s improved %.2fx (baseline %.0f, candidate %.0f)", k, ratio, b, c)})
+			}
 			continue
 		}
 		if timingMetric(k) {
@@ -231,9 +276,12 @@ func compare(base, cand *normalized, threshold float64) (findings []finding, reg
 				fmt.Sprintf("%s changed: baseline %.0f, candidate %.0f (deterministic metric — the code changed shape)", k, b, c)})
 		}
 	}
-	for k := range cand.Metrics {
+	// Metrics the candidate adds are informational, never regressions: an
+	// older committed baseline stays comparable across PRs that grow the
+	// bench surface.
+	for k, c := range cand.Metrics {
 		if _, ok := base.Metrics[k]; !ok {
-			findings = append(findings, finding{"notice", fmt.Sprintf("%s: new metric, not in baseline", k)})
+			findings = append(findings, finding{"notice", fmt.Sprintf("%s: new metric, not in baseline (candidate %.0f)", k, c)})
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

@@ -13,6 +13,10 @@ const sampleRaw = `{
      "estimate_ns": 40000, "checkpoint_ns": 150000, "checkpoint_bytes": 42023},
     {"mechanism": "projected", "scalar_ns_per_point": 56000, "batch_ns_per_point": 46000,
      "estimate_ns": 26000000, "checkpoint_ns": 1250000, "checkpoint_bytes": 700520}
+  ],
+  "edge": [
+    {"proto": "json", "points_per_sec": 60000},
+    {"proto": "binary", "points_per_sec": 640000}
   ]
 }`
 
@@ -30,6 +34,8 @@ func TestNormalize(t *testing.T) {
 		"throughput/projected/batch_ns_per_point": 46000,
 		"throughput/projected/estimate_ns":        26000000,
 		"throughput/projected/checkpoint_ns":      1250000,
+		"throughput/edge/json/points_per_sec":     60000,
+		"throughput/edge/binary/points_per_sec":   640000,
 		"experiments/count":                       2,
 		"experiments/wall_seconds":                12.5,
 	} {
@@ -49,6 +55,7 @@ func TestNormalize(t *testing.T) {
 func TestNormalizeMinOfRuns(t *testing.T) {
 	second := strings.Replace(sampleRaw, `"scalar_ns_per_point": 2500`, `"scalar_ns_per_point": 1800`, 1)
 	second = strings.Replace(second, `"estimate_ns": 40000`, `"estimate_ns": 55000`, 1)
+	second = strings.Replace(second, `"points_per_sec": 640000`, `"points_per_sec": 700000`, 1)
 	n, err := normalize([]byte(sampleRaw), []byte(second))
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +68,14 @@ func TestNormalizeMinOfRuns(t *testing.T) {
 	}
 	if got := n.Metrics["throughput/gradient/checkpoint_bytes"]; got != 42023 {
 		t.Errorf("deterministic metric changed under min: %v", got)
+	}
+	// Rates reduce to the per-run maximum: the best run is the least
+	// machine-disturbed one when higher is better.
+	if got := n.Metrics["throughput/edge/binary/points_per_sec"]; got != 700000 {
+		t.Errorf("max reduction: binary rate = %v, want 700000", got)
+	}
+	if got := n.Metrics["throughput/edge/json/points_per_sec"]; got != 60000 {
+		t.Errorf("max reduction: json rate = %v, want 60000", got)
 	}
 
 	// Disagreeing metric sets (different sweeps) are rejected.
@@ -150,10 +165,42 @@ func TestCompare(t *testing.T) {
 	}
 	delete(base.Metrics, "throughput/cheap/estimate_ns")
 
-	// New candidate-only metrics are notices, not regressions.
+	// New candidate-only metrics are notices, not regressions, and carry the
+	// candidate value so the annotation is self-contained.
 	cand, _ = normalize([]byte(sampleRaw))
-	cand.Metrics["throughput/new-mech/scalar_ns_per_point"] = 1
+	cand.Metrics["throughput/new-mech/scalar_ns_per_point"] = 123
 	if findings, regressions = compare(base, cand, 1.6); regressions != 0 || len(findings) != 1 || findings[0].level != "notice" {
 		t.Fatalf("new metric handling: findings=%v regressions=%d", findings, regressions)
+	} else if !strings.Contains(findings[0].text, "(candidate 123)") {
+		t.Fatalf("new-metric notice should carry the candidate value: %q", findings[0].text)
+	}
+
+	// Rate metrics invert the regression direction: a halved throughput warns
+	// (without gating -strict), a doubled throughput is a notice, and jitter
+	// below the threshold is silent.
+	cand, _ = normalize([]byte(sampleRaw))
+	cand.Metrics["throughput/edge/binary/points_per_sec"] /= 2
+	cand.Metrics["throughput/edge/json/points_per_sec"] *= 2
+	findings, regressions = compare(base, cand, 1.6)
+	if regressions != 0 {
+		t.Fatalf("rate metrics must not gate -strict: %d regressions", regressions)
+	}
+	texts = texts[:0]
+	for _, f := range findings {
+		texts = append(texts, f.level+": "+f.text)
+	}
+	joined = strings.Join(texts, "\n")
+	for _, want := range []string{
+		"warning: throughput/edge/binary/points_per_sec regressed 2.00x",
+		"notice: throughput/edge/json/points_per_sec improved 2.00x",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("rate findings missing %q in:\n%s", want, joined)
+		}
+	}
+	cand, _ = normalize([]byte(sampleRaw))
+	cand.Metrics["throughput/edge/binary/points_per_sec"] *= 0.8
+	if findings, regressions = compare(base, cand, 1.6); len(findings) != 0 || regressions != 0 {
+		t.Fatalf("sub-threshold rate jitter should be silent: %v", findings)
 	}
 }

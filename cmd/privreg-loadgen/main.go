@@ -14,6 +14,13 @@
 //
 //	privreg-loadgen -addr http://127.0.0.1:8080 -streams 8 -points 64 -batch 8
 //
+// With -proto binary (plus -wire-addr host:port) ingest and verification ride
+// the compact binary wire protocol instead of HTTP/JSON — same deterministic
+// data, same shadow-pool bit-identity check, several times the throughput:
+//
+//	privreg-loadgen -addr $URL -wire-addr 127.0.0.1:8081 -proto binary \
+//	    -streams 8 -points 64 -batch 8
+//
 // Kill/restart verification: run a first phase, SIGTERM the server, restart
 // it (it restores from its checkpoint), then run a second phase with -from set
 // to the first phase's point count. The shadow pool locally replays points
@@ -36,6 +43,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +54,7 @@ import (
 	"time"
 
 	"privreg/internal/server"
+	"privreg/internal/wire"
 )
 
 // streamTarget is the cumulative number of points stream i has received once
@@ -84,6 +93,8 @@ func run() int {
 		verify  = flag.Bool("verify", true, "verify server estimates bit-identically against an in-process shadow pool")
 		prefix  = flag.String("stream-prefix", "load", "stream ID prefix")
 		skew    = flag.Float64("skew", 0, "churn mode: Zipf-like exponent for per-stream point counts (stream i gets ~points/(i+1)^skew; 0 = uniform)")
+		proto   = flag.String("proto", "json", `ingest transport: "json" (HTTP) or "binary" (the wire protocol; requires -wire-addr)`)
+		wireTgt = flag.String("wire-addr", "", "host:port of the server's binary wire listener (used with -proto binary)")
 	)
 	flag.Parse()
 	if *streams < 1 || *points < 1 || *batch < 1 || *from < 0 {
@@ -92,6 +103,16 @@ func run() int {
 	}
 	if *skew < 0 {
 		fmt.Fprintln(os.Stderr, "error: -skew must be non-negative")
+		return 2
+	}
+	switch *proto {
+	case "json", "binary":
+	default:
+		fmt.Fprintf(os.Stderr, "error: -proto must be json or binary, got %q\n", *proto)
+		return 2
+	}
+	if *proto == "binary" && *wireTgt == "" {
+		fmt.Fprintln(os.Stderr, "error: -proto binary requires -wire-addr")
 		return 2
 	}
 
@@ -105,6 +126,25 @@ func run() int {
 	}
 	fmt.Printf("server pool: mechanism=%s d=%d T=%d (ε=%g, δ=%g, seed=%d)\n",
 		spec.Mechanism, spec.Dim, spec.Horizon, spec.Epsilon, spec.Delta, spec.Seed)
+
+	// In binary mode all traffic — ingest and the verification estimates —
+	// rides one multiplexed wire connection shared by every stream goroutine.
+	// The handshake's pool shape must agree with /v1/config (same server, or
+	// somebody pointed the two flags at different deployments).
+	var wc *wire.Client
+	if *proto == "binary" {
+		wc, err = wire.Dial(*wireTgt, 10*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error: dialing wire listener:", err)
+			return 1
+		}
+		defer wc.Close()
+		if wc.Dim != spec.Dim || wc.Horizon != spec.Horizon || wc.Mechanism != spec.Mechanism {
+			fmt.Fprintf(os.Stderr, "error: wire handshake (mechanism=%s d=%d T=%d) disagrees with /v1/config (mechanism=%s d=%d T=%d); -wire-addr points at a different pool\n",
+				wc.Mechanism, wc.Dim, wc.Horizon, spec.Mechanism, spec.Dim, spec.Horizon)
+			return 2
+		}
+	}
 	to := *from + *points
 	if to > spec.Horizon {
 		fmt.Fprintf(os.Stderr, "error: from+points = %d exceeds the server's per-stream horizon %d\n", to, spec.Horizon)
@@ -153,7 +193,15 @@ func run() int {
 					time.Sleep(time.Until(next))
 					next = next.Add(interval)
 				}
-				n, retr, err := sendBatch(client, *addr, id, spec.Dim, lo, hi)
+				var (
+					n, retr int
+					err     error
+				)
+				if wc != nil {
+					n, retr, err = sendBatchWire(wc, id, spec.Dim, lo, hi)
+				} else {
+					n, retr, err = sendBatch(client, *addr, id, spec.Dim, lo, hi)
+				}
 				if err != nil {
 					errc <- fmt.Errorf("stream %s batch [%d,%d): %w", id, lo, hi, err)
 					return
@@ -172,8 +220,8 @@ func run() int {
 		return 1
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("sent %d points over %d streams in %s (%.0f points/sec, %d 429 retries)\n",
-		sent, len(ids), elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds(), retries429)
+	fmt.Printf("sent %d points over %d streams in %s via %s (%.0f points/sec, %d backpressure retries)\n",
+		sent, len(ids), elapsed.Round(time.Millisecond), *proto, float64(sent)/elapsed.Seconds(), retries429)
 
 	if !*verify {
 		return 0
@@ -199,7 +247,17 @@ func run() int {
 
 	mismatches := 0
 	for i, id := range ids {
-		est, n, err := fetchEstimate(client, *addr, id)
+		var (
+			est []float64
+			n   int
+		)
+		// Estimates ride the same transport as ingest, so a binary run
+		// verifies the wire protocol's estimate path too.
+		if wc != nil {
+			est, n, err = wc.Estimate(id)
+		} else {
+			est, n, err = fetchEstimate(client, *addr, id)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return 1
@@ -280,6 +338,36 @@ func sendBatch(client *http.Client, addr, id string, dim, lo, hi int) (int, int,
 		default:
 			return 0, retries, fmt.Errorf("%s: %s", resp.Status, respBody)
 		}
+	}
+}
+
+// sendBatchWire sends points [lo, hi) of the stream as one binary observe
+// frame, retrying on queue-full nacks with the same linear backoff as the
+// HTTP path. Returns the number of points applied and the number of
+// backpressure retries performed.
+func sendBatchWire(wc *wire.Client, id string, dim, lo, hi int) (int, int, error) {
+	xs := make([]float64, 0, (hi-lo)*dim)
+	ys := make([]float64, 0, hi-lo)
+	for j := lo; j < hi; j++ {
+		x, y := server.SyntheticPoint(id, j, dim)
+		xs = append(xs, x...)
+		ys = append(ys, y)
+	}
+	retries := 0
+	for {
+		applied, _, err := wc.Observe(id, xs, ys)
+		if err == nil {
+			return applied, retries, nil
+		}
+		var ne *wire.NackError
+		if !errors.As(err, &ne) || !ne.Retryable() {
+			return 0, retries, err
+		}
+		retries++
+		if retries > 200 {
+			return 0, retries, fmt.Errorf("still overloaded after %d retries: %s", retries, ne.Msg)
+		}
+		time.Sleep(time.Duration(10+10*min(retries, 10)) * time.Millisecond)
 	}
 }
 

@@ -36,9 +36,10 @@ func TestObserveHandlerAllocs(t *testing.T) {
 	}
 	run() // warm up: stream creation, pools, lazy buffers
 
-	// Measured ≈ 67 allocs/request on go1.24 linux/amd64; the budget leaves
+	// Measured ≈ 45 allocs/request on go1.24 linux/amd64 (down from ≈ 67
+	// before the decoded-slice reuse in observeScratch); the budget leaves
 	// headroom for Go-version drift without masking a lost pooled buffer.
-	const budget = 100
+	const budget = 60
 	if allocs := testing.AllocsPerRun(100, run); allocs > budget {
 		t.Fatalf("observe handler allocates %.0f times per request, budget %d", allocs, budget)
 	}

@@ -96,13 +96,30 @@ func (in *ingester) noteApplied(points int) {
 	in.rateMu.Unlock()
 }
 
-// ingestReq is one observation request waiting in a stream's queue. done
-// receives the application result exactly once (buffered so the drainer never
-// blocks on a departed waiter).
+// ingestReq is one observation request waiting in a stream's queue, in one of
+// two layouts: nested rows (the JSON path, xs) or a flat row-major buffer
+// (the wire path, flatXs with dim set), which travels to the pool through
+// ObserveFlat without ever materializing per-row slices. done receives the
+// application result exactly once (buffered so the drainer never blocks on a
+// departed waiter). The queue owner must not recycle the request's buffers
+// until done fires.
 type ingestReq struct {
-	xs   [][]float64
-	ys   []float64
-	done chan error
+	xs     [][]float64
+	ys     []float64
+	flatXs []float64 // row-major len(ys)×dim covariates; used when dim > 0
+	dim    int
+	done   chan error
+}
+
+// rows is the number of points the request carries in either layout.
+func (r *ingestReq) rows() int { return len(r.ys) }
+
+// row returns a view of covariate row i regardless of layout.
+func (r *ingestReq) row(i int) []float64 {
+	if r.dim > 0 {
+		return r.flatXs[i*r.dim : (i+1)*r.dim : (i+1)*r.dim]
+	}
+	return r.xs[i]
 }
 
 // streamQueue is the pending work of one stream. points counts queued (not
@@ -163,14 +180,33 @@ func newIngester(pool *privreg.Pool, maxPoints int, met *metrics) *ingester {
 	}
 }
 
-// enqueue submits one request for the stream and blocks until it has been
-// applied (or rejected). The returned error is the pool's verdict for exactly
-// this request's points.
+// enqueue submits one nested-layout request for the stream and blocks until
+// it has been applied (or rejected). The returned error is the pool's verdict
+// for exactly this request's points.
 func (in *ingester) enqueue(id string, xs [][]float64, ys []float64) error {
 	if len(xs) == 0 {
 		return nil
 	}
 	req := &ingestReq{xs: xs, ys: ys, done: make(chan error, 1)}
+	if err := in.submit(id, req); err != nil {
+		return err
+	}
+	return <-req.done
+}
+
+// submit places a request in the stream's queue without waiting for
+// application: admission errors (queue full, draining) return immediately and
+// nothing is queued; on nil the pool's verdict for exactly this request's
+// points arrives later on req.done. This is the pipelined front door the wire
+// connection uses — its read loop keeps decoding frames while earlier batches
+// drain — and enqueue is the blocking wrapper over it. Requests submitted for
+// the same stream are applied in submit order.
+func (in *ingester) submit(id string, req *ingestReq) error {
+	points := req.rows()
+	if points == 0 {
+		req.done <- nil
+		return nil
+	}
 
 	in.drainMu.RLock()
 	if in.draining {
@@ -194,7 +230,7 @@ func (in *ingester) enqueue(id string, xs [][]float64, ys []float64) error {
 			q.mu.Unlock()
 			continue
 		}
-		if q.points+len(xs) > in.maxPoints {
+		if q.points+points > in.maxPoints {
 			queued := q.points
 			q.mu.Unlock()
 			in.drainMu.RUnlock()
@@ -202,7 +238,7 @@ func (in *ingester) enqueue(id string, xs [][]float64, ys []float64) error {
 			return in.retryAfter(queued)
 		}
 		q.pending = append(q.pending, req)
-		q.points += len(xs)
+		q.points += points
 		if !q.active {
 			q.active = true
 			in.wg.Add(1)
@@ -212,8 +248,7 @@ func (in *ingester) enqueue(id string, xs [][]float64, ys []float64) error {
 		break
 	}
 	in.drainMu.RUnlock()
-
-	return <-req.done
+	return nil
 }
 
 // drainQueue applies a stream's queued requests until the queue is empty,
@@ -247,7 +282,7 @@ func (in *ingester) drainQueue(id string, q *streamQueue) {
 		q.pending = nil
 		taken := 0
 		for _, r := range batch {
-			taken += len(r.xs)
+			taken += r.rows()
 		}
 		q.points -= taken
 		q.mu.Unlock()
@@ -255,14 +290,27 @@ func (in *ingester) drainQueue(id string, q *streamQueue) {
 	}
 }
 
+// applyOne lands a single request on the pool through the entry point that
+// matches its layout: flat requests go through ObserveFlat (covariates stay
+// in the transport's receive buffer all the way into the estimator), nested
+// requests through ObserveBatch.
+func (in *ingester) applyOne(id string, r *ingestReq) error {
+	if r.dim > 0 {
+		return in.pool.ObserveFlat(id, r.dim, r.flatXs, r.ys)
+	}
+	return in.pool.ObserveBatch(id, r.xs, r.ys)
+}
+
 // apply lands a group of queued requests on the pool. The common case merges
-// them into one ObserveBatch; if the merged batch is rejected (for example one
-// request would overrun the stream's horizon, which rejects the whole batch),
-// it falls back to applying each request separately so errors attach to the
-// request that caused them and innocent requests still land.
+// them into one ObserveBatch — flat requests contribute row views into their
+// buffers, so merging never copies covariate values; if the merged batch is
+// rejected (for example one request would overrun the stream's horizon, which
+// rejects the whole batch), it falls back to applying each request separately
+// so errors attach to the request that caused them and innocent requests
+// still land.
 func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 	if len(batch) == 1 {
-		err := in.pool.ObserveBatch(id, batch[0].xs, batch[0].ys)
+		err := in.applyOne(id, batch[0])
 		if err == nil {
 			in.met.addIngested(points, 1)
 			in.noteApplied(points)
@@ -273,7 +321,9 @@ func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 	xs := make([][]float64, 0, points)
 	ys := make([]float64, 0, points)
 	for _, r := range batch {
-		xs = append(xs, r.xs...)
+		for i := 0; i < r.rows(); i++ {
+			xs = append(xs, r.row(i))
+		}
 		ys = append(ys, r.ys...)
 	}
 	if err := in.pool.ObserveBatch(id, xs, ys); err == nil {
@@ -285,10 +335,10 @@ func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 		return
 	}
 	for _, r := range batch {
-		err := in.pool.ObserveBatch(id, r.xs, r.ys)
+		err := in.applyOne(id, r)
 		if err == nil {
-			in.met.addIngested(len(r.xs), 1)
-			in.noteApplied(len(r.xs))
+			in.met.addIngested(r.rows(), 1)
+			in.noteApplied(r.rows())
 		}
 		r.done <- err
 	}

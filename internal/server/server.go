@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
@@ -157,6 +158,13 @@ type Server struct {
 
 	stopPeriodic chan struct{}
 
+	// Wire front-end state (see wire.go): live listeners and connections, and
+	// the WaitGroup Close uses to wait for every connection's ack pump.
+	wireMu        sync.Mutex
+	wireListeners []net.Listener
+	wireConns     map[net.Conn]struct{}
+	wireWg        sync.WaitGroup
+
 	closing   atomic.Bool // set before the drain starts, so healthz flips to 503 immediately
 	closeOnce sync.Once
 	closeErr  error
@@ -246,7 +254,12 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.closing.Store(true)
 		close(s.stopPeriodic)
+		// Wire intake stops first (no new frames enter the ingester), then the
+		// drain applies everything already queued, then the ack pumps — which
+		// the drain unblocked — flush their owed responses and hang up.
+		s.closeWireIntake()
 		s.ing.drain()
+		s.wireWg.Wait()
 		if s.ckpt != nil {
 			fs, secs, err := s.ckpt.save()
 			if err != nil {
@@ -372,11 +385,16 @@ type observeResponse struct {
 }
 
 // observeScratch is the pooled per-request scratch of the observe handler:
-// the body-read buffer (the dominant per-request allocation at serving batch
-// sizes) and the single-point batch wrapper. Safe to recycle after the
-// handler returns because enqueue blocks until the points are applied.
+// the body-read buffer and the decoded request itself. The request's slices
+// (the batch rows, the row slices inside them, the response vector) are reset
+// to length zero but keep their backing arrays between requests, and
+// encoding/json decodes into existing backing when capacity suffices — so a
+// steady stream of same-shaped batches decodes with no per-row allocation.
+// Safe to recycle after the handler returns because enqueue blocks until the
+// points are applied.
 type observeScratch struct {
 	body bytes.Buffer
+	req  observeRequest
 	xs1  [1][]float64
 	ys1  [1]float64
 }
@@ -388,43 +406,54 @@ var observeScratchPool = sync.Pool{New: func() any { return new(observeScratch) 
 // batch downstream can only fail for per-stream reasons (horizon overrun).
 // The returned slices may reference sc, which the caller releases back to the
 // pool when done.
+//
+// Field presence is length-based (a key is "set" when it decoded at least one
+// element), which is what permits slice reuse: an absent key leaves the
+// reset-to-empty slice untouched, so nil-ness can no longer distinguish
+// absent from empty. The one observable consequence is that an explicitly
+// empty batch ({"xs":[],"ys":[]}) is rejected like a missing body instead of
+// acked as a zero-point success.
 func (s *Server) decodeObserve(sc *observeScratch, r *http.Request) ([][]float64, []float64, error) {
 	sc.body.Reset()
 	if _, err := sc.body.ReadFrom(r.Body); err != nil {
 		return nil, nil, fmt.Errorf("server: reading observe body: %w", err)
 	}
-	var req observeRequest
+	req := &sc.req
+	req.X = req.X[:0]
+	req.Y = nil
+	req.Xs = req.Xs[:0]
+	req.Ys = req.Ys[:0]
 	dec := json.NewDecoder(bytes.NewReader(sc.body.Bytes()))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(req); err != nil {
 		return nil, nil, fmt.Errorf("server: decoding observe body: %w", err)
 	}
-	single := req.X != nil || req.Y != nil
-	batch := req.Xs != nil || req.Ys != nil
+	single := len(req.X) > 0 || req.Y != nil
+	batch := len(req.Xs) > 0 || len(req.Ys) > 0
+	xs, ys := req.Xs, req.Ys
 	switch {
 	case single && batch:
 		return nil, nil, errors.New(`server: observe body must set either {"x","y"} or {"xs","ys"}, not both`)
 	case single:
-		if req.X == nil || req.Y == nil {
+		if len(req.X) == 0 || req.Y == nil {
 			return nil, nil, errors.New(`server: single-point observe requires both "x" and "y"`)
 		}
 		sc.xs1[0] = req.X
 		sc.ys1[0] = *req.Y
-		req.Xs = sc.xs1[:]
-		req.Ys = sc.ys1[:]
+		xs, ys = sc.xs1[:], sc.ys1[:]
 	case batch:
-		if len(req.Xs) != len(req.Ys) {
-			return nil, nil, fmt.Errorf("server: batch covariate count %d does not match response count %d", len(req.Xs), len(req.Ys))
+		if len(xs) != len(ys) {
+			return nil, nil, fmt.Errorf("server: batch covariate count %d does not match response count %d", len(xs), len(ys))
 		}
 	default:
-		return nil, nil, errors.New(`server: observe body must set {"x","y"} or {"xs","ys"}`)
+		return nil, nil, errors.New(`server: observe body must set {"x","y"} or {"xs","ys"} with at least one point`)
 	}
-	for i, x := range req.Xs {
+	for i, x := range xs {
 		if len(x) != s.spec.Dim {
 			return nil, nil, fmt.Errorf("server: covariate %d has dimension %d, pool dimension is %d", i, len(x), s.spec.Dim)
 		}
 	}
-	return req.Xs, req.Ys, nil
+	return xs, ys, nil
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {

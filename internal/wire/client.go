@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NackError is the client-side form of a Nack frame: a per-request rejection
+// that did not break the connection. Queue-full nacks are retryable after
+// RetryAfter seconds; the rest are verdicts.
+type NackError struct {
+	Code       NackCode
+	RetryAfter int // seconds, for NackQueueFull
+	Msg        string
+}
+
+func (e *NackError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("wire: %s: %s", e.Code, e.Msg)
+	}
+	return fmt.Sprintf("wire: request rejected: %s", e.Code)
+}
+
+// Retryable reports whether backing off and resending can succeed.
+func (e *NackError) Retryable() bool { return e.Code == NackQueueFull }
+
+// Client is a connection to a privreg wire listener, safe for concurrent use
+// by any number of goroutines: requests from different streams (or the same
+// one) interleave on the single connection and are matched to responses by
+// request ID, so the connection stays full without head-of-line blocking
+// between streams — the client half of connection-level batching.
+type Client struct {
+	conn net.Conn
+
+	// wmu serializes frame writes; each request is built into the shared
+	// builder and written with one Write call.
+	wmu sync.Mutex
+	b   Builder
+
+	nextID atomic.Uint64
+
+	// pending maps in-flight request IDs to their waiters.
+	pmu     sync.Mutex
+	pending map[uint64]chan response
+	broken  error // set once the read loop dies; new requests fail fast
+
+	// Pool shape from the HelloAck.
+	Dim       int
+	Horizon   int
+	Mechanism string
+}
+
+type response struct {
+	frame FrameType
+	ack   Ack
+	est   EstimateAck
+	nack  Nack
+}
+
+// Dial connects to a wire listener, performs the Hello/HelloAck version
+// negotiation, and starts the response reader.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Frames are already batched application-side; waiting for more data
+		// only adds latency.
+		_ = tc.SetNoDelay(true)
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan response)}
+	var b Builder
+	AppendHello(&b, Hello{MinVersion: Version, MaxVersion: Version})
+	if _, err := conn.Write(b.Bytes()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	r := NewReader(conn)
+	if timeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	}
+	t, payload, err := r.Next()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: reading hello-ack: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	switch t {
+	case FrameHelloAck:
+	case FrameError:
+		conn.Close()
+		return nil, ParseError(payload)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("wire: expected hello-ack, got %s", t)
+	}
+	ack, err := ParseHelloAck(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if ack.Version != Version {
+		conn.Close()
+		return nil, fmt.Errorf("wire: server negotiated unsupported version %d", ack.Version)
+	}
+	c.Dim = int(ack.Dim)
+	c.Horizon = int(ack.Horizon)
+	c.Mechanism = ack.Mechanism
+	go c.readLoop(r)
+	return c, nil
+}
+
+// Close tears the connection down; in-flight requests fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readLoop dispatches response frames to their waiters until the connection
+// dies, then fails every remaining waiter.
+func (c *Client) readLoop(r *Reader) {
+	var err error
+	for {
+		var t FrameType
+		var payload []byte
+		t, payload, err = r.Next()
+		if err != nil {
+			break
+		}
+		var resp response
+		var reqID uint64
+		var perr error
+		switch t {
+		case FrameAck:
+			resp.frame = t
+			resp.ack, perr = ParseAck(payload)
+			reqID = resp.ack.ReqID
+		case FrameEstimateAck:
+			resp.frame = t
+			resp.est, perr = ParseEstimateAck(payload)
+			reqID = resp.est.ReqID
+		case FrameNack:
+			resp.frame = t
+			resp.nack, perr = ParseNack(payload)
+			reqID = resp.nack.ReqID
+		case FrameError:
+			err = ParseError(payload)
+		default:
+			err = fmt.Errorf("wire: unexpected frame %s from server", t)
+		}
+		if err != nil {
+			break
+		}
+		if perr != nil {
+			err = perr
+			break
+		}
+		c.pmu.Lock()
+		ch := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+	if err == nil {
+		err = errors.New("wire: connection closed")
+	}
+	c.pmu.Lock()
+	c.broken = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- response{frame: FrameError}
+	}
+	c.pmu.Unlock()
+	c.conn.Close()
+}
+
+// register allocates a request ID and its waiter channel.
+func (c *Client) register() (uint64, chan response, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan response, 1)
+	c.pmu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.pmu.Unlock()
+		return 0, nil, err
+	}
+	c.pending[id] = ch
+	c.pmu.Unlock()
+	return id, ch, nil
+}
+
+func (c *Client) send(build func(reqID uint64)) (uint64, chan response, error) {
+	reqID, ch, err := c.register()
+	if err != nil {
+		return 0, nil, err
+	}
+	c.wmu.Lock()
+	c.b.Reset()
+	build(reqID)
+	_, err = c.conn.Write(c.b.Bytes())
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, reqID)
+		c.pmu.Unlock()
+		return 0, nil, err
+	}
+	return reqID, ch, nil
+}
+
+func (c *Client) await(ch chan response) (response, error) {
+	resp := <-ch
+	if resp.frame == 0 || resp.frame == FrameError {
+		c.pmu.Lock()
+		err := c.broken
+		c.pmu.Unlock()
+		if err == nil {
+			err = errors.New("wire: connection closed")
+		}
+		return resp, err
+	}
+	if resp.frame == FrameNack {
+		return resp, &NackError{
+			Code:       resp.nack.Code,
+			RetryAfter: int(resp.nack.RetryAfter),
+			Msg:        resp.nack.Msg,
+		}
+	}
+	return resp, nil
+}
+
+// Observe sends one batched observe frame — rows in row-major xs
+// (len(ys)×Dim values) with responses ys — and blocks until the server acks
+// it (the points are applied) or nacks it. Safe to call concurrently.
+func (c *Client) Observe(id string, xs, ys []float64) (applied, streamLen int, err error) {
+	if len(xs) != len(ys)*c.Dim {
+		return 0, 0, fmt.Errorf("wire: observe batch %d×%d does not match pool dimension %d", len(ys), len(xs), c.Dim)
+	}
+	_, ch, err := c.send(func(reqID uint64) { AppendObserve(&c.b, reqID, id, c.Dim, xs, ys) })
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := c.await(ch)
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.frame != FrameAck {
+		return 0, 0, fmt.Errorf("wire: observe answered with %s", resp.frame)
+	}
+	return int(resp.ack.Applied), int(resp.ack.Len), nil
+}
+
+// Estimate fetches the stream's current private estimate and length.
+func (c *Client) Estimate(id string) ([]float64, int, error) {
+	_, ch, err := c.send(func(reqID uint64) { AppendEstimate(&c.b, reqID, id) })
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.await(ch)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.frame != FrameEstimateAck {
+		return nil, 0, fmt.Errorf("wire: estimate answered with %s", resp.frame)
+	}
+	return resp.est.Estimate, int(resp.est.Len), nil
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// fuzzSeeds returns a spread of well-formed frame buffers the fuzzers mutate
+// from; together with the checked-in regression corpus under testdata/fuzz
+// they cover every frame type and the interesting boundary shapes (empty
+// batches are unencodable, single-row frames, max-length IDs).
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	add := func(build func(b *Builder)) {
+		var b Builder
+		build(&b)
+		seeds = append(seeds, append([]byte(nil), b.Bytes()...))
+	}
+	add(func(b *Builder) { AppendHello(b, Hello{MinVersion: 1, MaxVersion: 1}) })
+	add(func(b *Builder) {
+		AppendHelloAck(b, HelloAck{Version: 1, Dim: 8, Horizon: 1 << 20, Mechanism: "gradient"})
+	})
+	add(func(b *Builder) {
+		AppendObserve(b, 1, "s", 4, []float64{1, 2, 3, 4, 5, 6, 7, 8}, []float64{0.5, -0.5})
+	})
+	add(func(b *Builder) { AppendObserve(b, 2, "stream-with-a-longer-name", 1, []float64{0.25}, []float64{1}) })
+	add(func(b *Builder) { AppendEstimate(b, 3, "s") })
+	add(func(b *Builder) { AppendAck(b, Ack{ReqID: 4, Applied: 8, Len: 64}) })
+	add(func(b *Builder) { AppendEstimateAck(b, EstimateAck{ReqID: 5, Len: 64, Estimate: []float64{1, -1}}) })
+	add(func(b *Builder) { AppendNack(b, Nack{ReqID: 6, Code: NackQueueFull, RetryAfter: 2, Msg: "full"}) })
+	add(func(b *Builder) { AppendError(b, "boom") })
+	// Two frames back to back — the multi-frame stream case.
+	add(func(b *Builder) {
+		AppendObserve(b, 7, "a", 2, []float64{1, 2}, []float64{3})
+		AppendEstimate(b, 8, "a")
+	})
+	return seeds
+}
+
+// FuzzFrameDecode throws arbitrary bytes at the full decode stack — envelope
+// then every typed payload parser — and requires it to either return an
+// error or a structurally valid frame; it must never panic, over-read, or
+// spin. This is the decoder the server runs against the open network.
+func FuzzFrameDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	// Hand-built hostile envelopes: truncations, length lies, CRC damage.
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 3})
+	f.Add([]byte{255, 255, 255, 255, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for i := 0; i < 1024 && len(rest) > 0; i++ {
+			ft, payload, n, err := DecodeFrame(rest)
+			if err != nil {
+				break
+			}
+			if n <= 0 || n > len(rest) {
+				t.Fatalf("DecodeFrame consumed %d of %d", n, len(rest))
+			}
+			parsePayload(t, ft, payload)
+			rest = rest[n:]
+		}
+
+		// The io path must agree with the slice path frame for frame.
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1024; i++ {
+			ft, payload, err := r.Next()
+			if err != nil {
+				if err == io.EOF {
+					break
+				}
+				break
+			}
+			parsePayload(t, ft, payload)
+		}
+	})
+}
+
+// parsePayload runs the typed parser for ft; parsers may reject the payload
+// but must not panic, and accepted observe frames must decode their rows
+// into exactly the advertised shape.
+func parsePayload(t *testing.T, ft FrameType, payload []byte) {
+	t.Helper()
+	switch ft {
+	case FrameHello:
+		_, _ = ParseHello(payload)
+	case FrameHelloAck:
+		_, _ = ParseHelloAck(payload)
+	case FrameObserve:
+		for _, dim := range []int{1, 4, 8} {
+			h, err := ParseObserveHeader(payload, dim)
+			if err != nil {
+				continue
+			}
+			xs := make([]float64, h.Rows*dim)
+			ys := make([]float64, h.Rows)
+			if err := h.DecodeRows(xs, ys); err != nil {
+				t.Fatalf("accepted observe header failed DecodeRows: %v", err)
+			}
+		}
+	case FrameEstimate:
+		_, _ = ParseEstimate(payload)
+	case FrameAck:
+		_, _ = ParseAck(payload)
+	case FrameEstimateAck:
+		_, _ = ParseEstimateAck(payload)
+	case FrameNack:
+		_, _ = ParseNack(payload)
+	case FrameError:
+		_ = ParseError(payload)
+	}
+}
+
+// FuzzObservePayload aims the fuzzer one layer deeper: payload bytes go
+// straight into the observe parser (no envelope to get past), which is where
+// the row-count/length arithmetic lives.
+func FuzzObservePayload(f *testing.F) {
+	var b Builder
+	AppendObserve(&b, 9, "seed", 2, []float64{1, 2, 3, 4}, []float64{5, 6})
+	_, payload, _, err := DecodeFrame(b.Bytes())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), payload...), 2)
+	f.Add([]byte{}, 1)
+	f.Fuzz(func(t *testing.T, payload []byte, dim int) {
+		if dim < 1 || dim > 64 {
+			dim = 1 + (dim&0x3f+64)%64
+		}
+		h, err := ParseObserveHeader(payload, dim)
+		if err != nil {
+			return
+		}
+		if h.Rows <= 0 {
+			t.Fatalf("accepted header with %d rows", h.Rows)
+		}
+		xs := make([]float64, h.Rows*dim)
+		ys := make([]float64, h.Rows)
+		if err := h.DecodeRows(xs, ys); err != nil {
+			t.Fatalf("accepted observe header failed DecodeRows: %v", err)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Reader decodes a frame stream from an io.Reader. The frame buffer is
+// reused across Next calls, so one long-lived connection decodes any number
+// of frames with zero steady-state allocation.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte // reused frame body (type + payload)
+	hdr [4]byte
+	crc [4]byte
+}
+
+// readerBufSize is the bufio buffer behind a connection reader: large enough
+// that a typical observe frame (a few KiB) arrives in one syscall.
+const readerBufSize = 64 << 10
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, readerBufSize)}
+}
+
+// Next reads one frame and returns its type and payload. The payload aliases
+// the reader's internal buffer and is valid only until the next call. Any
+// framing error (truncation, oversized length, CRC mismatch) is
+// connection-fatal: the stream position can no longer be trusted, and the
+// caller must close the connection.
+func (r *Reader) Next() (FrameType, []byte, error) {
+	if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
+		// A clean EOF between frames is the normal connection close; an EOF
+		// inside the length prefix is a truncated frame.
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, ErrTruncated
+		}
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(r.hdr[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrTruncated)
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes (max %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	body := r.buf[:n]
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return 0, nil, ErrTruncated
+	}
+	if _, err := io.ReadFull(r.br, r.crc[:]); err != nil {
+		return 0, nil, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(r.crc[:]) != crcOf(body) {
+		return 0, nil, ErrBadCRC
+	}
+	return FrameType(body[0]), body[1:], nil
+}
+
+// DecodeFrame parses one frame from a byte slice (no io), returning the
+// type, payload, and the number of bytes consumed. It is the fuzzing surface
+// and the building block for tests that assemble multi-frame buffers; the
+// connection paths use Reader. The payload aliases b.
+func DecodeFrame(b []byte) (t FrameType, payload []byte, consumed int, err error) {
+	if len(b) < 4 {
+		return 0, nil, 0, ErrTruncated
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n < 1 {
+		return 0, nil, 0, fmt.Errorf("%w: zero-length frame", ErrTruncated)
+	}
+	if n > MaxFrame {
+		return 0, nil, 0, fmt.Errorf("%w: %d bytes (max %d)", ErrFrameTooLarge, n, MaxFrame)
+	}
+	total := 4 + int(n) + 4
+	if len(b) < total {
+		return 0, nil, 0, ErrTruncated
+	}
+	body := b[4 : 4+n]
+	if binary.LittleEndian.Uint32(b[4+n:]) != crcOf(body) {
+		return 0, nil, 0, ErrBadCRC
+	}
+	return FrameType(body[0]), body[1:], total, nil
+}

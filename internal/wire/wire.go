@@ -1,0 +1,611 @@
+// Package wire implements the compact framed binary protocol of the privreg
+// serving edge: the hot ingest/estimate path spoken over persistent TCP
+// connections, negotiated alongside (not instead of) the HTTP/JSON API.
+//
+// The JSON edge tops out parsing documents — at serving batch sizes the
+// network layer costs more than the DP mechanisms behind it. This protocol
+// removes that ceiling: observations travel as length-prefixed, CRC-checked
+// frames of raw little-endian float64 rows, so the server-side decode is a
+// bounds check plus a bit-pattern copy straight into estimator-owned buffers
+// (no intermediate row-slice structures, no text parsing), and one connection
+// carries any number of streams (frames for different streams interleave
+// freely and coalesce in the server's group-commit ingester).
+//
+// # Framing
+//
+// Every frame has the same envelope (all integers little-endian, the
+// convention internal/codec established for the checkpoint formats):
+//
+//	u32  n        byte length of what follows, excluding the trailing CRC
+//	u8   type     frame type (the first of the n bytes)
+//	...  payload  n-1 bytes
+//	u32  crc      CRC-32 (IEEE) over the n bytes (type + payload)
+//
+// A connection opens with a Hello/HelloAck version negotiation and then
+// carries request frames (Observe, Estimate) upstream and response frames
+// (Ack, EstimateAck, Nack) downstream. Requests carry a client-chosen u64
+// request ID echoed by the matching response, so responses may be awaited
+// out of order and many requests can be in flight at once. Error frames are
+// connection-fatal in both directions: the sender reports why and closes.
+//
+// # Backpressure
+//
+// The server applies the same admission control as the HTTP edge, expressed
+// as Nack frames instead of status codes: NackQueueFull carries the same
+// Retry-After derivation as the HTTP 429 (EWMA drain-rate share plus
+// jitter), NackDraining is the 503 analogue, NackStreamFull the 409, and
+// NackBadRequest the 400. A drain finishes every queued observation and
+// flushes its acks before the connection closes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Magic opens every Hello payload; it is what lets a server reject a stray
+// HTTP request (or any other plaintext) aimed at the wire port with a clean
+// error instead of a confusing CRC failure deep into the stream.
+const Magic = "PRWB"
+
+// Version is the protocol version this package speaks. Hello carries the
+// client's supported range; the server picks the highest version both sides
+// share and echoes it in HelloAck.
+const Version = 1
+
+// MaxFrame bounds the encoded size of a single frame (type + payload). It
+// exists so a corrupt or adversarial length prefix cannot make a reader
+// allocate gigabytes before the CRC check has a chance to reject the frame.
+// At dim 512 it still leaves room for batches of thousands of rows.
+const MaxFrame = 1 << 24
+
+// FrameType identifies a frame. The zero value is invalid so an all-zeros
+// buffer never parses.
+type FrameType uint8
+
+// Frame types. Hello/HelloAck appear exactly once per connection, in that
+// order; everything after is requests upstream, responses downstream.
+const (
+	FrameHello       FrameType = 1 // client → server: magic + supported version range
+	FrameHelloAck    FrameType = 2 // server → client: chosen version + pool shape
+	FrameObserve     FrameType = 3 // client → server: batched rows for one stream
+	FrameEstimate    FrameType = 4 // client → server: estimate request
+	FrameAck         FrameType = 5 // server → client: observe accepted and applied
+	FrameEstimateAck FrameType = 6 // server → client: estimate vector
+	FrameNack        FrameType = 7 // server → client: request rejected (retryable or not)
+	FrameError       FrameType = 8 // either direction: fatal protocol error, then close
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameHelloAck:
+		return "hello-ack"
+	case FrameObserve:
+		return "observe"
+	case FrameEstimate:
+		return "estimate"
+	case FrameAck:
+		return "ack"
+	case FrameEstimateAck:
+		return "estimate-ack"
+	case FrameNack:
+		return "nack"
+	case FrameError:
+		return "error"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// NackCode says why a request was rejected and whether retrying can help.
+type NackCode uint8
+
+// Nack codes, mirroring the HTTP edge's status mapping.
+const (
+	NackQueueFull     NackCode = 1 // retryable: stream ingest queue full (HTTP 429)
+	NackDraining      NackCode = 2 // server shutting down (HTTP 503)
+	NackStreamFull    NackCode = 3 // horizon overrun, batch rejected whole (HTTP 409)
+	NackUnknownStream NackCode = 4 // estimate for a stream that never observed (HTTP 404)
+	NackBadRequest    NackCode = 5 // malformed request (HTTP 400)
+)
+
+func (c NackCode) String() string {
+	switch c {
+	case NackQueueFull:
+		return "queue-full"
+	case NackDraining:
+		return "draining"
+	case NackStreamFull:
+		return "stream-full"
+	case NackUnknownStream:
+		return "unknown-stream"
+	case NackBadRequest:
+		return "bad-request"
+	default:
+		return fmt.Sprintf("nack(%d)", uint8(c))
+	}
+}
+
+// Framing errors. ErrFrameTooLarge and ErrBadCRC are connection-fatal: after
+// either, the stream position can no longer be trusted.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size bound")
+	ErrBadCRC        = errors.New("wire: frame CRC mismatch")
+	ErrTruncated     = errors.New("wire: truncated frame")
+)
+
+// maxIDLen bounds stream IDs on the wire; IDs are routing keys, not
+// documents.
+const maxIDLen = 1 << 10
+
+// frameOverhead is the envelope cost around a payload: u32 length, u8 type,
+// u32 CRC.
+const frameOverhead = 4 + 1 + 4
+
+// crcOf is the per-frame checksum: CRC-32 (IEEE) over type byte + payload,
+// the same polynomial the checkpoint segment files use. It catches the
+// failure modes networks and kernels actually produce — truncation, bit
+// flips, interleaved writes — not adversaries.
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// Builder assembles frames into a reusable buffer. The zero value is ready;
+// a Builder is not safe for concurrent use. Typical use appends one or more
+// frames with Begin/…/Finish and writes Bytes() to the connection in a
+// single write.
+type Builder struct {
+	buf   []byte
+	start int // offset of the current frame's length prefix
+}
+
+// Reset discards buffered frames, keeping capacity.
+func (b *Builder) Reset() { b.buf = b.buf[:0] }
+
+// Bytes returns every finished frame appended since the last Reset.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// Len returns the buffered byte count.
+func (b *Builder) Len() int { return len(b.buf) }
+
+// Begin opens a frame of the given type. Each Begin must be matched by
+// Finish before the next Begin.
+func (b *Builder) Begin(t FrameType) {
+	b.start = len(b.buf)
+	b.buf = append(b.buf, 0, 0, 0, 0) // length backpatched by Finish
+	b.buf = append(b.buf, byte(t))
+}
+
+// Finish closes the frame opened by Begin: backpatches the length prefix and
+// appends the CRC.
+func (b *Builder) Finish() {
+	body := b.buf[b.start+4:] // type + payload
+	binary.LittleEndian.PutUint32(b.buf[b.start:], uint32(len(body)))
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, crcOf(body))
+}
+
+// U8 appends one byte to the open frame's payload.
+func (b *Builder) U8(v uint8) { b.buf = append(b.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (b *Builder) U16(v uint16) { b.buf = binary.LittleEndian.AppendUint16(b.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (b *Builder) U32(v uint32) { b.buf = binary.LittleEndian.AppendUint32(b.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (b *Builder) U64(v uint64) { b.buf = binary.LittleEndian.AppendUint64(b.buf, v) }
+
+// F64 appends a float64 by its IEEE-754 bit pattern, preserving the exact
+// value — the property the bit-identical shadow verification rides on.
+func (b *Builder) F64(v float64) { b.U64(math.Float64bits(v)) }
+
+// F64s appends a run of float64s with no length prefix (the frame header
+// carries the counts).
+func (b *Builder) F64s(vs []float64) {
+	// Appending bit patterns in a tight loop is the whole encode path: no
+	// reflection, no text, no per-element allocation.
+	for _, v := range vs {
+		b.buf = binary.LittleEndian.AppendUint64(b.buf, math.Float64bits(v))
+	}
+}
+
+// Str16 appends a u16 length-prefixed string (stream IDs, error messages).
+func (b *Builder) Str16(s string) {
+	b.U16(uint16(len(s)))
+	b.buf = append(b.buf, s...)
+}
+
+// Payload is a sticky-error cursor over one frame's payload, the decode-side
+// mirror of Builder (and of internal/codec.Reader: first error wins, later
+// reads are no-ops, so decoders read straight-line and check once).
+type Payload struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewPayload wraps a payload slice for decoding.
+func NewPayload(b []byte) Payload { return Payload{buf: b} }
+
+// Err returns the first decode error, or nil.
+func (p *Payload) Err() error { return p.err }
+
+// Remaining returns the number of unread bytes.
+func (p *Payload) Remaining() int { return len(p.buf) - p.off }
+
+func (p *Payload) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+func (p *Payload) take(n int) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || len(p.buf)-p.off < n {
+		p.fail(ErrTruncated)
+		return nil
+	}
+	b := p.buf[p.off : p.off+n]
+	p.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (p *Payload) U8() uint8 {
+	b := p.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (p *Payload) U16() uint16 {
+	b := p.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (p *Payload) U32() uint32 {
+	b := p.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (p *Payload) U64() uint64 {
+	b := p.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F64 reads a float64 bit pattern.
+func (p *Payload) F64() float64 { return math.Float64frombits(p.U64()) }
+
+// Bytes16 reads a u16 length-prefixed byte slice, aliasing the payload (no
+// copy); the slice is only valid until the frame buffer is reused.
+func (p *Payload) Bytes16() []byte {
+	n := int(p.U16())
+	return p.take(n)
+}
+
+// Str16 reads a u16 length-prefixed string (copies, so it outlives the
+// frame buffer).
+func (p *Payload) Str16() string { return string(p.Bytes16()) }
+
+// F64sInto fills dst from consecutive bit patterns. It is the hot decode
+// primitive: one bounds check, then a straight copy of len(dst) words with
+// no per-element error handling.
+func (p *Payload) F64sInto(dst []float64) {
+	b := p.take(8 * len(dst))
+	if b == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// Finish returns the first decode error, or an error if unread payload
+// remains (the frame and the decoder disagree about the format).
+func (p *Payload) Finish() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.Remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing payload bytes", p.Remaining())
+	}
+	return nil
+}
+
+// --- Typed frame payloads -------------------------------------------------
+
+// Hello is the client's opening frame.
+type Hello struct {
+	// MinVersion and MaxVersion delimit the protocol versions the client
+	// speaks (inclusive).
+	MinVersion, MaxVersion uint16
+}
+
+// AppendHello appends a Hello frame.
+func AppendHello(b *Builder, h Hello) {
+	b.Begin(FrameHello)
+	b.buf = append(b.buf, Magic...)
+	b.U16(h.MinVersion)
+	b.U16(h.MaxVersion)
+	b.Finish()
+}
+
+// ParseHello decodes a Hello payload.
+func ParseHello(payload []byte) (Hello, error) {
+	var h Hello
+	p := NewPayload(payload)
+	if magic := p.take(len(Magic)); magic != nil && string(magic) != Magic {
+		return h, fmt.Errorf("wire: not a privreg wire connection (bad magic %q)", magic)
+	}
+	h.MinVersion = p.U16()
+	h.MaxVersion = p.U16()
+	if err := p.Finish(); err != nil {
+		return h, err
+	}
+	if h.MinVersion > h.MaxVersion {
+		return h, fmt.Errorf("wire: hello version range [%d,%d] is empty", h.MinVersion, h.MaxVersion)
+	}
+	return h, nil
+}
+
+// HelloAck is the server's reply: the negotiated version plus the pool shape
+// a client needs to frame observations (row width) and sanity-check that it
+// is talking to the pool it thinks it is.
+type HelloAck struct {
+	Version   uint16
+	Dim       uint32
+	Horizon   uint64
+	Mechanism string
+}
+
+// AppendHelloAck appends a HelloAck frame.
+func AppendHelloAck(b *Builder, a HelloAck) {
+	b.Begin(FrameHelloAck)
+	b.U16(a.Version)
+	b.U32(a.Dim)
+	b.U64(a.Horizon)
+	b.Str16(a.Mechanism)
+	b.Finish()
+}
+
+// ParseHelloAck decodes a HelloAck payload.
+func ParseHelloAck(payload []byte) (HelloAck, error) {
+	var a HelloAck
+	p := NewPayload(payload)
+	a.Version = p.U16()
+	a.Dim = p.U32()
+	a.Horizon = p.U64()
+	a.Mechanism = p.Str16()
+	return a, p.Finish()
+}
+
+// ObserveHeader describes an Observe frame before its row data is decoded:
+// everything needed for admission control (stream, row count) without
+// touching the floats. Rows is validated against the payload length, so a
+// header that parses cleanly guarantees the row region is exactly
+// Rows×(Dim+1) float64s.
+type ObserveHeader struct {
+	ReqID uint64
+	// ID aliases the frame buffer (valid until the next read); the server
+	// interns it per connection rather than allocating a string per frame.
+	ID   []byte
+	Rows int
+	rows []byte // raw little-endian row region: Rows×Dim xs then Rows ys
+	dim  int
+}
+
+// AppendObserve appends an Observe frame: reqID, stream ID, and rows in
+// row-major order — xs is Rows×dim values, ys is Rows values.
+func AppendObserve(b *Builder, reqID uint64, id string, dim int, xs, ys []float64) {
+	b.Begin(FrameObserve)
+	b.U64(reqID)
+	b.Str16(id)
+	b.U32(uint32(len(ys)))
+	_ = dim // the frame format derives the row width from the ack'd pool shape
+	b.F64s(xs)
+	b.F64s(ys)
+	b.Finish()
+}
+
+// ParseObserveHeader decodes an Observe payload against the connection's
+// negotiated dimension. The returned header aliases the payload.
+func ParseObserveHeader(payload []byte, dim int) (ObserveHeader, error) {
+	var h ObserveHeader
+	p := NewPayload(payload)
+	h.ReqID = p.U64()
+	h.ID = p.Bytes16()
+	rows := p.U32()
+	if p.Err() != nil {
+		return h, p.Err()
+	}
+	if len(h.ID) == 0 || len(h.ID) > maxIDLen {
+		return h, fmt.Errorf("wire: observe stream id length %d outside [1,%d]", len(h.ID), maxIDLen)
+	}
+	// Bound rows by what the remaining payload could possibly hold before
+	// multiplying, so a hostile count cannot overflow the size check.
+	if rows == 0 || uint64(rows) > uint64(p.Remaining())/8 {
+		return h, fmt.Errorf("wire: observe row count %d inconsistent with %d payload bytes", rows, p.Remaining())
+	}
+	h.Rows = int(rows)
+	h.dim = dim
+	want := 8 * h.Rows * (dim + 1)
+	if p.Remaining() != want {
+		return h, fmt.Errorf("wire: observe frame carries %d row bytes, want %d (%d rows × dim %d + responses)", p.Remaining(), want, h.Rows, dim)
+	}
+	h.rows = p.take(want)
+	return h, p.Finish()
+}
+
+// DecodeRows fills xs (Rows×dim values, row-major) and ys (Rows values)
+// straight from the frame's bit patterns. The caller supplies the
+// destination — in the server that is the pooled flat buffer handed to the
+// estimator, which is what makes the ingest path copy-once end to end.
+func (h *ObserveHeader) DecodeRows(xs, ys []float64) error {
+	if len(xs) != h.Rows*h.dim || len(ys) != h.Rows {
+		return fmt.Errorf("wire: DecodeRows destination %d×%d does not match frame %d×%d", len(ys), len(xs), h.Rows, h.Rows*h.dim)
+	}
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(h.rows[8*i:]))
+	}
+	off := 8 * len(xs)
+	for i := range ys {
+		ys[i] = math.Float64frombits(binary.LittleEndian.Uint64(h.rows[off+8*i:]))
+	}
+	return nil
+}
+
+// EstimateReq is an Estimate frame: a request ID and a stream.
+type EstimateReq struct {
+	ReqID uint64
+	ID    []byte // aliases the frame buffer
+}
+
+// AppendEstimate appends an Estimate frame.
+func AppendEstimate(b *Builder, reqID uint64, id string) {
+	b.Begin(FrameEstimate)
+	b.U64(reqID)
+	b.Str16(id)
+	b.Finish()
+}
+
+// ParseEstimate decodes an Estimate payload.
+func ParseEstimate(payload []byte) (EstimateReq, error) {
+	var e EstimateReq
+	p := NewPayload(payload)
+	e.ReqID = p.U64()
+	e.ID = p.Bytes16()
+	if err := p.Finish(); err != nil {
+		return e, err
+	}
+	if len(e.ID) == 0 || len(e.ID) > maxIDLen {
+		return e, fmt.Errorf("wire: estimate stream id length %d outside [1,%d]", len(e.ID), maxIDLen)
+	}
+	return e, nil
+}
+
+// Ack confirms an Observe: the points are applied to the private state (the
+// wire analogue of the HTTP 200 — ack-after-apply, never ack-then-apply).
+type Ack struct {
+	ReqID   uint64
+	Applied uint32 // points applied by this request
+	Len     uint64 // stream length after applying
+}
+
+// AppendAck appends an Ack frame.
+func AppendAck(b *Builder, a Ack) {
+	b.Begin(FrameAck)
+	b.U64(a.ReqID)
+	b.U32(a.Applied)
+	b.U64(a.Len)
+	b.Finish()
+}
+
+// ParseAck decodes an Ack payload.
+func ParseAck(payload []byte) (Ack, error) {
+	var a Ack
+	p := NewPayload(payload)
+	a.ReqID = p.U64()
+	a.Applied = p.U32()
+	a.Len = p.U64()
+	return a, p.Finish()
+}
+
+// EstimateAck carries an estimate vector back to the client.
+type EstimateAck struct {
+	ReqID    uint64
+	Len      uint64
+	Estimate []float64
+}
+
+// AppendEstimateAck appends an EstimateAck frame.
+func AppendEstimateAck(b *Builder, a EstimateAck) {
+	b.Begin(FrameEstimateAck)
+	b.U64(a.ReqID)
+	b.U64(a.Len)
+	b.U32(uint32(len(a.Estimate)))
+	b.F64s(a.Estimate)
+	b.Finish()
+}
+
+// ParseEstimateAck decodes an EstimateAck payload.
+func ParseEstimateAck(payload []byte) (EstimateAck, error) {
+	var a EstimateAck
+	p := NewPayload(payload)
+	a.ReqID = p.U64()
+	a.Len = p.U64()
+	n := p.U32()
+	if p.Err() != nil {
+		return a, p.Err()
+	}
+	if uint64(n) != uint64(p.Remaining())/8 || p.Remaining()%8 != 0 {
+		return a, fmt.Errorf("wire: estimate-ack dimension %d inconsistent with %d payload bytes", n, p.Remaining())
+	}
+	a.Estimate = make([]float64, n)
+	p.F64sInto(a.Estimate)
+	return a, p.Finish()
+}
+
+// Nack rejects one request, retryably or not.
+type Nack struct {
+	ReqID      uint64
+	Code       NackCode
+	RetryAfter uint16 // seconds; meaningful only for NackQueueFull
+	Msg        string
+}
+
+// AppendNack appends a Nack frame.
+func AppendNack(b *Builder, n Nack) {
+	b.Begin(FrameNack)
+	b.U64(n.ReqID)
+	b.U8(uint8(n.Code))
+	b.U16(n.RetryAfter)
+	b.Str16(n.Msg)
+	b.Finish()
+}
+
+// ParseNack decodes a Nack payload.
+func ParseNack(payload []byte) (Nack, error) {
+	var n Nack
+	p := NewPayload(payload)
+	n.ReqID = p.U64()
+	n.Code = NackCode(p.U8())
+	n.RetryAfter = p.U16()
+	n.Msg = p.Str16()
+	return n, p.Finish()
+}
+
+// AppendError appends a connection-fatal Error frame.
+func AppendError(b *Builder, msg string) {
+	b.Begin(FrameError)
+	b.Str16(msg)
+	b.Finish()
+}
+
+// ParseError decodes an Error payload into a Go error.
+func ParseError(payload []byte) error {
+	p := NewPayload(payload)
+	msg := p.Str16()
+	if err := p.Finish(); err != nil {
+		return err
+	}
+	return fmt.Errorf("wire: peer error: %s", msg)
+}

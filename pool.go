@@ -201,6 +201,32 @@ func (p *Pool) ObserveBatch(id string, xs [][]float64, ys []float64) error {
 	})
 }
 
+// ObserveFlat feeds a batch whose covariates are packed row-major in a single
+// flat buffer: point i is (xs[i*dim:(i+1)*dim], ys[i]). Semantics are
+// identical to ObserveBatch; the flat layout lets transport decoders hand the
+// pool their receive buffers directly, with no per-row slice allocation. The
+// pool does not retain xs or ys after the call returns.
+func (p *Pool) ObserveFlat(id string, dim int, xs []float64, ys []float64) error {
+	if dim <= 0 {
+		return fmt.Errorf("privreg: flat batch dimension must be positive, got %d", dim)
+	}
+	if len(xs) != dim*len(ys) {
+		return fmt.Errorf("privreg: flat batch has %d covariate values, want %d (%d rows × dim %d)", len(xs), dim*len(ys), len(ys), dim)
+	}
+	return p.store.Update(id, true, func(st store.Stream) error {
+		est := st.(Estimator)
+		if fo, ok := est.(FlatObserver); ok {
+			return fo.ObserveFlat(dim, xs, ys)
+		}
+		// Fallback for custom Estimator implementations: materialize row views.
+		rows := make([][]float64, len(ys))
+		for i := range rows {
+			rows[i] = xs[i*dim : (i+1)*dim : (i+1)*dim]
+		}
+		return est.ObserveBatch(rows, ys)
+	})
+}
+
 // Estimate returns the current private estimate for the given stream. Unknown
 // streams are an error (an estimate for a stream that never observed anything
 // is almost always a caller bug; create streams by observing).

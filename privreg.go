@@ -137,6 +137,23 @@ type Estimator interface {
 	UnmarshalBinary(data []byte) error
 }
 
+// FlatObserver is the zero-copy batch-ingest extension of Estimator: a flat
+// row-major covariate buffer (len(ys)×dim values) instead of a [][]float64.
+// It exists for network edges that decode wire frames straight into pooled
+// float buffers — ObserveFlat reads rows as subslices of xs, builds no
+// intermediate per-row structures, and is bit-identical to the equivalent
+// ObserveBatch call (mechanisms copy what they keep, so xs may be reused the
+// moment the call returns).
+//
+// Every estimator returned by New implements FlatObserver; the interface is
+// separate so existing Estimator implementations stay valid.
+type FlatObserver interface {
+	// ObserveFlat feeds len(ys) points whose covariates are packed row-major
+	// in xs: point i is (xs[i*dim:(i+1)*dim], ys[i]). Validation and horizon
+	// semantics match ObserveBatch (all-or-nothing).
+	ObserveFlat(dim int, xs []float64, ys []float64) error
+}
+
 // Config is the common configuration of the deprecated estimator
 // constructors. New code should construct estimators with New and functional
 // options (WithPrivacy, WithHorizon, WithConstraint, …), which validate at the
@@ -211,6 +228,9 @@ func (cfg Config) horizonOrDefault() int {
 type estimatorAdapter struct {
 	inner     core.Estimator
 	mechanism string
+	// flatScratch is the estimator-owned loss.Point buffer ObserveFlat reuses
+	// across calls, so the hot wire-ingest path allocates nothing per batch.
+	flatScratch []loss.Point
 }
 
 func (a *estimatorAdapter) Name() string { return a.inner.Name() }
@@ -233,6 +253,36 @@ func (a *estimatorAdapter) ObserveBatch(xs [][]float64, ys []float64) error {
 		ps[i] = loss.Point{X: vec.Vector(xs[i]), Y: ys[i]}
 	}
 	return a.inner.ObserveBatch(ps)
+}
+
+// ObserveFlat implements FlatObserver: rows are read as subslices of the flat
+// buffer and staged in the adapter-owned scratch, so nothing per-row is
+// allocated and nothing references xs after the call (mechanisms copy on
+// ingest; the scratch aliases are cleared before returning).
+func (a *estimatorAdapter) ObserveFlat(dim int, xs []float64, ys []float64) error {
+	if dim <= 0 {
+		return fmt.Errorf("privreg: flat batch dimension must be positive, got %d", dim)
+	}
+	if len(xs) != dim*len(ys) {
+		return fmt.Errorf("privreg: flat batch has %d covariate values, want %d (%d rows × dim %d)", len(xs), dim*len(ys), len(ys), dim)
+	}
+	if len(ys) == 0 {
+		return nil
+	}
+	if cap(a.flatScratch) < len(ys) {
+		a.flatScratch = make([]loss.Point, len(ys))
+	}
+	ps := a.flatScratch[:len(ys)]
+	for i := range ps {
+		ps[i] = loss.Point{X: vec.Vector(xs[i*dim : (i+1)*dim : (i+1)*dim]), Y: ys[i]}
+	}
+	err := a.inner.ObserveBatch(ps)
+	// Drop the aliases: the caller is free to recycle xs into a buffer pool,
+	// and a stale reference here would pin (and silently share) it.
+	for i := range ps {
+		ps[i].X = nil
+	}
+	return err
 }
 
 func (a *estimatorAdapter) Estimate() ([]float64, error) {

@@ -5,7 +5,8 @@
 # This is the CI e2e job (and runnable locally: ./scripts/e2e_smoke.sh). It
 # exercises the full binary path the Go tests can't: process boot, flag
 # parsing, signal-driven drain, checkpoint files surviving an actual process
-# death, and the loadgen's shadow-pool verification across both phases.
+# death, and the loadgen's shadow-pool verification across both phases — over
+# HTTP/JSON, under spill-store churn, and over the binary wire protocol.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -161,3 +162,63 @@ echo "== graceful shutdown"
 stop_server
 
 echo "e2e smoke OK: restart from checkpoint is bit-identical (uniform + churn/spill)"
+
+# ---------------------------------------------------------------------------
+# Binary wire phase: the same restart contract over the binary protocol.
+#
+# A third server listens on both front ends (-wire-addr); the loadgen drives
+# it with -proto binary — observes and estimate verification both go over the
+# wire protocol, with the HTTP /v1/config endpoint only cross-checked against
+# the HelloAck handshake. SIGTERM mid-history, restart, continue: the shadow
+# pool's bit-identical verdict proves the wire decode path (frames → flat
+# row buffers → estimators) applies exactly the same floats in exactly the
+# same order as the JSON path and that drain flushes every pending wire ack.
+# ---------------------------------------------------------------------------
+
+wire_data="$(mktemp -d)"
+wire_http="127.0.0.1:18331"
+wire_bin="127.0.0.1:18332"
+trap 'cleanup; rm -rf "$churn_data" "$wire_data"' EXIT
+
+wire_flags=(
+  -addr "$wire_http" -wire-addr "$wire_bin"
+  -mechanism gradient -epsilon 1 -delta 1e-6
+  -horizon 512 -dim 8 -radius 1 -seed 42
+  -checkpoint-dir "$wire_data" -checkpoint-interval 2s
+)
+
+start_wire_server() {
+  "$bin/privreg-server" "${wire_flags[@]}" &
+  srv_pid=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$wire_http/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$srv_pid" 2>/dev/null; then
+      echo "wire server died during startup" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "wire server never became healthy" >&2
+  return 1
+}
+
+echo "== wire phase 1: binary ingest 8 streams x 24 points + verify"
+start_wire_server
+"$bin/privreg-loadgen" -addr "http://$wire_http" -proto binary -wire-addr "$wire_bin" \
+  -streams 8 -points 24 -batch 6
+
+echo "== SIGTERM mid-history (drain flushes pending wire acks + checkpoint)"
+stop_server
+test -f "$wire_data/MANIFEST" || { echo "no manifest written by wire phase" >&2; exit 1; }
+
+echo "== wire phase 2: restart + binary ingest 16 more points + verify"
+start_wire_server
+"$bin/privreg-loadgen" -addr "http://$wire_http" -proto binary -wire-addr "$wire_bin" \
+  -streams 8 -points 16 -from 24 -batch 4
+
+echo "== graceful shutdown"
+stop_server
+
+echo "e2e smoke OK: restart from checkpoint is bit-identical (json + churn/spill + binary wire)"
