@@ -53,17 +53,18 @@ type jsonTable struct {
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {
-	Seed        int64         `json:"seed"`
-	Trials      int           `json:"trials"`
-	Quick       bool          `json:"quick"`
-	Workers     int           `json:"workers"`
-	Epsilon     float64       `json:"epsilon"`
-	Delta       float64       `json:"delta"`
-	WallSeconds float64       `json:"wall_seconds"`
-	Results     []jsonResult  `json:"results"`
-	Throughput  []probeResult `json:"throughput,omitempty"`
-	Edge        []edgeResult  `json:"edge,omitempty"`
-	Error       string        `json:"error,omitempty"`
+	Seed        int64          `json:"seed"`
+	Trials      int            `json:"trials"`
+	Quick       bool           `json:"quick"`
+	Workers     int            `json:"workers"`
+	Epsilon     float64        `json:"epsilon"`
+	Delta       float64        `json:"delta"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Results     []jsonResult   `json:"results"`
+	Throughput  []probeResult  `json:"throughput,omitempty"`
+	Edge        []edgeResult   `json:"edge,omitempty"`
+	Cluster     *clusterResult `json:"cluster,omitempty"`
+	Error       string         `json:"error,omitempty"`
 }
 
 // probeResult is the machine-readable form of one serving-shaped throughput
@@ -123,6 +124,7 @@ func run() int {
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		mechanism  = flag.String("mechanism", "", "run a throughput probe of one registry mechanism instead of the paper experiments (see privreg-demo -list)")
 		edge       = flag.Bool("edge", false, "run only the edge-throughput probes (HTTP/JSON vs binary wire) and print the rates")
+		clusterFl  = flag.Bool("cluster", false, "run only the cluster-throughput probe (3-node ring, binary wire, ring-aware routing) and print the rate")
 		horizon    = flag.Int("T", 1000, "throughput probe: stream length")
 		dim        = flag.Int("d", 32, "throughput probe: covariate dimension")
 		batch      = flag.Int("batch", 32, "throughput probe: batch size for the batched ingestion pass")
@@ -143,6 +145,10 @@ func run() int {
 
 	if *edge {
 		return runEdgeCLI(*quick, *seed, *asJSON)
+	}
+
+	if *clusterFl {
+		return runClusterCLI(*quick, *seed, *asJSON)
 	}
 
 	opts := experiments.Options{
@@ -197,6 +203,13 @@ func run() int {
 		if runErr == nil {
 			var err error
 			report.Edge, err = runEdgeProbes(*quick, *seed)
+			if err != nil {
+				runErr = err
+			}
+		}
+		if runErr == nil {
+			var err error
+			report.Cluster, err = runClusterProbe(*quick, *seed)
 			if err != nil {
 				runErr = err
 			}

@@ -85,6 +85,10 @@ type rawReport struct {
 		Proto        string  `json:"proto"`
 		PointsPerSec float64 `json:"points_per_sec"`
 	} `json:"edge"`
+	Cluster *struct {
+		Proto        string  `json:"proto"`
+		PointsPerSec float64 `json:"points_per_sec"`
+	} `json:"cluster"`
 	Error string `json:"error"`
 }
 
@@ -119,6 +123,9 @@ func normalize(raws ...[]byte) (*normalized, error) {
 		}
 		for _, e := range r.Edge {
 			one.Metrics["throughput/edge/"+e.Proto+"/points_per_sec"] = e.PointsPerSec
+		}
+		if r.Cluster != nil {
+			one.Metrics["throughput/cluster/"+r.Cluster.Proto+"/points_per_sec"] = r.Cluster.PointsPerSec
 		}
 		one.Metrics["experiments/count"] = float64(len(r.Results))
 		one.Metrics["experiments/wall_seconds"] = r.WallSeconds
@@ -173,7 +180,8 @@ func nsMetric(key string) bool {
 
 // rateMetric reports whether a metric is a throughput rate — higher is
 // better, so the regression direction inverts relative to timing metrics.
-// The edge probes (throughput/edge/{json,binary}/points_per_sec) are the
+// The edge probes (throughput/edge/{json,binary}/points_per_sec) and the
+// cluster probe (throughput/cluster/binary/points_per_sec) are the
 // current members. Rates are noisy wall-time measurements like timings
 // (ratio-thresholded, warn-only), and under multi-run normalization they
 // reduce to the per-run maximum instead of the minimum.

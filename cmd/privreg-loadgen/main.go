@@ -38,6 +38,19 @@
 // constant eviction and fault-in under concurrent traffic. The skewed targets
 // are a pure function of (i, points, skew), so the shadow-pool verification
 // and -from restart phases work exactly as in the uniform case.
+//
+// Cluster mode: with -cluster the generator fetches the consistent-hash ring
+// from GET /v1/ring on -addr and routes each stream's traffic client-side to
+// its owner node — no forwarding hop — over whichever transport -proto
+// selects (wire addresses come from the ring, so -wire-addr is not needed).
+// Without -cluster any single member works as the entry point; the server
+// forwards misrouted requests itself.
+//
+// Retryable rejections — HTTP 429/503 and wire queue-full / not-owner /
+// importing nacks — back off honoring the server's Retry-After hint (header
+// or nack field) when present, falling back to capped exponential delay,
+// jittered either way so synchronized clients desynchronize. Rebalance seals
+// during a node join or leave therefore cost retries, never failures.
 package main
 
 import (
@@ -48,14 +61,65 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
+	"privreg/internal/cluster"
 	"privreg/internal/server"
 	"privreg/internal/wire"
 )
+
+// Retry plumbing, shared verbatim by the HTTP and wire ingest paths so the
+// two transports behave identically under backpressure and rebalance seals.
+const maxSendRetries = 200
+
+// jitter and sleep are swappable for tests.
+var (
+	jitter = rand.Float64
+	sleep  = time.Sleep
+)
+
+// backoffDelay returns how long to wait before retry `attempt` (1-based).
+// The server's Retry-After hint wins when present; otherwise the delay grows
+// exponentially from 10ms, capped at 1s. Both are scaled by a factor in
+// [0.75, 1.25) so a fleet of clients rejected together does not retry
+// together.
+func backoffDelay(attempt int, hint time.Duration) time.Duration {
+	d := hint
+	if d <= 0 {
+		shift := attempt - 1
+		if shift > 7 {
+			shift = 7
+		}
+		d = 10 * time.Millisecond << shift
+		if d > time.Second {
+			d = time.Second
+		}
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*jitter()))
+}
+
+// httpRetryAfter extracts the Retry-After hint from a 429/503 response; 0
+// means no usable hint (fall back to exponential).
+func httpRetryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// nackRetryAfter is the wire-path twin of httpRetryAfter.
+func nackRetryAfter(ne *wire.NackError) time.Duration {
+	if ne.RetryAfter <= 0 {
+		return 0
+	}
+	return time.Duration(ne.RetryAfter) * time.Second
+}
 
 // streamTarget is the cumulative number of points stream i has received once
 // `points` points have been offered per hot stream: the full count for
@@ -93,8 +157,9 @@ func run() int {
 		verify  = flag.Bool("verify", true, "verify server estimates bit-identically against an in-process shadow pool")
 		prefix  = flag.String("stream-prefix", "load", "stream ID prefix")
 		skew    = flag.Float64("skew", 0, "churn mode: Zipf-like exponent for per-stream point counts (stream i gets ~points/(i+1)^skew; 0 = uniform)")
-		proto   = flag.String("proto", "json", `ingest transport: "json" (HTTP) or "binary" (the wire protocol; requires -wire-addr)`)
+		proto   = flag.String("proto", "json", `ingest transport: "json" (HTTP) or "binary" (the wire protocol; requires -wire-addr unless -cluster)`)
 		wireTgt = flag.String("wire-addr", "", "host:port of the server's binary wire listener (used with -proto binary)")
+		useRing = flag.Bool("cluster", false, "ring-aware mode: fetch the ring from -addr and route each stream client-side to its owner node")
 	)
 	flag.Parse()
 	if *streams < 1 || *points < 1 || *batch < 1 || *from < 0 {
@@ -111,8 +176,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "error: -proto must be json or binary, got %q\n", *proto)
 		return 2
 	}
-	if *proto == "binary" && *wireTgt == "" {
-		fmt.Fprintln(os.Stderr, "error: -proto binary requires -wire-addr")
+	if *proto == "binary" && *wireTgt == "" && !*useRing {
+		fmt.Fprintln(os.Stderr, "error: -proto binary requires -wire-addr (or -cluster, which takes wire addresses from the ring)")
 		return 2
 	}
 
@@ -127,23 +192,61 @@ func run() int {
 	fmt.Printf("server pool: mechanism=%s d=%d T=%d (ε=%g, δ=%g, seed=%d)\n",
 		spec.Mechanism, spec.Dim, spec.Horizon, spec.Epsilon, spec.Delta, spec.Seed)
 
-	// In binary mode all traffic — ingest and the verification estimates —
-	// rides one multiplexed wire connection shared by every stream goroutine.
-	// The handshake's pool shape must agree with /v1/config (same server, or
-	// somebody pointed the two flags at different deployments).
-	var wc *wire.Client
-	if *proto == "binary" {
-		wc, err = wire.Dial(*wireTgt, 10*time.Second)
+	// Transports. One target by default; in -cluster mode one per ring
+	// member, with each stream routed to its owner. In binary mode all of a
+	// target's traffic — ingest and the verification estimates — rides one
+	// multiplexed wire connection shared by every stream goroutine.
+	dial := func(base, wireAddr string) (*target, error) {
+		t := &target{base: base}
+		if *proto != "binary" {
+			return t, nil
+		}
+		wc, err := wire.Dial(wireAddr, 10*time.Second)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error: dialing wire listener:", err)
+			return nil, fmt.Errorf("dialing wire listener %s: %w", wireAddr, err)
+		}
+		// The handshake's pool shape must agree with /v1/config (same
+		// deployment, or the flags point at two different ones).
+		if wc.Dim != spec.Dim || wc.Horizon != spec.Horizon || wc.Mechanism != spec.Mechanism {
+			wc.Close()
+			return nil, fmt.Errorf("wire handshake at %s (mechanism=%s d=%d T=%d) disagrees with /v1/config (mechanism=%s d=%d T=%d)",
+				wireAddr, wc.Mechanism, wc.Dim, wc.Horizon, spec.Mechanism, spec.Dim, spec.Horizon)
+		}
+		t.wc = wc
+		return t, nil
+	}
+	var targetFor func(id string) *target
+	if *useRing {
+		ring, err := fetchRing(client, *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
 			return 1
 		}
-		defer wc.Close()
-		if wc.Dim != spec.Dim || wc.Horizon != spec.Horizon || wc.Mechanism != spec.Mechanism {
-			fmt.Fprintf(os.Stderr, "error: wire handshake (mechanism=%s d=%d T=%d) disagrees with /v1/config (mechanism=%s d=%d T=%d); -wire-addr points at a different pool\n",
-				wc.Mechanism, wc.Dim, wc.Horizon, spec.Mechanism, spec.Dim, spec.Horizon)
-			return 2
+		byNode := make(map[string]*target, ring.Len())
+		for _, n := range ring.Nodes() {
+			t, err := dial("http://"+n.Addr, n.WireAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: ring member %s: %v\n", n.ID, err)
+				return 1
+			}
+			if t.wc != nil {
+				defer t.wc.Close()
+			}
+			byNode[n.ID] = t
 		}
+		targetFor = func(id string) *target { return byNode[ring.Owner(id).ID] }
+		fmt.Printf("cluster: ring v%d, %d members; routing streams client-side to their owners\n",
+			ring.Version(), ring.Len())
+	} else {
+		t, err := dial(*addr, *wireTgt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		if t.wc != nil {
+			defer t.wc.Close()
+		}
+		targetFor = func(string) *target { return t }
 	}
 	to := *from + *points
 	if to > spec.Horizon {
@@ -179,6 +282,7 @@ func run() int {
 		wg.Add(1)
 		go func(id string, from, to int) {
 			defer wg.Done()
+			tgt := targetFor(id)
 			var interval time.Duration
 			if *rate > 0 {
 				interval = time.Duration(float64(*batch) / *rate * float64(time.Second))
@@ -197,10 +301,10 @@ func run() int {
 					n, retr int
 					err     error
 				)
-				if wc != nil {
-					n, retr, err = sendBatchWire(wc, id, spec.Dim, lo, hi)
+				if tgt.wc != nil {
+					n, retr, err = sendBatchWire(tgt.wc, id, spec.Dim, lo, hi)
 				} else {
-					n, retr, err = sendBatch(client, *addr, id, spec.Dim, lo, hi)
+					n, retr, err = sendBatch(client, tgt.base, id, spec.Dim, lo, hi)
 				}
 				if err != nil {
 					errc <- fmt.Errorf("stream %s batch [%d,%d): %w", id, lo, hi, err)
@@ -251,12 +355,14 @@ func run() int {
 			est []float64
 			n   int
 		)
-		// Estimates ride the same transport as ingest, so a binary run
-		// verifies the wire protocol's estimate path too.
-		if wc != nil {
-			est, n, err = wc.Estimate(id)
+		// Estimates ride the same transport (and, in cluster mode, the same
+		// owner node) as ingest, so a binary run verifies the wire protocol's
+		// estimate path too.
+		tgt := targetFor(id)
+		if tgt.wc != nil {
+			est, n, err = tgt.wc.Estimate(id)
 		} else {
-			est, n, err = fetchEstimate(client, *addr, id)
+			est, n, err = fetchEstimate(client, tgt.base, id)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -285,6 +391,32 @@ func run() int {
 	return 0
 }
 
+// target is one node's pair of transports: an HTTP base URL plus, in binary
+// mode, a multiplexed wire connection.
+type target struct {
+	base string
+	wc   *wire.Client
+}
+
+// fetchRing pulls and rebuilds the cluster's consistent-hash ring from a
+// member's GET /v1/ring.
+func fetchRing(client *http.Client, addr string) (*cluster.Ring, error) {
+	resp, err := client.Get(addr + "/v1/ring")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/ring: %s: %s (is the server clustered?)", resp.Status, body)
+	}
+	ring := new(cluster.Ring)
+	if err := json.Unmarshal(body, ring); err != nil {
+		return nil, fmt.Errorf("decoding ring: %w", err)
+	}
+	return ring, nil
+}
+
 func fetchSpec(client *http.Client, addr string) (server.Spec, error) {
 	var spec server.Spec
 	resp, err := client.Get(addr + "/v1/config")
@@ -302,9 +434,10 @@ func fetchSpec(client *http.Client, addr string) (server.Spec, error) {
 	return spec, nil
 }
 
-// sendBatch posts points [lo, hi) of the stream, retrying on 429 backpressure
-// with linear backoff. Returns the number of points applied and the number of
-// 429 retries performed.
+// sendBatch posts points [lo, hi) of the stream, retrying 429 (backpressure)
+// and 503 (rebalance seal / import / drain) with jittered backoff honoring
+// the response's Retry-After. Returns the number of points applied and the
+// number of retries performed.
 func sendBatch(client *http.Client, addr, id string, dim, lo, hi int) (int, int, error) {
 	xs := make([][]float64, 0, hi-lo)
 	ys := make([]float64, 0, hi-lo)
@@ -329,12 +462,12 @@ func sendBatch(client *http.Client, addr, id string, dim, lo, hi int) (int, int,
 		switch resp.StatusCode {
 		case http.StatusOK:
 			return hi - lo, retries, nil
-		case http.StatusTooManyRequests:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			retries++
-			if retries > 200 {
-				return 0, retries, fmt.Errorf("still overloaded after %d retries: %s", retries, respBody)
+			if retries > maxSendRetries {
+				return 0, retries, fmt.Errorf("still rejected (%s) after %d retries: %s", resp.Status, retries, respBody)
 			}
-			time.Sleep(time.Duration(10+10*min(retries, 10)) * time.Millisecond)
+			sleep(backoffDelay(retries, httpRetryAfter(resp)))
 		default:
 			return 0, retries, fmt.Errorf("%s: %s", resp.Status, respBody)
 		}
@@ -342,9 +475,10 @@ func sendBatch(client *http.Client, addr, id string, dim, lo, hi int) (int, int,
 }
 
 // sendBatchWire sends points [lo, hi) of the stream as one binary observe
-// frame, retrying on queue-full nacks with the same linear backoff as the
-// HTTP path. Returns the number of points applied and the number of
-// backpressure retries performed.
+// frame, retrying retryable nacks (queue-full, not-owner, importing) with
+// the exact same jittered backoff as the HTTP path, honoring the nack's
+// RetryAfter field. Returns the number of points applied and the number of
+// retries performed.
 func sendBatchWire(wc *wire.Client, id string, dim, lo, hi int) (int, int, error) {
 	xs := make([]float64, 0, (hi-lo)*dim)
 	ys := make([]float64, 0, hi-lo)
@@ -364,10 +498,10 @@ func sendBatchWire(wc *wire.Client, id string, dim, lo, hi int) (int, int, error
 			return 0, retries, err
 		}
 		retries++
-		if retries > 200 {
-			return 0, retries, fmt.Errorf("still overloaded after %d retries: %s", retries, ne.Msg)
+		if retries > maxSendRetries {
+			return 0, retries, fmt.Errorf("still rejected (%s) after %d retries: %s", ne.Code, retries, ne.Msg)
 		}
-		time.Sleep(time.Duration(10+10*min(retries, 10)) * time.Millisecond)
+		sleep(backoffDelay(retries, nackRetryAfter(ne)))
 	}
 }
 

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"privreg/internal/wire"
+)
+
+// fixJitter pins the jitter factor (0.5 → exactly 1.0× the base delay) and
+// replaces sleep with a recorder, restoring both when the test ends. The
+// returned slice pointer accumulates every delay the retry loop asked for.
+func fixJitter(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	oldJitter, oldSleep := jitter, sleep
+	jitter = func() float64 { return 0.5 }
+	sleep = func(d time.Duration) { slept = append(slept, d) }
+	t.Cleanup(func() { jitter, sleep = oldJitter, oldSleep })
+	return &slept
+}
+
+func TestBackoffDelay(t *testing.T) {
+	fixJitter(t)
+
+	// A server hint wins outright, whatever the attempt number.
+	if d := backoffDelay(7, 2*time.Second); d != 2*time.Second {
+		t.Errorf("hinted delay = %v, want 2s", d)
+	}
+	// Without a hint the delay doubles from 10ms and caps at 1s.
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 160 * time.Millisecond, 320 * time.Millisecond,
+		640 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if d := backoffDelay(i+1, 0); d != w {
+			t.Errorf("backoffDelay(%d, 0) = %v, want %v", i+1, d, w)
+		}
+	}
+
+	// Jitter scales by [0.75, 1.25) so synchronized clients desynchronize.
+	jitter = func() float64 { return 0 }
+	if d := backoffDelay(1, time.Second); d != 750*time.Millisecond {
+		t.Errorf("low-jitter delay = %v, want 750ms", d)
+	}
+	jitter = func() float64 { return 0.999 }
+	if d := backoffDelay(1, time.Second); d < 1248*time.Millisecond || d >= 1250*time.Millisecond {
+		t.Errorf("high-jitter delay = %v, want just under 1.25s", d)
+	}
+}
+
+// TestSendBatchHonorsRetryAfterHTTP drives the HTTP retry loop through a 429
+// and a 503, each carrying a Retry-After header, and checks the loop slept
+// for exactly the hinted durations (jitter pinned to 1.0×) before the
+// eventual success.
+func TestSendBatchHonorsRetryAfterHTTP(t *testing.T) {
+	slept := fixJitter(t)
+
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		switch calls {
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer ts.Close()
+
+	n, retries, err := sendBatch(ts.Client(), ts.URL, "s", 4, 0, 8)
+	if err != nil {
+		t.Fatalf("sendBatch: %v", err)
+	}
+	if n != 8 || retries != 2 {
+		t.Fatalf("sendBatch = (%d points, %d retries), want (8, 2)", n, retries)
+	}
+	want := []time.Duration{2 * time.Second, 3 * time.Second}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("slept %v, want %v (the server's Retry-After hints)", *slept, want)
+	}
+}
+
+// fakeWireServer speaks just enough of the binary protocol for the client:
+// it completes the handshake, then answers each observe frame with the next
+// scripted nack until the script runs out, after which everything is acked.
+func fakeWireServer(t *testing.T, nacks []wire.Nack) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := wire.NewReader(conn)
+		ft, _, err := r.Next()
+		if err != nil || ft != wire.FrameHello {
+			return
+		}
+		var b wire.Builder
+		wire.AppendHelloAck(&b, wire.HelloAck{
+			Version: wire.Version, Dim: 4, Horizon: 1024,
+			Mechanism: "gradient", Server: "test",
+		})
+		if _, err := conn.Write(b.Bytes()); err != nil {
+			return
+		}
+		rejected := 0
+		for {
+			ft, payload, err := r.Next()
+			if err != nil || ft != wire.FrameObserve {
+				return
+			}
+			p := wire.NewPayload(payload)
+			reqID := p.U64() // observe payloads lead with the request ID
+			b.Reset()
+			if rejected < len(nacks) {
+				nk := nacks[rejected]
+				nk.ReqID = reqID
+				wire.AppendNack(&b, nk)
+				rejected++
+			} else {
+				wire.AppendAck(&b, wire.Ack{ReqID: reqID, Applied: 8, Len: 8})
+			}
+			if _, err := conn.Write(b.Bytes()); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestSendBatchWireHonorsRetryAfter is the binary-path twin of the HTTP
+// test: retryable nacks (queue-full, then not-owner) carry RetryAfter hints
+// and the retry loop must sleep for exactly those durations — the same
+// jittered backoff as the HTTP path.
+func TestSendBatchWireHonorsRetryAfter(t *testing.T) {
+	slept := fixJitter(t)
+
+	addr := fakeWireServer(t, []wire.Nack{
+		{Code: wire.NackQueueFull, RetryAfter: 2, Msg: "queue full"},
+		{Code: wire.NackNotOwner, RetryAfter: 1, Msg: "rebalancing"},
+	})
+	wc, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer wc.Close()
+
+	n, retries, err := sendBatchWire(wc, "s", 4, 0, 8)
+	if err != nil {
+		t.Fatalf("sendBatchWire: %v", err)
+	}
+	if n != 8 || retries != 2 {
+		t.Fatalf("sendBatchWire = (%d points, %d retries), want (8, 2)", n, retries)
+	}
+	want := []time.Duration{2 * time.Second, 1 * time.Second}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("slept %v, want %v (the nacks' RetryAfter hints)", *slept, want)
+	}
+}
+
+// TestSendBatchWireFatalNack pins the other half of the contract: a
+// non-retryable nack surfaces immediately as an error, with no sleeping.
+func TestSendBatchWireFatalNack(t *testing.T) {
+	slept := fixJitter(t)
+
+	addr := fakeWireServer(t, []wire.Nack{
+		{Code: wire.NackStreamFull, Msg: "horizon exhausted"},
+	})
+	wc, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer wc.Close()
+
+	if _, _, err := sendBatchWire(wc, "s", 4, 0, 8); err == nil {
+		t.Fatal("sendBatchWire succeeded, want stream-full error")
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("slept %v before a fatal nack, want no sleeps", *slept)
+	}
+}

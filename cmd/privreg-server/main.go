@@ -33,13 +33,33 @@
 //	GET    /v1/config                  the serving Spec (shadow-pool recipe)
 //	GET    /v1/mechanisms              mechanism registry listing
 //	POST   /v1/checkpoint              checkpoint now
-//	GET    /healthz                    liveness (503 while draining)
+//	GET    /healthz                    liveness (always 200 while the process runs)
+//	GET    /readyz                     readiness (503 while draining or importing)
+//	GET    /v1/ring                    cluster ring (clustered servers only)
 //	GET    /metrics                    Prometheus text (?format=json for JSON)
 //
+// Cluster mode (see docs/CLUSTER.md): with -node-id and -peers the server
+// joins a consistent-hash ring, owns a shard of the stream space, forwards
+// misrouted requests to owners over the wire protocol, and replicates warm
+// standbys. All members boot with the same -peers list:
+//
+//	privreg-server -addr :8080 -wire-addr :8081 -seed 42 \
+//	    -node-id alpha \
+//	    -peers "alpha=10.0.0.1:8080/10.0.0.1:8081,beta=10.0.0.2:8080/10.0.0.2:8081"
+//
+// A later node can instead boot solo and join live with -join, which
+// rebalances the ring and hands off the moved streams' segments with no
+// divergence window:
+//
+//	privreg-server -addr :8080 -wire-addr :8081 -seed 42 \
+//	    -node-id gamma -peers "gamma=10.0.0.3:8080/10.0.0.3:8081" \
+//	    -join http://10.0.0.1:8080
+//
 // On SIGTERM/SIGINT the server drains gracefully: it stops accepting
-// connections, applies every queued observation, writes a final checkpoint,
-// and exits 0 — so kill + restart is bit-identical to never having stopped
-// (verified end to end by privreg-loadgen and the CI e2e job).
+// connections, applies every queued observation, hands its streams off to
+// the surviving members (cluster mode), writes a final checkpoint, and exits
+// 0 — so kill + restart is bit-identical to never having stopped (verified
+// end to end by privreg-loadgen and the CI e2e job).
 package main
 
 import (
@@ -52,11 +72,41 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux served by -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"privreg/internal/cluster"
 	"privreg/internal/server"
+	"privreg/internal/version"
 )
+
+// parsePeers decodes the -peers flag: comma-separated
+// id=httpHost:port/wireHost:port entries. The wire address is mandatory per
+// member because forwarding, handoff, and replication all ride the binary
+// protocol.
+func parsePeers(s string) ([]cluster.Node, error) {
+	var nodes []cluster.Node
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, addrs, ok := strings.Cut(ent, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("peer entry %q: want id=httpHost:port/wireHost:port", ent)
+		}
+		httpAddr, wireAddr, ok := strings.Cut(addrs, "/")
+		if !ok || httpAddr == "" || wireAddr == "" {
+			return nil, fmt.Errorf("peer entry %q: want id=httpHost:port/wireHost:port (the wire address is required: cluster traffic rides the binary protocol)", ent)
+		}
+		nodes = append(nodes, cluster.Node{ID: id, Addr: httpAddr, WireAddr: wireAddr})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return nodes, nil
+}
 
 func main() {
 	os.Exit(run())
@@ -78,8 +128,13 @@ func run() int {
 		storeCap     = flag.Int("store-cap", 0, "max estimators resident in memory; colder streams spill to -checkpoint-dir and fault back in on access (0 = unbounded)")
 		queuePoints  = flag.Int("queue-points", 4096, "per-stream ingest queue bound, in points (overload returns 429)")
 		pprofAddr    = flag.String("pprof-addr", "", "optional listen address for net/http/pprof diagnostics (e.g. localhost:6060; empty disables)")
+		nodeID       = flag.String("node-id", "", "this node's ID in a cluster (empty = standalone; requires -peers and -wire-addr)")
+		peersFlag    = flag.String("peers", "", `cluster members as comma-separated id=httpHost:port/wireHost:port entries, including this node's own; with -join, list only this node`)
+		replicas     = flag.Int("replicas", 0, "cluster replication factor: owner + N-1 warm standbys (0 = default)")
+		joinPeer     = flag.String("join", "", "HTTP base URL of an existing cluster member to join live (e.g. http://10.0.0.1:8080)")
 	)
 	flag.Parse()
+	log.Printf("privreg-server %s", version.Version)
 
 	// Profiling runs on its own listener so the diagnostics surface is never
 	// exposed on the serving address; off by default. See docs/SERVING.md.
@@ -90,6 +145,46 @@ func run() int {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
+	}
+
+	// Cluster wiring: -node-id turns the flags into a ClusterConfig. The
+	// node's own peers entry doubles as its advertised addresses, so it must
+	// be present even when -join boots the node solo.
+	var clusterCfg *server.ClusterConfig
+	var selfAddr string
+	if *nodeID != "" {
+		if *wireAddr == "" {
+			fmt.Fprintln(os.Stderr, "error: cluster mode requires -wire-addr (forwarding and handoff ride the binary protocol)")
+			return 2
+		}
+		nodes, err := parsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error: -peers:", err)
+			return 2
+		}
+		found := false
+		for _, n := range nodes {
+			if n.ID == *nodeID {
+				selfAddr = n.Addr
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "error: -peers has no entry for -node-id %q (the entry advertises this node's addresses)\n", *nodeID)
+			return 2
+		}
+		if *joinPeer != "" && len(nodes) != 1 {
+			fmt.Fprintln(os.Stderr, "error: with -join, -peers must list only this node; the ring comes from the cluster being joined")
+			return 2
+		}
+		clusterCfg = &server.ClusterConfig{
+			NodeID:   *nodeID,
+			Nodes:    nodes,
+			Replicas: *replicas,
+		}
+	} else if *peersFlag != "" || *joinPeer != "" {
+		fmt.Fprintln(os.Stderr, "error: -peers/-join require -node-id")
+		return 2
 	}
 
 	interval := *ckptInterval
@@ -110,6 +205,7 @@ func run() int {
 		CheckpointInterval: interval,
 		StoreCap:           *storeCap,
 		MaxQueuedPoints:    *queuePoints,
+		Cluster:            clusterCfg,
 		Logf:               log.Printf,
 	})
 	if err != nil {
@@ -130,9 +226,45 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Joining happens after this node's own listeners are up: the coordinator
+	// pushes the moved streams' segments to us over the wire protocol and
+	// drives the import window over HTTP, so both surfaces must already
+	// serve. Until the join completes the importing gate bounces data-plane
+	// traffic with retryable 503s. A failed join shuts the node down rather
+	// than leaving it serving an orphan single-node ring.
+	joinFailed := make(chan struct{})
+	if *joinPeer != "" {
+		go func() {
+			base := "http://" + selfAddr
+			for i := 0; i < 200; i++ {
+				resp, err := http.Get(base + "/healthz")
+				if err == nil {
+					resp.Body.Close()
+					break
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+			if err := srv.JoinCluster(*joinPeer); err != nil {
+				log.Printf("cluster join via %s failed: %v", *joinPeer, err)
+				close(joinFailed)
+				cancel()
+				return
+			}
+			log.Printf("joined cluster via %s (ring v%d)", *joinPeer, srv.Ring().Version())
+		}()
+	}
+
 	if err := srv.Run(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return 1
+	}
+	select {
+	case <-joinFailed:
+		return 1
+	default:
 	}
 	log.Printf("drained cleanly")
 	return 0

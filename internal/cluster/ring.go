@@ -1,0 +1,266 @@
+// Package cluster implements the consistent-hash ring that shards the stream
+// namespace across privreg-server nodes.
+//
+// The ring is a value: a versioned, deterministic function from the member
+// list to stream ownership. Every node (and every ring-aware client) that
+// holds the same member list at the same version computes the same owner for
+// every stream, so routing needs no coordination service — nodes gossip ring
+// versions over the existing control plane and adopt whichever is newest.
+// Placement uses the same FNV-1a + SplitMix64 derivation the Pool uses for
+// per-stream seeds, so stream keys are spread uniformly even for adversarially
+// regular ID patterns ("user-0001", "user-0002", ...).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"privreg/internal/randx"
+)
+
+// DefaultVNodes is the number of virtual points each node contributes to the
+// ring. 64 keeps the ownership imbalance across a handful of nodes within a
+// few percent while keeping ring construction and lookup cheap (a ring of N
+// nodes is N*64 sorted uint64s; lookup is one binary search).
+const DefaultVNodes = 64
+
+// DefaultReplicas is the total number of copies of each stream's segment
+// state the cluster aims to keep: the owner plus one warm standby.
+const DefaultReplicas = 2
+
+// Node identifies one cluster member and how to reach it on both front ends.
+// Addr is the HTTP host:port (control plane, JSON data plane); WireAddr is
+// the binary protocol host:port (data plane, segment transfer). WireAddr may
+// be empty for HTTP-only members, in which case peers cannot forward to it or
+// replicate onto it.
+type Node struct {
+	ID       string `json:"id"`
+	Addr     string `json:"addr"`
+	WireAddr string `json:"wire_addr,omitempty"`
+}
+
+// Ring is an immutable, versioned consistent-hash ring. Construct one with
+// New, derive successors with Add/Remove (each returns a new Ring at
+// Version+1), and share ring values freely across goroutines — no method
+// mutates a Ring after construction.
+type Ring struct {
+	version  uint64
+	replicas int
+	vnodes   int
+	nodes    []Node // sorted by ID; the member list
+	byID     map[string]int
+
+	points []point // sorted by hash; the ring proper
+}
+
+// point is one virtual node: a position on the [0, 2^64) circle owned by
+// nodes[node].
+type point struct {
+	hash uint64
+	node int
+}
+
+// New builds a ring at the given version over the given members. Node IDs
+// must be unique and non-empty. replicas and vnodes fall back to the package
+// defaults when <= 0; replicas is clamped to the member count.
+func New(version uint64, members []Node, replicas, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	nodes := make([]Node, len(members))
+	copy(nodes, members)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	byID := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("cluster: node %d has an empty ID", i)
+		}
+		if _, dup := byID[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+		byID[n.ID] = i
+	}
+	r := &Ring{
+		version:  version,
+		replicas: replicas,
+		vnodes:   vnodes,
+		nodes:    nodes,
+		byID:     byID,
+	}
+	r.points = make([]point, 0, len(nodes)*vnodes)
+	for i, n := range nodes {
+		base := fnv64a(n.ID)
+		for v := 0; v < vnodes; v++ {
+			// Same derivation shape as Pool.streamSeed: FNV over the
+			// identifier, XOR a per-instance counter, SplitMix64 finalizer.
+			h := randx.Mix64(base ^ (uint64(v)*0x9e3779b97f4a7c15 + 1))
+			r.points = append(r.points, point{hash: h, node: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on node index so equal hashes (vanishingly rare but
+		// possible) still order deterministically across all members.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Version returns the ring's version. Higher versions supersede lower ones;
+// nodes adopt any ring strictly newer than the one they hold.
+func (r *Ring) Version() uint64 { return r.version }
+
+// Replicas returns the configured copy count (owner + standbys).
+func (r *Ring) Replicas() int { return r.replicas }
+
+// VNodes returns the per-node virtual point count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Nodes returns the member list sorted by ID. The caller must not mutate it.
+func (r *Ring) Nodes() []Node { return r.nodes }
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// NodeByID returns the member with the given ID.
+func (r *Ring) NodeByID(id string) (Node, bool) {
+	i, ok := r.byID[id]
+	if !ok {
+		return Node{}, false
+	}
+	return r.nodes[i], true
+}
+
+// Key maps a stream ID to its position on the circle. Exported so tests and
+// tools can reason about placement; routing should use Owner/Successors.
+func Key(streamID string) uint64 {
+	return randx.Mix64(fnv64a(streamID))
+}
+
+// Owner returns the node responsible for a stream: the first virtual point
+// clockwise from the stream's key.
+func (r *Ring) Owner(streamID string) Node {
+	if len(r.points) == 0 {
+		return Node{}
+	}
+	return r.nodes[r.points[r.locate(Key(streamID))].node]
+}
+
+// Successors returns up to k distinct nodes for a stream in ring order,
+// starting with the owner. Successors(id, r.Replicas()) is the stream's
+// replica set: element 0 serves traffic, the rest hold warm standby segments.
+func (r *Ring) Successors(streamID string, k int) []Node {
+	if len(r.points) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(r.nodes) {
+		k = len(r.nodes)
+	}
+	out := make([]Node, 0, k)
+	seen := make(map[int]bool, k)
+	at := r.locate(Key(streamID))
+	for i := 0; i < len(r.points) && len(out) < k; i++ {
+		p := r.points[(at+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// locate returns the index of the first point at or clockwise after hash h.
+func (r *Ring) locate(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Add returns a new ring at Version+1 with the given node joined. It is an
+// error to add a duplicate ID.
+func (r *Ring) Add(n Node) (*Ring, error) {
+	if _, ok := r.byID[n.ID]; ok {
+		return nil, fmt.Errorf("cluster: node %q is already a member", n.ID)
+	}
+	members := make([]Node, 0, len(r.nodes)+1)
+	members = append(members, r.nodes...)
+	members = append(members, n)
+	return New(r.version+1, members, r.replicas, r.vnodes)
+}
+
+// Remove returns a new ring at Version+1 without the given node. Removing the
+// last member or an unknown ID is an error.
+func (r *Ring) Remove(id string) (*Ring, error) {
+	if _, ok := r.byID[id]; !ok {
+		return nil, fmt.Errorf("cluster: node %q is not a member", id)
+	}
+	if len(r.nodes) == 1 {
+		return nil, fmt.Errorf("cluster: cannot remove the last member %q", id)
+	}
+	members := make([]Node, 0, len(r.nodes)-1)
+	for _, n := range r.nodes {
+		if n.ID != id {
+			members = append(members, n)
+		}
+	}
+	return New(r.version+1, members, r.replicas, r.vnodes)
+}
+
+// ringWire is the serialized form shared by the JSON codec (GET /v1/ring,
+// cluster control endpoints) and the binary RingAck payload (which carries
+// the same JSON blob — ring exchange is rare and small, so a bespoke binary
+// layout would buy nothing).
+type ringWire struct {
+	Version  uint64 `json:"version"`
+	Replicas int    `json:"replicas"`
+	VNodes   int    `json:"vnodes"`
+	Nodes    []Node `json:"nodes"`
+}
+
+// MarshalJSON encodes the ring's defining state; the derived points are
+// recomputed on decode, which is what makes the encoding trustworthy — a
+// corrupt or malicious peer cannot describe a ring whose ownership map
+// disagrees with its member list.
+func (r *Ring) MarshalJSON() ([]byte, error) {
+	return json.Marshal(ringWire{
+		Version:  r.version,
+		Replicas: r.replicas,
+		VNodes:   r.vnodes,
+		Nodes:    r.nodes,
+	})
+}
+
+// UnmarshalJSON decodes and rebuilds a ring. The receiver must be a fresh
+// zero Ring (the standard library contract for unmarshalers).
+func (r *Ring) UnmarshalJSON(data []byte) error {
+	var w ringWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("cluster: decoding ring: %w", err)
+	}
+	if len(w.Nodes) == 0 {
+		return fmt.Errorf("cluster: decoded ring has no members")
+	}
+	nr, err := New(w.Version, w.Nodes, w.Replicas, w.VNodes)
+	if err != nil {
+		return err
+	}
+	*r = *nr
+	return nil
+}
+
+// fnv64a hashes a string with FNV-1a, the same base hash the Pool uses for
+// per-stream seed derivation.
+func fnv64a(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "a", Addr: "127.0.0.1:1", WireAddr: "127.0.0.1:101"},
+		{ID: "b", Addr: "127.0.0.1:2", WireAddr: "127.0.0.1:102"},
+		{ID: "c", Addr: "127.0.0.1:3", WireAddr: "127.0.0.1:103"},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, []Node{{ID: ""}}, 0, 0); err == nil {
+		t.Fatal("empty node ID accepted")
+	}
+	if _, err := New(1, []Node{{ID: "a"}, {ID: "a"}}, 0, 0); err == nil {
+		t.Fatal("duplicate node ID accepted")
+	}
+	r, err := New(7, threeNodes(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 7 || r.Replicas() != DefaultReplicas || r.VNodes() != DefaultVNodes {
+		t.Fatalf("defaults not applied: v=%d replicas=%d vnodes=%d", r.Version(), r.Replicas(), r.VNodes())
+	}
+}
+
+// The ring is a pure function of (version, members, replicas, vnodes): two
+// independently constructed rings over the same members must agree on every
+// owner, regardless of the order the members were listed in. This is the
+// property client-side routing depends on.
+func TestDeterministicOwnership(t *testing.T) {
+	a, err := New(1, threeNodes(), 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []Node{threeNodes()[2], threeNodes()[0], threeNodes()[1]}
+	b, err := New(1, shuffled, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("stream-%04d", i)
+		if a.Owner(id).ID != b.Owner(id).ID {
+			t.Fatalf("owner of %q differs across member orderings: %q vs %q", id, a.Owner(id).ID, b.Owner(id).ID)
+		}
+	}
+}
+
+// Regular stream IDs must spread roughly evenly: no node should own a wildly
+// disproportionate share. With 64 vnodes over 3 nodes the expected share is
+// ~33%; allow [15%, 55%] to keep the test robust to the hash's natural
+// variance without letting a broken hash pass.
+func TestDistribution(t *testing.T) {
+	r, err := New(1, threeNodes(), 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 6000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("user-%06d", i)).ID]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of regular IDs; distribution is broken: %v", id, frac*100, counts)
+		}
+	}
+}
+
+// Consistent hashing's defining property: adding or removing one node moves
+// only the streams that must move. Streams whose owner is unchanged between
+// ring versions must keep the same owner exactly, and the moved fraction
+// should be in the ballpark of 1/n.
+func TestMinimalMovement(t *testing.T) {
+	r3, err := New(1, threeNodes(), 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := r3.Add(Node{ID: "d", Addr: "127.0.0.1:4", WireAddr: "127.0.0.1:104"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Version() != 2 {
+		t.Fatalf("Add produced version %d, want 2", r4.Version())
+	}
+	const n = 4000
+	moved := 0
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("stream-%05d", i)
+		before, after := r3.Owner(id).ID, r4.Owner(id).ID
+		if before != after {
+			moved++
+			if after != "d" {
+				t.Fatalf("stream %q moved from %q to %q on join of d: only moves TO the joiner are allowed", id, before, after)
+			}
+		}
+	}
+	frac := float64(moved) / n
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("join of a 4th node moved %.1f%% of streams, want roughly 25%%", frac*100)
+	}
+
+	// Removing the node we just added must restore the original ownership map
+	// exactly (the ring is memoryless: same members => same placement).
+	back, err := r4.Remove("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version() != 3 {
+		t.Fatalf("Remove produced version %d, want 3", back.Version())
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("stream-%05d", i)
+		if r3.Owner(id).ID != back.Owner(id).ID {
+			t.Fatalf("ownership of %q not restored after add+remove", id)
+		}
+	}
+}
+
+func TestAddRemoveErrors(t *testing.T) {
+	r, err := New(1, threeNodes(), 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(Node{ID: "a"}); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if _, err := r.Remove("nope"); err == nil {
+		t.Fatal("Remove of unknown node accepted")
+	}
+	one, err := New(1, []Node{{ID: "solo"}}, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := one.Remove("solo"); err == nil {
+		t.Fatal("Remove of last member accepted")
+	}
+}
+
+func TestSuccessorsDistinct(t *testing.T) {
+	r, err := New(1, threeNodes(), 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("s-%d", i)
+		succ := r.Successors(id, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 3) returned %d nodes", id, len(succ))
+		}
+		if succ[0].ID != r.Owner(id).ID {
+			t.Fatalf("Successors[0] %q != Owner %q for %q", succ[0].ID, r.Owner(id).ID, id)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n.ID] {
+				t.Fatalf("Successors(%q, 3) repeats node %q", id, n.ID)
+			}
+			seen[n.ID] = true
+		}
+	}
+	// k beyond the member count clamps.
+	if got := len(r.Successors("x", 99)); got != 3 {
+		t.Fatalf("Successors(x, 99) returned %d nodes, want 3", got)
+	}
+	if r.Successors("x", 0) != nil {
+		t.Fatal("Successors(x, 0) should be nil")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r, err := New(9, threeNodes(), 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Ring
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != 9 || got.Replicas() != 2 || got.VNodes() != 32 || got.Len() != 3 {
+		t.Fatalf("round-trip lost state: %+v", got)
+	}
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("rt-%d", i)
+		if r.Owner(id).ID != got.Owner(id).ID {
+			t.Fatalf("round-tripped ring disagrees on owner of %q", id)
+		}
+	}
+	if got.Nodes()[0].WireAddr != "127.0.0.1:101" {
+		t.Fatalf("wire addr lost: %+v", got.Nodes()[0])
+	}
+
+	var empty Ring
+	if err := json.Unmarshal([]byte(`{"version":1,"nodes":[]}`), &empty); err == nil {
+		t.Fatal("memberless ring decoded without error")
+	}
+}
+
+func TestNodeByID(t *testing.T) {
+	r, err := New(1, threeNodes(), 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := r.NodeByID("b")
+	if !ok || n.Addr != "127.0.0.1:2" {
+		t.Fatalf("NodeByID(b) = %+v, %v", n, ok)
+	}
+	if _, ok := r.NodeByID("zz"); ok {
+		t.Fatal("NodeByID(zz) found a ghost")
+	}
+}

@@ -1,0 +1,848 @@
+// Cluster serving: consistent-hash routing, live stream handoff, and
+// warm-standby segment replication across privreg-server nodes.
+//
+// The stream namespace is sharded by the cluster.Ring: every node (and every
+// ring-aware client) computes the same owner for every stream, so a request
+// can land anywhere and be served correctly — a misrouted request is
+// forwarded once over the wire protocol to its owner, marked with the
+// forwarded flag so ring skew between two nodes can never bounce a request
+// in a loop.
+//
+// Membership changes move streams with their full estimator state. The node
+// losing ownership seals the affected streams (ingest nacks retryably),
+// waits for their queues to drain, exports each stream's segment — the same
+// CRC-framed file the checkpointer writes — and ships it to the new owner
+// inside an import window (POST /v1/cluster/import begin/commit). The window
+// commit carries the next ring, so ownership flips atomically on the
+// destination exactly when it holds every byte; the source adopts the ring
+// last and unseals. At every instant of the move at most one node will
+// apply points to the stream, which is what keeps cluster serving
+// bit-identical to a single node.
+//
+// Warm-standby replication reuses the same segment path continuously: each
+// node periodically pushes segments of streams it owns to the stream's ring
+// successors, so a node loss costs at most one replication interval of
+// acknowledged points on streams whose owner died, and a graceful leave
+// costs nothing.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privreg"
+	"privreg/internal/cluster"
+	"privreg/internal/codec"
+	"privreg/internal/wire"
+)
+
+// ClusterConfig turns a Server into one member of a serving cluster.
+type ClusterConfig struct {
+	// NodeID is this node's identity; it must appear in Nodes.
+	NodeID string
+	// Nodes is the boot membership. A node that will join an existing
+	// cluster lists only itself and calls JoinCluster after construction.
+	Nodes []cluster.Node
+	// Replicas is the copy count per stream (owner + warm standbys).
+	// 0 means cluster.DefaultReplicas.
+	Replicas int
+	// VNodes is the virtual points per node. 0 means cluster.DefaultVNodes.
+	VNodes int
+	// ReplicationInterval is the warm-standby push cadence. 0 means the 2s
+	// default; negative disables replication (handoff still works).
+	ReplicationInterval time.Duration
+}
+
+const (
+	defaultReplicationInterval = 2 * time.Second
+	// handoffQuiesceTimeout bounds how long a handoff waits for sealed
+	// streams' queues to drain before giving up and unsealing.
+	handoffQuiesceTimeout = 10 * time.Second
+	clusterDialTimeout    = 5 * time.Second
+)
+
+// errImporting rejects data-plane requests while this node is inside an
+// import window (or mid-join): retryable, the window is short.
+var errImporting = errors.New("server: importing handoff segments; retry shortly")
+
+// clusterState is the per-server cluster runtime.
+type clusterState struct {
+	s    *Server
+	self cluster.Node
+
+	// ring is the current ownership map; replaced wholesale (never mutated)
+	// via adopt, so readers take one atomic load per request.
+	ring atomic.Pointer[cluster.Ring]
+
+	// importing counts open import windows (plus one for the whole of a
+	// join). While positive, locally-owned data-plane requests nack
+	// retryably so a half-imported stream can never serve or fork.
+	importing atomic.Int32
+
+	// sealed marks streams mid-handoff on the losing side; the ingester
+	// front door rejects them retryably.
+	sealMu sync.RWMutex
+	sealed map[string]struct{}
+
+	// clients caches one wire connection per peer, dialed lazily.
+	cmu     sync.Mutex
+	clients map[string]*wire.Client
+
+	// replicated remembers the stream length last pushed per (peer, stream),
+	// so steady-state replication ticks are cheap no-ops.
+	repMu      sync.Mutex
+	replicated map[string]int64
+
+	httpc    *http.Client
+	stopRepl chan struct{}
+	replWg   sync.WaitGroup
+}
+
+func newClusterState(s *Server, cfg *ClusterConfig) (*clusterState, error) {
+	if cfg.NodeID == "" {
+		return nil, errors.New("server: cluster node ID must be non-empty")
+	}
+	ring, err := cluster.New(1, cfg.Nodes, cfg.Replicas, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	self, ok := ring.NodeByID(cfg.NodeID)
+	if !ok {
+		return nil, fmt.Errorf("server: cluster node %q is not in the member list", cfg.NodeID)
+	}
+	cs := &clusterState{
+		s:          s,
+		self:       self,
+		sealed:     make(map[string]struct{}),
+		clients:    make(map[string]*wire.Client),
+		replicated: make(map[string]int64),
+		httpc:      &http.Client{Timeout: 60 * time.Second},
+		stopRepl:   make(chan struct{}),
+	}
+	cs.ring.Store(ring)
+	s.met.setRing(ring.Version(), ring.Len())
+	return cs, nil
+}
+
+// Ring returns the node's current ring.
+func (cs *clusterState) Ring() *cluster.Ring { return cs.ring.Load() }
+
+// adopt installs next if it is strictly newer than the ring held. Returns
+// whether the ring changed.
+func (cs *clusterState) adopt(next *cluster.Ring) bool {
+	for {
+		cur := cs.ring.Load()
+		if next.Version() <= cur.Version() {
+			return false
+		}
+		if cs.ring.CompareAndSwap(cur, next) {
+			cs.s.met.setRing(next.Version(), next.Len())
+			cs.s.logf("cluster: adopted ring v%d (%d members)", next.Version(), next.Len())
+			return true
+		}
+	}
+}
+
+// ringJSON serializes the current ring for /v1/ring and RingAck.
+func (cs *clusterState) ringJSON() (uint64, []byte, error) {
+	r := cs.ring.Load()
+	blob, err := json.Marshal(r)
+	return r.Version(), blob, err
+}
+
+// --- Sealing (the losing side of a handoff) -------------------------------
+
+func (cs *clusterState) isSealed(id string) bool {
+	cs.sealMu.RLock()
+	_, ok := cs.sealed[id]
+	cs.sealMu.RUnlock()
+	return ok
+}
+
+func (cs *clusterState) seal(ids []string) {
+	cs.sealMu.Lock()
+	for _, id := range ids {
+		cs.sealed[id] = struct{}{}
+	}
+	cs.sealMu.Unlock()
+}
+
+func (cs *clusterState) unseal(ids []string) {
+	cs.sealMu.Lock()
+	for _, id := range ids {
+		delete(cs.sealed, id)
+	}
+	cs.sealMu.Unlock()
+}
+
+// --- Peer connections ------------------------------------------------------
+
+// client returns the cached wire connection to peer, dialing if needed.
+func (cs *clusterState) client(peer cluster.Node) (*wire.Client, error) {
+	if peer.WireAddr == "" {
+		return nil, fmt.Errorf("server: peer %q has no wire address; cannot forward or replicate to it", peer.ID)
+	}
+	cs.cmu.Lock()
+	defer cs.cmu.Unlock()
+	if c := cs.clients[peer.ID]; c != nil {
+		return c, nil
+	}
+	c, err := wire.Dial(peer.WireAddr, clusterDialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: dialing peer %q at %s: %w", peer.ID, peer.WireAddr, err)
+	}
+	cs.clients[peer.ID] = c
+	return c, nil
+}
+
+func (cs *clusterState) dropClient(peerID string, c *wire.Client) {
+	cs.cmu.Lock()
+	if cs.clients[peerID] == c {
+		delete(cs.clients, peerID)
+	}
+	cs.cmu.Unlock()
+	_ = c.Close()
+}
+
+func (cs *clusterState) closeClients() {
+	cs.cmu.Lock()
+	for id, c := range cs.clients {
+		delete(cs.clients, id)
+		_ = c.Close()
+	}
+	cs.cmu.Unlock()
+}
+
+// withPeer runs op against the peer's wire client, redialing once if the
+// connection died underneath it (a NackError means the connection is healthy
+// and the request was answered, so it is returned as-is).
+func (cs *clusterState) withPeer(peer cluster.Node, op func(*wire.Client) error) error {
+	c, err := cs.client(peer)
+	if err != nil {
+		return err
+	}
+	err = op(c)
+	var ne *wire.NackError
+	if err == nil || errors.As(err, &ne) {
+		return err
+	}
+	cs.dropClient(peer.ID, c)
+	if c, err = cs.client(peer); err != nil {
+		return err
+	}
+	return op(c)
+}
+
+// --- Forwarding proxy ------------------------------------------------------
+
+// forwardObserve relays a misrouted observe to the stream's owner. xs is
+// row-major (len(ys)×Dim).
+func (cs *clusterState) forwardObserve(owner cluster.Node, id string, xs, ys []float64) (applied, length int, err error) {
+	err = cs.withPeer(owner, func(c *wire.Client) error {
+		var e error
+		applied, length, e = c.ForwardObserve(id, xs, ys)
+		return e
+	})
+	if err != nil {
+		cs.s.met.addForwardError()
+	} else {
+		cs.s.met.addForwarded(false)
+	}
+	return applied, length, err
+}
+
+func (cs *clusterState) forwardEstimate(owner cluster.Node, id string) (est []float64, length int, err error) {
+	err = cs.withPeer(owner, func(c *wire.Client) error {
+		var e error
+		est, length, e = c.ForwardEstimate(id)
+		return e
+	})
+	if err != nil {
+		cs.s.met.addForwardError()
+	} else {
+		cs.s.met.addForwarded(true)
+	}
+	return est, length, err
+}
+
+// routeObserve decides an HTTP observe: returns true when it wrote the
+// response (gated by an import window, or forwarded to the owner); false
+// means the caller serves locally. The import gate fires before anything
+// else — including for requests this node would own — because while segments
+// are arriving, serving locally could touch a stream the import is about to
+// replace.
+func (cs *clusterState) routeObserve(w http.ResponseWriter, id string, xs [][]float64, ys []float64) bool {
+	if cs.importing.Load() > 0 {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errImporting)
+		return true
+	}
+	owner := cs.ring.Load().Owner(id)
+	if owner.ID == cs.self.ID {
+		return false
+	}
+	flat := make([]float64, 0, len(ys)*cs.s.spec.Dim)
+	for _, x := range xs {
+		flat = append(flat, x...)
+	}
+	applied, length, err := cs.forwardObserve(owner, id, flat, ys)
+	if err != nil {
+		cs.writeForwardErr(w, err)
+		return true
+	}
+	writeJSON(w, http.StatusOK, observeResponse{Applied: applied, Len: length})
+	return true
+}
+
+// routeEstimate is routeObserve for the estimate path.
+func (cs *clusterState) routeEstimate(w http.ResponseWriter, id string) bool {
+	if cs.importing.Load() > 0 {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errImporting)
+		return true
+	}
+	owner := cs.ring.Load().Owner(id)
+	if owner.ID == cs.self.ID {
+		return false
+	}
+	est, length, err := cs.forwardEstimate(owner, id)
+	if err != nil {
+		cs.writeForwardErr(w, err)
+		return true
+	}
+	writeJSON(w, http.StatusOK, estimateResponse{Estimate: est, Len: length})
+	return true
+}
+
+// wireRouteObserve is routeObserve for the wire front end: it resolves c
+// (forwarded result, or gate rejection) and returns true, or returns false
+// for the caller to submit locally. Forwarded frames are never re-forwarded
+// — the owner-side of a proxy hop serves locally even under ring skew, which
+// is what makes a routing disagreement a one-hop detour instead of a loop.
+func (cs *clusterState) wireRouteObserve(c *wireCompletion, forwarded bool, xs, ys []float64) bool {
+	if cs.importing.Load() > 0 {
+		c.err = errImporting
+		return true
+	}
+	if forwarded {
+		return false
+	}
+	owner := cs.ring.Load().Owner(c.id)
+	if owner.ID == cs.self.ID {
+		return false
+	}
+	c.applied, c.length, c.err = cs.forwardObserve(owner, c.id, xs, ys)
+	c.err = forwardVerdict(c.err)
+	return true
+}
+
+// wireRouteEstimate is wireRouteObserve for the estimate path.
+func (cs *clusterState) wireRouteEstimate(c *wireCompletion, forwarded bool) bool {
+	if cs.importing.Load() > 0 {
+		c.err = errImporting
+		return true
+	}
+	if forwarded {
+		return false
+	}
+	owner := cs.ring.Load().Owner(c.id)
+	if owner.ID == cs.self.ID {
+		return false
+	}
+	c.est, c.length, c.err = cs.forwardEstimate(owner, c.id)
+	c.err = forwardVerdict(c.err)
+	return true
+}
+
+// forwardVerdict normalizes a forwarding failure for the wire response path:
+// the owner's own nack passes through verbatim (same code, same Retry-After);
+// a transport failure becomes a retryable not-owner nack, telling the client
+// to back off and re-resolve the ring rather than treating a dead peer as a
+// permanent verdict.
+func forwardVerdict(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne *wire.NackError
+	if errors.As(err, &ne) {
+		return err
+	}
+	return &wire.NackError{Code: wire.NackNotOwner, RetryAfter: 1, Msg: "owner unreachable: " + err.Error()}
+}
+
+// writeForwardErr maps an owner's wire answer back onto the HTTP edge with
+// the same status contract a local rejection would have used.
+func (cs *clusterState) writeForwardErr(w http.ResponseWriter, err error) {
+	var ne *wire.NackError
+	if !errors.As(err, &ne) {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("server: forwarding to owner failed: %w", err))
+		return
+	}
+	switch ne.Code {
+	case wire.NackQueueFull:
+		retry := ne.RetryAfter
+		if retry < 1 {
+			retry = minRetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, err)
+	case wire.NackDraining, wire.NackImporting, wire.NackNotOwner:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case wire.NackStreamFull:
+		writeError(w, http.StatusConflict, err)
+	case wire.NackUnknownStream:
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// --- Segment intake (wire FrameSegmentPush) --------------------------------
+
+// acceptSegment imports a peer's pushed segment. Handoff pushes must arrive
+// inside an import window; standby pushes must be for streams this node does
+// not own (a standby push for an owned stream means the sender's ring is
+// stale, and importing it would clobber authoritative state).
+func (cs *clusterState) acceptSegment(data []byte, length uint64, standby bool) (string, error) {
+	if cs.s.draining() {
+		return "", errDraining
+	}
+	_, id, _, err := codec.DecodeSegment(data)
+	if err != nil {
+		return "", err
+	}
+	if standby {
+		if r := cs.ring.Load(); r.Owner(id).ID == cs.self.ID {
+			return "", fmt.Errorf("server: standby push for stream %q, which this node owns under ring v%d; refresh the ring", id, r.Version())
+		}
+	} else if cs.importing.Load() == 0 {
+		return "", fmt.Errorf("server: handoff push for %q outside an import window; begin one via POST /v1/cluster/import", id)
+	}
+	if _, err := cs.s.pool.ImportSegment(data, int64(length)); err != nil {
+		return "", err
+	}
+	cs.s.met.addSegmentImported(standby)
+	return id, nil
+}
+
+// --- Handoff (membership change) ------------------------------------------
+
+// handoff moves every stream this node owns under its current ring but not
+// under next, then adopts next. Idempotent: a ring at or below the current
+// version is a no-op.
+func (cs *clusterState) handoff(next *cluster.Ring) (moved int, err error) {
+	cur := cs.ring.Load()
+	if next.Version() <= cur.Version() {
+		return 0, nil
+	}
+	moves := make(map[string][]string)
+	var all []string
+	for _, id := range cs.s.pool.Streams() {
+		if cur.Owner(id).ID != cs.self.ID {
+			continue
+		}
+		if o := next.Owner(id); o.ID != cs.self.ID {
+			moves[o.ID] = append(moves[o.ID], id)
+			all = append(all, id)
+		}
+	}
+	if len(all) == 0 {
+		cs.adopt(next)
+		return 0, nil
+	}
+	// Seal first so no new points land between quiesce and the ring flip;
+	// the seal lifts only after this node holds next, at which point these
+	// streams forward to their new owner.
+	cs.seal(all)
+	defer cs.unseal(all)
+	deadline := time.Now().Add(handoffQuiesceTimeout)
+	for _, id := range all {
+		for cs.s.ing.pending(id) {
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("server: handoff quiesce of %q timed out after %s", id, handoffQuiesceTimeout)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	for destID, ids := range moves {
+		dest, ok := next.NodeByID(destID)
+		if !ok { // cannot happen: destID came from next
+			return moved, fmt.Errorf("server: handoff destination %q missing from ring v%d", destID, next.Version())
+		}
+		if err := cs.pushHandoff(dest, ids, next); err != nil {
+			return moved, err
+		}
+		moved += len(ids)
+	}
+	cs.adopt(next)
+	cs.s.met.addHandoff(moved)
+	cs.s.logf("cluster: handed off %d streams for ring v%d", moved, next.Version())
+	return moved, nil
+}
+
+// pushHandoff ships ids to dest inside one import window. The commit carries
+// next, so dest flips ownership exactly when it holds every segment.
+func (cs *clusterState) pushHandoff(dest cluster.Node, ids []string, next *cluster.Ring) error {
+	if err := cs.postImport(dest, "begin", nil); err != nil {
+		return fmt.Errorf("server: opening import window on %q: %w", dest.ID, err)
+	}
+	push := func() error {
+		for _, id := range ids {
+			data, n, err := cs.s.pool.ExportSegment(id)
+			if errors.Is(err, privreg.ErrUnknownStream) {
+				continue // dropped while we were deciding; nothing to move
+			}
+			if err != nil {
+				return fmt.Errorf("server: exporting %q: %w", id, err)
+			}
+			err = cs.withPeer(dest, func(c *wire.Client) error {
+				return c.PushSegment(data, uint64(n), next.Version(), false)
+			})
+			if err != nil {
+				return fmt.Errorf("server: pushing %q to %q: %w", id, dest.ID, err)
+			}
+			cs.s.met.addSegmentPushed(false)
+		}
+		return nil
+	}
+	if err := push(); err != nil {
+		_ = cs.postImport(dest, "abort", nil)
+		return err
+	}
+	if err := cs.postImport(dest, "commit", next); err != nil {
+		return fmt.Errorf("server: committing import window on %q: %w", dest.ID, err)
+	}
+	return nil
+}
+
+// leave hands off everything this node owns and tells the survivors about
+// the shrunken ring. Called from Close after the drain, so ingest is already
+// rejecting and no seal is needed. Best-effort: a failed push costs at most
+// one replication interval of points on that destination (the warm standby
+// has the rest), and survivors converge via adopt-if-newer.
+func (cs *clusterState) leave() error {
+	cur := cs.ring.Load()
+	if cur.Len() < 2 {
+		return nil
+	}
+	next, err := cur.Remove(cs.self.ID)
+	if err != nil {
+		return err
+	}
+	moves := make(map[string][]string)
+	for _, id := range cs.s.pool.Streams() {
+		if cur.Owner(id).ID != cs.self.ID {
+			continue
+		}
+		o := next.Owner(id)
+		moves[o.ID] = append(moves[o.ID], id)
+	}
+	var firstErr error
+	moved := 0
+	for destID, ids := range moves {
+		dest, _ := next.NodeByID(destID)
+		if err := cs.pushHandoff(dest, ids, next); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		moved += len(ids)
+	}
+	for _, n := range next.Nodes() {
+		if err := cs.postRing(n, next); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: announcing ring v%d to %q: %w", next.Version(), n.ID, err)
+		}
+	}
+	cs.adopt(next)
+	cs.s.met.addHandoff(moved)
+	cs.s.logf("cluster: left ring (handed off %d streams to %d survivors)", moved, next.Len())
+	return firstErr
+}
+
+// join asks a member of an existing cluster to admit this node. The import
+// gate is held for the whole join: this node's boot ring says it owns
+// everything, so until the joined ring arrives every data-plane request must
+// be turned away retryably rather than served from a stream the incoming
+// handoff is about to replace.
+func (cs *clusterState) join(peer string) error {
+	cs.importing.Add(1)
+	defer cs.importing.Add(-1)
+	body, err := json.Marshal(cs.self)
+	if err != nil {
+		return err
+	}
+	resp, err := cs.httpc.Post(peer+"/v1/cluster/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("server: joining via %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: join rejected by %s: %s: %s", peer, resp.Status, bytes.TrimSpace(raw))
+	}
+	ring := new(cluster.Ring)
+	if err := json.Unmarshal(raw, ring); err != nil {
+		return fmt.Errorf("server: decoding joined ring: %w", err)
+	}
+	if _, ok := ring.NodeByID(cs.self.ID); !ok {
+		return fmt.Errorf("server: joined ring v%d does not contain this node", ring.Version())
+	}
+	cs.adopt(ring)
+	cs.s.logf("cluster: joined as %q (ring v%d, %d members)", cs.self.ID, ring.Version(), ring.Len())
+	return nil
+}
+
+// --- Control-plane HTTP ----------------------------------------------------
+
+func (cs *clusterState) postJSON(node cluster.Node, path string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := cs.httpc.Post("http://"+node.Addr+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s %s: %s: %s", node.ID, path, resp.Status, bytes.TrimSpace(raw))
+	}
+	return nil
+}
+
+func (cs *clusterState) postRing(node cluster.Node, ring *cluster.Ring) error {
+	if node.ID == cs.self.ID {
+		cs.adopt(ring)
+		return nil
+	}
+	return cs.postJSON(node, "/v1/cluster/ring", ring)
+}
+
+// importPhase is the body of POST /v1/cluster/import.
+type importPhase struct {
+	Phase string          `json:"phase"` // begin | commit | abort
+	Ring  json.RawMessage `json:"ring,omitempty"`
+}
+
+func (cs *clusterState) postImport(node cluster.Node, phase string, ring *cluster.Ring) error {
+	p := importPhase{Phase: phase}
+	if ring != nil {
+		blob, err := json.Marshal(ring)
+		if err != nil {
+			return err
+		}
+		p.Ring = blob
+	}
+	return cs.postJSON(node, "/v1/cluster/import", p)
+}
+
+// handleRing serves GET /v1/ring: the document ring-aware clients route by.
+func (cs *clusterState) handleRing(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cs.ring.Load())
+}
+
+// handleClusterRing adopts a peer's ring if it is newer (POST /v1/cluster/ring).
+func (cs *clusterState) handleClusterRing(w http.ResponseWriter, r *http.Request) {
+	ring := new(cluster.Ring)
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(ring); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding ring: %w", err))
+		return
+	}
+	adopted := cs.adopt(ring)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"adopted": adopted,
+		"version": cs.ring.Load().Version(),
+	})
+}
+
+// handleClusterImport opens, commits, or aborts an import window
+// (POST /v1/cluster/import). A commit may carry the ring the window was for.
+func (cs *clusterState) handleClusterImport(w http.ResponseWriter, r *http.Request) {
+	var p importPhase
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding import phase: %w", err))
+		return
+	}
+	switch p.Phase {
+	case "begin":
+		cs.importing.Add(1)
+	case "commit", "abort":
+		if p.Phase == "commit" && len(p.Ring) > 0 {
+			ring := new(cluster.Ring)
+			if err := json.Unmarshal(p.Ring, ring); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding commit ring: %w", err))
+				return
+			}
+			cs.adopt(ring)
+		}
+		if !cs.endImport() {
+			writeError(w, http.StatusConflict, errors.New("server: no import window is open"))
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unknown import phase %q", p.Phase))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"importing": cs.importing.Load() > 0})
+}
+
+// endImport closes one import window; false if none was open.
+func (cs *clusterState) endImport() bool {
+	for {
+		cur := cs.importing.Load()
+		if cur <= 0 {
+			return false
+		}
+		if cs.importing.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// handleClusterJoin admits a new node (POST /v1/cluster/join, body: the
+// node). The receiving member coordinates: it builds the grown ring, asks
+// every current member (itself included) to hand off the streams the new
+// ring takes from it, and answers the joiner with the ring once every
+// member has moved its share.
+func (cs *clusterState) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var n cluster.Node
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&n); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding joining node: %w", err))
+		return
+	}
+	cur := cs.ring.Load()
+	if have, ok := cur.NodeByID(n.ID); ok {
+		if have == n {
+			writeJSON(w, http.StatusOK, cur) // idempotent re-join
+			return
+		}
+		writeError(w, http.StatusConflict, fmt.Errorf("server: node ID %q is already a member with different addresses", n.ID))
+		return
+	}
+	next, err := cur.Add(n)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, m := range cur.Nodes() {
+		if m.ID == cs.self.ID {
+			if _, err := cs.handoff(next); err != nil {
+				writeError(w, http.StatusBadGateway, fmt.Errorf("server: local handoff for join of %q: %w", n.ID, err))
+				return
+			}
+			continue
+		}
+		if err := cs.postJSON(m, "/v1/cluster/handoff", next); err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Errorf("server: member handoff for join of %q: %w", n.ID, err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, next)
+}
+
+// handleClusterHandoff asks this member to move its share of streams for the
+// posted ring and adopt it (POST /v1/cluster/handoff).
+func (cs *clusterState) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
+	ring := new(cluster.Ring)
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(ring); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding handoff ring: %w", err))
+		return
+	}
+	moved, err := cs.handoff(ring)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"moved": moved, "version": cs.ring.Load().Version()})
+}
+
+// --- Warm-standby replication ----------------------------------------------
+
+func (cs *clusterState) startReplication(interval time.Duration) {
+	if interval < 0 {
+		return
+	}
+	if interval == 0 {
+		interval = defaultReplicationInterval
+	}
+	cs.replWg.Add(1)
+	go func() {
+		defer cs.replWg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-cs.stopRepl:
+				return
+			case <-t.C:
+				cs.replicateOnce()
+			}
+		}
+	}()
+}
+
+func (cs *clusterState) stopReplication() {
+	close(cs.stopRepl)
+	cs.replWg.Wait()
+}
+
+// replicateOnce pushes one round of standby copies: for every stream this
+// node owns whose length changed since the last push to a given successor,
+// export once and ship. Errors are logged and retried next tick — standby
+// freshness is best-effort by design; correctness never depends on it.
+func (cs *clusterState) replicateOnce() {
+	ring := cs.ring.Load()
+	if ring.Len() < 2 || ring.Replicas() < 2 {
+		return
+	}
+	for _, id := range cs.s.pool.Streams() {
+		if ring.Owner(id).ID != cs.self.ID || cs.isSealed(id) {
+			continue
+		}
+		succ := ring.Successors(id, ring.Replicas())
+		var data []byte
+		exported := int64(-1)
+		for _, peer := range succ[1:] {
+			key := peer.ID + "\x00" + id
+			cs.repMu.Lock()
+			last, seen := cs.replicated[key]
+			cs.repMu.Unlock()
+			if seen && last == int64(cs.s.pool.Len(id)) {
+				continue
+			}
+			if exported < 0 {
+				var err error
+				data, exported, err = cs.s.pool.ExportSegment(id)
+				if err != nil {
+					break // dropped or faulting; next tick sorts it out
+				}
+			}
+			err := cs.withPeer(peer, func(c *wire.Client) error {
+				return c.PushSegment(data, uint64(exported), ring.Version(), true)
+			})
+			if err != nil {
+				cs.s.met.addReplicationError()
+				cs.s.logf("cluster: standby push of %q to %q failed: %v", id, peer.ID, err)
+				continue
+			}
+			cs.s.met.addSegmentPushed(true)
+			cs.repMu.Lock()
+			cs.replicated[key] = exported
+			cs.repMu.Unlock()
+		}
+	}
+}

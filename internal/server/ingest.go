@@ -19,6 +19,10 @@ var (
 	// errDraining means the server is shutting down and no longer accepts
 	// ingestion (503).
 	errDraining = errors.New("server: draining, not accepting new observations")
+	// errHandoff means the stream is sealed mid-handoff to another cluster
+	// node — retry shortly and the request will route to the new owner
+	// (503 + Retry-After over HTTP, a retryable nack over the wire).
+	errHandoff = errors.New("server: stream handoff in progress; retry shortly")
 )
 
 // queueFullError is the concrete 429 rejection: errQueueFull (matchable with
@@ -161,6 +165,11 @@ type ingester struct {
 	drainMu  sync.RWMutex
 	draining bool
 
+	// sealed, when non-nil, reports streams mid-handoff (cluster serving):
+	// their submissions are rejected retryably at the front door so the
+	// losing node can quiesce and export. Set once before serving starts.
+	sealed func(id string) bool
+
 	mu     sync.Mutex
 	queues map[string]*streamQueue
 	wg     sync.WaitGroup
@@ -213,6 +222,11 @@ func (in *ingester) submit(id string, req *ingestReq) error {
 		in.drainMu.RUnlock()
 		in.met.addRejected(true)
 		return errDraining
+	}
+	if in.sealed != nil && in.sealed(id) {
+		in.drainMu.RUnlock()
+		in.met.addRejected(false)
+		return errHandoff
 	}
 	for {
 		in.mu.Lock()
@@ -342,6 +356,16 @@ func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 		}
 		r.done <- err
 	}
+}
+
+// pending reports whether the stream has a live queue (queued or in-flight
+// requests). Combined with sealing, a false result means the stream is
+// quiesced: nothing queued, and nothing new can enter.
+func (in *ingester) pending(id string) bool {
+	in.mu.Lock()
+	_, ok := in.queues[id]
+	in.mu.Unlock()
+	return ok
 }
 
 // drain rejects all future enqueues and blocks until every queued request has

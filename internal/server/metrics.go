@@ -53,6 +53,22 @@ type metrics struct {
 	rejectedFull     int64 // 429s: per-stream queue bound exceeded
 	rejectedDraining int64 // 503s: ingestion after drain started
 
+	// Cluster serving (all zero and unexported from scrapes when the server
+	// runs standalone).
+	clustered          bool
+	ringVersion        uint64
+	ringMembers        int64
+	forwardedObserves  int64 // misrouted observes relayed to their owner
+	forwardedEstimates int64
+	forwardErrors      int64 // relays that failed in transport (not nacks)
+	handoffRounds      int64 // completed handoffs (join, leave)
+	handoffStreams     int64 // streams moved across all handoffs
+	segmentsPushed     int64 // handoff segments shipped to peers
+	segmentsImported   int64 // handoff segments accepted from peers
+	standbyPushed      int64 // replication copies shipped
+	standbyImported    int64 // replication copies accepted
+	replicationErrors  int64
+
 	checkpoints             int64
 	checkpointErrors        int64
 	lastCheckpointSegments  int64 // dirty segments rewritten by the last save
@@ -102,6 +118,63 @@ func (m *metrics) addRejected(draining bool) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) setRing(version uint64, members int) {
+	m.mu.Lock()
+	m.clustered = true
+	m.ringVersion = version
+	m.ringMembers = int64(members)
+	m.mu.Unlock()
+}
+
+func (m *metrics) addForwarded(estimate bool) {
+	m.mu.Lock()
+	if estimate {
+		m.forwardedEstimates++
+	} else {
+		m.forwardedObserves++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) addForwardError() {
+	m.mu.Lock()
+	m.forwardErrors++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addHandoff(streams int) {
+	m.mu.Lock()
+	m.handoffRounds++
+	m.handoffStreams += int64(streams)
+	m.mu.Unlock()
+}
+
+func (m *metrics) addSegmentPushed(standby bool) {
+	m.mu.Lock()
+	if standby {
+		m.standbyPushed++
+	} else {
+		m.segmentsPushed++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) addSegmentImported(standby bool) {
+	m.mu.Lock()
+	if standby {
+		m.standbyImported++
+	} else {
+		m.segmentsImported++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) addReplicationError() {
+	m.mu.Lock()
+	m.replicationErrors++
+	m.mu.Unlock()
+}
+
 func (m *metrics) recordCheckpoint(fs privreg.FlushStats, seconds float64, err error) {
 	m.mu.Lock()
 	if err != nil {
@@ -144,7 +217,8 @@ type metricsSnapshot struct {
 		LastSeconds     float64 `json:"last_seconds"`
 		RestoredStreams int64   `json:"restored_streams_at_boot"`
 	} `json:"checkpoint"`
-	Pool struct {
+	Cluster *clusterMetricsSnapshot `json:"cluster,omitempty"`
+	Pool    struct {
 		Mechanism    string `json:"mechanism"`
 		Streams      int    `json:"streams"`
 		Observations int64  `json:"observations"`
@@ -155,6 +229,23 @@ type metricsSnapshot struct {
 		Evictions    int64  `json:"evictions"`
 		FaultIns     int64  `json:"fault_ins"`
 	} `json:"pool"`
+}
+
+// clusterMetricsSnapshot is the cluster section of the JSON scrape, present
+// only on clustered servers.
+type clusterMetricsSnapshot struct {
+	RingVersion        uint64 `json:"ring_version"`
+	RingMembers        int64  `json:"ring_members"`
+	ForwardedObserves  int64  `json:"forwarded_observes"`
+	ForwardedEstimates int64  `json:"forwarded_estimates"`
+	ForwardErrors      int64  `json:"forward_errors"`
+	HandoffRounds      int64  `json:"handoff_rounds"`
+	HandoffStreams     int64  `json:"handoff_streams"`
+	SegmentsPushed     int64  `json:"segments_pushed"`
+	SegmentsImported   int64  `json:"segments_imported"`
+	StandbyPushed      int64  `json:"standby_pushed"`
+	StandbyImported    int64  `json:"standby_imported"`
+	ReplicationErrors  int64  `json:"replication_errors"`
 }
 
 func (m *metrics) snapshot(st privreg.PoolStats) metricsSnapshot {
@@ -177,6 +268,22 @@ func (m *metrics) snapshot(st privreg.PoolStats) metricsSnapshot {
 	s.Checkpoint.LastStreams = m.lastCheckpointStreams
 	s.Checkpoint.LastSeconds = m.lastCheckpointSecs
 	s.Checkpoint.RestoredStreams = m.restoredStreamsAtBoot
+	if m.clustered {
+		s.Cluster = &clusterMetricsSnapshot{
+			RingVersion:        m.ringVersion,
+			RingMembers:        m.ringMembers,
+			ForwardedObserves:  m.forwardedObserves,
+			ForwardedEstimates: m.forwardedEstimates,
+			ForwardErrors:      m.forwardErrors,
+			HandoffRounds:      m.handoffRounds,
+			HandoffStreams:     m.handoffStreams,
+			SegmentsPushed:     m.segmentsPushed,
+			SegmentsImported:   m.segmentsImported,
+			StandbyPushed:      m.standbyPushed,
+			StandbyImported:    m.standbyImported,
+			ReplicationErrors:  m.replicationErrors,
+		}
+	}
 	m.mu.Unlock()
 	s.Pool.Mechanism = st.Mechanism
 	s.Pool.Streams = st.Streams
@@ -263,6 +370,33 @@ func (m *metrics) writePrometheus(w io.Writer, st privreg.PoolStats) {
 	fmt.Fprintf(w, "# HELP privreg_restored_streams Streams restored from the boot checkpoint.\n")
 	fmt.Fprintf(w, "# TYPE privreg_restored_streams gauge\n")
 	fmt.Fprintf(w, "privreg_restored_streams %d\n", m.restoredStreamsAtBoot)
+	if m.clustered {
+		fmt.Fprintf(w, "# HELP privreg_cluster_ring_version Version of the ring this node routes by.\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_ring_version gauge\n")
+		fmt.Fprintf(w, "privreg_cluster_ring_version %d\n", m.ringVersion)
+		fmt.Fprintf(w, "# HELP privreg_cluster_ring_members Members in the current ring.\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_ring_members gauge\n")
+		fmt.Fprintf(w, "privreg_cluster_ring_members %d\n", m.ringMembers)
+		fmt.Fprintf(w, "# HELP privreg_cluster_forwarded_total Misrouted requests relayed to their owner, by kind.\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_forwarded_total counter\n")
+		fmt.Fprintf(w, "privreg_cluster_forwarded_total{kind=\"observe\"} %d\n", m.forwardedObserves)
+		fmt.Fprintf(w, "privreg_cluster_forwarded_total{kind=\"estimate\"} %d\n", m.forwardedEstimates)
+		fmt.Fprintf(w, "# HELP privreg_cluster_forward_errors_total Relays that failed in transport.\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_forward_errors_total counter\n")
+		fmt.Fprintf(w, "privreg_cluster_forward_errors_total %d\n", m.forwardErrors)
+		fmt.Fprintf(w, "# HELP privreg_cluster_handoff_streams_total Streams moved by completed handoffs.\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_handoff_streams_total counter\n")
+		fmt.Fprintf(w, "privreg_cluster_handoff_streams_total %d\n", m.handoffStreams)
+		fmt.Fprintf(w, "# HELP privreg_cluster_segments_total Segments exchanged with peers, by direction and kind.\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_segments_total counter\n")
+		fmt.Fprintf(w, "privreg_cluster_segments_total{dir=\"pushed\",kind=\"handoff\"} %d\n", m.segmentsPushed)
+		fmt.Fprintf(w, "privreg_cluster_segments_total{dir=\"imported\",kind=\"handoff\"} %d\n", m.segmentsImported)
+		fmt.Fprintf(w, "privreg_cluster_segments_total{dir=\"pushed\",kind=\"standby\"} %d\n", m.standbyPushed)
+		fmt.Fprintf(w, "privreg_cluster_segments_total{dir=\"imported\",kind=\"standby\"} %d\n", m.standbyImported)
+		fmt.Fprintf(w, "# HELP privreg_cluster_replication_errors_total Warm-standby pushes that failed (retried next tick).\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_replication_errors_total counter\n")
+		fmt.Fprintf(w, "privreg_cluster_replication_errors_total %d\n", m.replicationErrors)
+	}
 	m.mu.Unlock()
 
 	fmt.Fprintf(w, "# HELP privreg_streams Live streams (resident + spilled), by mechanism.\n")

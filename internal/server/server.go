@@ -26,6 +26,8 @@ import (
 	"time"
 
 	"privreg"
+	"privreg/internal/cluster"
+	"privreg/internal/version"
 )
 
 // Spec describes how the served pool is constructed — mechanism plus the
@@ -136,6 +138,11 @@ type Config struct {
 	MaxQueuedPoints int
 	// Logf receives operational log lines. Nil discards them.
 	Logf func(format string, args ...any)
+	// Cluster, when set, makes this server one member of a serving cluster:
+	// consistent-hash stream routing with request forwarding, live stream
+	// handoff on membership changes, and warm-standby segment replication.
+	// Nil serves standalone.
+	Cluster *ClusterConfig
 }
 
 const (
@@ -155,6 +162,7 @@ type Server struct {
 	met  *metrics
 	mux  *http.ServeMux
 	logf func(format string, args ...any)
+	cl   *clusterState // nil when serving standalone
 
 	stopPeriodic chan struct{}
 
@@ -216,6 +224,14 @@ func New(cfg Config) (*Server, error) {
 		stopPeriodic: make(chan struct{}),
 	}
 	s.ing = newIngester(pool, maxPoints, s.met)
+	if cfg.Cluster != nil {
+		cl, err := newClusterState(s, cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		s.cl = cl
+		s.ing.sealed = cl.isSealed
+	}
 	if cfg.CheckpointDir != "" {
 		s.ckpt = &checkpointer{pool: pool, dir: cfg.CheckpointDir, met: s.met, logf: logf}
 		n, err := s.ckpt.restore()
@@ -233,8 +249,32 @@ func New(cfg Config) (*Server, error) {
 			go s.ckpt.run(interval, s.stopPeriodic)
 		}
 	}
+	if s.cl != nil {
+		s.cl.startReplication(cfg.Cluster.ReplicationInterval)
+	}
 	s.routes()
 	return s, nil
+}
+
+// JoinCluster asks a member of an existing cluster (an HTTP base URL like
+// "http://host:port") to admit this node. The coordinator moves every stream
+// the grown ring assigns to this node — with full estimator state, so the
+// move is invisible in the output sequence — before the join returns. Until
+// then this node answers data-plane requests with retryable rejections.
+func (s *Server) JoinCluster(peer string) error {
+	if s.cl == nil {
+		return errors.New("server: not clustered; configure Config.Cluster first")
+	}
+	return s.cl.join(peer)
+}
+
+// Ring returns the cluster ring this node currently routes by, or nil when
+// serving standalone.
+func (s *Server) Ring() *cluster.Ring {
+	if s.cl == nil {
+		return nil
+	}
+	return s.cl.Ring()
 }
 
 // Handler returns the server's HTTP handler (all /v1, /healthz, /metrics
@@ -260,6 +300,16 @@ func (s *Server) Close() error {
 		s.closeWireIntake()
 		s.ing.drain()
 		s.wireWg.Wait()
+		if s.cl != nil {
+			// Leave after the drain (every acked point is in the pool, so the
+			// exported segments are complete) and before the final checkpoint
+			// (what we keep on disk is whatever could not be handed off).
+			s.cl.stopReplication()
+			if err := s.cl.leave(); err != nil {
+				s.logf("cluster: leave handoff incomplete: %v (survivors fall back to warm standbys)", err)
+			}
+			s.cl.closeClients()
+		}
 		if s.ckpt != nil {
 			fs, secs, err := s.ckpt.save()
 			if err != nil {
@@ -308,6 +358,7 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/config", s.instrument("config", s.handleConfig))
 	s.mux.HandleFunc("GET /v1/mechanisms", s.instrument("mechanisms", s.handleMechanisms))
@@ -318,6 +369,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/streams/{id}/estimate", s.instrument("estimate", s.handleEstimate))
 	s.mux.HandleFunc("GET /v1/streams/{id}/stats", s.instrument("stream_stats", s.handleStreamStats))
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("drop", s.handleDrop))
+	if s.cl != nil {
+		s.mux.HandleFunc("GET /v1/ring", s.instrument("ring", s.cl.handleRing))
+		s.mux.HandleFunc("POST /v1/cluster/ring", s.instrument("cluster_ring", s.cl.handleClusterRing))
+		s.mux.HandleFunc("POST /v1/cluster/join", s.instrument("cluster_join", s.cl.handleClusterJoin))
+		s.mux.HandleFunc("POST /v1/cluster/handoff", s.instrument("cluster_handoff", s.cl.handleClusterHandoff))
+		s.mux.HandleFunc("POST /v1/cluster/import", s.instrument("cluster_import", s.cl.handleClusterImport))
+	}
 }
 
 // statusWriter captures the status code for request metrics.
@@ -476,6 +534,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: batch of %d points exceeds the per-stream queue bound %d; split the batch", len(xs), s.ing.maxPoints))
 		return
 	}
+	if s.cl != nil && s.cl.routeObserve(w, id, xs, ys) {
+		return
+	}
 	switch err := s.ing.enqueue(id, xs, ys); {
 	case err == nil:
 		writeJSON(w, http.StatusOK, observeResponse{Applied: len(xs), Len: s.pool.Len(id)})
@@ -492,6 +553,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errHandoff):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, privreg.ErrStreamFull):
 		writeError(w, http.StatusConflict, err)
 	default:
@@ -506,6 +570,9 @@ type estimateResponse struct {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.cl != nil && s.cl.routeEstimate(w, id) {
+		return
+	}
 	theta, err := s.pool.Estimate(id)
 	switch {
 	case err == nil:
@@ -541,8 +608,36 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(ids), "streams": ids})
 }
 
+// statsResponse embeds the pool stats (flat, capitalized keys — scripted
+// consumers grep them) and annotates the serving build and, when clustered,
+// the node's view of the ring.
+type statsResponse struct {
+	privreg.PoolStats
+	Version string          `json:"version"`
+	Cluster *clusterStatsVM `json:"cluster,omitempty"`
+}
+
+type clusterStatsVM struct {
+	Node        string `json:"node"`
+	RingVersion uint64 `json:"ring_version"`
+	Members     int    `json:"members"`
+	Replicas    int    `json:"replicas"`
+	Importing   bool   `json:"importing"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.pool.Stats())
+	resp := statsResponse{PoolStats: s.pool.Stats(), Version: version.Version}
+	if s.cl != nil {
+		ring := s.cl.Ring()
+		resp.Cluster = &clusterStatsVM{
+			Node:        s.cl.self.ID,
+			RingVersion: ring.Version(),
+			Members:     ring.Len(),
+			Replicas:    ring.Replicas(),
+			Importing:   s.cl.importing.Load() > 0,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
@@ -582,12 +677,34 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is pure liveness: 200 whenever the process can answer,
+// including during a graceful drain (killing a draining process would lose
+// the handoff and the final checkpoint). Routability lives in /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining() {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":    "ok",
+		"mechanism": s.spec.Mechanism,
+		"version":   version.Version,
+	})
+}
+
+// handleReadyz is readiness: 503 while draining or while importing handoff
+// segments (mid-join, or inside an import window), so load balancers stop
+// routing to a node that would only answer with retryable rejections.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	case s.cl != nil && s.cl.importing.Load() > 0:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "importing"})
+	default:
+		body := map[string]any{"status": "ready"}
+		if s.cl != nil {
+			body["ring_version"] = s.cl.Ring().Version()
+			body["node"] = s.cl.self.ID
+		}
+		writeJSON(w, http.StatusOK, body)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mechanism": s.spec.Mechanism})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -317,8 +317,13 @@ func TestDrainRejectsWith503(t *testing.T) {
 	if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams/d/observe", map[string]any{"x": x, "y": y}, nil); code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain observe should 503, got %d", code)
 	}
-	if code, _ := doJSON(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("post-drain healthz should 503, got %d", code)
+	// Liveness stays up through the drain (killing a draining process would
+	// lose the final checkpoint); readiness is what flips to 503.
+	if code, _ := doJSON(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("post-drain healthz (liveness) should stay 200, got %d", code)
+	}
+	if code, raw := doJSON(t, "GET", ts.URL+"/readyz", nil, nil); code != http.StatusServiceUnavailable || !strings.Contains(raw, "draining") {
+		t.Fatalf("post-drain readyz should 503/draining, got %d %s", code, raw)
 	}
 	// Reads still work during/after drain.
 	if code, _ := doJSON(t, "GET", ts.URL+"/v1/streams/d/estimate", nil, nil); code != http.StatusOK {

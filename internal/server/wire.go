@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"privreg"
+	"privreg/internal/version"
 	"privreg/internal/wire"
 )
 
@@ -67,9 +68,12 @@ type wireCompletion struct {
 	id   string     // stream id (for post-apply Len)
 	bufs *wireBufs  // recycled after the ack is written
 
-	err    error     // pre-resolved verdict (or admission error for req == nil)
-	est    []float64 // estimate payload
-	length int       // stream length for pre-resolved estimate acks
+	err     error     // pre-resolved verdict (or admission error for req == nil)
+	est     []float64 // estimate payload
+	length  int       // stream length for pre-resolved acks
+	applied int       // points applied, for pre-resolved acks (forwarded observes, segment imports)
+
+	ringAck *wire.RingAck // ring request answer (cluster)
 
 	fatal error // connection-fatal: written as an error frame, then close
 }
@@ -221,6 +225,7 @@ func (s *Server) wireHandshake(conn net.Conn, r *wire.Reader, bw *bufio.Writer) 
 		Dim:       uint32(s.spec.Dim),
 		Horizon:   uint64(s.spec.Horizon),
 		Mechanism: s.spec.Mechanism,
+		Server:    version.Version,
 	})
 	if _, err := bw.Write(b.Bytes()); err != nil {
 		return err
@@ -258,9 +263,55 @@ func (s *Server) wireReadLoop(r *wire.Reader, completions chan<- *wireCompletion
 				return
 			}
 			c := &wireCompletion{reqID: req.ReqID, route: "wire_estimate", start: time.Now(), id: string(req.ID)}
+			if s.cl != nil && s.cl.wireRouteEstimate(c, req.Forwarded()) {
+				completions <- c
+				continue
+			}
 			c.est, c.err = s.pool.Estimate(c.id)
 			if c.err == nil {
 				c.length = s.pool.Len(c.id)
+			}
+			completions <- c
+		case wire.FrameRing:
+			rr, err := wire.ParseRingReq(payload)
+			if err != nil {
+				completions <- &wireCompletion{fatal: err}
+				return
+			}
+			c := &wireCompletion{reqID: rr.ReqID, route: "wire_ring", start: time.Now()}
+			ack := &wire.RingAck{ReqID: rr.ReqID}
+			if s.cl != nil {
+				v, blob, err := s.cl.ringJSON()
+				if err != nil {
+					c.err = err
+				} else {
+					ack.Version, ack.Ring = v, blob
+				}
+			}
+			// A standalone server answers version 0 with an empty blob, so
+			// ring-aware clients can probe any server safely.
+			if c.err == nil {
+				c.ringAck = ack
+			}
+			completions <- c
+		case wire.FrameSegmentPush:
+			sp, err := wire.ParseSegmentPush(payload)
+			if err != nil {
+				completions <- &wireCompletion{fatal: err}
+				return
+			}
+			// Imported synchronously: the data aliases the read buffer (valid
+			// until the next frame), and ack-after-apply means a push acked
+			// here is durable on this node's store.
+			c := &wireCompletion{reqID: sp.ReqID, route: "wire_segment", start: time.Now()}
+			if s.cl == nil {
+				c.err = errors.New("server: not clustered; segment push rejected")
+			} else if id, err := s.cl.acceptSegment(sp.Data, sp.Length, sp.Standby); err != nil {
+				c.err = err
+			} else {
+				c.id = id
+				c.applied = int(sp.Length)
+				c.length = int(sp.Length)
 			}
 			completions <- c
 		default:
@@ -297,6 +348,12 @@ func (s *Server) wireObserve(payload []byte) (*wireCompletion, bool) {
 	if err := h.DecodeRows(xs, ys); err != nil {
 		wireBufPool.Put(bufs)
 		return &wireCompletion{fatal: err}, true
+	}
+	if s.cl != nil && s.cl.wireRouteObserve(c, h.Forwarded(), xs, ys) {
+		// Forwarding is synchronous (the frame is written before return), so
+		// the decoded buffers can recycle immediately.
+		wireBufPool.Put(bufs)
+		return c, false
 	}
 	req := &ingestReq{flatXs: xs, ys: ys, dim: s.spec.Dim, done: make(chan error, 1)}
 	if err := s.ing.submit(c.id, req); err != nil {
@@ -367,12 +424,23 @@ func (s *Server) wireDiscard(completions <-chan *wireCompletion) {
 // dashboard.
 func (s *Server) appendWireResponse(b *wire.Builder, c *wireCompletion, err error) int {
 	switch {
+	case err == nil && c.ringAck != nil:
+		wire.AppendRingAck(b, *c.ringAck)
+		return http.StatusOK
 	case err == nil && c.route == "wire_estimate":
 		wire.AppendEstimateAck(b, wire.EstimateAck{ReqID: c.reqID, Len: uint64(c.length), Estimate: c.est})
 		return http.StatusOK
-	case err == nil:
+	case err == nil && c.req != nil:
 		wire.AppendAck(b, wire.Ack{ReqID: c.reqID, Applied: uint32(len(c.req.ys)), Len: uint64(s.pool.Len(c.id))})
 		return http.StatusOK
+	case err == nil:
+		// Pre-resolved success: a forwarded observe (counts from the owner's
+		// ack) or an imported segment push.
+		wire.AppendAck(b, wire.Ack{ReqID: c.reqID, Applied: uint32(c.applied), Len: uint64(c.length)})
+		return http.StatusOK
+	case errors.Is(err, errHandoff), errors.Is(err, errImporting):
+		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: wire.NackImporting, RetryAfter: 1, Msg: err.Error()})
+		return http.StatusServiceUnavailable
 	case errors.Is(err, errQueueFull):
 		retry := minRetryAfter
 		var qf *queueFullError
@@ -391,6 +459,24 @@ func (s *Server) appendWireResponse(b *wire.Builder, c *wireCompletion, err erro
 		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: wire.NackUnknownStream, Msg: err.Error()})
 		return http.StatusNotFound
 	default:
+		// A forwarded request's nack passes through verbatim — same code, same
+		// Retry-After — so the client cannot tell a proxied rejection from a
+		// direct one.
+		var ne *wire.NackError
+		if errors.As(err, &ne) {
+			wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: ne.Code, RetryAfter: uint16(ne.RetryAfter), Msg: ne.Msg})
+			switch ne.Code {
+			case wire.NackQueueFull:
+				return http.StatusTooManyRequests
+			case wire.NackDraining, wire.NackImporting, wire.NackNotOwner:
+				return http.StatusServiceUnavailable
+			case wire.NackStreamFull:
+				return http.StatusConflict
+			case wire.NackUnknownStream:
+				return http.StatusNotFound
+			}
+			return http.StatusBadRequest
+		}
 		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: wire.NackBadRequest, Msg: err.Error()})
 		return http.StatusBadRequest
 	}

@@ -1,10 +1,13 @@
 package store
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"privreg/internal/codec"
 )
 
 // residentShards is the number of lock shards a Resident store spreads its
@@ -17,6 +20,7 @@ const residentShards = 64
 // for the life of the process. It is the default backend and preserves the
 // Pool's original sharded-locking behavior exactly.
 type Resident struct {
+	meta    string // store identity stamped into exported segments
 	factory Factory
 	shards  [residentShards]residentShard
 }
@@ -33,9 +37,11 @@ type residentEntry struct {
 }
 
 // NewResident returns an empty fully-resident store building streams with
-// the given factory.
-func NewResident(factory Factory) *Resident {
-	r := &Resident{factory: factory}
+// the given factory. meta is the store identity (the Pool passes its
+// mechanism name) stamped into exported segments and checked on import, the
+// same contract the Spill store enforces on its directory.
+func NewResident(meta string, factory Factory) *Resident {
+	r := &Resident{meta: meta, factory: factory}
 	for i := range r.shards {
 		r.shards[i].streams = make(map[string]*residentEntry)
 	}
@@ -162,6 +168,47 @@ func (r *Resident) Marshal(id string) ([]byte, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.st.MarshalBinary()
+}
+
+// Export serializes the stream and frames it as a segment; a fully-resident
+// store has no segment files to serve verbatim, so this always marshals.
+func (r *Resident) Export(id string) ([]byte, int64, error) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	e := sh.streams[id]
+	sh.mu.RUnlock()
+	if e == nil {
+		return nil, 0, ErrNotFound
+	}
+	e.mu.Lock()
+	blob, err := e.st.MarshalBinary()
+	length := int64(e.st.Len())
+	e.mu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	return codec.EncodeSegment(r.meta, id, blob), length, nil
+}
+
+// Import verifies and materializes a peer's segment, then installs it.
+func (r *Resident) Import(data []byte, length int64) (string, error) {
+	meta, id, blob, err := codec.DecodeSegment(data)
+	if err != nil {
+		return "", fmt.Errorf("store: importing segment: %w", err)
+	}
+	if meta != r.meta {
+		return "", fmt.Errorf("store: imported segment is for %q, store holds %q", meta, r.meta)
+	}
+	st, err := r.factory(id)
+	if err != nil {
+		return "", err
+	}
+	if err := st.UnmarshalBinary(blob); err != nil {
+		return "", fmt.Errorf("store: importing stream %q: %w", id, err)
+	}
+	_ = length // resident imports materialize, so the stream's own Len governs
+	r.Install(id, st)
+	return id, nil
 }
 
 func (r *Resident) Stats() Stats {

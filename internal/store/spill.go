@@ -612,6 +612,114 @@ func (s *Spill) Marshal(id string) ([]byte, error) {
 	return blob, err
 }
 
+// Export returns the stream's state as complete segment-file bytes. Spilled
+// clean streams are served verbatim from disk (after CRC verification) —
+// the file already is the transfer format — so continuous replication of
+// cold streams costs reads, not deserialization.
+func (s *Spill) Export(id string) ([]byte, int64, error) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	e := sh.table[id]
+	if e == nil {
+		sh.mu.Unlock()
+		return nil, 0, ErrNotFound
+	}
+	e.pins++
+	sh.mu.Unlock()
+
+	e.mu.Lock()
+	var data []byte
+	var err error
+	switch {
+	case e.st != nil:
+		var blob []byte
+		blob, err = e.st.MarshalBinary()
+		if err == nil {
+			data = codec.EncodeSegment(s.meta, e.id, blob)
+		}
+	case e.file != "":
+		data, err = os.ReadFile(filepath.Join(s.segDir, e.file))
+		if err == nil {
+			// Verify before shipping: a locally corrupt segment must fail
+			// here, not poison a peer.
+			var meta, segID string
+			meta, segID, _, err = codec.DecodeSegment(data)
+			if err == nil && (meta != s.meta || segID != e.id) {
+				err = fmt.Errorf("store: segment %s belongs to stream %q of %q, wanted %q of %q", e.file, segID, meta, e.id, s.meta)
+			}
+		}
+	default:
+		err = ErrNotFound // placeholder caught mid-create; nothing to ship
+	}
+	length := e.len.Load()
+	materialized := e.st != nil
+	e.mu.Unlock()
+
+	s.release(sh, e, materialized, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, length, nil
+}
+
+// Import installs a peer's segment verbatim: the bytes are verified
+// (CRC, store identity), written to a fresh local generation under
+// segments/, and the stream is registered spilled and clean — no
+// deserialization, no residency cost. The next Flush's manifest adopts the
+// file; until then a crash leaves it as an orphan the boot-time GC removes,
+// which is exactly the half-finished-import semantics the handoff protocol
+// wants (the source still owns the authoritative copy until commit).
+func (s *Spill) Import(data []byte, length int64) (string, error) {
+	meta, id, _, err := codec.DecodeSegment(data)
+	if err != nil {
+		return "", fmt.Errorf("store: importing segment: %w", err)
+	}
+	if meta != s.meta {
+		return "", fmt.Errorf("store: imported segment is for %q, store holds %q", meta, s.meta)
+	}
+
+	name := s.segmentName(id)
+	path := filepath.Join(s.segDir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return "", fmt.Errorf("store: creating imported segment: %w", err)
+	}
+	_, err = f.Write(data)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("store: writing imported segment for stream %q: %w", id, err)
+	}
+
+	e := &spillEntry{id: id, file: name}
+	e.len.Store(length)
+	sh := s.shardFor(id)
+	var oldFile string
+	sh.mu.Lock()
+	if old := sh.table[id]; old != nil {
+		old.dropped.Store(true)
+		if old.inLRU {
+			sh.unlink(old)
+		}
+		oldFile = old.file
+	}
+	sh.table[id] = e
+	sh.mu.Unlock()
+	s.fsMu.Lock()
+	s.unsynced[name] = struct{}{}
+	if oldFile != "" {
+		s.garbage = append(s.garbage, oldFile)
+	}
+	s.fsMu.Unlock()
+	return id, nil
+}
+
 func (s *Spill) Stats() Stats {
 	var st Stats
 	for i := range s.shards {

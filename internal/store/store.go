@@ -112,6 +112,20 @@ type StreamStore interface {
 	// Marshal returns the stream's serialized state. For spilled streams
 	// this reads the segment file without faulting the stream in.
 	Marshal(id string) ([]byte, error)
+	// Export returns the stream's state as a complete, self-describing
+	// segment file (internal/codec segment framing: store identity, stream
+	// ID, CRC) plus its cached length — the unit of transfer the cluster
+	// layer ships between nodes. For spilled streams the bytes come straight
+	// from the segment file without faulting the stream in.
+	Export(id string) (data []byte, length int64, err error)
+	// Import installs a stream from a segment file produced by Export on a
+	// peer with the same store identity. The segment's CRC and identity are
+	// verified before any local state changes, so a corrupt or foreign
+	// segment is rejected without side effects. length is the stream's
+	// observation count at export time (segments do not embed it). An
+	// existing stream with the same ID is replaced. Returns the imported
+	// stream's ID.
+	Import(data []byte, length int64) (id string, err error)
 	// Stats returns a point-in-time snapshot.
 	Stats() Stats
 	// Flush writes an incremental checkpoint: every dirty stream's segment,

@@ -73,7 +73,7 @@ func valuesOf(t *testing.T, s StreamStore, id string) []float64 {
 }
 
 func TestResidentBasics(t *testing.T) {
-	s := NewResident(fakeFactory())
+	s := NewResident("fake", fakeFactory())
 	if err := s.Update("ghost", false, func(Stream) error { return nil }); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Update(no-create, unknown) = %v, want ErrNotFound", err)
 	}
@@ -98,7 +98,7 @@ func TestResidentBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := NewResident(fakeFactory())
+	s2 := NewResident("fake", fakeFactory())
 	fresh := &fakeStream{id: "a"}
 	if err := fresh.UnmarshalBinary(blob); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,13 @@
+// Package version carries the build identification string, injected at link
+// time:
+//
+//	go build -ldflags "-X privreg/internal/version.Version=v1.2.3" ./...
+//
+// Uninjected builds (go test, plain go build) report "dev". The string is
+// surfaced in /healthz, /v1/stats, and the wire HelloAck so mixed-version
+// clusters are detectable during rolling upgrades.
+package version
+
+// Version is the build identifier. Overridden via -ldflags -X; never mutated
+// at runtime.
+var Version = "dev"

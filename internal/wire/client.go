@@ -26,7 +26,13 @@ func (e *NackError) Error() string {
 }
 
 // Retryable reports whether backing off and resending can succeed.
-func (e *NackError) Retryable() bool { return e.Code == NackQueueFull }
+func (e *NackError) Retryable() bool {
+	switch e.Code {
+	case NackQueueFull, NackNotOwner, NackImporting:
+		return true
+	}
+	return false
+}
 
 // Client is a connection to a privreg wire listener, safe for concurrent use
 // by any number of goroutines: requests from different streams (or the same
@@ -52,6 +58,9 @@ type Client struct {
 	Dim       int
 	Horizon   int
 	Mechanism string
+	// Server is the peer's build identifier from the HelloAck ("dev" for
+	// uninjected builds).
+	Server string
 }
 
 type response struct {
@@ -59,6 +68,7 @@ type response struct {
 	ack   Ack
 	est   EstimateAck
 	nack  Nack
+	ring  RingAck
 }
 
 // Dial connects to a wire listener, performs the Hello/HelloAck version
@@ -111,6 +121,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	c.Dim = int(ack.Dim)
 	c.Horizon = int(ack.Horizon)
 	c.Mechanism = ack.Mechanism
+	c.Server = ack.Server
 	go c.readLoop(r)
 	return c, nil
 }
@@ -145,6 +156,15 @@ func (c *Client) readLoop(r *Reader) {
 			resp.frame = t
 			resp.nack, perr = ParseNack(payload)
 			reqID = resp.nack.ReqID
+		case FrameRingAck:
+			resp.frame = t
+			resp.ring, perr = ParseRingAck(payload)
+			if perr == nil {
+				// The blob aliases the reader's reusable frame buffer; copy it
+				// before the next Next() overwrites it.
+				resp.ring.Ring = append([]byte(nil), resp.ring.Ring...)
+			}
+			reqID = resp.ring.ReqID
 		case FrameError:
 			err = ParseError(payload)
 		default:
@@ -237,10 +257,21 @@ func (c *Client) await(ch chan response) (response, error) {
 // (len(ys)×Dim values) with responses ys — and blocks until the server acks
 // it (the points are applied) or nacks it. Safe to call concurrently.
 func (c *Client) Observe(id string, xs, ys []float64) (applied, streamLen int, err error) {
+	return c.observe(0, id, xs, ys)
+}
+
+// ForwardObserve is Observe with the forwarded flag set: the receiver serves
+// the request locally even if its ring disagrees about ownership. Only the
+// in-server forwarding proxy should use it.
+func (c *Client) ForwardObserve(id string, xs, ys []float64) (applied, streamLen int, err error) {
+	return c.observe(FlagForwarded, id, xs, ys)
+}
+
+func (c *Client) observe(flags uint8, id string, xs, ys []float64) (applied, streamLen int, err error) {
 	if len(xs) != len(ys)*c.Dim {
 		return 0, 0, fmt.Errorf("wire: observe batch %d×%d does not match pool dimension %d", len(ys), len(xs), c.Dim)
 	}
-	_, ch, err := c.send(func(reqID uint64) { AppendObserve(&c.b, reqID, id, c.Dim, xs, ys) })
+	_, ch, err := c.send(func(reqID uint64) { AppendObserve(&c.b, reqID, flags, id, c.Dim, xs, ys) })
 	if err != nil {
 		return 0, 0, err
 	}
@@ -256,7 +287,16 @@ func (c *Client) Observe(id string, xs, ys []float64) (applied, streamLen int, e
 
 // Estimate fetches the stream's current private estimate and length.
 func (c *Client) Estimate(id string) ([]float64, int, error) {
-	_, ch, err := c.send(func(reqID uint64) { AppendEstimate(&c.b, reqID, id) })
+	return c.estimate(0, id)
+}
+
+// ForwardEstimate is Estimate with the forwarded flag set; see ForwardObserve.
+func (c *Client) ForwardEstimate(id string) ([]float64, int, error) {
+	return c.estimate(FlagForwarded, id)
+}
+
+func (c *Client) estimate(flags uint8, id string) ([]float64, int, error) {
+	_, ch, err := c.send(func(reqID uint64) { AppendEstimate(&c.b, reqID, flags, id) })
 	if err != nil {
 		return nil, 0, err
 	}
@@ -268,4 +308,47 @@ func (c *Client) Estimate(id string) ([]float64, int, error) {
 		return nil, 0, fmt.Errorf("wire: estimate answered with %s", resp.frame)
 	}
 	return resp.est.Estimate, int(resp.est.Len), nil
+}
+
+// FetchRing asks the server for its cluster ring and returns the ring
+// version plus the JSON document (the same one GET /v1/ring serves; decode
+// with cluster.Ring's UnmarshalJSON). A non-clustered server answers with
+// version 0 and an empty blob.
+func (c *Client) FetchRing() (version uint64, ringJSON []byte, err error) {
+	_, ch, err := c.send(func(reqID uint64) { AppendRingReq(&c.b, reqID) })
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.await(ch)
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.frame != FrameRingAck {
+		return 0, nil, fmt.Errorf("wire: ring request answered with %s", resp.frame)
+	}
+	return resp.ring.Version, resp.ring.Ring, nil
+}
+
+// PushSegment ships one stream's segment file to the peer and blocks until
+// the peer has durably imported it (ack-after-apply, like Observe). length
+// is the stream's point count at export; ringV the sender's ring version;
+// standby distinguishes a replication copy from a handoff transfer.
+func (c *Client) PushSegment(segment []byte, length uint64, ringV uint64, standby bool) error {
+	if len(segment)+frameOverhead+64 > MaxFrame {
+		return fmt.Errorf("wire: segment of %d bytes exceeds the %d-byte frame bound", len(segment), MaxFrame)
+	}
+	_, ch, err := c.send(func(reqID uint64) {
+		AppendSegmentPush(&c.b, SegmentPush{ReqID: reqID, RingV: ringV, Length: length, Standby: standby, Data: segment})
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := c.await(ch)
+	if err != nil {
+		return err
+	}
+	if resp.frame != FrameAck {
+		return fmt.Errorf("wire: segment push answered with %s", resp.frame)
+	}
+	return nil
 }

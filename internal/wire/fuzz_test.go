@@ -22,18 +22,27 @@ func fuzzSeeds() [][]byte {
 		AppendHelloAck(b, HelloAck{Version: 1, Dim: 8, Horizon: 1 << 20, Mechanism: "gradient"})
 	})
 	add(func(b *Builder) {
-		AppendObserve(b, 1, "s", 4, []float64{1, 2, 3, 4, 5, 6, 7, 8}, []float64{0.5, -0.5})
+		AppendObserve(b, 1, 0, "s", 4, []float64{1, 2, 3, 4, 5, 6, 7, 8}, []float64{0.5, -0.5})
 	})
-	add(func(b *Builder) { AppendObserve(b, 2, "stream-with-a-longer-name", 1, []float64{0.25}, []float64{1}) })
-	add(func(b *Builder) { AppendEstimate(b, 3, "s") })
+	add(func(b *Builder) {
+		AppendObserve(b, 2, 0, "stream-with-a-longer-name", 1, []float64{0.25}, []float64{1})
+	})
+	add(func(b *Builder) { AppendEstimate(b, 3, 0, "s") })
 	add(func(b *Builder) { AppendAck(b, Ack{ReqID: 4, Applied: 8, Len: 64}) })
 	add(func(b *Builder) { AppendEstimateAck(b, EstimateAck{ReqID: 5, Len: 64, Estimate: []float64{1, -1}}) })
 	add(func(b *Builder) { AppendNack(b, Nack{ReqID: 6, Code: NackQueueFull, RetryAfter: 2, Msg: "full"}) })
 	add(func(b *Builder) { AppendError(b, "boom") })
+	add(func(b *Builder) { AppendRingReq(b, 10) })
+	add(func(b *Builder) {
+		AppendRingAck(b, RingAck{ReqID: 10, Version: 2, Ring: []byte(`{"version":2,"nodes":[{"id":"a"}]}`)})
+	})
+	add(func(b *Builder) {
+		AppendSegmentPush(b, SegmentPush{ReqID: 11, RingV: 2, Length: 9, Standby: true, Data: []byte("PRSGxxxx")})
+	})
 	// Two frames back to back — the multi-frame stream case.
 	add(func(b *Builder) {
-		AppendObserve(b, 7, "a", 2, []float64{1, 2}, []float64{3})
-		AppendEstimate(b, 8, "a")
+		AppendObserve(b, 7, FlagForwarded, "a", 2, []float64{1, 2}, []float64{3})
+		AppendEstimate(b, 8, 0, "a")
 	})
 	return seeds
 }
@@ -111,6 +120,12 @@ func parsePayload(t *testing.T, ft FrameType, payload []byte) {
 		_, _ = ParseNack(payload)
 	case FrameError:
 		_ = ParseError(payload)
+	case FrameRing:
+		_, _ = ParseRingReq(payload)
+	case FrameRingAck:
+		_, _ = ParseRingAck(payload)
+	case FrameSegmentPush:
+		_, _ = ParseSegmentPush(payload)
 	}
 }
 
@@ -119,7 +134,7 @@ func parsePayload(t *testing.T, ft FrameType, payload []byte) {
 // the row-count/length arithmetic lives.
 func FuzzObservePayload(f *testing.F) {
 	var b Builder
-	AppendObserve(&b, 9, "seed", 2, []float64{1, 2, 3, 4}, []float64{5, 6})
+	AppendObserve(&b, 9, 0, "seed", 2, []float64{1, 2, 3, 4}, []float64{5, 6})
 	_, payload, _, err := DecodeFrame(b.Bytes())
 	if err != nil {
 		f.Fatal(err)

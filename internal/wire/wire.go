@@ -54,7 +54,13 @@ const Magic = "PRWB"
 // Version is the protocol version this package speaks. Hello carries the
 // client's supported range; the server picks the highest version both sides
 // share and echoes it in HelloAck.
-const Version = 1
+//
+// Version 2 (the cluster protocol) added a flags byte to Observe and
+// Estimate payloads (FlagForwarded), a build-version string to HelloAck, and
+// the Ring/RingAck/SegmentPush frames the cluster layer routes and migrates
+// with. Version 1 peers are not supported — the protocol is repo-internal
+// and both ends ship together.
+const Version = 2
 
 // MaxFrame bounds the encoded size of a single frame (type + payload). It
 // exists so a corrupt or adversarial length prefix cannot make a reader
@@ -69,14 +75,26 @@ type FrameType uint8
 // Frame types. Hello/HelloAck appear exactly once per connection, in that
 // order; everything after is requests upstream, responses downstream.
 const (
-	FrameHello       FrameType = 1 // client → server: magic + supported version range
-	FrameHelloAck    FrameType = 2 // server → client: chosen version + pool shape
-	FrameObserve     FrameType = 3 // client → server: batched rows for one stream
-	FrameEstimate    FrameType = 4 // client → server: estimate request
-	FrameAck         FrameType = 5 // server → client: observe accepted and applied
-	FrameEstimateAck FrameType = 6 // server → client: estimate vector
-	FrameNack        FrameType = 7 // server → client: request rejected (retryable or not)
-	FrameError       FrameType = 8 // either direction: fatal protocol error, then close
+	FrameHello       FrameType = 1  // client → server: magic + supported version range
+	FrameHelloAck    FrameType = 2  // server → client: chosen version + pool shape
+	FrameObserve     FrameType = 3  // client → server: batched rows for one stream
+	FrameEstimate    FrameType = 4  // client → server: estimate request
+	FrameAck         FrameType = 5  // server → client: observe accepted and applied
+	FrameEstimateAck FrameType = 6  // server → client: estimate vector
+	FrameNack        FrameType = 7  // server → client: request rejected (retryable or not)
+	FrameError       FrameType = 8  // either direction: fatal protocol error, then close
+	FrameRing        FrameType = 9  // client → server: request the current ring
+	FrameRingAck     FrameType = 10 // server → client: versioned ring state (JSON blob)
+	FrameSegmentPush FrameType = 11 // node → node: one stream's segment file (handoff/replication)
+)
+
+// Request flags, carried by Observe and Estimate after the request ID.
+const (
+	// FlagForwarded marks a request relayed by a peer's forwarding proxy:
+	// the receiver must serve it locally even if its ring says another node
+	// owns the stream, which is what keeps a ring-version skew window from
+	// bouncing a request between nodes forever.
+	FlagForwarded uint8 = 1 << 0
 )
 
 func (t FrameType) String() string {
@@ -97,6 +115,12 @@ func (t FrameType) String() string {
 		return "nack"
 	case FrameError:
 		return "error"
+	case FrameRing:
+		return "ring"
+	case FrameRingAck:
+		return "ring-ack"
+	case FrameSegmentPush:
+		return "segment-push"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -112,6 +136,8 @@ const (
 	NackStreamFull    NackCode = 3 // horizon overrun, batch rejected whole (HTTP 409)
 	NackUnknownStream NackCode = 4 // estimate for a stream that never observed (HTTP 404)
 	NackBadRequest    NackCode = 5 // malformed request (HTTP 400)
+	NackNotOwner      NackCode = 6 // retryable: node neither owns the stream nor could forward it
+	NackImporting     NackCode = 7 // retryable: node is importing handoff segments for this stream's shard
 )
 
 func (c NackCode) String() string {
@@ -126,6 +152,10 @@ func (c NackCode) String() string {
 		return "unknown-stream"
 	case NackBadRequest:
 		return "bad-request"
+	case NackNotOwner:
+		return "not-owner"
+	case NackImporting:
+		return "importing"
 	default:
 		return fmt.Sprintf("nack(%d)", uint8(c))
 	}
@@ -375,6 +405,9 @@ type HelloAck struct {
 	Dim       uint32
 	Horizon   uint64
 	Mechanism string
+	// Server is the serving binary's build identifier (ldflags-injected),
+	// so clients and peers can detect mixed-version clusters mid-upgrade.
+	Server string
 }
 
 // AppendHelloAck appends a HelloAck frame.
@@ -384,6 +417,7 @@ func AppendHelloAck(b *Builder, a HelloAck) {
 	b.U32(a.Dim)
 	b.U64(a.Horizon)
 	b.Str16(a.Mechanism)
+	b.Str16(a.Server)
 	b.Finish()
 }
 
@@ -395,6 +429,7 @@ func ParseHelloAck(payload []byte) (HelloAck, error) {
 	a.Dim = p.U32()
 	a.Horizon = p.U64()
 	a.Mechanism = p.Str16()
+	a.Server = p.Str16()
 	return a, p.Finish()
 }
 
@@ -405,6 +440,8 @@ func ParseHelloAck(payload []byte) (HelloAck, error) {
 // Rows×(Dim+1) float64s.
 type ObserveHeader struct {
 	ReqID uint64
+	// Flags carries request flags (FlagForwarded).
+	Flags uint8
 	// ID aliases the frame buffer (valid until the next read); the server
 	// interns it per connection rather than allocating a string per frame.
 	ID   []byte
@@ -413,11 +450,15 @@ type ObserveHeader struct {
 	dim  int
 }
 
-// AppendObserve appends an Observe frame: reqID, stream ID, and rows in
-// row-major order — xs is Rows×dim values, ys is Rows values.
-func AppendObserve(b *Builder, reqID uint64, id string, dim int, xs, ys []float64) {
+// Forwarded reports whether a peer's proxy relayed this request.
+func (h *ObserveHeader) Forwarded() bool { return h.Flags&FlagForwarded != 0 }
+
+// AppendObserve appends an Observe frame: reqID, flags, stream ID, and rows
+// in row-major order — xs is Rows×dim values, ys is Rows values.
+func AppendObserve(b *Builder, reqID uint64, flags uint8, id string, dim int, xs, ys []float64) {
 	b.Begin(FrameObserve)
 	b.U64(reqID)
+	b.U8(flags)
 	b.Str16(id)
 	b.U32(uint32(len(ys)))
 	_ = dim // the frame format derives the row width from the ack'd pool shape
@@ -432,6 +473,7 @@ func ParseObserveHeader(payload []byte, dim int) (ObserveHeader, error) {
 	var h ObserveHeader
 	p := NewPayload(payload)
 	h.ReqID = p.U64()
+	h.Flags = p.U8()
 	h.ID = p.Bytes16()
 	rows := p.U32()
 	if p.Err() != nil {
@@ -473,16 +515,21 @@ func (h *ObserveHeader) DecodeRows(xs, ys []float64) error {
 	return nil
 }
 
-// EstimateReq is an Estimate frame: a request ID and a stream.
+// EstimateReq is an Estimate frame: a request ID, flags, and a stream.
 type EstimateReq struct {
 	ReqID uint64
+	Flags uint8
 	ID    []byte // aliases the frame buffer
 }
 
+// Forwarded reports whether a peer's proxy relayed this request.
+func (e *EstimateReq) Forwarded() bool { return e.Flags&FlagForwarded != 0 }
+
 // AppendEstimate appends an Estimate frame.
-func AppendEstimate(b *Builder, reqID uint64, id string) {
+func AppendEstimate(b *Builder, reqID uint64, flags uint8, id string) {
 	b.Begin(FrameEstimate)
 	b.U64(reqID)
+	b.U8(flags)
 	b.Str16(id)
 	b.Finish()
 }
@@ -492,6 +539,7 @@ func ParseEstimate(payload []byte) (EstimateReq, error) {
 	var e EstimateReq
 	p := NewPayload(payload)
 	e.ReqID = p.U64()
+	e.Flags = p.U8()
 	e.ID = p.Bytes16()
 	if err := p.Finish(); err != nil {
 		return e, err
@@ -608,4 +656,117 @@ func ParseError(payload []byte) error {
 		return err
 	}
 	return fmt.Errorf("wire: peer error: %s", msg)
+}
+
+// --- Cluster frames -------------------------------------------------------
+
+// RingReq asks the server for its current cluster ring.
+type RingReq struct {
+	ReqID uint64
+}
+
+// AppendRingReq appends a Ring request frame.
+func AppendRingReq(b *Builder, reqID uint64) {
+	b.Begin(FrameRing)
+	b.U64(reqID)
+	b.Finish()
+}
+
+// ParseRingReq decodes a Ring request payload.
+func ParseRingReq(payload []byte) (RingReq, error) {
+	var r RingReq
+	p := NewPayload(payload)
+	r.ReqID = p.U64()
+	return r, p.Finish()
+}
+
+// RingAck carries the server's ring state: a version (so clients can skip
+// decoding rings they already hold) and the same JSON document GET /v1/ring
+// serves. Ring exchange is rare and tiny next to observe traffic, so reusing
+// the JSON codec keeps exactly one serialized ring format in the system.
+type RingAck struct {
+	ReqID   uint64
+	Version uint64
+	Ring    []byte // aliases the frame buffer
+}
+
+// AppendRingAck appends a RingAck frame.
+func AppendRingAck(b *Builder, a RingAck) {
+	b.Begin(FrameRingAck)
+	b.U64(a.ReqID)
+	b.U64(a.Version)
+	b.U32(uint32(len(a.Ring)))
+	b.buf = append(b.buf, a.Ring...)
+	b.Finish()
+}
+
+// ParseRingAck decodes a RingAck payload. The Ring slice aliases the payload.
+func ParseRingAck(payload []byte) (RingAck, error) {
+	var a RingAck
+	p := NewPayload(payload)
+	a.ReqID = p.U64()
+	a.Version = p.U64()
+	n := p.U32()
+	if p.Err() != nil {
+		return a, p.Err()
+	}
+	a.Ring = p.take(int(n))
+	return a, p.Finish()
+}
+
+// SegmentPush ships one stream's checkpoint segment to a peer, during live
+// handoff (ownership moving) or warm-standby replication (a copy for the
+// stream's successor). Data is a complete segment file as written by the
+// spill store — CRC-framed, self-describing — and Length is the stream's
+// point count at export time, which the importer needs because segment
+// files deliberately do not duplicate it. Answered with Ack (imported) or
+// Nack (rejected; NackImporting/NackQueueFull are retryable).
+//
+// A segment must fit in MaxFrame along with its envelope; the spill store's
+// segments are estimator state (KBs to a few MBs), far under the 16 MiB
+// bound.
+type SegmentPush struct {
+	ReqID   uint64
+	RingV   uint64 // sender's ring version, for skew diagnostics
+	Length  uint64 // stream length the segment encodes
+	Standby bool   // true for replication copies, false for handoff
+	Data    []byte // aliases the frame buffer
+}
+
+// AppendSegmentPush appends a SegmentPush frame.
+func AppendSegmentPush(b *Builder, sp SegmentPush) {
+	b.Begin(FrameSegmentPush)
+	b.U64(sp.ReqID)
+	b.U64(sp.RingV)
+	b.U64(sp.Length)
+	if sp.Standby {
+		b.U8(1)
+	} else {
+		b.U8(0)
+	}
+	b.U32(uint32(len(sp.Data)))
+	b.buf = append(b.buf, sp.Data...)
+	b.Finish()
+}
+
+// ParseSegmentPush decodes a SegmentPush payload. Data aliases the payload.
+func ParseSegmentPush(payload []byte) (SegmentPush, error) {
+	var sp SegmentPush
+	p := NewPayload(payload)
+	sp.ReqID = p.U64()
+	sp.RingV = p.U64()
+	sp.Length = p.U64()
+	sp.Standby = p.U8() != 0
+	n := p.U32()
+	if p.Err() != nil {
+		return sp, p.Err()
+	}
+	sp.Data = p.take(int(n))
+	if err := p.Finish(); err != nil {
+		return sp, err
+	}
+	if len(sp.Data) == 0 {
+		return sp, fmt.Errorf("wire: segment-push carries no segment data")
+	}
+	return sp, nil
 }

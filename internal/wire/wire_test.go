@@ -14,11 +14,11 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var b Builder
 	AppendHello(&b, Hello{MinVersion: 1, MaxVersion: 3})
-	AppendHelloAck(&b, HelloAck{Version: 1, Dim: 8, Horizon: 512, Mechanism: "gradient"})
+	AppendHelloAck(&b, HelloAck{Version: 1, Dim: 8, Horizon: 512, Mechanism: "gradient", Server: "v1.2.3"})
 	xs := []float64{0.5, -0.25, math.Inf(1), math.Copysign(0, -1), 1e-300, 42, -7, 0.125}
 	ys := []float64{0.75, -0.5}
-	AppendObserve(&b, 7, "stream-a", 4, xs, ys)
-	AppendEstimate(&b, 8, "stream-a")
+	AppendObserve(&b, 7, FlagForwarded, "stream-a", 4, xs, ys)
+	AppendEstimate(&b, 8, 0, "stream-a")
 	AppendAck(&b, Ack{ReqID: 7, Applied: 2, Len: 40})
 	AppendEstimateAck(&b, EstimateAck{ReqID: 8, Len: 40, Estimate: []float64{1, -2, 0.5, 0.25}})
 	AppendNack(&b, Nack{ReqID: 9, Code: NackQueueFull, RetryAfter: 3, Msg: "queue full"})
@@ -39,7 +39,7 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Fatalf("frame 2: type %v err %v", ft, err)
 		}
 		ha, err := ParseHelloAck(payload)
-		if err != nil || ha.Dim != 8 || ha.Horizon != 512 || ha.Mechanism != "gradient" {
+		if err != nil || ha.Dim != 8 || ha.Horizon != 512 || ha.Mechanism != "gradient" || ha.Server != "v1.2.3" {
 			t.Fatalf("hello-ack: %+v err %v", ha, err)
 		}
 		ft, payload, err = next()
@@ -50,7 +50,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("observe header: %v", err)
 		}
-		if oh.ReqID != 7 || string(oh.ID) != "stream-a" || oh.Rows != 2 {
+		if oh.ReqID != 7 || string(oh.ID) != "stream-a" || oh.Rows != 2 || !oh.Forwarded() {
 			t.Fatalf("observe header: %+v", oh)
 		}
 		gotXs := make([]float64, 8)
@@ -73,7 +73,7 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Fatalf("frame 4: type %v err %v", ft, err)
 		}
 		er, err := ParseEstimate(payload)
-		if err != nil || er.ReqID != 8 || string(er.ID) != "stream-a" {
+		if err != nil || er.ReqID != 8 || string(er.ID) != "stream-a" || er.Forwarded() {
 			t.Fatalf("estimate: %+v err %v", er, err)
 		}
 		ft, payload, err = next()
@@ -181,7 +181,7 @@ func TestCorruptFrames(t *testing.T) {
 // IDs, dimension mismatches.
 func TestObserveHeaderValidation(t *testing.T) {
 	var b Builder
-	AppendObserve(&b, 1, "s", 4, make([]float64, 8), make([]float64, 2))
+	AppendObserve(&b, 1, 0, "s", 4, make([]float64, 8), make([]float64, 2))
 	_, payload, _, err := DecodeFrame(b.Bytes())
 	if err != nil {
 		t.Fatal(err)
@@ -194,19 +194,19 @@ func TestObserveHeaderValidation(t *testing.T) {
 	if _, err := ParseObserveHeader(payload, 8); err == nil {
 		t.Fatal("dim mismatch accepted")
 	}
-	// Corrupt the row count (offset: reqID 8 + idLen 2 + id 1 = 11).
+	// Corrupt the row count (offset: reqID 8 + flags 1 + idLen 2 + id 1 = 12).
 	bad := append([]byte(nil), payload...)
-	binary.LittleEndian.PutUint32(bad[11:], 1<<31)
+	binary.LittleEndian.PutUint32(bad[12:], 1<<31)
 	if _, err := ParseObserveHeader(bad, 4); err == nil {
 		t.Fatal("hostile row count accepted")
 	}
-	binary.LittleEndian.PutUint32(bad[11:], 0)
+	binary.LittleEndian.PutUint32(bad[12:], 0)
 	if _, err := ParseObserveHeader(bad, 4); err == nil {
 		t.Fatal("zero row count accepted")
 	}
 	// Empty stream ID.
 	var b2 Builder
-	AppendObserve(&b2, 1, "", 4, make([]float64, 4), make([]float64, 1))
+	AppendObserve(&b2, 1, 0, "", 4, make([]float64, 4), make([]float64, 1))
 	_, payload2, _, err := DecodeFrame(b2.Bytes())
 	if err != nil {
 		t.Fatal(err)
@@ -229,6 +229,58 @@ func TestHelloValidation(t *testing.T) {
 	}
 	if _, err := ParseHello([]byte("HTTP/1.1 200 OK")); err == nil {
 		t.Fatal("plaintext accepted as hello")
+	}
+}
+
+// TestClusterFrameRoundTrip covers the version-2 cluster frames: ring
+// request/reply and segment push.
+func TestClusterFrameRoundTrip(t *testing.T) {
+	var b Builder
+	AppendRingReq(&b, 11)
+	ringJSON := []byte(`{"version":3,"replicas":2,"vnodes":64,"nodes":[{"id":"a","addr":"x"}]}`)
+	AppendRingAck(&b, RingAck{ReqID: 11, Version: 3, Ring: ringJSON})
+	seg := []byte("PRSG-fake-segment-bytes")
+	AppendSegmentPush(&b, SegmentPush{ReqID: 12, RingV: 3, Length: 77, Standby: true, Data: seg})
+
+	rest := b.Bytes()
+	ft, payload, n, err := DecodeFrame(rest)
+	if err != nil || ft != FrameRing {
+		t.Fatalf("ring req: type %v err %v", ft, err)
+	}
+	rr, err := ParseRingReq(payload)
+	if err != nil || rr.ReqID != 11 {
+		t.Fatalf("ring req: %+v err %v", rr, err)
+	}
+	rest = rest[n:]
+
+	ft, payload, n, err = DecodeFrame(rest)
+	if err != nil || ft != FrameRingAck {
+		t.Fatalf("ring ack: type %v err %v", ft, err)
+	}
+	ra, err := ParseRingAck(payload)
+	if err != nil || ra.ReqID != 11 || ra.Version != 3 || !bytes.Equal(ra.Ring, ringJSON) {
+		t.Fatalf("ring ack: %+v err %v", ra, err)
+	}
+	rest = rest[n:]
+
+	ft, payload, _, err = DecodeFrame(rest)
+	if err != nil || ft != FrameSegmentPush {
+		t.Fatalf("segment push: type %v err %v", ft, err)
+	}
+	sp, err := ParseSegmentPush(payload)
+	if err != nil || sp.ReqID != 12 || sp.RingV != 3 || sp.Length != 77 || !sp.Standby || !bytes.Equal(sp.Data, seg) {
+		t.Fatalf("segment push: %+v err %v", sp, err)
+	}
+
+	// An empty segment push must be rejected at parse time.
+	var b2 Builder
+	AppendSegmentPush(&b2, SegmentPush{ReqID: 13})
+	_, payload2, _, err := DecodeFrame(b2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSegmentPush(payload2); err == nil {
+		t.Fatal("empty segment push accepted")
 	}
 }
 

@@ -145,7 +145,7 @@ func NewPool(mechanism string, opts ...Option) (*Pool, error) {
 		}
 		p.store = sp
 	} else {
-		p.store = store.NewResident(factory)
+		p.store = store.NewResident(m.info.Name, factory)
 	}
 	return p, nil
 }
@@ -320,6 +320,32 @@ func (p *Pool) Flush() (FlushStats, error) {
 		return FlushStats{}, ErrNotPersistent
 	}
 	return FlushStats(fs), err
+}
+
+// ExportSegment returns one stream's state as a self-contained segment blob
+// (the spill store's segment-file format: mechanism identity, stream ID,
+// CRC) plus the stream's observation count — the unit the cluster layer
+// ships between nodes during handoff and standby replication. On a
+// spill-backed pool a cold stream's bytes come straight from its segment
+// file without faulting the estimator in.
+func (p *Pool) ExportSegment(id string) (data []byte, length int64, err error) {
+	data, length, err = p.store.Export(id)
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownStream, id)
+	}
+	return data, length, err
+}
+
+// ImportSegment installs a stream from a segment blob produced by
+// ExportSegment on a pool of the same mechanism, replacing any local stream
+// with the same ID. The blob's CRC and mechanism identity are verified
+// before any local state changes; length is the stream's observation count
+// at export (the segment format does not embed it). The imported stream is
+// bit-identical to the source — estimator checkpoint codecs round-trip
+// exactly — which is what makes cluster handoff invisible in the output
+// sequence.
+func (p *Pool) ImportSegment(data []byte, length int64) (id string, err error) {
+	return p.store.Import(data, length)
 }
 
 // poolCheckpointMagic identifies a Pool checkpoint blob.

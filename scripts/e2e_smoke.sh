@@ -1,224 +1,278 @@
 #!/usr/bin/env bash
-# e2e_smoke.sh — boot privreg-server, drive it with privreg-loadgen, SIGTERM,
-# restart from the checkpoint, and verify the server resumed bit-identically.
+# e2e_smoke.sh — end-to-end smoke of the serving stack as real processes.
 #
 # This is the CI e2e job (and runnable locally: ./scripts/e2e_smoke.sh). It
 # exercises the full binary path the Go tests can't: process boot, flag
 # parsing, signal-driven drain, checkpoint files surviving an actual process
-# death, and the loadgen's shadow-pool verification across both phases — over
-# HTTP/JSON, under spill-store churn, and over the binary wire protocol.
+# death, cluster handoff across process exits, and the loadgen's shadow-pool
+# verification across all of it.
+#
+# Phases are selectable via E2E_PHASES (space-separated; default runs all):
+#
+#   restart   boot + ingest + SIGTERM + restart from checkpoint, bit-identical
+#   churn     the bounded-memory spill store under 4x-cap Zipf-skewed load
+#   wire      the same restart contract over the binary wire protocol
+#   cluster   3-node ring: ring-aware ingest, kill one node mid-churn
+#             (graceful leave + live handoff), verify bit-identical
+#
+#   E2E_PHASES="cluster" ./scripts/e2e_smoke.sh
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
+phases="${E2E_PHASES:-restart churn wire cluster}"
+
 bin="$(mktemp -d)"
-data="$(mktemp -d)"
-addr="127.0.0.1:18329"
-srv_pid=""
+tmpdirs=("$bin")
+pids=()
 
 cleanup() {
-  if [ -n "$srv_pid" ] && kill -0 "$srv_pid" 2>/dev/null; then
-    kill -9 "$srv_pid" 2>/dev/null || true
-  fi
-  rm -rf "$bin" "$data"
+  for pid in "${pids[@]:-}"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "${tmpdirs[@]}"
 }
 trap cleanup EXIT
 
-echo "== building binaries"
-go build -o "$bin/privreg-server" ./cmd/privreg-server
+# The build stamps a version so the phases can assert it surfaces end to end
+# (/healthz, /v1/stats, the wire HelloAck) — the mixed-version-cluster
+# detection signal.
+e2e_version="e2e-$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+
+echo "== building binaries (version $e2e_version)"
+go build -ldflags "-X privreg/internal/version.Version=$e2e_version" \
+  -o "$bin/privreg-server" ./cmd/privreg-server
 go build -o "$bin/privreg-loadgen" ./cmd/privreg-loadgen
 
-server_flags=(
-  -addr "$addr"
-  -mechanism gradient -epsilon 1 -delta 1e-6
-  -horizon 512 -dim 8 -radius 1 -seed 42
-  -checkpoint-dir "$data" -checkpoint-interval 2s
-)
-
+# start_server NAME ADDR [server flags...] — boots a server in the
+# background, waits for liveness, and records the pid in $srv_pid and in the
+# per-name variable pid_NAME (so multi-node phases can address nodes).
+srv_pid=""
 start_server() {
-  "$bin/privreg-server" "${server_flags[@]}" &
+  local name="$1" addr="$2"
+  shift 2
+  "$bin/privreg-server" -addr "$addr" "$@" &
   srv_pid=$!
+  pids+=("$srv_pid")
+  eval "pid_$name=$srv_pid"
   for _ in $(seq 1 100); do
     if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
       return 0
     fi
     if ! kill -0 "$srv_pid" 2>/dev/null; then
-      echo "server died during startup" >&2
+      echo "$name died during startup" >&2
       return 1
     fi
     sleep 0.1
   done
-  echo "server never became healthy" >&2
+  echo "$name never became healthy" >&2
   return 1
 }
 
+# stop_server PID — SIGTERM and require a clean exit: queued points applied,
+# cluster streams handed off, final checkpoint written.
 stop_server() {
-  kill -TERM "$srv_pid"
-  # The server must drain and exit 0: queued points applied, final checkpoint
-  # written.
-  wait "$srv_pid"
-  srv_pid=""
+  local pid="$1"
+  kill -TERM "$pid"
+  wait "$pid"
 }
 
-echo "== phase 1: boot + ingest 8 streams x 24 points + verify"
-start_server
-"$bin/privreg-loadgen" -addr "http://$addr" -streams 8 -points 24 -batch 6
-
-echo "== SIGTERM (graceful drain + final checkpoint)"
-stop_server
-test -f "$data/MANIFEST" || { echo "no checkpoint manifest written" >&2; exit 1; }
-test -d "$data/segments" || { echo "no segment directory written" >&2; exit 1; }
-
-echo "== phase 2: restart from checkpoint + ingest 16 more points + verify"
-start_server
-# -from 24: the loadgen replays points [0,24) into its shadow pool locally,
-# sends [24,40) to the server, and then requires the server's estimates at
-# t=40 to be bit-identical — which only holds if the restart resumed every
-# stream exactly where the killed process left it.
-"$bin/privreg-loadgen" -addr "http://$addr" -streams 8 -points 16 -from 24 -batch 4
-
-echo "== graceful shutdown"
-stop_server
-
-echo "e2e smoke OK: restart from checkpoint is bit-identical"
-
-# ---------------------------------------------------------------------------
-# Churn phase: the bounded-memory spill store under 4x-cap skewed load.
-#
-# A second server runs with -store-cap 16 while the loadgen drives 64 streams
-# (4x the resident cap) with a Zipf-skewed point profile, so the store is
-# constantly evicting cold streams to segment files and faulting them back in.
-# The phase then kills the server mid-churn (graceful SIGTERM: queued points
-# land, dirty segments flush, the manifest is renamed into place), restarts it
-# from the manifest, pushes more skewed traffic, and requires every stream —
-# resident or spilled, restored lazily — to be bit-identical to the loadgen's
-# fully-resident shadow pool.
-# ---------------------------------------------------------------------------
-
-churn_data="$(mktemp -d)"
-churn_addr="127.0.0.1:18330"
-trap 'cleanup; rm -rf "$churn_data"' EXIT
-
-churn_flags=(
-  -addr "$churn_addr"
-  -mechanism gradient -epsilon 1 -delta 1e-6
-  -horizon 512 -dim 8 -radius 1 -seed 42
-  -checkpoint-dir "$churn_data" -checkpoint-interval 2s
-  -store-cap 16
-)
-
-start_churn_server() {
-  "$bin/privreg-server" "${churn_flags[@]}" &
-  srv_pid=$!
-  for _ in $(seq 1 100); do
-    if curl -fsS "http://$churn_addr/healthz" >/dev/null 2>&1; then
-      return 0
-    fi
-    if ! kill -0 "$srv_pid" 2>/dev/null; then
-      echo "churn server died during startup" >&2
-      return 1
-    fi
-    sleep 0.1
-  done
-  echo "churn server never became healthy" >&2
-  return 1
-}
-
+# stat_field ADDR FIELD — extracts an integer PoolStats field from /v1/stats.
 stat_field() {
-  # Extracts an integer PoolStats field from GET /v1/stats.
-  curl -fsS "http://$churn_addr/v1/stats" | grep -o "\"$1\": [0-9-]*" | grep -o '[0-9-]*$'
+  curl -fsS "http://$1/v1/stats" | grep -o "\"$2\": [0-9-]*" | grep -o '[0-9-]*$'
 }
 
-echo "== churn phase 1: 64 streams over a 16-stream resident cap, skewed"
-start_churn_server
-"$bin/privreg-loadgen" -addr "http://$churn_addr" -streams 64 -points 24 -batch 6 -skew 1.2
+want_phase() { case " $phases " in *" $1 "*) return 0 ;; *) return 1 ;; esac }
 
-resident="$(stat_field Resident)"
-spilled="$(stat_field Spilled)"
-echo "residency after churn: resident=$resident spilled=$spilled (cap 16)"
-[ "$resident" -le 16 ] || { echo "resident $resident exceeds the store cap 16" >&2; exit 1; }
-[ "$spilled" -ge 1 ] || { echo "no streams spilled under 4x-cap load" >&2; exit 1; }
-
-echo "== kill mid-churn (drain flushes dirty segments + manifest)"
-stop_server
-test -f "$churn_data/MANIFEST" || { echo "no manifest written" >&2; exit 1; }
-segs=$(ls "$churn_data/segments" | wc -l)
-[ "$segs" -ge 64 ] || { echo "only $segs segment files for 64 streams" >&2; exit 1; }
-
-echo "== churn phase 2: restart from manifest + more skewed traffic + verify"
-start_churn_server
-# Restore is lazy: before any traffic, no stream state is resident.
-resident="$(stat_field Resident)"
-streams="$(stat_field Streams)"
-[ "$streams" -eq 64 ] || { echo "restart registered $streams streams, want 64" >&2; exit 1; }
-[ "$resident" -eq 0 ] || { echo "restart faulted $resident streams in eagerly, want lazy restore" >&2; exit 1; }
-# The shadow pool replays the full skewed history [0, target(i, 32)) per
-# stream; estimates must be bit-identical across cap-evictions AND the
-# restart, for hot and cold streams alike.
-"$bin/privreg-loadgen" -addr "http://$churn_addr" -streams 64 -points 8 -from 24 -batch 4 -skew 1.2
-
-echo "== graceful shutdown"
-stop_server
-
-echo "e2e smoke OK: restart from checkpoint is bit-identical (uniform + churn/spill)"
+spec_flags=(-mechanism gradient -epsilon 1 -delta 1e-6
+  -horizon 512 -dim 8 -radius 1 -seed 42)
 
 # ---------------------------------------------------------------------------
-# Binary wire phase: the same restart contract over the binary protocol.
-#
-# A third server listens on both front ends (-wire-addr); the loadgen drives
-# it with -proto binary — observes and estimate verification both go over the
-# wire protocol, with the HTTP /v1/config endpoint only cross-checked against
-# the HelloAck handshake. SIGTERM mid-history, restart, continue: the shadow
-# pool's bit-identical verdict proves the wire decode path (frames → flat
-# row buffers → estimators) applies exactly the same floats in exactly the
+# restart: boot, ingest, SIGTERM (graceful drain + final checkpoint), restart
+# from the checkpoint, ingest more, verify the whole history bit-identically.
+# ---------------------------------------------------------------------------
+phase_restart() {
+  local data addr="127.0.0.1:18329"
+  data="$(mktemp -d)"; tmpdirs+=("$data")
+  local flags=("${spec_flags[@]}" -checkpoint-dir "$data" -checkpoint-interval 2s)
+
+  echo "== restart phase 1: boot + ingest 8 streams x 24 points + verify"
+  start_server restart "$addr" "${flags[@]}"
+  curl -fsS "http://$addr/healthz" | grep -q "\"version\": \"$e2e_version\"" \
+    || { echo "healthz does not carry the ldflags-injected version" >&2; return 1; }
+  "$bin/privreg-loadgen" -addr "http://$addr" -streams 8 -points 24 -batch 6
+
+  echo "== SIGTERM (graceful drain + final checkpoint)"
+  stop_server "$srv_pid"
+  test -f "$data/MANIFEST" || { echo "no checkpoint manifest written" >&2; return 1; }
+  test -d "$data/segments" || { echo "no segment directory written" >&2; return 1; }
+
+  echo "== restart phase 2: restart from checkpoint + ingest 16 more + verify"
+  start_server restart "$addr" "${flags[@]}"
+  # -from 24: the loadgen replays points [0,24) into its shadow pool locally,
+  # sends [24,40) to the server, and then requires the server's estimates at
+  # t=40 to be bit-identical — which only holds if the restart resumed every
+  # stream exactly where the killed process left it.
+  "$bin/privreg-loadgen" -addr "http://$addr" -streams 8 -points 16 -from 24 -batch 4
+
+  echo "== graceful shutdown"
+  stop_server "$srv_pid"
+  echo "e2e restart OK: restart from checkpoint is bit-identical"
+}
+
+# ---------------------------------------------------------------------------
+# churn: the bounded-memory spill store under 4x-cap skewed load. -store-cap
+# 16 under 64 Zipf-skewed streams keeps the store constantly evicting cold
+# streams to segment files and faulting them back in; kill mid-churn,
+# restart, verify hot and cold streams alike.
+# ---------------------------------------------------------------------------
+phase_churn() {
+  local data addr="127.0.0.1:18330"
+  data="$(mktemp -d)"; tmpdirs+=("$data")
+  local flags=("${spec_flags[@]}" -checkpoint-dir "$data" -checkpoint-interval 2s -store-cap 16)
+
+  echo "== churn phase 1: 64 streams over a 16-stream resident cap, skewed"
+  start_server churn "$addr" "${flags[@]}"
+  "$bin/privreg-loadgen" -addr "http://$addr" -streams 64 -points 24 -batch 6 -skew 1.2
+
+  local resident spilled segs streams
+  resident="$(stat_field "$addr" Resident)"
+  spilled="$(stat_field "$addr" Spilled)"
+  echo "residency after churn: resident=$resident spilled=$spilled (cap 16)"
+  [ "$resident" -le 16 ] || { echo "resident $resident exceeds the store cap 16" >&2; return 1; }
+  [ "$spilled" -ge 1 ] || { echo "no streams spilled under 4x-cap load" >&2; return 1; }
+
+  echo "== kill mid-churn (drain flushes dirty segments + manifest)"
+  stop_server "$srv_pid"
+  test -f "$data/MANIFEST" || { echo "no manifest written" >&2; return 1; }
+  segs=$(ls "$data/segments" | wc -l)
+  [ "$segs" -ge 64 ] || { echo "only $segs segment files for 64 streams" >&2; return 1; }
+
+  echo "== churn phase 2: restart from manifest + more skewed traffic + verify"
+  start_server churn "$addr" "${flags[@]}"
+  # Restore is lazy: before any traffic, no stream state is resident.
+  resident="$(stat_field "$addr" Resident)"
+  streams="$(stat_field "$addr" Streams)"
+  [ "$streams" -eq 64 ] || { echo "restart registered $streams streams, want 64" >&2; return 1; }
+  [ "$resident" -eq 0 ] || { echo "restart faulted $resident streams in eagerly, want lazy restore" >&2; return 1; }
+  # The shadow pool replays the full skewed history [0, target(i, 32)) per
+  # stream; estimates must be bit-identical across cap-evictions AND the
+  # restart, for hot and cold streams alike.
+  "$bin/privreg-loadgen" -addr "http://$addr" -streams 64 -points 8 -from 24 -batch 4 -skew 1.2
+
+  echo "== graceful shutdown"
+  stop_server "$srv_pid"
+  echo "e2e churn OK: spill-store churn + restart is bit-identical"
+}
+
+# ---------------------------------------------------------------------------
+# wire: the same restart contract over the binary protocol. Observes and
+# estimate verification both ride wire frames; the bit-identical verdict
+# proves the wire decode path applies exactly the same floats in exactly the
 # same order as the JSON path and that drain flushes every pending wire ack.
 # ---------------------------------------------------------------------------
+phase_wire() {
+  local data http="127.0.0.1:18331" wire="127.0.0.1:18332"
+  data="$(mktemp -d)"; tmpdirs+=("$data")
+  local flags=(-wire-addr "$wire" "${spec_flags[@]}"
+    -checkpoint-dir "$data" -checkpoint-interval 2s)
 
-wire_data="$(mktemp -d)"
-wire_http="127.0.0.1:18331"
-wire_bin="127.0.0.1:18332"
-trap 'cleanup; rm -rf "$churn_data" "$wire_data"' EXIT
+  echo "== wire phase 1: binary ingest 8 streams x 24 points + verify"
+  start_server wire "$http" "${flags[@]}"
+  "$bin/privreg-loadgen" -addr "http://$http" -proto binary -wire-addr "$wire" \
+    -streams 8 -points 24 -batch 6
 
-wire_flags=(
-  -addr "$wire_http" -wire-addr "$wire_bin"
-  -mechanism gradient -epsilon 1 -delta 1e-6
-  -horizon 512 -dim 8 -radius 1 -seed 42
-  -checkpoint-dir "$wire_data" -checkpoint-interval 2s
-)
+  echo "== SIGTERM mid-history (drain flushes pending wire acks + checkpoint)"
+  stop_server "$srv_pid"
+  test -f "$data/MANIFEST" || { echo "no manifest written by wire phase" >&2; return 1; }
 
-start_wire_server() {
-  "$bin/privreg-server" "${wire_flags[@]}" &
-  srv_pid=$!
-  for _ in $(seq 1 100); do
-    if curl -fsS "http://$wire_http/healthz" >/dev/null 2>&1; then
-      return 0
-    fi
-    if ! kill -0 "$srv_pid" 2>/dev/null; then
-      echo "wire server died during startup" >&2
-      return 1
-    fi
-    sleep 0.1
-  done
-  echo "wire server never became healthy" >&2
-  return 1
+  echo "== wire phase 2: restart + binary ingest 16 more points + verify"
+  start_server wire "$http" "${flags[@]}"
+  "$bin/privreg-loadgen" -addr "http://$http" -proto binary -wire-addr "$wire" \
+    -streams 8 -points 16 -from 24 -batch 4
+
+  echo "== graceful shutdown"
+  stop_server "$srv_pid"
+  echo "e2e wire OK: binary-protocol restart is bit-identical"
 }
 
-echo "== wire phase 1: binary ingest 8 streams x 24 points + verify"
-start_wire_server
-"$bin/privreg-loadgen" -addr "http://$wire_http" -proto binary -wire-addr "$wire_bin" \
-  -streams 8 -points 24 -batch 6
+# ---------------------------------------------------------------------------
+# cluster: 3 nodes on one consistent-hash ring. Ring-aware binary ingest
+# (each stream routed client-side to its owner), then a second churn wave
+# through a single entry node while a member is SIGTERMed mid-wave — its
+# graceful leave hands every owned stream's segments to the survivors and
+# rebalances the ring. The loadgen's shadow pool never hears about any of
+# this: estimates must stay bit-identical through seals, forwards, and the
+# ownership flip, because the cluster never lets two nodes apply points to
+# one stream.
+# ---------------------------------------------------------------------------
+phase_cluster() {
+  local ha="127.0.0.1:18333" wa="127.0.0.1:18334"
+  local hb="127.0.0.1:18335" wb="127.0.0.1:18336"
+  local hc="127.0.0.1:18337" wc_="127.0.0.1:18338"
+  local peers="a=$ha/$wa,b=$hb/$wb,c=$hc/$wc_"
 
-echo "== SIGTERM mid-history (drain flushes pending wire acks + checkpoint)"
-stop_server
-test -f "$wire_data/MANIFEST" || { echo "no manifest written by wire phase" >&2; exit 1; }
+  echo "== cluster: booting 3 nodes (ring v1)"
+  start_server node_a "$ha" -wire-addr "$wa" -node-id a -peers "$peers" "${spec_flags[@]}"
+  start_server node_b "$hb" -wire-addr "$wb" -node-id b -peers "$peers" "${spec_flags[@]}"
+  start_server node_c "$hc" -wire-addr "$wc_" -node-id c -peers "$peers" "${spec_flags[@]}"
 
-echo "== wire phase 2: restart + binary ingest 16 more points + verify"
-start_wire_server
-"$bin/privreg-loadgen" -addr "http://$wire_http" -proto binary -wire-addr "$wire_bin" \
-  -streams 8 -points 16 -from 24 -batch 4
+  for addr in "$ha" "$hb" "$hc"; do
+    curl -fsS "http://$addr/v1/ring" | grep -q '"version": 1' \
+      || { echo "node at $addr does not serve ring v1" >&2; return 1; }
+    curl -fsS "http://$addr/readyz" | grep -q '"status": "ready"' \
+      || { echo "node at $addr is not ready" >&2; return 1; }
+  done
 
-echo "== graceful shutdown"
-stop_server
+  echo "== cluster wave 1: ring-aware binary ingest, 48 skewed streams"
+  "$bin/privreg-loadgen" -addr "http://$ha" -cluster -proto binary \
+    -streams 48 -points 12 -batch 4 -skew 1.2
 
-echo "e2e smoke OK: restart from checkpoint is bit-identical (json + churn/spill + binary wire)"
+  echo "== cluster wave 2: churn via one entry node, kill node c mid-wave"
+  # Paced so the wave is still in flight when the kill lands. Node a forwards
+  # misrouted requests; while c drains, its streams answer retryable 503s,
+  # then the handoff flips ownership to the survivors.
+  "$bin/privreg-loadgen" -addr "http://$ha" \
+    -streams 48 -points 12 -from 12 -batch 4 -skew 1.2 -rate 10 &
+  local lg_pid=$!
+  sleep 0.4
+  stop_server "$pid_node_c"
+  wait "$lg_pid" || { echo "loadgen failed across the node-c leave" >&2; return 1; }
+
+  echo "== cluster: survivors rebalanced (ring v2, 2 members)"
+  for addr in "$ha" "$hb"; do
+    curl -fsS "http://$addr/v1/ring" | grep -q '"version": 2' \
+      || { echo "survivor at $addr did not adopt ring v2" >&2; return 1; }
+  done
+  curl -fsS "http://$ha/v1/stats" | grep -q '"members": 2' \
+    || { echo "node a stats do not show 2 members" >&2; return 1; }
+  curl -fsS "http://$ha/v1/stats" | grep -q "\"version\": \"$e2e_version\"" \
+    || { echo "stats do not carry the ldflags-injected version" >&2; return 1; }
+
+  echo "== cluster wave 3: ring-aware ingest on the rebalanced ring + verify"
+  # The full history [0, 32) per hot stream — wave 1 (ring-aware), wave 2
+  # (forwarded, across the leave), wave 3 (ring-aware on ring v2) — must be
+  # bit-identical to the shadow pool on the 2-node cluster.
+  "$bin/privreg-loadgen" -addr "http://$ha" -cluster -proto binary \
+    -streams 48 -points 8 -from 24 -batch 4 -skew 1.2
+
+  echo "== graceful shutdown"
+  stop_server "$pid_node_a"
+  stop_server "$pid_node_b"
+  echo "e2e cluster OK: kill-mid-churn handoff is bit-identical"
+}
+
+for phase in $phases; do
+  case "$phase" in
+    restart) phase_restart ;;
+    churn) phase_churn ;;
+    wire) phase_wire ;;
+    cluster) phase_cluster ;;
+    *) echo "unknown E2E phase: $phase (want restart|churn|wire|cluster)" >&2; exit 2 ;;
+  esac
+done
+
+echo "e2e smoke OK: $phases"
