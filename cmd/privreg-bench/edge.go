@@ -9,6 +9,7 @@ import (
 	"os"
 	"time"
 
+	"privreg/internal/retry"
 	"privreg/internal/server"
 	"privreg/internal/wire"
 )
@@ -163,7 +164,8 @@ func edgePhase(proto string, srv *server.Server, httpAddr, wireAddr string, perS
 }
 
 // edgeSendWire sends points [lo, hi) of a stream as one binary observe frame,
-// retrying queue-full nacks — backpressure is part of the measured path.
+// retrying retryable nacks via the shared policy — backpressure is part of
+// the measured path.
 func edgeSendWire(wc *wire.Client, id string, lo, hi int) error {
 	xs := make([]float64, 0, (hi-lo)*edgeDim)
 	ys := make([]float64, 0, hi-lo)
@@ -172,17 +174,19 @@ func edgeSendWire(wc *wire.Client, id string, lo, hi int) error {
 		xs = append(xs, x...)
 		ys = append(ys, y)
 	}
-	for {
+	for attempt := 1; ; attempt++ {
 		_, _, err := wc.Observe(id, xs, ys)
-		if ne, ok := err.(*wire.NackError); ok && ne.Retryable() {
-			time.Sleep(time.Duration(ne.RetryAfter) * 100 * time.Millisecond)
+		if wire.IsRetryable(err) {
+			hint, _ := wire.RetryAfter(err)
+			retry.Backoff(attempt, hint)
 			continue
 		}
 		return err
 	}
 }
 
-// edgeSendJSON sends the same batch as one POST /observe, retrying 429s.
+// edgeSendJSON sends the same batch as one POST /observe, retrying
+// backpressure statuses via the shared policy.
 func edgeSendJSON(hc *http.Client, addr, id string, lo, hi int) error {
 	xs := make([][]float64, 0, hi-lo)
 	ys := make([]float64, 0, hi-lo)
@@ -196,7 +200,7 @@ func edgeSendJSON(hc *http.Client, addr, id string, lo, hi int) error {
 		return err
 	}
 	url := fmt.Sprintf("http://%s/v1/streams/%s/observe", addr, id)
-	for {
+	for attempt := 1; ; attempt++ {
 		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
 			return err
@@ -204,8 +208,8 @@ func edgeSendJSON(hc *http.Client, addr, id string, lo, hi int) error {
 		var or observeAck
 		derr := json.NewDecoder(resp.Body).Decode(&or)
 		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
+		switch {
+		case resp.StatusCode == http.StatusOK:
 			if derr != nil {
 				return derr
 			}
@@ -213,8 +217,8 @@ func edgeSendJSON(hc *http.Client, addr, id string, lo, hi int) error {
 				return fmt.Errorf("ack applied %d of %d points", or.Applied, hi-lo)
 			}
 			return nil
-		case http.StatusTooManyRequests:
-			time.Sleep(100 * time.Millisecond)
+		case retry.RetryableStatus(resp.StatusCode):
+			retry.Backoff(attempt, retry.HTTPRetryAfter(resp))
 		default:
 			return fmt.Errorf("observe %s [%d, %d): HTTP %d", id, lo, hi, resp.StatusCode)
 		}

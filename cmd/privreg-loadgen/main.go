@@ -56,70 +56,26 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"net/http"
 	"os"
-	"strconv"
 	"sync"
 	"time"
 
 	"privreg/internal/cluster"
+	"privreg/internal/retry"
 	"privreg/internal/server"
 	"privreg/internal/wire"
 )
 
-// Retry plumbing, shared verbatim by the HTTP and wire ingest paths so the
-// two transports behave identically under backpressure and rebalance seals.
+// Retry policy comes from internal/retry, shared with the server's
+// forwarding proxy and the bench probes so every privreg client backs off
+// identically. maxSendRetries bounds how long one batch may stay rejected
+// before the run fails.
 const maxSendRetries = 200
-
-// jitter and sleep are swappable for tests.
-var (
-	jitter = rand.Float64
-	sleep  = time.Sleep
-)
-
-// backoffDelay returns how long to wait before retry `attempt` (1-based).
-// The server's Retry-After hint wins when present; otherwise the delay grows
-// exponentially from 10ms, capped at 1s. Both are scaled by a factor in
-// [0.75, 1.25) so a fleet of clients rejected together does not retry
-// together.
-func backoffDelay(attempt int, hint time.Duration) time.Duration {
-	d := hint
-	if d <= 0 {
-		shift := attempt - 1
-		if shift > 7 {
-			shift = 7
-		}
-		d = 10 * time.Millisecond << shift
-		if d > time.Second {
-			d = time.Second
-		}
-	}
-	return time.Duration(float64(d) * (0.75 + 0.5*jitter()))
-}
-
-// httpRetryAfter extracts the Retry-After hint from a 429/503 response; 0
-// means no usable hint (fall back to exponential).
-func httpRetryAfter(resp *http.Response) time.Duration {
-	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || secs < 0 {
-		return 0
-	}
-	return time.Duration(secs) * time.Second
-}
-
-// nackRetryAfter is the wire-path twin of httpRetryAfter.
-func nackRetryAfter(ne *wire.NackError) time.Duration {
-	if ne.RetryAfter <= 0 {
-		return 0
-	}
-	return time.Duration(ne.RetryAfter) * time.Second
-}
 
 // streamTarget is the cumulative number of points stream i has received once
 // `points` points have been offered per hot stream: the full count for
@@ -360,7 +316,7 @@ func run() int {
 		// estimate path too.
 		tgt := targetFor(id)
 		if tgt.wc != nil {
-			est, n, err = tgt.wc.Estimate(id)
+			est, n, err = fetchEstimateWire(tgt.wc, id)
 		} else {
 			est, n, err = fetchEstimate(client, tgt.base, id)
 		}
@@ -446,7 +402,7 @@ func sendBatch(client *http.Client, addr, id string, dim, lo, hi int) (int, int,
 		xs = append(xs, x)
 		ys = append(ys, y)
 	}
-	body, err := json.Marshal(map[string]any{"xs": xs, "ys": ys})
+	body, err := json.Marshal(map[string]any{"xs": xs, "ys": ys, "from": lo})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -459,15 +415,15 @@ func sendBatch(client *http.Client, addr, id string, dim, lo, hi int) (int, int,
 		}
 		respBody, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
+		switch {
+		case resp.StatusCode == http.StatusOK:
 			return hi - lo, retries, nil
-		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		case retry.RetryableStatus(resp.StatusCode):
 			retries++
 			if retries > maxSendRetries {
 				return 0, retries, fmt.Errorf("still rejected (%s) after %d retries: %s", resp.Status, retries, respBody)
 			}
-			sleep(backoffDelay(retries, httpRetryAfter(resp)))
+			retry.Backoff(retries, retry.HTTPRetryAfter(resp))
 		default:
 			return 0, retries, fmt.Errorf("%s: %s", resp.Status, respBody)
 		}
@@ -489,40 +445,64 @@ func sendBatchWire(wc *wire.Client, id string, dim, lo, hi int) (int, int, error
 	}
 	retries := 0
 	for {
-		applied, _, err := wc.Observe(id, xs, ys)
+		applied, _, err := wc.ObserveAt(id, int64(lo), xs, ys)
 		if err == nil {
 			return applied, retries, nil
 		}
-		var ne *wire.NackError
-		if !errors.As(err, &ne) || !ne.Retryable() {
+		if !wire.IsRetryable(err) {
 			return 0, retries, err
 		}
 		retries++
 		if retries > maxSendRetries {
-			return 0, retries, fmt.Errorf("still rejected (%s) after %d retries: %s", ne.Code, retries, ne.Msg)
+			return 0, retries, fmt.Errorf("still rejected after %d retries: %v", retries, err)
 		}
-		sleep(backoffDelay(retries, nackRetryAfter(ne)))
+		hint, _ := wire.RetryAfter(err)
+		retry.Backoff(retries, hint)
 	}
 }
 
+// fetchEstimate reads one stream's estimate, retrying retryable statuses —
+// an estimate during a rebalance seal, an import window, or a failure-
+// detection suspicion gap is a matter of waiting, not an error.
 func fetchEstimate(client *http.Client, addr, id string) ([]float64, int, error) {
-	resp, err := client.Get(fmt.Sprintf("%s/v1/streams/%s/estimate", addr, id))
-	if err != nil {
-		return nil, 0, err
+	for attempt := 1; ; attempt++ {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/streams/%s/estimate", addr, id))
+		if err != nil {
+			return nil, 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if retry.RetryableStatus(resp.StatusCode) && attempt <= maxSendRetries {
+				retry.Backoff(attempt, retry.HTTPRetryAfter(resp))
+				continue
+			}
+			return nil, 0, fmt.Errorf("estimate %s: %s: %s", id, resp.Status, body)
+		}
+		var out struct {
+			Estimate []float64 `json:"estimate"`
+			Len      int       `json:"len"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("decoding estimate %s: %w", id, err)
+		}
+		return out.Estimate, out.Len, nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return nil, 0, fmt.Errorf("estimate %s: %s: %s", id, resp.Status, body)
+}
+
+// fetchEstimateWire is the binary-path twin of fetchEstimate.
+func fetchEstimateWire(wc *wire.Client, id string) ([]float64, int, error) {
+	for attempt := 1; ; attempt++ {
+		est, n, err := wc.Estimate(id)
+		if wire.IsRetryable(err) && attempt <= maxSendRetries {
+			hint, _ := wire.RetryAfter(err)
+			retry.Backoff(attempt, hint)
+			continue
+		}
+		return est, n, err
 	}
-	var out struct {
-		Estimate []float64 `json:"estimate"`
-		Len      int       `json:"len"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, 0, fmt.Errorf("decoding estimate %s: %w", id, err)
-	}
-	return out.Estimate, out.Len, nil
 }
 
 func equalVectors(a, b []float64) bool {

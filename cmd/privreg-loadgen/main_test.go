@@ -7,50 +7,24 @@ import (
 	"testing"
 	"time"
 
+	"privreg/internal/retry"
 	"privreg/internal/wire"
 )
 
-// fixJitter pins the jitter factor (0.5 → exactly 1.0× the base delay) and
-// replaces sleep with a recorder, restoring both when the test ends. The
-// returned slice pointer accumulates every delay the retry loop asked for.
+// fixJitter pins the shared retry policy's jitter factor (0.5 → exactly
+// 1.0× the base delay) and replaces its sleep with a recorder, restoring
+// both when the test ends. The returned slice pointer accumulates every
+// delay the retry loops asked for. The delay schedule itself is tested in
+// internal/retry; these tests pin that the loadgen's send loops actually
+// route their verdicts through it.
 func fixJitter(t *testing.T) *[]time.Duration {
 	t.Helper()
 	var slept []time.Duration
-	oldJitter, oldSleep := jitter, sleep
-	jitter = func() float64 { return 0.5 }
-	sleep = func(d time.Duration) { slept = append(slept, d) }
-	t.Cleanup(func() { jitter, sleep = oldJitter, oldSleep })
+	oldJitter, oldSleep := retry.Jitter, retry.Sleep
+	retry.Jitter = func() float64 { return 0.5 }
+	retry.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	t.Cleanup(func() { retry.Jitter, retry.Sleep = oldJitter, oldSleep })
 	return &slept
-}
-
-func TestBackoffDelay(t *testing.T) {
-	fixJitter(t)
-
-	// A server hint wins outright, whatever the attempt number.
-	if d := backoffDelay(7, 2*time.Second); d != 2*time.Second {
-		t.Errorf("hinted delay = %v, want 2s", d)
-	}
-	// Without a hint the delay doubles from 10ms and caps at 1s.
-	want := []time.Duration{
-		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
-		80 * time.Millisecond, 160 * time.Millisecond, 320 * time.Millisecond,
-		640 * time.Millisecond, time.Second, time.Second,
-	}
-	for i, w := range want {
-		if d := backoffDelay(i+1, 0); d != w {
-			t.Errorf("backoffDelay(%d, 0) = %v, want %v", i+1, d, w)
-		}
-	}
-
-	// Jitter scales by [0.75, 1.25) so synchronized clients desynchronize.
-	jitter = func() float64 { return 0 }
-	if d := backoffDelay(1, time.Second); d != 750*time.Millisecond {
-		t.Errorf("low-jitter delay = %v, want 750ms", d)
-	}
-	jitter = func() float64 { return 0.999 }
-	if d := backoffDelay(1, time.Second); d < 1248*time.Millisecond || d >= 1250*time.Millisecond {
-		t.Errorf("high-jitter delay = %v, want just under 1.25s", d)
-	}
 }
 
 // TestSendBatchHonorsRetryAfterHTTP drives the HTTP retry loop through a 429

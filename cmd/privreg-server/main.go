@@ -132,6 +132,9 @@ func run() int {
 		peersFlag    = flag.String("peers", "", `cluster members as comma-separated id=httpHost:port/wireHost:port entries, including this node's own; with -join, list only this node`)
 		replicas     = flag.Int("replicas", 0, "cluster replication factor: owner + N-1 warm standbys (0 = default)")
 		joinPeer     = flag.String("join", "", "HTTP base URL of an existing cluster member to join live (e.g. http://10.0.0.1:8080)")
+		probeIvl     = flag.Duration("probe-interval", time.Second, "cluster failure-detector probe cadence (0 disables gossip failure detection)")
+		probeTimeout = flag.Duration("probe-timeout", 0, "direct-probe ack timeout before trying indirect probes (0 = probe-interval/2)")
+		suspicion    = flag.Duration("suspicion-timeout", 0, "how long a suspected member may stay unrefuted before it is declared dead and its streams promoted (0 = 3×probe-interval)")
 	)
 	flag.Parse()
 	log.Printf("privreg-server %s", version.Version)
@@ -178,9 +181,12 @@ func run() int {
 			return 2
 		}
 		clusterCfg = &server.ClusterConfig{
-			NodeID:   *nodeID,
-			Nodes:    nodes,
-			Replicas: *replicas,
+			NodeID:           *nodeID,
+			Nodes:            nodes,
+			Replicas:         *replicas,
+			ProbeInterval:    *probeIvl,
+			ProbeTimeout:     *probeTimeout,
+			SuspicionTimeout: *suspicion,
 		}
 	} else if *peersFlag != "" || *joinPeer != "" {
 		fmt.Fprintln(os.Stderr, "error: -peers/-join require -node-id")

@@ -1,0 +1,67 @@
+// Package retry is the one backoff policy every privreg client speaks:
+// jittered exponential delays that defer to the server's Retry-After hint
+// when it gives one. Before this package, the loadgen, the in-server
+// forwarding proxy, and the bench cluster probe each hand-rolled the same
+// loop with slightly different constants; now they share one verdict
+// ("should I retry, and after how long?") on both transports — HTTP status
+// codes plus Retry-After headers here, wire nacks via wire.IsRetryable and
+// wire.RetryAfter.
+package retry
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Jitter and Sleep are swappable for tests: pinning Jitter makes delays
+// exact, replacing Sleep turns retry loops into recorded, instant-running
+// state machines.
+var (
+	Jitter = rand.Float64
+	Sleep  = time.Sleep
+)
+
+// Delay returns how long to wait before retry attempt (1-based). The
+// server's hint wins when present; otherwise the delay grows exponentially
+// from 10ms, capped at 1s. Both are scaled by a factor in [0.75, 1.25) so a
+// fleet of clients rejected together does not retry together.
+func Delay(attempt int, hint time.Duration) time.Duration {
+	d := hint
+	if d <= 0 {
+		shift := attempt - 1
+		if shift < 0 {
+			shift = 0
+		}
+		if shift > 7 {
+			shift = 7
+		}
+		d = 10 * time.Millisecond << shift
+		if d > time.Second {
+			d = time.Second
+		}
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*Jitter()))
+}
+
+// Backoff sleeps for Delay(attempt, hint); retry loops call it and loop.
+func Backoff(attempt int, hint time.Duration) { Sleep(Delay(attempt, hint)) }
+
+// RetryableStatus reports whether an HTTP status is a backpressure verdict
+// worth retrying: 429 (queue full) and 503 (draining, importing, sealed, or
+// owner unreachable during a ring transition). Everything else — including
+// 409 conflicts — is permanent for the same request.
+func RetryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// HTTPRetryAfter extracts the Retry-After hint from a response; 0 means no
+// usable hint (fall back to Delay's exponential schedule).
+func HTTPRetryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,81 @@
+package retry
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// pinJitter fixes the jitter factor at exactly 1.0× (Jitter = 0.5) and
+// restores it when the test ends.
+func pinJitter(t *testing.T) {
+	t.Helper()
+	old := Jitter
+	Jitter = func() float64 { return 0.5 }
+	t.Cleanup(func() { Jitter = old })
+}
+
+func TestDelayHintWins(t *testing.T) {
+	pinJitter(t)
+	if d := Delay(7, 2*time.Second); d != 2*time.Second {
+		t.Fatalf("Delay with hint = %v, want 2s", d)
+	}
+}
+
+func TestDelayExponentialSchedule(t *testing.T) {
+	pinJitter(t)
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 160 * time.Millisecond, 320 * time.Millisecond,
+		640 * time.Millisecond, time.Second, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if d := Delay(i+1, 0); d != w {
+			t.Errorf("Delay(%d, 0) = %v, want %v", i+1, d, w)
+		}
+	}
+}
+
+func TestDelayJitterRange(t *testing.T) {
+	old := Jitter
+	t.Cleanup(func() { Jitter = old })
+	Jitter = func() float64 { return 0 }
+	if d := Delay(1, time.Second); d != 750*time.Millisecond {
+		t.Errorf("low-jitter delay = %v, want 750ms", d)
+	}
+	Jitter = func() float64 { return 0.999 }
+	if d := Delay(1, time.Second); d < 1248*time.Millisecond || d >= 1250*time.Millisecond {
+		t.Errorf("high-jitter delay = %v, want just under 1.25s", d)
+	}
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusTooManyRequests:     true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusOK:                  false,
+		http.StatusConflict:            false,
+		http.StatusNotFound:            false,
+		http.StatusBadRequest:          false,
+		http.StatusInternalServerError: false,
+	} {
+		if got := RetryableStatus(code); got != want {
+			t.Errorf("RetryableStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestHTTPRetryAfter(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	if d := HTTPRetryAfter(resp); d != 0 {
+		t.Errorf("missing header hint = %v, want 0", d)
+	}
+	resp.Header.Set("Retry-After", "3")
+	if d := HTTPRetryAfter(resp); d != 3*time.Second {
+		t.Errorf("hint = %v, want 3s", d)
+	}
+	resp.Header.Set("Retry-After", "soon")
+	if d := HTTPRetryAfter(resp); d != 0 {
+		t.Errorf("unparseable hint = %v, want 0", d)
+	}
+}

@@ -76,7 +76,7 @@ func jamStream(t *testing.T, s *Server, id string, points int) *streamQueue {
 	for i := range xs {
 		xs[i], ys[i] = x0, y0
 	}
-	go func() { _ = s.ing.enqueue(id, xs, ys) }()
+	go func() { _, _ = s.ing.enqueue(id, xs, ys, -1) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		q.mu.Lock()

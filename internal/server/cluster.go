@@ -33,7 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +59,23 @@ type ClusterConfig struct {
 	// ReplicationInterval is the warm-standby push cadence. 0 means the 2s
 	// default; negative disables replication (handoff still works).
 	ReplicationInterval time.Duration
+
+	// ProbeInterval enables gossip failure detection: every interval the node
+	// probes one peer (SWIM-style: direct ping, then indirect via proxies,
+	// then suspicion, then confirmed death and automatic standby promotion).
+	// 0 disables membership — the cluster then heals only by operator action,
+	// exactly as before this subsystem existed. privreg-server turns it on by
+	// default in cluster mode.
+	ProbeInterval time.Duration
+	// ProbeTimeout is how long a probe waits for its ack before escalating.
+	// 0 means ProbeInterval/2.
+	ProbeTimeout time.Duration
+	// SuspicionTimeout is how long a suspect has to refute (via a higher
+	// incarnation, or any firsthand ack) before it is declared dead. 0 means
+	// 3×ProbeInterval.
+	SuspicionTimeout time.Duration
+	// IndirectProxies is how many peers carry the indirect probe. 0 means 2.
+	IndirectProxies int
 }
 
 const (
@@ -101,10 +118,37 @@ type clusterState struct {
 	repMu      sync.Mutex
 	replicated map[string]int64
 
-	httpc    *http.Client
-	stopRepl chan struct{}
-	replWg   sync.WaitGroup
+	// replay buffers batches replicated to this node as a standby: per
+	// stream, the (start, rows) entries shipped by the owner right after it
+	// applied them. Entries at or below the stream's imported segment length
+	// are pruned (the segment subsumes them); the rest replay in offset order
+	// when this node is promoted, which is what shrinks the unclean-death
+	// data-loss window from one replication interval toward zero.
+	replayMu sync.Mutex
+	replay   map[string][]replayEntry
+
+	// mem is the gossip failure detector runtime; nil when ProbeInterval is
+	// unset (membership off).
+	mem *membership
+
+	httpc        *http.Client
+	stopRepl     chan struct{}
+	stopReplOnce sync.Once
+	replWg       sync.WaitGroup
 }
+
+// replayEntry is one owner-applied batch buffered on a standby: the stream
+// length before the batch plus its rows (flat row-major covariates).
+type replayEntry struct {
+	start int64
+	xs    []float64
+	ys    []float64
+}
+
+// maxReplayEntries bounds the per-stream replay buffer; beyond it the oldest
+// entries drop (the periodic segment push is the catch-up path, so dropping
+// only widens the loss window back toward one replication interval).
+const maxReplayEntries = 4096
 
 func newClusterState(s *Server, cfg *ClusterConfig) (*clusterState, error) {
 	if cfg.NodeID == "" {
@@ -124,6 +168,7 @@ func newClusterState(s *Server, cfg *ClusterConfig) (*clusterState, error) {
 		sealed:     make(map[string]struct{}),
 		clients:    make(map[string]*wire.Client),
 		replicated: make(map[string]int64),
+		replay:     make(map[string][]replayEntry),
 		httpc:      &http.Client{Timeout: 60 * time.Second},
 		stopRepl:   make(chan struct{}),
 	}
@@ -136,7 +181,11 @@ func newClusterState(s *Server, cfg *ClusterConfig) (*clusterState, error) {
 func (cs *clusterState) Ring() *cluster.Ring { return cs.ring.Load() }
 
 // adopt installs next if it is strictly newer than the ring held. Returns
-// whether the ring changed.
+// whether the ring changed. When membership is running, the detector's
+// roster follows the ring: nodes the ring gained are added (a join), nodes
+// it lost are marked left (their removal is already decided — graceful
+// leave, or a death some survivor promoted for — so this detector must not
+// re-litigate it).
 func (cs *clusterState) adopt(next *cluster.Ring) bool {
 	for {
 		cur := cs.ring.Load()
@@ -146,9 +195,104 @@ func (cs *clusterState) adopt(next *cluster.Ring) bool {
 		if cs.ring.CompareAndSwap(cur, next) {
 			cs.s.met.setRing(next.Version(), next.Len())
 			cs.s.logf("cluster: adopted ring v%d (%d members)", next.Version(), next.Len())
+			if cs.mem != nil {
+				cs.mem.reconcile(cur, next)
+			}
 			return true
 		}
 	}
+}
+
+// adoptPromoting is adopt for ring transitions that carry no handoff data —
+// a death this node detected, or a survivor's broadcast of the shrunken ring
+// — so any stream the new ring assigns to this node exists locally only as a
+// warm standby. Those streams are promoted: sealed, their buffered
+// replicated batches replayed on top of the imported segment, marked
+// authoritative, and unsealed once the new ring is in place. Idempotent and
+// safe against racing adoptions: a stream promoted here was owned by a node
+// both rings agree is gone, so nobody else can be applying to it.
+func (cs *clusterState) adoptPromoting(next *cluster.Ring) bool {
+	cur := cs.ring.Load()
+	if next.Version() <= cur.Version() {
+		return false
+	}
+	promote := cs.standbyPromotions(cur, next)
+	cs.seal(promote)
+	promoted := 0
+	replayed := 0
+	for _, id := range promote {
+		replayed += cs.replayInto(id)
+		if cs.s.pool.Promote(id) || cs.s.pool.Has(id) {
+			promoted++
+		}
+	}
+	ok := cs.adopt(next)
+	cs.unseal(promote)
+	if len(promote) > 0 {
+		cs.s.met.addPromotion(promoted, replayed)
+		cs.s.logf("cluster: promoted %d standby streams (replayed %d buffered batches) for ring v%d", promoted, replayed, next.Version())
+	}
+	return ok
+}
+
+// standbyPromotions lists the streams next assigns to this node that cur did
+// not: every locally held standby copy plus every stream with buffered
+// replicated batches (a stream young enough to have no segment yet).
+func (cs *clusterState) standbyPromotions(cur, next *cluster.Ring) []string {
+	seen := make(map[string]struct{})
+	var ids []string
+	consider := func(id string) {
+		if _, dup := seen[id]; dup {
+			return
+		}
+		seen[id] = struct{}{}
+		if next.Owner(id).ID == cs.self.ID && cur.Owner(id).ID != cs.self.ID {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range cs.s.pool.StandbyStreams() {
+		consider(id)
+	}
+	cs.replayMu.Lock()
+	for id := range cs.replay {
+		consider(id)
+	}
+	cs.replayMu.Unlock()
+	return ids
+}
+
+// replayInto applies a stream's buffered replicated batches in offset order:
+// entries the imported segment already covers are skipped, entries that meet
+// the stream's length exactly are applied, and the first gap stops the
+// replay (batches past a gap were shipped but their predecessors lost; the
+// stream stays consistent at the last contiguous offset). Returns how many
+// batches applied.
+func (cs *clusterState) replayInto(id string) int {
+	cs.replayMu.Lock()
+	entries := cs.replay[id]
+	delete(cs.replay, id)
+	cs.replayMu.Unlock()
+	if len(entries) == 0 {
+		return 0
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].start < entries[j].start })
+	applied := 0
+	for _, e := range entries {
+		cur := int64(cs.s.pool.Len(id))
+		switch {
+		case e.start+int64(len(e.ys)) <= cur:
+			continue // subsumed by the imported segment
+		case e.start != cur:
+			cs.s.logf("cluster: replay of %q stops at offset %d (next buffered batch starts at %d)", id, cur, e.start)
+			return applied
+		}
+		if err := cs.s.pool.ObserveFlat(id, cs.s.spec.Dim, e.xs, e.ys); err != nil {
+			cs.s.logf("cluster: replaying %d buffered rows into %q failed: %v", len(e.ys), id, err)
+			return applied
+		}
+		applied++
+	}
+	return applied
 }
 
 // ringJSON serializes the current ring for /v1/ring and RingAck.
@@ -244,11 +388,13 @@ func (cs *clusterState) withPeer(peer cluster.Node, op func(*wire.Client) error)
 // --- Forwarding proxy ------------------------------------------------------
 
 // forwardObserve relays a misrouted observe to the stream's owner. xs is
-// row-major (len(ys)×Dim).
-func (cs *clusterState) forwardObserve(owner cluster.Node, id string, xs, ys []float64) (applied, length int, err error) {
+// row-major (len(ys)×Dim); from is the conditional-ingest offset (-1 for
+// unconditional), carried through so a forwarded retry is still exactly-once
+// on the owner.
+func (cs *clusterState) forwardObserve(owner cluster.Node, id string, from int64, xs, ys []float64) (applied, length int, err error) {
 	err = cs.withPeer(owner, func(c *wire.Client) error {
 		var e error
-		applied, length, e = c.ForwardObserve(id, xs, ys)
+		applied, length, e = c.ForwardObserve(id, from, xs, ys)
 		return e
 	})
 	if err != nil {
@@ -279,10 +425,9 @@ func (cs *clusterState) forwardEstimate(owner cluster.Node, id string) (est []fl
 // else — including for requests this node would own — because while segments
 // are arriving, serving locally could touch a stream the import is about to
 // replace.
-func (cs *clusterState) routeObserve(w http.ResponseWriter, id string, xs [][]float64, ys []float64) bool {
+func (cs *clusterState) routeObserve(w http.ResponseWriter, id string, xs [][]float64, ys []float64, from int64) bool {
 	if cs.importing.Load() > 0 {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, errImporting)
+		writeVerdict(w, errImporting)
 		return true
 	}
 	owner := cs.ring.Load().Owner(id)
@@ -293,7 +438,7 @@ func (cs *clusterState) routeObserve(w http.ResponseWriter, id string, xs [][]fl
 	for _, x := range xs {
 		flat = append(flat, x...)
 	}
-	applied, length, err := cs.forwardObserve(owner, id, flat, ys)
+	applied, length, err := cs.forwardObserve(owner, id, from, flat, ys)
 	if err != nil {
 		cs.writeForwardErr(w, err)
 		return true
@@ -305,8 +450,7 @@ func (cs *clusterState) routeObserve(w http.ResponseWriter, id string, xs [][]fl
 // routeEstimate is routeObserve for the estimate path.
 func (cs *clusterState) routeEstimate(w http.ResponseWriter, id string) bool {
 	if cs.importing.Load() > 0 {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, errImporting)
+		writeVerdict(w, errImporting)
 		return true
 	}
 	owner := cs.ring.Load().Owner(id)
@@ -327,7 +471,7 @@ func (cs *clusterState) routeEstimate(w http.ResponseWriter, id string) bool {
 // for the caller to submit locally. Forwarded frames are never re-forwarded
 // — the owner-side of a proxy hop serves locally even under ring skew, which
 // is what makes a routing disagreement a one-hop detour instead of a loop.
-func (cs *clusterState) wireRouteObserve(c *wireCompletion, forwarded bool, xs, ys []float64) bool {
+func (cs *clusterState) wireRouteObserve(c *wireCompletion, forwarded bool, from int64, xs, ys []float64) bool {
 	if cs.importing.Load() > 0 {
 		c.err = errImporting
 		return true
@@ -339,7 +483,7 @@ func (cs *clusterState) wireRouteObserve(c *wireCompletion, forwarded bool, xs, 
 	if owner.ID == cs.self.ID {
 		return false
 	}
-	c.applied, c.length, c.err = cs.forwardObserve(owner, c.id, xs, ys)
+	c.applied, c.length, c.err = cs.forwardObserve(owner, c.id, from, xs, ys)
 	c.err = forwardVerdict(c.err)
 	return true
 }
@@ -379,40 +523,24 @@ func forwardVerdict(err error) error {
 }
 
 // writeForwardErr maps an owner's wire answer back onto the HTTP edge with
-// the same status contract a local rejection would have used.
+// the same status contract a local rejection would have used: the nack (via
+// forwardVerdict, which also turns transport failures into retryable
+// not-owner rejections) classifies through the same shared verdict table as
+// everything else, so both transports return identical machine-readable
+// codes for the same failure.
 func (cs *clusterState) writeForwardErr(w http.ResponseWriter, err error) {
-	var ne *wire.NackError
-	if !errors.As(err, &ne) {
-		writeError(w, http.StatusBadGateway, fmt.Errorf("server: forwarding to owner failed: %w", err))
-		return
-	}
-	switch ne.Code {
-	case wire.NackQueueFull:
-		retry := ne.RetryAfter
-		if retry < 1 {
-			retry = minRetryAfter
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		writeError(w, http.StatusTooManyRequests, err)
-	case wire.NackDraining, wire.NackImporting, wire.NackNotOwner:
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
-	case wire.NackStreamFull:
-		writeError(w, http.StatusConflict, err)
-	case wire.NackUnknownStream:
-		writeError(w, http.StatusNotFound, err)
-	default:
-		writeError(w, http.StatusBadRequest, err)
-	}
+	writeVerdict(w, forwardVerdict(err))
 }
 
 // --- Segment intake (wire FrameSegmentPush) --------------------------------
 
 // acceptSegment imports a peer's pushed segment. Handoff pushes must arrive
 // inside an import window; standby pushes must be for streams this node does
-// not own (a standby push for an owned stream means the sender's ring is
-// stale, and importing it would clobber authoritative state).
-func (cs *clusterState) acceptSegment(data []byte, length uint64, standby bool) (string, error) {
+// not own and must carry a current ring version (a standby push for an owned
+// stream, or one stamped with an older ring than this node routes by, means
+// the sender's view is stale — importing it could clobber or resurrect
+// promoted state).
+func (cs *clusterState) acceptSegment(data []byte, length uint64, ringV uint64, standby bool) (string, error) {
 	if cs.s.draining() {
 		return "", errDraining
 	}
@@ -421,7 +549,11 @@ func (cs *clusterState) acceptSegment(data []byte, length uint64, standby bool) 
 		return "", err
 	}
 	if standby {
-		if r := cs.ring.Load(); r.Owner(id).ID == cs.self.ID {
+		r := cs.ring.Load()
+		if ringV < r.Version() {
+			return "", fmt.Errorf("server: standby push for %q stamped with ring v%d, this node routes by v%d; refresh the ring", id, ringV, r.Version())
+		}
+		if r.Owner(id).ID == cs.self.ID {
 			return "", fmt.Errorf("server: standby push for stream %q, which this node owns under ring v%d; refresh the ring", id, r.Version())
 		}
 	} else if cs.importing.Load() == 0 {
@@ -430,8 +562,110 @@ func (cs *clusterState) acceptSegment(data []byte, length uint64, standby bool) 
 	if _, err := cs.s.pool.ImportSegment(data, int64(length)); err != nil {
 		return "", err
 	}
+	if standby {
+		// The segment subsumes every replicated batch at or below its length;
+		// prune them so promotion replays only the tail the segment missed.
+		cs.s.pool.MarkStandby(id)
+		cs.pruneReplay(id, int64(length))
+	} else {
+		// A handoff import is authoritative by definition.
+		cs.s.pool.Promote(id)
+	}
 	cs.s.met.addSegmentImported(standby)
 	return id, nil
+}
+
+// pruneReplay drops buffered replicated batches fully covered by the first
+// length rows of the stream.
+func (cs *clusterState) pruneReplay(id string, length int64) {
+	cs.replayMu.Lock()
+	entries := cs.replay[id]
+	kept := entries[:0]
+	for _, e := range entries {
+		if e.start+int64(len(e.ys)) > length {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == 0 {
+		delete(cs.replay, id)
+	} else {
+		cs.replay[id] = kept
+	}
+	cs.replayMu.Unlock()
+}
+
+// acceptReplicate buffers one owner-applied batch shipped to this node as a
+// warm standby (wire FrameReplicate). The rows are copied out of the frame
+// buffer — they outlive the frame, replayed only if this node is promoted.
+func (cs *clusterState) acceptReplicate(rep wire.Replicate) error {
+	if cs.s.draining() {
+		return errDraining
+	}
+	id := string(rep.ID)
+	r := cs.ring.Load()
+	if rep.RingV < r.Version() {
+		return &wire.NackError{Code: wire.NackBadRequest,
+			Msg: fmt.Sprintf("replicate for %q stamped with ring v%d, this node routes by v%d", id, rep.RingV, r.Version())}
+	}
+	if r.Owner(id).ID == cs.self.ID {
+		return &wire.NackError{Code: wire.NackBadRequest,
+			Msg: fmt.Sprintf("replicate for stream %q, which this node owns under ring v%d", id, r.Version())}
+	}
+	e := replayEntry{
+		start: int64(rep.Start),
+		xs:    make([]float64, rep.Rows*cs.s.spec.Dim),
+		ys:    make([]float64, rep.Rows),
+	}
+	if err := rep.DecodeRows(e.xs, e.ys); err != nil {
+		return err
+	}
+	cs.replayMu.Lock()
+	entries := append(cs.replay[id], e)
+	if len(entries) > maxReplayEntries {
+		entries = entries[len(entries)-maxReplayEntries:]
+	}
+	cs.replay[id] = entries
+	cs.replayMu.Unlock()
+	cs.s.pool.MarkStandby(id)
+	cs.s.met.addReplicateBuffered()
+	return nil
+}
+
+// replicateBatch is the ingester's applied hook under cluster serving: the
+// batch just applied to stream id at offset start ships to the stream's warm
+// standbys before the client's ack is released, so an acked batch survives
+// the owner's unclean death once any standby holds it. Failures degrade to
+// the periodic segment push (metriced, never fatal); peers the detector
+// believes dead or suspect are skipped so a dead standby cannot stall ingest
+// for a dial timeout per batch.
+func (cs *clusterState) replicateBatch(id string, start int64, r *ingestReq) {
+	ring := cs.ring.Load()
+	if ring.Len() < 2 || ring.Replicas() < 2 || ring.Owner(id).ID != cs.self.ID {
+		return
+	}
+	var flat []float64
+	if r.dim > 0 {
+		flat = r.flatXs
+	} else {
+		flat = make([]float64, 0, len(r.ys)*cs.s.spec.Dim)
+		for i := 0; i < r.rows(); i++ {
+			flat = append(flat, r.row(i)...)
+		}
+	}
+	succ := ring.Successors(id, ring.Replicas())
+	for _, peer := range succ[1:] {
+		if cs.mem != nil && !cs.mem.reachable(peer.ID) {
+			continue
+		}
+		err := cs.withPeer(peer, func(c *wire.Client) error {
+			return c.Replicate(id, uint64(start), ring.Version(), flat, r.ys)
+		})
+		if err != nil {
+			cs.s.met.addReplicationError()
+			continue
+		}
+		cs.s.met.addReplicateShipped()
+	}
 }
 
 // --- Handoff (membership change) ------------------------------------------
@@ -656,13 +890,17 @@ func (cs *clusterState) handleRing(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleClusterRing adopts a peer's ring if it is newer (POST /v1/cluster/ring).
+// The adoption promotes: a broadcast ring arrives with no handoff data (a
+// graceful leaver pushed its streams separately; a death broadcast has no
+// data to push), so any stream the new ring assigns to this node is served
+// from its warm-standby copy plus the replicated-batch buffer.
 func (cs *clusterState) handleClusterRing(w http.ResponseWriter, r *http.Request) {
 	ring := new(cluster.Ring)
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(ring); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding ring: %w", err))
 		return
 	}
-	adopted := cs.adopt(ring)
+	adopted := cs.adoptPromoting(ring)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"adopted": adopted,
 		"version": cs.ring.Load().Version(),
@@ -770,6 +1008,98 @@ func (cs *clusterState) handleClusterHandoff(w http.ResponseWriter, r *http.Requ
 	writeJSON(w, http.StatusOK, map[string]any{"moved": moved, "version": cs.ring.Load().Version()})
 }
 
+// --- Failure detection and self-healing ------------------------------------
+
+// startMembership boots the gossip failure detector when the config enables
+// it (ProbeInterval > 0). Off by default at the library level so embedded and
+// test clusters keep their exact pre-membership behavior; the privreg-server
+// CLI enables it in cluster mode.
+func (cs *clusterState) startMembership(cfg *ClusterConfig) {
+	if cfg.ProbeInterval <= 0 {
+		return
+	}
+	cs.mem = newMembership(cs, cfg)
+	cs.mem.start()
+	cs.s.logf("cluster: membership on (probe %s, suspicion %s)", cs.mem.det.Config().ProbeInterval, cs.mem.det.Config().SuspicionTimeout)
+}
+
+func (cs *clusterState) stopMembership() {
+	if cs.mem != nil {
+		cs.mem.stop()
+	}
+}
+
+// promoteDead reacts to a confirmed death: every survivor independently
+// computes the same v+1 ring with the dead node removed (Remove is
+// deterministic in the member list, so no coordination round is needed),
+// promotes its standby copies of the dead node's streams, and best-effort
+// broadcasts the ring so peers whose detectors are a beat behind converge
+// immediately instead of after their own suspicion timeout.
+func (cs *clusterState) promoteDead(dead string) {
+	cur := cs.ring.Load()
+	if _, ok := cur.NodeByID(dead); !ok {
+		return // already removed (a peer's broadcast beat our detector)
+	}
+	next, err := cur.Remove(dead)
+	if err != nil {
+		cs.s.logf("cluster: cannot remove dead node %q from ring v%d: %v", dead, cur.Version(), err)
+		return
+	}
+	cs.s.logf("cluster: node %q confirmed dead; transitioning to ring v%d", dead, next.Version())
+	if !cs.adoptPromoting(next) {
+		return
+	}
+	for _, n := range next.Nodes() {
+		if n.ID == cs.self.ID {
+			continue
+		}
+		if err := cs.postJSON(n, "/v1/cluster/ring", next); err != nil {
+			cs.s.logf("cluster: announcing ring v%d to %q failed: %v (its detector will converge on its own)", next.Version(), n.ID, err)
+		}
+	}
+}
+
+// handleMembers serves GET /v1/cluster/members: this node's view of every
+// member — state, incarnation, last-ack age — plus its standby stream count.
+// With membership off it reports the ring roster with no liveness claims.
+func (cs *clusterState) handleMembers(w http.ResponseWriter, r *http.Request) {
+	type memberVM struct {
+		ID          string  `json:"id"`
+		State       string  `json:"state"`
+		Incarnation uint64  `json:"incarnation"`
+		LastAckAgeS float64 `json:"last_ack_age_s,omitempty"`
+		Self        bool    `json:"self,omitempty"`
+	}
+	body := struct {
+		Node        string     `json:"node"`
+		RingVersion uint64     `json:"ring_version"`
+		Detection   bool       `json:"failure_detection"`
+		Standby     int        `json:"standby_streams"`
+		Members     []memberVM `json:"members"`
+	}{
+		Node:        cs.self.ID,
+		RingVersion: cs.ring.Load().Version(),
+		Detection:   cs.mem != nil,
+		Standby:     len(cs.s.pool.StandbyStreams()),
+	}
+	if cs.mem == nil {
+		for _, n := range cs.ring.Load().Nodes() {
+			body.Members = append(body.Members, memberVM{ID: n.ID, State: "unknown", Self: n.ID == cs.self.ID})
+		}
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	now := time.Now()
+	for _, m := range cs.mem.members() {
+		vm := memberVM{ID: m.ID, State: m.State.String(), Incarnation: m.Incarnation, Self: m.ID == cs.self.ID}
+		if !vm.Self && !m.LastAck.IsZero() {
+			vm.LastAckAgeS = now.Sub(m.LastAck).Seconds()
+		}
+		body.Members = append(body.Members, vm)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
 // --- Warm-standby replication ----------------------------------------------
 
 func (cs *clusterState) startReplication(interval time.Duration) {
@@ -795,8 +1125,10 @@ func (cs *clusterState) startReplication(interval time.Duration) {
 	}()
 }
 
+// stopReplication is idempotent: an unclean shutdown may race a graceful
+// Close.
 func (cs *clusterState) stopReplication() {
-	close(cs.stopRepl)
+	cs.stopReplOnce.Do(func() { close(cs.stopRepl) })
 	cs.replWg.Wait()
 }
 
@@ -817,6 +1149,9 @@ func (cs *clusterState) replicateOnce() {
 		var data []byte
 		exported := int64(-1)
 		for _, peer := range succ[1:] {
+			if cs.mem != nil && !cs.mem.reachable(peer.ID) {
+				continue // don't burn a dial timeout on a peer believed down
+			}
 			key := peer.ID + "\x00" + id
 			cs.repMu.Lock()
 			last, seen := cs.replicated[key]

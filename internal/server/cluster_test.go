@@ -16,6 +16,7 @@ import (
 // listeners (HTTP via net/http.Server, binary via ServeWire).
 type clusterTestNode struct {
 	s    *Server
+	hs   *http.Server
 	node cluster.Node
 	url  string // http://host:port
 }
@@ -49,7 +50,7 @@ func startClusterNode(t *testing.T, self cluster.Node, members []cluster.Node, h
 		_ = s.Close()
 		_ = hs.Close()
 	})
-	return &clusterTestNode{s: s, node: self, url: "http://" + self.Addr}
+	return &clusterTestNode{s: s, hs: hs, node: self, url: "http://" + self.Addr}
 }
 
 // startCluster boots a static cluster: every member knows the full ring at

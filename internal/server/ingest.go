@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"sync"
@@ -23,7 +24,24 @@ var (
 	// node — retry shortly and the request will route to the new owner
 	// (503 + Retry-After over HTTP, a retryable nack over the wire).
 	errHandoff = errors.New("server: stream handoff in progress; retry shortly")
+	// errConflict means a conditional observe's expected offset does not
+	// match the stream's length and the batch is neither new nor already
+	// applied (409, not retryable: the client's view of the stream is wrong).
+	errConflict = errors.New("server: conditional observe offset conflict")
 )
+
+// conflictError is the concrete conditional-ingest rejection: errConflict
+// (matchable with errors.Is) plus the two lengths that disagreed, so the
+// client can resynchronize without another round trip.
+type conflictError struct {
+	want int64 // the request's expected offset
+	have int64 // the stream's length at apply time
+}
+
+func (e *conflictError) Error() string {
+	return fmt.Sprintf("server: conditional observe expects offset %d, stream length is %d", e.want, e.have)
+}
+func (e *conflictError) Unwrap() error { return errConflict }
 
 // queueFullError is the concrete 429 rejection: errQueueFull (matchable with
 // errors.Is) plus a Retry-After hint derived from how long the stream's
@@ -112,7 +130,18 @@ type ingestReq struct {
 	ys     []float64
 	flatXs []float64 // row-major len(ys)×dim covariates; used when dim > 0
 	dim    int
-	done   chan error
+	// from is the expected stream offset for conditional (exactly-once)
+	// ingest, or -1 for unconditional. A conditional request applies only when
+	// the stream's length equals from; a batch whose rows are already fully
+	// present (from+rows ≤ length) is acknowledged as a duplicate without
+	// applying, and anything else is a conflict. Conditional requests are
+	// never merged into a coalesced batch — each is checked against the live
+	// length in arrival order.
+	from int64
+	// dup records that the request was recognized as an already-applied
+	// duplicate (done receives nil, zero points were applied).
+	dup  bool
+	done chan error
 }
 
 // rows is the number of points the request carries in either layout.
@@ -170,6 +199,15 @@ type ingester struct {
 	// losing node can quiesce and export. Set once before serving starts.
 	sealed func(id string) bool
 
+	// applied, when non-nil, runs synchronously after each successfully
+	// applied request, before the request's waiter is released — cluster
+	// serving uses it to ship the batch to the stream's warm standbys so a
+	// batch is replicated before its ack leaves the node. start is the
+	// stream's length before the request's rows. Duplicate conditional
+	// requests (nothing applied) never reach the hook. Set once before
+	// serving starts.
+	applied func(id string, start int64, r *ingestReq)
+
 	mu     sync.Mutex
 	queues map[string]*streamQueue
 	wg     sync.WaitGroup
@@ -191,16 +229,24 @@ func newIngester(pool *privreg.Pool, maxPoints int, met *metrics) *ingester {
 
 // enqueue submits one nested-layout request for the stream and blocks until
 // it has been applied (or rejected). The returned error is the pool's verdict
-// for exactly this request's points.
-func (in *ingester) enqueue(id string, xs [][]float64, ys []float64) error {
+// for exactly this request's points. from is the conditional-ingest offset
+// (-1 for unconditional); applied reports how many points actually landed
+// (0 for a duplicate conditional batch).
+func (in *ingester) enqueue(id string, xs [][]float64, ys []float64, from int64) (applied int, err error) {
 	if len(xs) == 0 {
-		return nil
+		return 0, nil
 	}
-	req := &ingestReq{xs: xs, ys: ys, done: make(chan error, 1)}
+	req := &ingestReq{xs: xs, ys: ys, from: from, done: make(chan error, 1)}
 	if err := in.submit(id, req); err != nil {
-		return err
+		return 0, err
 	}
-	return <-req.done
+	if err := <-req.done; err != nil {
+		return 0, err
+	}
+	if req.dup {
+		return 0, nil
+	}
+	return len(xs), nil
 }
 
 // submit places a request in the stream's queue without waiting for
@@ -307,12 +353,50 @@ func (in *ingester) drainQueue(id string, q *streamQueue) {
 // applyOne lands a single request on the pool through the entry point that
 // matches its layout: flat requests go through ObserveFlat (covariates stay
 // in the transport's receive buffer all the way into the estimator), nested
-// requests through ObserveBatch.
+// requests through ObserveBatch. Conditional requests are resolved against
+// the stream's live length first: apply at the expected offset, acknowledge
+// an already-applied batch as a duplicate, reject everything else as a
+// conflict.
 func (in *ingester) applyOne(id string, r *ingestReq) error {
-	if r.dim > 0 {
-		return in.pool.ObserveFlat(id, r.dim, r.flatXs, r.ys)
+	if r.from >= 0 {
+		cur := int64(in.pool.Len(id))
+		switch {
+		case r.from == cur:
+			// Expected offset: fall through and apply.
+		case r.from+int64(r.rows()) <= cur:
+			// The whole batch is already in the stream (a retry of a batch
+			// whose ack was lost): succeed without applying anything.
+			r.dup = true
+			return nil
+		default:
+			return &conflictError{want: r.from, have: cur}
+		}
 	}
-	return in.pool.ObserveBatch(id, r.xs, r.ys)
+	var err error
+	if r.dim > 0 {
+		err = in.pool.ObserveFlat(id, r.dim, r.flatXs, r.ys)
+	} else {
+		err = in.pool.ObserveBatch(id, r.xs, r.ys)
+	}
+	return err
+}
+
+// finishOne applies one request (conditional or not), feeds metrics and the
+// applied hook, and resolves its waiter.
+func (in *ingester) finishOne(id string, r *ingestReq) {
+	var start int64
+	if in.applied != nil {
+		start = int64(in.pool.Len(id))
+	}
+	err := in.applyOne(id, r)
+	if err == nil && !r.dup {
+		in.met.addIngested(r.rows(), 1)
+		in.noteApplied(r.rows())
+		if in.applied != nil {
+			in.applied(id, start, r)
+		}
+	}
+	r.done <- err
 }
 
 // apply lands a group of queued requests on the pool. The common case merges
@@ -321,40 +405,52 @@ func (in *ingester) applyOne(id string, r *ingestReq) error {
 // rejected (for example one request would overrun the stream's horizon, which
 // rejects the whole batch), it falls back to applying each request separately
 // so errors attach to the request that caused them and innocent requests
-// still land.
+// still land. A group containing any conditional request is always applied
+// request by request, in order, so every offset is checked against the
+// length the stream actually has when that request's turn comes.
 func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 	if len(batch) == 1 {
-		err := in.applyOne(id, batch[0])
-		if err == nil {
-			in.met.addIngested(points, 1)
-			in.noteApplied(points)
-		}
-		batch[0].done <- err
+		in.finishOne(id, batch[0])
 		return
 	}
-	xs := make([][]float64, 0, points)
-	ys := make([]float64, 0, points)
+	conditional := false
 	for _, r := range batch {
-		for i := 0; i < r.rows(); i++ {
-			xs = append(xs, r.row(i))
+		if r.from >= 0 {
+			conditional = true
+			break
 		}
-		ys = append(ys, r.ys...)
 	}
-	if err := in.pool.ObserveBatch(id, xs, ys); err == nil {
-		in.met.addIngested(points, len(batch))
-		in.noteApplied(points)
+	if !conditional {
+		xs := make([][]float64, 0, points)
+		ys := make([]float64, 0, points)
 		for _, r := range batch {
-			r.done <- nil
+			for i := 0; i < r.rows(); i++ {
+				xs = append(xs, r.row(i))
+			}
+			ys = append(ys, r.ys...)
 		}
-		return
+		var start int64
+		if in.applied != nil {
+			start = int64(in.pool.Len(id))
+		}
+		if err := in.pool.ObserveBatch(id, xs, ys); err == nil {
+			in.met.addIngested(points, len(batch))
+			in.noteApplied(points)
+			if in.applied != nil {
+				off := start
+				for _, r := range batch {
+					in.applied(id, off, r)
+					off += int64(r.rows())
+				}
+			}
+			for _, r := range batch {
+				r.done <- nil
+			}
+			return
+		}
 	}
 	for _, r := range batch {
-		err := in.applyOne(id, r)
-		if err == nil {
-			in.met.addIngested(r.rows(), 1)
-			in.noteApplied(r.rows())
-		}
-		r.done <- err
+		in.finishOne(id, r)
 	}
 }
 

@@ -69,6 +69,13 @@ type metrics struct {
 	standbyImported    int64 // replication copies accepted
 	replicationErrors  int64
 
+	// Failure detection and self-healing (zero with membership off).
+	membershipEvents   map[string]int64 // detector transitions by kind
+	promotedStreams    int64            // standby streams promoted to authoritative
+	replayedBatches    int64            // buffered replicated batches applied at promotion
+	replicatesShipped  int64            // applied batches shipped to standbys pre-ack
+	replicatesBuffered int64            // replicated batches buffered as a standby
+
 	checkpoints             int64
 	checkpointErrors        int64
 	lastCheckpointSegments  int64 // dirty segments rewritten by the last save
@@ -81,9 +88,35 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[routeKey]int64),
-		latency:  make(map[string]*histogram),
+		requests:         make(map[routeKey]int64),
+		latency:          make(map[string]*histogram),
+		membershipEvents: make(map[string]int64),
 	}
+}
+
+func (m *metrics) addMembershipEvent(kind string) {
+	m.mu.Lock()
+	m.membershipEvents[kind]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addPromotion(streams, replayed int) {
+	m.mu.Lock()
+	m.promotedStreams += int64(streams)
+	m.replayedBatches += int64(replayed)
+	m.mu.Unlock()
+}
+
+func (m *metrics) addReplicateShipped() {
+	m.mu.Lock()
+	m.replicatesShipped++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addReplicateBuffered() {
+	m.mu.Lock()
+	m.replicatesBuffered++
+	m.mu.Unlock()
 }
 
 func (m *metrics) observeRequest(route string, code int, seconds float64) {
@@ -246,6 +279,12 @@ type clusterMetricsSnapshot struct {
 	StandbyPushed      int64  `json:"standby_pushed"`
 	StandbyImported    int64  `json:"standby_imported"`
 	ReplicationErrors  int64  `json:"replication_errors"`
+
+	MembershipEvents   map[string]int64 `json:"membership_events,omitempty"`
+	PromotedStreams    int64            `json:"promoted_streams"`
+	ReplayedBatches    int64            `json:"replayed_batches"`
+	ReplicatesShipped  int64            `json:"replicates_shipped"`
+	ReplicatesBuffered int64            `json:"replicates_buffered"`
 }
 
 func (m *metrics) snapshot(st privreg.PoolStats) metricsSnapshot {
@@ -282,6 +321,16 @@ func (m *metrics) snapshot(st privreg.PoolStats) metricsSnapshot {
 			StandbyPushed:      m.standbyPushed,
 			StandbyImported:    m.standbyImported,
 			ReplicationErrors:  m.replicationErrors,
+			PromotedStreams:    m.promotedStreams,
+			ReplayedBatches:    m.replayedBatches,
+			ReplicatesShipped:  m.replicatesShipped,
+			ReplicatesBuffered: m.replicatesBuffered,
+		}
+		if len(m.membershipEvents) > 0 {
+			s.Cluster.MembershipEvents = make(map[string]int64, len(m.membershipEvents))
+			for k, v := range m.membershipEvents {
+				s.Cluster.MembershipEvents[k] = v
+			}
 		}
 	}
 	m.mu.Unlock()
@@ -396,6 +445,28 @@ func (m *metrics) writePrometheus(w io.Writer, st privreg.PoolStats) {
 		fmt.Fprintf(w, "# HELP privreg_cluster_replication_errors_total Warm-standby pushes that failed (retried next tick).\n")
 		fmt.Fprintf(w, "# TYPE privreg_cluster_replication_errors_total counter\n")
 		fmt.Fprintf(w, "privreg_cluster_replication_errors_total %d\n", m.replicationErrors)
+		if len(m.membershipEvents) > 0 {
+			kinds := make([]string, 0, len(m.membershipEvents))
+			for k := range m.membershipEvents {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			fmt.Fprintf(w, "# HELP privreg_cluster_membership_events_total Failure-detector transitions by kind.\n")
+			fmt.Fprintf(w, "# TYPE privreg_cluster_membership_events_total counter\n")
+			for _, k := range kinds {
+				fmt.Fprintf(w, "privreg_cluster_membership_events_total{kind=%q} %d\n", k, m.membershipEvents[k])
+			}
+		}
+		fmt.Fprintf(w, "# HELP privreg_cluster_promoted_streams_total Warm-standby streams promoted to authoritative after a death.\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_promoted_streams_total counter\n")
+		fmt.Fprintf(w, "privreg_cluster_promoted_streams_total %d\n", m.promotedStreams)
+		fmt.Fprintf(w, "# HELP privreg_cluster_replayed_batches_total Buffered replicated batches applied during promotion.\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_replayed_batches_total counter\n")
+		fmt.Fprintf(w, "privreg_cluster_replayed_batches_total %d\n", m.replayedBatches)
+		fmt.Fprintf(w, "# HELP privreg_cluster_replicates_total Applied batches shipped to (or buffered from) warm standbys.\n")
+		fmt.Fprintf(w, "# TYPE privreg_cluster_replicates_total counter\n")
+		fmt.Fprintf(w, "privreg_cluster_replicates_total{dir=\"shipped\"} %d\n", m.replicatesShipped)
+		fmt.Fprintf(w, "privreg_cluster_replicates_total{dir=\"buffered\"} %d\n", m.replicatesBuffered)
 	}
 	m.mu.Unlock()
 

@@ -20,7 +20,6 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -251,6 +250,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.cl != nil {
 		s.cl.startReplication(cfg.Cluster.ReplicationInterval)
+		s.cl.startMembership(cfg.Cluster)
+		s.ing.applied = s.cl.replicateBatch
 	}
 	s.routes()
 	return s, nil
@@ -304,6 +305,9 @@ func (s *Server) Close() error {
 			// Leave after the drain (every acked point is in the pool, so the
 			// exported segments are complete) and before the final checkpoint
 			// (what we keep on disk is whatever could not be handed off).
+			// Membership stops first so this node's own graceful exit is never
+			// mistaken for a death it should react to.
+			s.cl.stopMembership()
 			s.cl.stopReplication()
 			if err := s.cl.leave(); err != nil {
 				s.logf("cluster: leave handoff incomplete: %v (survivors fall back to warm standbys)", err)
@@ -371,6 +375,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.instrument("drop", s.handleDrop))
 	if s.cl != nil {
 		s.mux.HandleFunc("GET /v1/ring", s.instrument("ring", s.cl.handleRing))
+		s.mux.HandleFunc("GET /v1/cluster/members", s.instrument("cluster_members", s.cl.handleMembers))
 		s.mux.HandleFunc("POST /v1/cluster/ring", s.instrument("cluster_ring", s.cl.handleClusterRing))
 		s.mux.HandleFunc("POST /v1/cluster/join", s.instrument("cluster_join", s.cl.handleClusterJoin))
 		s.mux.HandleFunc("POST /v1/cluster/handoff", s.instrument("cluster_handoff", s.cl.handleClusterHandoff))
@@ -420,21 +425,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	jsonBufPool.Put(buf)
 }
 
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error()})
-}
-
 // observeRequest is the body of POST /v1/streams/{id}/observe: either a
-// single point (x, y) or a batch (xs, ys), not both.
+// single point (x, y) or a batch (xs, ys), not both. The optional "from" is
+// the conditional-ingest offset: the batch applies only if the stream's
+// length equals it (an already-applied batch acks as a duplicate, anything
+// else is a 409 conflict), which makes retries exactly-once across
+// forwarding hops and standby promotion.
 type observeRequest struct {
-	X  []float64   `json:"x,omitempty"`
-	Y  *float64    `json:"y,omitempty"`
-	Xs [][]float64 `json:"xs,omitempty"`
-	Ys []float64   `json:"ys,omitempty"`
+	X    []float64   `json:"x,omitempty"`
+	Y    *float64    `json:"y,omitempty"`
+	Xs   [][]float64 `json:"xs,omitempty"`
+	Ys   []float64   `json:"ys,omitempty"`
+	From *int64      `json:"from,omitempty"`
 }
 
 type observeResponse struct {
@@ -471,47 +473,55 @@ var observeScratchPool = sync.Pool{New: func() any { return new(observeScratch) 
 // absent from empty. The one observable consequence is that an explicitly
 // empty batch ({"xs":[],"ys":[]}) is rejected like a missing body instead of
 // acked as a zero-point success.
-func (s *Server) decodeObserve(sc *observeScratch, r *http.Request) ([][]float64, []float64, error) {
+func (s *Server) decodeObserve(sc *observeScratch, r *http.Request) ([][]float64, []float64, int64, error) {
 	sc.body.Reset()
 	if _, err := sc.body.ReadFrom(r.Body); err != nil {
-		return nil, nil, fmt.Errorf("server: reading observe body: %w", err)
+		return nil, nil, -1, fmt.Errorf("server: reading observe body: %w", err)
 	}
 	req := &sc.req
 	req.X = req.X[:0]
 	req.Y = nil
 	req.Xs = req.Xs[:0]
 	req.Ys = req.Ys[:0]
+	req.From = nil
 	dec := json.NewDecoder(bytes.NewReader(sc.body.Bytes()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
-		return nil, nil, fmt.Errorf("server: decoding observe body: %w", err)
+		return nil, nil, -1, fmt.Errorf("server: decoding observe body: %w", err)
+	}
+	from := int64(-1)
+	if req.From != nil {
+		if *req.From < 0 {
+			return nil, nil, -1, fmt.Errorf(`server: "from" must be a non-negative stream offset, got %d`, *req.From)
+		}
+		from = *req.From
 	}
 	single := len(req.X) > 0 || req.Y != nil
 	batch := len(req.Xs) > 0 || len(req.Ys) > 0
 	xs, ys := req.Xs, req.Ys
 	switch {
 	case single && batch:
-		return nil, nil, errors.New(`server: observe body must set either {"x","y"} or {"xs","ys"}, not both`)
+		return nil, nil, -1, errors.New(`server: observe body must set either {"x","y"} or {"xs","ys"}, not both`)
 	case single:
 		if len(req.X) == 0 || req.Y == nil {
-			return nil, nil, errors.New(`server: single-point observe requires both "x" and "y"`)
+			return nil, nil, -1, errors.New(`server: single-point observe requires both "x" and "y"`)
 		}
 		sc.xs1[0] = req.X
 		sc.ys1[0] = *req.Y
 		xs, ys = sc.xs1[:], sc.ys1[:]
 	case batch:
 		if len(xs) != len(ys) {
-			return nil, nil, fmt.Errorf("server: batch covariate count %d does not match response count %d", len(xs), len(ys))
+			return nil, nil, -1, fmt.Errorf("server: batch covariate count %d does not match response count %d", len(xs), len(ys))
 		}
 	default:
-		return nil, nil, errors.New(`server: observe body must set {"x","y"} or {"xs","ys"} with at least one point`)
+		return nil, nil, -1, errors.New(`server: observe body must set {"x","y"} or {"xs","ys"} with at least one point`)
 	}
 	for i, x := range xs {
 		if len(x) != s.spec.Dim {
-			return nil, nil, fmt.Errorf("server: covariate %d has dimension %d, pool dimension is %d", i, len(x), s.spec.Dim)
+			return nil, nil, -1, fmt.Errorf("server: covariate %d has dimension %d, pool dimension is %d", i, len(x), s.spec.Dim)
 		}
 	}
-	return xs, ys, nil
+	return xs, ys, from, nil
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
@@ -522,7 +532,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	sc := observeScratchPool.Get().(*observeScratch)
 	defer observeScratchPool.Put(sc)
-	xs, ys, err := s.decodeObserve(sc, r)
+	xs, ys, from, err := s.decodeObserve(sc, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -534,33 +544,19 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: batch of %d points exceeds the per-stream queue bound %d; split the batch", len(xs), s.ing.maxPoints))
 		return
 	}
-	if s.cl != nil && s.cl.routeObserve(w, id, xs, ys) {
+	if s.cl != nil && s.cl.routeObserve(w, id, xs, ys, from) {
 		return
 	}
-	switch err := s.ing.enqueue(id, xs, ys); {
-	case err == nil:
-		writeJSON(w, http.StatusOK, observeResponse{Applied: len(xs), Len: s.pool.Len(id)})
-	case errors.Is(err, errQueueFull):
-		// The hint is derived from the stream's backlog and the recent drain
-		// rate, with jitter, so a fleet of synchronized clients rejected
-		// together comes back staggered instead of in lockstep.
-		retry := minRetryAfter
-		var qf *queueFullError
-		if errors.As(err, &qf) {
-			retry = qf.retryAfter
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, errDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, errHandoff):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, privreg.ErrStreamFull):
-		writeError(w, http.StatusConflict, err)
-	default:
-		writeError(w, http.StatusBadRequest, err)
+	// The rejection path is one shared verdict (classify): status,
+	// Retry-After hint (backlog-derived and jittered for queue-full), and
+	// envelope code all come from the same table the wire front end nacks
+	// through.
+	applied, err := s.ing.enqueue(id, xs, ys, from)
+	if err != nil {
+		writeVerdict(w, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, observeResponse{Applied: applied, Len: s.pool.Len(id)})
 }
 
 type estimateResponse struct {
@@ -623,6 +619,9 @@ type clusterStatsVM struct {
 	Members     int    `json:"members"`
 	Replicas    int    `json:"replicas"`
 	Importing   bool   `json:"importing"`
+	// Standby counts streams this node holds as warm-standby copies (not
+	// owned; promoted to authoritative if their owner dies).
+	Standby int `json:"standby_streams"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -635,6 +634,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Members:     ring.Len(),
 			Replicas:    ring.Replicas(),
 			Importing:   s.cl.importing.Load() > 0,
+			Standby:     resp.PoolStats.StandbyStreams,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -702,6 +702,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		if s.cl != nil {
 			body["ring_version"] = s.cl.Ring().Version()
 			body["node"] = s.cl.self.ID
+			if s.cl.mem != nil {
+				// The local member's view of the cluster: how many peers it
+				// believes alive/suspect/dead right now, so an LB health page
+				// shows partitions from this node's perspective.
+				body["members"] = s.cl.mem.counts()
+			}
 		}
 		writeJSON(w, http.StatusOK, body)
 	}

@@ -225,7 +225,10 @@ func TestIngesterQueueFull429(t *testing.T) {
 	done := make(chan error, 1)
 	x0, y0 := point(0, 4)
 	x1, y1 := point(1, 4)
-	go func() { done <- in.enqueue("s", [][]float64{x0, x1}, []float64{y0, y1}) }()
+	go func() {
+		_, err := in.enqueue("s", [][]float64{x0, x1}, []float64{y0, y1}, -1)
+		done <- err
+	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		q.mu.Lock()
@@ -241,7 +244,7 @@ func TestIngesterQueueFull429(t *testing.T) {
 	}
 
 	x2, y2 := point(2, 4)
-	if err := in.enqueue("s", [][]float64{x2}, []float64{y2}); !errors.Is(err, errQueueFull) {
+	if _, err := in.enqueue("s", [][]float64{x2}, []float64{y2}, -1); !errors.Is(err, errQueueFull) {
 		t.Fatalf("enqueue on a full queue = %v, want errQueueFull", err)
 	}
 
@@ -586,7 +589,7 @@ func TestRetryAfterHeaderOn429(t *testing.T) {
 	s.ing.mu.Unlock()
 	x0, y0 := point(0, 4)
 	go func() {
-		_ = s.ing.enqueue("jam", [][]float64{x0, x0}, []float64{y0, y0})
+		_, _ = s.ing.enqueue("jam", [][]float64{x0, x0}, []float64{y0, y0}, -1)
 	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for {

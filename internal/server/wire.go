@@ -9,7 +9,6 @@ import (
 	"sync"
 	"time"
 
-	"privreg"
 	"privreg/internal/version"
 	"privreg/internal/wire"
 )
@@ -74,6 +73,7 @@ type wireCompletion struct {
 	applied int       // points applied, for pre-resolved acks (forwarded observes, segment imports)
 
 	ringAck *wire.RingAck // ring request answer (cluster)
+	gossip  *wire.Gossip  // membership answer (ping / ping-req)
 
 	fatal error // connection-fatal: written as an error frame, then close
 }
@@ -306,12 +306,64 @@ func (s *Server) wireReadLoop(r *wire.Reader, completions chan<- *wireCompletion
 			c := &wireCompletion{reqID: sp.ReqID, route: "wire_segment", start: time.Now()}
 			if s.cl == nil {
 				c.err = errors.New("server: not clustered; segment push rejected")
-			} else if id, err := s.cl.acceptSegment(sp.Data, sp.Length, sp.Standby); err != nil {
+			} else if id, err := s.cl.acceptSegment(sp.Data, sp.Length, sp.RingV, sp.Standby); err != nil {
 				c.err = err
 			} else {
 				c.id = id
 				c.applied = int(sp.Length)
 				c.length = int(sp.Length)
+			}
+			completions <- c
+		case wire.FrameReplicate:
+			rep, err := wire.ParseReplicate(payload, s.spec.Dim)
+			if err != nil {
+				completions <- &wireCompletion{fatal: err}
+				return
+			}
+			// Buffered synchronously: the rows alias the read buffer and are
+			// copied out before the next frame overwrites them, and
+			// ack-after-buffer means the owner's pre-ack ship really did land.
+			c := &wireCompletion{reqID: rep.ReqID, route: "wire_replicate", start: time.Now(), id: string(rep.ID)}
+			if s.cl == nil {
+				c.err = errors.New("server: not clustered; replicate rejected")
+			} else if err := s.cl.acceptReplicate(rep); err != nil {
+				c.err = err
+			} else {
+				c.applied = rep.Rows
+				c.length = int(rep.Start) + rep.Rows
+			}
+			completions <- c
+		case wire.FramePing:
+			pg, err := wire.ParsePing(payload)
+			if err != nil {
+				completions <- &wireCompletion{fatal: err}
+				return
+			}
+			c := &wireCompletion{reqID: pg.ReqID, route: "wire_ping", start: time.Now()}
+			if s.cl == nil || s.cl.mem == nil {
+				c.err = errors.New("server: membership is not enabled on this node")
+			} else {
+				g := s.cl.mem.handlePing(pg.From, pg.Members)
+				g.ReqID = pg.ReqID
+				c.gossip = &g
+			}
+			completions <- c
+		case wire.FramePingReq:
+			pr, err := wire.ParsePingReq(payload)
+			if err != nil {
+				completions <- &wireCompletion{fatal: err}
+				return
+			}
+			// The proxied probe runs inline, bounded by the probe timeout:
+			// membership rides its own cadence, so briefly parking this read
+			// loop costs nothing the detector isn't already waiting for.
+			c := &wireCompletion{reqID: pr.ReqID, route: "wire_pingreq", start: time.Now()}
+			if s.cl == nil || s.cl.mem == nil {
+				c.err = errors.New("server: membership is not enabled on this node")
+			} else {
+				g := s.cl.mem.handlePingReq(pr.From, pr.Target, pr.Members)
+				g.ReqID = pr.ReqID
+				c.gossip = &g
 			}
 			completions <- c
 		default:
@@ -349,13 +401,13 @@ func (s *Server) wireObserve(payload []byte) (*wireCompletion, bool) {
 		wireBufPool.Put(bufs)
 		return &wireCompletion{fatal: err}, true
 	}
-	if s.cl != nil && s.cl.wireRouteObserve(c, h.Forwarded(), xs, ys) {
+	if s.cl != nil && s.cl.wireRouteObserve(c, h.Forwarded(), h.From, xs, ys) {
 		// Forwarding is synchronous (the frame is written before return), so
 		// the decoded buffers can recycle immediately.
 		wireBufPool.Put(bufs)
 		return c, false
 	}
-	req := &ingestReq{flatXs: xs, ys: ys, dim: s.spec.Dim, done: make(chan error, 1)}
+	req := &ingestReq{flatXs: xs, ys: ys, dim: s.spec.Dim, from: h.From, done: make(chan error, 1)}
 	if err := s.ing.submit(c.id, req); err != nil {
 		wireBufPool.Put(bufs)
 		c.err = err
@@ -427,57 +479,31 @@ func (s *Server) appendWireResponse(b *wire.Builder, c *wireCompletion, err erro
 	case err == nil && c.ringAck != nil:
 		wire.AppendRingAck(b, *c.ringAck)
 		return http.StatusOK
+	case err == nil && c.gossip != nil:
+		wire.AppendGossip(b, *c.gossip)
+		return http.StatusOK
 	case err == nil && c.route == "wire_estimate":
 		wire.AppendEstimateAck(b, wire.EstimateAck{ReqID: c.reqID, Len: uint64(c.length), Estimate: c.est})
 		return http.StatusOK
 	case err == nil && c.req != nil:
-		wire.AppendAck(b, wire.Ack{ReqID: c.reqID, Applied: uint32(len(c.req.ys)), Len: uint64(s.pool.Len(c.id))})
+		applied := len(c.req.ys)
+		if c.req.dup {
+			applied = 0 // duplicate conditional batch: acked, nothing applied
+		}
+		wire.AppendAck(b, wire.Ack{ReqID: c.reqID, Applied: uint32(applied), Len: uint64(s.pool.Len(c.id))})
 		return http.StatusOK
 	case err == nil:
 		// Pre-resolved success: a forwarded observe (counts from the owner's
-		// ack) or an imported segment push.
+		// ack), an imported segment push, or a buffered replicate.
 		wire.AppendAck(b, wire.Ack{ReqID: c.reqID, Applied: uint32(c.applied), Len: uint64(c.length)})
 		return http.StatusOK
-	case errors.Is(err, errHandoff), errors.Is(err, errImporting):
-		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: wire.NackImporting, RetryAfter: 1, Msg: err.Error()})
-		return http.StatusServiceUnavailable
-	case errors.Is(err, errQueueFull):
-		retry := minRetryAfter
-		var qf *queueFullError
-		if errors.As(err, &qf) {
-			retry = qf.retryAfter
-		}
-		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: wire.NackQueueFull, RetryAfter: uint16(retry), Msg: err.Error()})
-		return http.StatusTooManyRequests
-	case errors.Is(err, errDraining):
-		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: wire.NackDraining, Msg: err.Error()})
-		return http.StatusServiceUnavailable
-	case errors.Is(err, privreg.ErrStreamFull):
-		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: wire.NackStreamFull, Msg: err.Error()})
-		return http.StatusConflict
-	case errors.Is(err, privreg.ErrUnknownStream):
-		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: wire.NackUnknownStream, Msg: err.Error()})
-		return http.StatusNotFound
 	default:
-		// A forwarded request's nack passes through verbatim — same code, same
-		// Retry-After — so the client cannot tell a proxied rejection from a
-		// direct one.
-		var ne *wire.NackError
-		if errors.As(err, &ne) {
-			wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: ne.Code, RetryAfter: uint16(ne.RetryAfter), Msg: ne.Msg})
-			switch ne.Code {
-			case wire.NackQueueFull:
-				return http.StatusTooManyRequests
-			case wire.NackDraining, wire.NackImporting, wire.NackNotOwner:
-				return http.StatusServiceUnavailable
-			case wire.NackStreamFull:
-				return http.StatusConflict
-			case wire.NackUnknownStream:
-				return http.StatusNotFound
-			}
-			return http.StatusBadRequest
-		}
-		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: wire.NackBadRequest, Msg: err.Error()})
-		return http.StatusBadRequest
+		// One shared verdict for every rejection on either transport: the
+		// nack code, its Retry-After, and the HTTP-equivalent status all come
+		// from classify, and a forwarded nack passes through verbatim — the
+		// client cannot tell a proxied rejection from a direct one.
+		v := classify(err)
+		wire.AppendNack(b, wire.Nack{ReqID: c.reqID, Code: v.code, RetryAfter: uint16(v.retryAfter), Msg: err.Error()})
+		return v.status
 	}
 }

@@ -26,12 +26,26 @@ func (e *NackError) Error() string {
 }
 
 // Retryable reports whether backing off and resending can succeed.
-func (e *NackError) Retryable() bool {
-	switch e.Code {
-	case NackQueueFull, NackNotOwner, NackImporting:
-		return true
+func (e *NackError) Retryable() bool { return e.Code.Retryable() }
+
+// IsRetryable reports whether err is a wire rejection that can succeed on
+// retry (queue pressure, ring skew, import windows). Transport errors return
+// false: the caller must decide whether redialing is safe, this package
+// cannot.
+func IsRetryable(err error) bool {
+	var ne *NackError
+	return errors.As(err, &ne) && ne.Retryable()
+}
+
+// RetryAfter extracts the server's retry hint from a rejection. ok reports
+// whether err carried one; a zero duration with ok=true means "retry
+// whenever" (the server had no estimate).
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var ne *NackError
+	if !errors.As(err, &ne) || !ne.Retryable() {
+		return 0, false
 	}
-	return false
+	return time.Duration(ne.RetryAfter) * time.Second, true
 }
 
 // Client is a connection to a privreg wire listener, safe for concurrent use
@@ -64,11 +78,12 @@ type Client struct {
 }
 
 type response struct {
-	frame FrameType
-	ack   Ack
-	est   EstimateAck
-	nack  Nack
-	ring  RingAck
+	frame  FrameType
+	ack    Ack
+	est    EstimateAck
+	nack   Nack
+	ring   RingAck
+	gossip Gossip
 }
 
 // Dial connects to a wire listener, performs the Hello/HelloAck version
@@ -165,6 +180,10 @@ func (c *Client) readLoop(r *Reader) {
 				resp.ring.Ring = append([]byte(nil), resp.ring.Ring...)
 			}
 			reqID = resp.ring.ReqID
+		case FrameGossip:
+			resp.frame = t
+			resp.gossip, perr = ParseGossip(payload)
+			reqID = resp.gossip.ReqID
 		case FrameError:
 			err = ParseError(payload)
 		default:
@@ -257,21 +276,31 @@ func (c *Client) await(ch chan response) (response, error) {
 // (len(ys)×Dim values) with responses ys — and blocks until the server acks
 // it (the points are applied) or nacks it. Safe to call concurrently.
 func (c *Client) Observe(id string, xs, ys []float64) (applied, streamLen int, err error) {
-	return c.observe(0, id, xs, ys)
+	return c.observe(0, id, -1, xs, ys)
+}
+
+// ObserveAt is Observe with an expected stream offset: the server applies
+// the batch only if the stream currently holds exactly from points, acks
+// without applying if the batch is already in (a retried duplicate), and
+// rejects with NackConflict otherwise. Retry loops built on it are
+// exactly-once even across an owner crash and standby promotion.
+func (c *Client) ObserveAt(id string, from int64, xs, ys []float64) (applied, streamLen int, err error) {
+	return c.observe(0, id, from, xs, ys)
 }
 
 // ForwardObserve is Observe with the forwarded flag set: the receiver serves
 // the request locally even if its ring disagrees about ownership. Only the
-// in-server forwarding proxy should use it.
-func (c *Client) ForwardObserve(id string, xs, ys []float64) (applied, streamLen int, err error) {
-	return c.observe(FlagForwarded, id, xs, ys)
+// in-server forwarding proxy should use it. from carries the original
+// request's expected offset through the hop (-1 for unconditional).
+func (c *Client) ForwardObserve(id string, from int64, xs, ys []float64) (applied, streamLen int, err error) {
+	return c.observe(FlagForwarded, id, from, xs, ys)
 }
 
-func (c *Client) observe(flags uint8, id string, xs, ys []float64) (applied, streamLen int, err error) {
+func (c *Client) observe(flags uint8, id string, from int64, xs, ys []float64) (applied, streamLen int, err error) {
 	if len(xs) != len(ys)*c.Dim {
 		return 0, 0, fmt.Errorf("wire: observe batch %d×%d does not match pool dimension %d", len(ys), len(xs), c.Dim)
 	}
-	_, ch, err := c.send(func(reqID uint64) { AppendObserve(&c.b, reqID, flags, id, c.Dim, xs, ys) })
+	_, ch, err := c.send(func(reqID uint64) { AppendObserve(&c.b, reqID, flags, id, from, c.Dim, xs, ys) })
 	if err != nil {
 		return 0, 0, err
 	}
@@ -349,6 +378,103 @@ func (c *Client) PushSegment(segment []byte, length uint64, ringV uint64, standb
 	}
 	if resp.frame != FrameAck {
 		return fmt.Errorf("wire: segment push answered with %s", resp.frame)
+	}
+	return nil
+}
+
+// awaitTimeout is await with a deadline, for membership probes: a probe that
+// has not answered by the detector's timeout is treated as lost, but the
+// request stays registered so a late response is still drained (and
+// discarded) instead of confusing the dispatch map.
+func (c *Client) awaitTimeout(reqID uint64, ch chan response, d time.Duration) (response, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case resp := <-ch:
+		if resp.frame == 0 || resp.frame == FrameError {
+			c.pmu.Lock()
+			err := c.broken
+			c.pmu.Unlock()
+			if err == nil {
+				err = errors.New("wire: connection closed")
+			}
+			return resp, err
+		}
+		if resp.frame == FrameNack {
+			return resp, &NackError{
+				Code:       resp.nack.Code,
+				RetryAfter: int(resp.nack.RetryAfter),
+				Msg:        resp.nack.Msg,
+			}
+		}
+		return resp, nil
+	case <-t.C:
+		c.pmu.Lock()
+		delete(c.pending, reqID)
+		c.pmu.Unlock()
+		return response{}, fmt.Errorf("wire: request timed out after %s", d)
+	}
+}
+
+// Ping sends a SWIM direct probe carrying the caller's membership table and
+// blocks until the peer's Gossip ack or the timeout. The returned table is
+// the peer's view.
+func (c *Client) Ping(from string, members []Member, timeout time.Duration) (Gossip, error) {
+	reqID, ch, err := c.send(func(reqID uint64) {
+		AppendPing(&c.b, Ping{ReqID: reqID, From: from, Members: members})
+	})
+	if err != nil {
+		return Gossip{}, err
+	}
+	resp, err := c.awaitTimeout(reqID, ch, timeout)
+	if err != nil {
+		return Gossip{}, err
+	}
+	if resp.frame != FrameGossip {
+		return Gossip{}, fmt.Errorf("wire: ping answered with %s", resp.frame)
+	}
+	return resp.gossip, nil
+}
+
+// PingReq asks the peer to probe target on the caller's behalf. The reply's
+// OK flag reports whether target acked the peer's probe within the peer's
+// timeout.
+func (c *Client) PingReq(from, target string, members []Member, timeout time.Duration) (Gossip, error) {
+	reqID, ch, err := c.send(func(reqID uint64) {
+		AppendPingReq(&c.b, PingReq{ReqID: reqID, From: from, Target: target, Members: members})
+	})
+	if err != nil {
+		return Gossip{}, err
+	}
+	resp, err := c.awaitTimeout(reqID, ch, timeout)
+	if err != nil {
+		return Gossip{}, err
+	}
+	if resp.frame != FrameGossip {
+		return Gossip{}, fmt.Errorf("wire: ping-req answered with %s", resp.frame)
+	}
+	return resp.gossip, nil
+}
+
+// Replicate ships one applied batch to a standby peer: stream id, the
+// stream's length before the batch (start), and the rows, to be buffered for
+// promotion replay. Blocks until the standby acks the buffer write.
+func (c *Client) Replicate(id string, start uint64, ringV uint64, xs, ys []float64) error {
+	if len(xs) != len(ys)*c.Dim {
+		return fmt.Errorf("wire: replicate batch %d×%d does not match pool dimension %d", len(ys), len(xs), c.Dim)
+	}
+	_, ch, err := c.send(func(reqID uint64) {
+		AppendReplicate(&c.b, reqID, ringV, id, start, xs, ys)
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := c.await(ch)
+	if err != nil {
+		return err
+	}
+	if resp.frame != FrameAck {
+		return fmt.Errorf("wire: replicate answered with %s", resp.frame)
 	}
 	return nil
 }

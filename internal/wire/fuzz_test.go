@@ -22,10 +22,10 @@ func fuzzSeeds() [][]byte {
 		AppendHelloAck(b, HelloAck{Version: 1, Dim: 8, Horizon: 1 << 20, Mechanism: "gradient"})
 	})
 	add(func(b *Builder) {
-		AppendObserve(b, 1, 0, "s", 4, []float64{1, 2, 3, 4, 5, 6, 7, 8}, []float64{0.5, -0.5})
+		AppendObserve(b, 1, 0, "s", -1, 4, []float64{1, 2, 3, 4, 5, 6, 7, 8}, []float64{0.5, -0.5})
 	})
 	add(func(b *Builder) {
-		AppendObserve(b, 2, 0, "stream-with-a-longer-name", 1, []float64{0.25}, []float64{1})
+		AppendObserve(b, 2, 0, "stream-with-a-longer-name", -1, 1, []float64{0.25}, []float64{1})
 	})
 	add(func(b *Builder) { AppendEstimate(b, 3, 0, "s") })
 	add(func(b *Builder) { AppendAck(b, Ack{ReqID: 4, Applied: 8, Len: 64}) })
@@ -41,7 +41,7 @@ func fuzzSeeds() [][]byte {
 	})
 	// Two frames back to back — the multi-frame stream case.
 	add(func(b *Builder) {
-		AppendObserve(b, 7, FlagForwarded, "a", 2, []float64{1, 2}, []float64{3})
+		AppendObserve(b, 7, FlagForwarded, "a", -1, 2, []float64{1, 2}, []float64{3})
 		AppendEstimate(b, 8, 0, "a")
 	})
 	return seeds
@@ -134,7 +134,7 @@ func parsePayload(t *testing.T, ft FrameType, payload []byte) {
 // the row-count/length arithmetic lives.
 func FuzzObservePayload(f *testing.F) {
 	var b Builder
-	AppendObserve(&b, 9, 0, "seed", 2, []float64{1, 2, 3, 4}, []float64{5, 6})
+	AppendObserve(&b, 9, 0, "seed", -1, 2, []float64{1, 2, 3, 4}, []float64{5, 6})
 	_, payload, _, err := DecodeFrame(b.Bytes())
 	if err != nil {
 		f.Fatal(err)

@@ -55,12 +55,19 @@ const Magic = "PRWB"
 // client's supported range; the server picks the highest version both sides
 // share and echoes it in HelloAck.
 //
+// Version 3 (the membership protocol) added the Ping/PingReq/Gossip frames
+// the SWIM failure detector probes and piggybacks membership state with, the
+// Replicate frame that ships applied batches to warm standbys between
+// segment snapshots, the FlagOffset conditional-ingest extension to Observe
+// (an expected stream offset, making retries exactly-once across an owner
+// crash), and the NackConflict code that rejects a mismatched offset.
+//
 // Version 2 (the cluster protocol) added a flags byte to Observe and
 // Estimate payloads (FlagForwarded), a build-version string to HelloAck, and
 // the Ring/RingAck/SegmentPush frames the cluster layer routes and migrates
-// with. Version 1 peers are not supported — the protocol is repo-internal
-// and both ends ship together.
-const Version = 2
+// with. Older peers are not supported — the protocol is repo-internal and
+// both ends ship together.
+const Version = 3
 
 // MaxFrame bounds the encoded size of a single frame (type + payload). It
 // exists so a corrupt or adversarial length prefix cannot make a reader
@@ -86,6 +93,10 @@ const (
 	FrameRing        FrameType = 9  // client → server: request the current ring
 	FrameRingAck     FrameType = 10 // server → client: versioned ring state (JSON blob)
 	FrameSegmentPush FrameType = 11 // node → node: one stream's segment file (handoff/replication)
+	FramePing        FrameType = 12 // node → node: SWIM direct probe (carries piggybacked membership)
+	FramePingReq     FrameType = 13 // node → node: SWIM indirect probe request (probe target for me)
+	FrameGossip      FrameType = 14 // node → node: membership table; also the ack for Ping/PingReq
+	FrameReplicate   FrameType = 15 // owner → standby: one applied batch, buffered for promotion replay
 )
 
 // Request flags, carried by Observe and Estimate after the request ID.
@@ -95,6 +106,13 @@ const (
 	// owns the stream, which is what keeps a ring-version skew window from
 	// bouncing a request between nodes forever.
 	FlagForwarded uint8 = 1 << 0
+	// FlagOffset marks an Observe that carries an expected stream offset (a
+	// u64 after the flags byte): apply only if the stream currently holds
+	// exactly that many points, ack without applying if the batch is already
+	// in (an exact duplicate of a retried request), and reject with
+	// NackConflict otherwise. This is what makes client retries exactly-once
+	// across an owner crash and standby promotion.
+	FlagOffset uint8 = 1 << 1
 )
 
 func (t FrameType) String() string {
@@ -121,6 +139,14 @@ func (t FrameType) String() string {
 		return "ring-ack"
 	case FrameSegmentPush:
 		return "segment-push"
+	case FramePing:
+		return "ping"
+	case FramePingReq:
+		return "ping-req"
+	case FrameGossip:
+		return "gossip"
+	case FrameReplicate:
+		return "replicate"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -138,6 +164,7 @@ const (
 	NackBadRequest    NackCode = 5 // malformed request (HTTP 400)
 	NackNotOwner      NackCode = 6 // retryable: node neither owns the stream nor could forward it
 	NackImporting     NackCode = 7 // retryable: node is importing handoff segments for this stream's shard
+	NackConflict      NackCode = 8 // conditional observe offset mismatch (HTTP 409); not retryable
 )
 
 func (c NackCode) String() string {
@@ -156,8 +183,48 @@ func (c NackCode) String() string {
 		return "not-owner"
 	case NackImporting:
 		return "importing"
+	case NackConflict:
+		return "conflict"
 	default:
 		return fmt.Sprintf("nack(%d)", uint8(c))
+	}
+}
+
+// Code returns the snake_case machine-readable identifier for the code, the
+// form both transports expose: the HTTP error envelope's "code" field and
+// the wire Nack carry the same taxonomy, one name per Nack constant.
+func (c NackCode) Code() string {
+	switch c {
+	case NackQueueFull:
+		return "queue_full"
+	case NackDraining:
+		return "draining"
+	case NackStreamFull:
+		return "stream_full"
+	case NackUnknownStream:
+		return "unknown_stream"
+	case NackBadRequest:
+		return "bad_request"
+	case NackNotOwner:
+		return "not_owner"
+	case NackImporting:
+		return "importing"
+	case NackConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("nack_%d", uint8(c))
+	}
+}
+
+// Retryable reports whether a request rejected with this code can succeed on
+// retry: queue pressure drains, ring skew converges, and import windows
+// close; the rest are permanent for the same request.
+func (c NackCode) Retryable() bool {
+	switch c {
+	case NackQueueFull, NackNotOwner, NackImporting:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -440,8 +507,11 @@ func ParseHelloAck(payload []byte) (HelloAck, error) {
 // Rows×(Dim+1) float64s.
 type ObserveHeader struct {
 	ReqID uint64
-	// Flags carries request flags (FlagForwarded).
+	// Flags carries request flags (FlagForwarded, FlagOffset).
 	Flags uint8
+	// From is the expected stream offset when FlagOffset is set, -1
+	// otherwise (unconditional apply).
+	From int64
 	// ID aliases the frame buffer (valid until the next read); the server
 	// interns it per connection rather than allocating a string per frame.
 	ID   []byte
@@ -454,11 +524,21 @@ type ObserveHeader struct {
 func (h *ObserveHeader) Forwarded() bool { return h.Flags&FlagForwarded != 0 }
 
 // AppendObserve appends an Observe frame: reqID, flags, stream ID, and rows
-// in row-major order — xs is Rows×dim values, ys is Rows values.
-func AppendObserve(b *Builder, reqID uint64, flags uint8, id string, dim int, xs, ys []float64) {
+// in row-major order — xs is Rows×dim values, ys is Rows values. from is the
+// expected stream offset for conditional ingest, or -1 for unconditional
+// (the FlagOffset bit is set or cleared to match).
+func AppendObserve(b *Builder, reqID uint64, flags uint8, id string, from int64, dim int, xs, ys []float64) {
 	b.Begin(FrameObserve)
 	b.U64(reqID)
+	if from >= 0 {
+		flags |= FlagOffset
+	} else {
+		flags &^= FlagOffset
+	}
 	b.U8(flags)
+	if from >= 0 {
+		b.U64(uint64(from))
+	}
 	b.Str16(id)
 	b.U32(uint32(len(ys)))
 	_ = dim // the frame format derives the row width from the ack'd pool shape
@@ -474,6 +554,14 @@ func ParseObserveHeader(payload []byte, dim int) (ObserveHeader, error) {
 	p := NewPayload(payload)
 	h.ReqID = p.U64()
 	h.Flags = p.U8()
+	h.From = -1
+	if h.Flags&FlagOffset != 0 {
+		from := p.U64()
+		if from > math.MaxInt64 {
+			return h, fmt.Errorf("wire: observe offset %d overflows", from)
+		}
+		h.From = int64(from)
+	}
 	h.ID = p.Bytes16()
 	rows := p.U32()
 	if p.Err() != nil {
@@ -769,4 +857,247 @@ func ParseSegmentPush(payload []byte) (SegmentPush, error) {
 		return sp, fmt.Errorf("wire: segment-push carries no segment data")
 	}
 	return sp, nil
+}
+
+// --- Membership frames ----------------------------------------------------
+//
+// The SWIM failure detector speaks three frames over the same wire port the
+// data path uses. Every probe piggybacks the sender's full membership table
+// and every ack carries the receiver's back, so membership state spreads
+// epidemically with no dedicated gossip timer — the probe schedule IS the
+// gossip schedule. Tables are tiny (a handful of members, ~20 bytes each),
+// so "full table" beats delta bookkeeping at this cluster scale.
+
+// Member is one row of a gossiped membership table: who, what the sender
+// believes about them, and the incarnation that belief is anchored to.
+// States are the detector's (alive/suspect/dead/left); the wire carries them
+// as opaque u8s so the package does not depend on the detector.
+type Member struct {
+	ID          string
+	State       uint8
+	Incarnation uint64
+}
+
+// maxMembers bounds a gossiped table; membership is a per-node cluster
+// roster, not a data plane.
+const maxMembers = 1 << 12
+
+func appendMembers(b *Builder, members []Member) {
+	b.U16(uint16(len(members)))
+	for _, m := range members {
+		b.Str16(m.ID)
+		b.U8(m.State)
+		b.U64(m.Incarnation)
+	}
+}
+
+func parseMembers(p *Payload) ([]Member, error) {
+	n := int(p.U16())
+	if p.Err() != nil {
+		return nil, p.Err()
+	}
+	if n > maxMembers {
+		return nil, fmt.Errorf("wire: gossip table of %d members exceeds bound %d", n, maxMembers)
+	}
+	members := make([]Member, 0, n)
+	for i := 0; i < n; i++ {
+		var m Member
+		m.ID = p.Str16()
+		m.State = p.U8()
+		m.Incarnation = p.U64()
+		if p.Err() != nil {
+			return nil, p.Err()
+		}
+		if m.ID == "" || len(m.ID) > maxIDLen {
+			return nil, fmt.Errorf("wire: gossip member id length %d outside [1,%d]", len(m.ID), maxIDLen)
+		}
+		members = append(members, m)
+	}
+	return members, nil
+}
+
+// Ping is a direct SWIM probe: "are you alive?", plus the sender's
+// membership table. Answered with a Gossip frame (OK=1).
+type Ping struct {
+	ReqID   uint64
+	From    string // sender's node ID
+	Members []Member
+}
+
+// AppendPing appends a Ping frame.
+func AppendPing(b *Builder, pg Ping) {
+	b.Begin(FramePing)
+	b.U64(pg.ReqID)
+	b.Str16(pg.From)
+	appendMembers(b, pg.Members)
+	b.Finish()
+}
+
+// ParsePing decodes a Ping payload.
+func ParsePing(payload []byte) (Ping, error) {
+	var pg Ping
+	p := NewPayload(payload)
+	pg.ReqID = p.U64()
+	pg.From = p.Str16()
+	var err error
+	if pg.Members, err = parseMembers(&p); err != nil {
+		return pg, err
+	}
+	return pg, p.Finish()
+}
+
+// PingReq is an indirect SWIM probe: "probe Target on my behalf". The
+// receiver probes Target itself and answers with a Gossip frame whose OK
+// flag reports whether Target acked — a second, independent network path to
+// the target before the sender escalates to suspicion.
+type PingReq struct {
+	ReqID   uint64
+	From    string // originator's node ID
+	Target  string // node to probe
+	Members []Member
+}
+
+// AppendPingReq appends a PingReq frame.
+func AppendPingReq(b *Builder, pr PingReq) {
+	b.Begin(FramePingReq)
+	b.U64(pr.ReqID)
+	b.Str16(pr.From)
+	b.Str16(pr.Target)
+	appendMembers(b, pr.Members)
+	b.Finish()
+}
+
+// ParsePingReq decodes a PingReq payload.
+func ParsePingReq(payload []byte) (PingReq, error) {
+	var pr PingReq
+	p := NewPayload(payload)
+	pr.ReqID = p.U64()
+	pr.From = p.Str16()
+	pr.Target = p.Str16()
+	var err error
+	if pr.Members, err = parseMembers(&p); err != nil {
+		return pr, err
+	}
+	if err := p.Finish(); err != nil {
+		return pr, err
+	}
+	if pr.Target == "" || len(pr.Target) > maxIDLen {
+		return pr, fmt.Errorf("wire: ping-req target id length %d outside [1,%d]", len(pr.Target), maxIDLen)
+	}
+	return pr, nil
+}
+
+// Gossip is the membership response frame: the receiver's table, plus an OK
+// flag that makes it double as the ack for Ping (always 1) and PingReq (1
+// iff the proxied probe reached the target).
+type Gossip struct {
+	ReqID   uint64
+	OK      bool
+	From    string // responder's node ID
+	Members []Member
+}
+
+// AppendGossip appends a Gossip frame.
+func AppendGossip(b *Builder, g Gossip) {
+	b.Begin(FrameGossip)
+	b.U64(g.ReqID)
+	if g.OK {
+		b.U8(1)
+	} else {
+		b.U8(0)
+	}
+	b.Str16(g.From)
+	appendMembers(b, g.Members)
+	b.Finish()
+}
+
+// ParseGossip decodes a Gossip payload.
+func ParseGossip(payload []byte) (Gossip, error) {
+	var g Gossip
+	p := NewPayload(payload)
+	g.ReqID = p.U64()
+	g.OK = p.U8() != 0
+	g.From = p.Str16()
+	var err error
+	if g.Members, err = parseMembers(&p); err != nil {
+		return g, err
+	}
+	return g, p.Finish()
+}
+
+// Replicate ships one applied batch from a stream's owner to a warm standby,
+// right after the owner applies it and before the client's ack. The standby
+// buffers (Start, rows) pairs per stream and replays them in order on
+// promotion, which is what shrinks the unclean-death data-loss window from
+// one segment-replication interval toward zero. Start is the stream's length
+// before the batch, so a standby can detect (and skip or reject) gaps and
+// duplicates exactly like conditional Observe does. Answered with Ack
+// (buffered) or Nack.
+type Replicate struct {
+	ReqID uint64
+	RingV uint64 // sender's ring version; stale senders are rejected
+	Start uint64 // stream length before this batch
+	ID    []byte // aliases the frame buffer
+	Rows  int
+	rows  []byte
+	dim   int
+}
+
+// AppendReplicate appends a Replicate frame; xs is Rows×dim values
+// (row-major), ys is Rows values.
+func AppendReplicate(b *Builder, reqID, ringV uint64, id string, start uint64, xs, ys []float64) {
+	b.Begin(FrameReplicate)
+	b.U64(reqID)
+	b.U64(ringV)
+	b.U64(start)
+	b.Str16(id)
+	b.U32(uint32(len(ys)))
+	b.F64s(xs)
+	b.F64s(ys)
+	b.Finish()
+}
+
+// ParseReplicate decodes a Replicate payload against the connection's
+// negotiated dimension. The returned value aliases the payload.
+func ParseReplicate(payload []byte, dim int) (Replicate, error) {
+	var r Replicate
+	p := NewPayload(payload)
+	r.ReqID = p.U64()
+	r.RingV = p.U64()
+	r.Start = p.U64()
+	r.ID = p.Bytes16()
+	rows := p.U32()
+	if p.Err() != nil {
+		return r, p.Err()
+	}
+	if len(r.ID) == 0 || len(r.ID) > maxIDLen {
+		return r, fmt.Errorf("wire: replicate stream id length %d outside [1,%d]", len(r.ID), maxIDLen)
+	}
+	if rows == 0 || uint64(rows) > uint64(p.Remaining())/8 {
+		return r, fmt.Errorf("wire: replicate row count %d inconsistent with %d payload bytes", rows, p.Remaining())
+	}
+	r.Rows = int(rows)
+	r.dim = dim
+	want := 8 * r.Rows * (dim + 1)
+	if p.Remaining() != want {
+		return r, fmt.Errorf("wire: replicate frame carries %d row bytes, want %d (%d rows × dim %d + responses)", p.Remaining(), want, r.Rows, dim)
+	}
+	r.rows = p.take(want)
+	return r, p.Finish()
+}
+
+// DecodeRows fills xs (Rows×dim values, row-major) and ys (Rows values) from
+// the frame's bit patterns, exactly like ObserveHeader.DecodeRows.
+func (r *Replicate) DecodeRows(xs, ys []float64) error {
+	if len(xs) != r.Rows*r.dim || len(ys) != r.Rows {
+		return fmt.Errorf("wire: DecodeRows destination %d×%d does not match frame %d×%d", len(ys), len(xs), r.Rows, r.Rows*r.dim)
+	}
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.rows[8*i:]))
+	}
+	off := 8 * len(xs)
+	for i := range ys {
+		ys[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.rows[off+8*i:]))
+	}
+	return nil
 }

@@ -17,7 +17,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	AppendHelloAck(&b, HelloAck{Version: 1, Dim: 8, Horizon: 512, Mechanism: "gradient", Server: "v1.2.3"})
 	xs := []float64{0.5, -0.25, math.Inf(1), math.Copysign(0, -1), 1e-300, 42, -7, 0.125}
 	ys := []float64{0.75, -0.5}
-	AppendObserve(&b, 7, FlagForwarded, "stream-a", 4, xs, ys)
+	AppendObserve(&b, 7, FlagForwarded, "stream-a", -1, 4, xs, ys)
 	AppendEstimate(&b, 8, 0, "stream-a")
 	AppendAck(&b, Ack{ReqID: 7, Applied: 2, Len: 40})
 	AppendEstimateAck(&b, EstimateAck{ReqID: 8, Len: 40, Estimate: []float64{1, -2, 0.5, 0.25}})
@@ -181,7 +181,7 @@ func TestCorruptFrames(t *testing.T) {
 // IDs, dimension mismatches.
 func TestObserveHeaderValidation(t *testing.T) {
 	var b Builder
-	AppendObserve(&b, 1, 0, "s", 4, make([]float64, 8), make([]float64, 2))
+	AppendObserve(&b, 1, 0, "s", -1, 4, make([]float64, 8), make([]float64, 2))
 	_, payload, _, err := DecodeFrame(b.Bytes())
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +206,7 @@ func TestObserveHeaderValidation(t *testing.T) {
 	}
 	// Empty stream ID.
 	var b2 Builder
-	AppendObserve(&b2, 1, 0, "", 4, make([]float64, 4), make([]float64, 1))
+	AppendObserve(&b2, 1, 0, "", -1, 4, make([]float64, 4), make([]float64, 1))
 	_, payload2, _, err := DecodeFrame(b2.Bytes())
 	if err != nil {
 		t.Fatal(err)

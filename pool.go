@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 
 	"privreg/internal/codec"
@@ -36,6 +37,14 @@ type Pool struct {
 	stats    PoolStats // immutable identity fields only (Mechanism, Privacy, …)
 
 	store store.StreamStore
+
+	// standbyMu guards standby: stream IDs held as warm replicas for another
+	// node rather than authoritative local state. The set only gates
+	// bookkeeping (replication skips standbys, promotion flips them) — the
+	// underlying estimator state is identical either way, which is what
+	// makes promotion a metadata flip instead of a data copy.
+	standbyMu sync.Mutex
+	standby   map[string]struct{}
 
 	// restoreMu serializes Restore's install phase against other restores,
 	// so two concurrent monolithic restores cannot interleave installs.
@@ -83,6 +92,9 @@ type PoolStats struct {
 	Evictions int64
 	// FaultIns counts disk→resident restores since the pool was created.
 	FaultIns int64
+	// StandbyStreams is the number of streams held as warm replicas for
+	// other cluster nodes (included in Streams; 0 outside a cluster).
+	StandbyStreams int
 }
 
 // FlushStats describes one incremental checkpoint written by Pool.Flush.
@@ -285,7 +297,54 @@ func (p *Pool) Has(id string) bool {
 // the next Flush); a subsequent Observe under the same ID starts a fresh
 // stream (with the same derived seed).
 func (p *Pool) Drop(id string) bool {
+	p.standbyMu.Lock()
+	delete(p.standby, id)
+	p.standbyMu.Unlock()
 	return p.store.Delete(id)
+}
+
+// MarkStandby records that a stream is held as a warm replica for another
+// node: its state mirrors the owner's but this pool is not authoritative for
+// it. Standby streams are excluded from outbound replication and counted
+// separately in Stats.
+func (p *Pool) MarkStandby(id string) {
+	p.standbyMu.Lock()
+	if p.standby == nil {
+		p.standby = make(map[string]struct{})
+	}
+	p.standby[id] = struct{}{}
+	p.standbyMu.Unlock()
+}
+
+// Promote flips a standby stream to authoritative ownership — the metadata
+// half of standby promotion; the data half is the replication-queue replay
+// the cluster layer runs first. Reports whether the stream was a standby.
+func (p *Pool) Promote(id string) bool {
+	p.standbyMu.Lock()
+	_, ok := p.standby[id]
+	delete(p.standby, id)
+	p.standbyMu.Unlock()
+	return ok
+}
+
+// IsStandby reports whether the stream is held as a warm replica.
+func (p *Pool) IsStandby(id string) bool {
+	p.standbyMu.Lock()
+	_, ok := p.standby[id]
+	p.standbyMu.Unlock()
+	return ok
+}
+
+// StandbyStreams returns the IDs of all standby streams, sorted.
+func (p *Pool) StandbyStreams() []string {
+	p.standbyMu.Lock()
+	out := make([]string, 0, len(p.standby))
+	for id := range p.standby {
+		out = append(out, id)
+	}
+	p.standbyMu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Streams returns the IDs of all live streams (resident and spilled), sorted.
@@ -306,6 +365,9 @@ func (p *Pool) Stats() PoolStats {
 	st.DirtyStreams = ss.Dirty
 	st.Evictions = ss.Evictions
 	st.FaultIns = ss.Faults
+	p.standbyMu.Lock()
+	st.StandbyStreams = len(p.standby)
+	p.standbyMu.Unlock()
 	return st
 }
 

@@ -14,6 +14,9 @@
 #   wire      the same restart contract over the binary wire protocol
 #   cluster   3-node ring: ring-aware ingest, kill one node mid-churn
 #             (graceful leave + live handoff), verify bit-identical
+#   unclean   3-node ring with gossip failure detection: kill -9 one node
+#             mid-wave, survivors converge to ring v+1 and promote warm
+#             standbys with no operator action, verify bit-identical
 #
 #   E2E_PHASES="cluster" ./scripts/e2e_smoke.sh
 set -euo pipefail
@@ -21,7 +24,7 @@ set -euo pipefail
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
-phases="${E2E_PHASES:-restart churn wire cluster}"
+phases="${E2E_PHASES:-restart churn wire cluster unclean}"
 
 bin="$(mktemp -d)"
 tmpdirs=("$bin")
@@ -265,13 +268,82 @@ phase_cluster() {
   echo "e2e cluster OK: kill-mid-churn handoff is bit-identical"
 }
 
+# ---------------------------------------------------------------------------
+# unclean: self-healing. 3 nodes with gossip failure detection (probe 100ms,
+# suspicion 500ms) and replication factor 2, so every applied batch ships to
+# a warm standby before its ack. A member is kill -9ed mid-wave — no drain,
+# no handoff, no goodbye. The survivors' detectors must confirm the death and
+# independently converge on ring v+1, promoting their standby copies and
+# replaying the pre-ack batch queue, with no operator action. The loadgen
+# rides the outage on retries (503/not-owner are retryable) and its
+# conditional offsets make those retries exactly-once, so the final verify
+# must be bit-identical for every stream — including those the dead node
+# owned.
+# ---------------------------------------------------------------------------
+phase_unclean() {
+  local ha="127.0.0.1:18339" wa="127.0.0.1:18340"
+  local hb="127.0.0.1:18341" wb="127.0.0.1:18342"
+  local hc="127.0.0.1:18343" wc_="127.0.0.1:18344"
+  local peers="a=$ha/$wa,b=$hb/$wb,c=$hc/$wc_"
+  local detector_flags=(-replicas 2 -probe-interval 100ms -probe-timeout 50ms
+    -suspicion-timeout 500ms)
+
+  echo "== unclean: booting 3 nodes (ring v1, failure detection on, replicas 2)"
+  start_server uc_a "$ha" -wire-addr "$wa" -node-id a -peers "$peers" "${detector_flags[@]}" "${spec_flags[@]}"
+  start_server uc_b "$hb" -wire-addr "$wb" -node-id b -peers "$peers" "${detector_flags[@]}" "${spec_flags[@]}"
+  start_server uc_c "$hc" -wire-addr "$wc_" -node-id c -peers "$peers" "${detector_flags[@]}" "${spec_flags[@]}"
+
+  for addr in "$ha" "$hb" "$hc"; do
+    curl -fsS "http://$addr/v1/cluster/members" | grep -q '"failure_detection": true'       || { echo "node at $addr does not report failure detection on" >&2; return 1; }
+  done
+
+  echo "== unclean wave 1: ring-aware binary ingest, 48 skewed streams"
+  "$bin/privreg-loadgen" -addr "http://$ha" -cluster -proto binary     -streams 48 -points 12 -batch 4 -skew 1.2
+
+  echo "== unclean wave 2: churn via one entry node, kill -9 node c mid-wave"
+  "$bin/privreg-loadgen" -addr "http://$ha"     -streams 48 -points 12 -from 12 -batch 4 -skew 1.2 -rate 10 &
+  local lg_pid=$!
+  sleep 0.4
+  kill -9 "$pid_uc_c"
+  wait "$pid_uc_c" 2>/dev/null || true
+  local killed_at=$SECONDS
+  wait "$lg_pid" || { echo "loadgen failed across the unclean kill of node c" >&2; return 1; }
+
+  echo "== unclean: survivors must self-heal to ring v2 (no operator action)"
+  # Suspicion is 500ms; allow generous CI slack on top of the wave itself.
+  local deadline=$((killed_at + 20)) healed=0
+  while [ $SECONDS -lt $deadline ]; do
+    if curl -fsS "http://$ha/v1/ring" | grep -q '"version": 2'       && curl -fsS "http://$hb/v1/ring" | grep -q '"version": 2'; then
+      healed=1
+      break
+    fi
+    sleep 0.2
+  done
+  [ "$healed" -eq 1 ] || { echo "survivors never converged on ring v2 after the kill -9" >&2; return 1; }
+  echo "   ring v2 adopted by both survivors $((SECONDS - killed_at))s after the kill"
+  curl -fsS "http://$ha/v1/cluster/members" | grep -Eq '"state": "(dead|left)"'     || { echo "node a's member table does not show c dead/left" >&2; return 1; }
+  curl -fsS "http://$ha/readyz" | grep -q '"members"'     || { echo "readyz does not carry the membership view" >&2; return 1; }
+
+  echo "== unclean wave 3: ingest on the healed ring + bit-identical verify"
+  # The full history [0, 32) per hot stream — including every batch acked by
+  # the dead node, which must have survived via its pre-ack standby copies —
+  # is verified against the shadow pool.
+  "$bin/privreg-loadgen" -addr "http://$ha" -cluster -proto binary     -streams 48 -points 8 -from 24 -batch 4 -skew 1.2
+
+  echo "== graceful shutdown"
+  stop_server "$pid_uc_a"
+  stop_server "$pid_uc_b"
+  echo "e2e unclean OK: kill -9 self-healing is bit-identical"
+}
+
 for phase in $phases; do
   case "$phase" in
     restart) phase_restart ;;
     churn) phase_churn ;;
     wire) phase_wire ;;
     cluster) phase_cluster ;;
-    *) echo "unknown E2E phase: $phase (want restart|churn|wire|cluster)" >&2; exit 2 ;;
+    unclean) phase_unclean ;;
+    *) echo "unknown E2E phase: $phase (want restart|churn|wire|cluster|unclean)" >&2; exit 2 ;;
   esac
 done
 
