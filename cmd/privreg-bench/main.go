@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -128,8 +130,17 @@ func run() int {
 		horizon    = flag.Int("T", 1000, "throughput probe: stream length")
 		dim        = flag.Int("d", 32, "throughput probe: covariate dimension")
 		batch      = flag.Int("batch", 32, "throughput probe: batch size for the batched ingestion pass")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	if *list {
 		fmt.Println("Available experiments:")
@@ -240,6 +251,46 @@ func run() int {
 	}
 	fmt.Printf("total wall time: %s\n", elapsed.Round(time.Millisecond))
 	return 0
+}
+
+// startProfiles arms the optional -cpuprofile / -memprofile outputs and
+// returns the function that finalizes them. The CPU profile samples everything
+// between flag parsing and process exit; the heap profile is a single snapshot
+// taken after a forced GC so it reflects live retained state, not garbage.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "error: close cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error: create mem profile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "error: write mem profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "error: close mem profile:", err)
+			}
+		}
+	}, nil
 }
 
 // runThroughputProbe is the -mechanism CLI entry: run one probe and print it

@@ -1,0 +1,24 @@
+package constraint
+
+import "privreg/internal/vec"
+
+// InplaceProjector is an optional capability interface: sets that can project
+// a vector onto themselves in place let hot loops (the private batch solvers,
+// which project once per iteration) avoid one allocation per projection. An
+// implementation must produce a result bitwise identical to Project on the
+// same input. Callers fall back to Project when the capability is absent.
+type InplaceProjector interface {
+	// ProjectInPlace replaces x with its Euclidean projection onto the set.
+	ProjectInPlace(x vec.Vector)
+}
+
+// ProjectInPlace implements InplaceProjector with the same operations as
+// L2Ball.Project (norm test, conditional rescale), minus the clone.
+func (b *L2Ball) ProjectInPlace(x vec.Vector) {
+	checkDim("L2Ball", b.d, x)
+	if n := vec.Norm2(x); n > b.r {
+		x.Scale(b.r / n)
+	}
+}
+
+var _ InplaceProjector = (*L2Ball)(nil)

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"privreg/internal/constraint"
+	"privreg/internal/erm"
+	"privreg/internal/loss"
+	"privreg/internal/randx"
+	"privreg/internal/vec"
+)
+
+// Allocation-regression guards for the amortized slow-path mechanisms. On the
+// quadratic sufficient-statistics path, Observe folds a point through a
+// reused clamp buffer into preallocated moment statistics (zero allocations),
+// ObserveBatch is the same loop, and a non-boundary Estimate only clones the
+// memoized vector. A failure here means a scratch buffer stopped being reused
+// or the fold path regressed to per-point cloning.
+
+func allocMech(t testing.TB, naive bool) (Estimator, func() loss.Point) {
+	t.Helper()
+	const d = 16
+	cons := constraint.NewL2Ball(d, 1)
+	driver := randx.NewSource(91)
+	var mech Estimator
+	var err error
+	if naive {
+		mech, err = NewNaiveRecompute(loss.Squared{}, cons, privacy(), 1<<20, randx.NewSource(4),
+			NaiveOptions{Batch: erm.PrivateBatchOptions{Iterations: 8}})
+	} else {
+		mech, err = NewGenericERM(loss.Squared{}, cons, privacy(), 1<<20, randx.NewSource(4),
+			GenericOptions{Tau: 64, Batch: erm.PrivateBatchOptions{Iterations: 8}})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := func() loss.Point {
+		return loss.Point{X: vec.Vector(driver.NormalVector(d, 0.3)), Y: driver.Normal(0, 0.5)}
+	}
+	return mech, next
+}
+
+func TestSlowPathObserveAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		naive bool
+	}{{"generic-erm", false}, {"naive-recompute", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			mech, next := allocMech(t, tc.naive)
+			p := next()
+			run := func() {
+				if err := mech.Observe(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm up lazy buffers
+			// The quadratic fold path allocates nothing: clamp into the reused
+			// buffer, rank-one update into the packed triangle. The budget of 1
+			// covers boundary snapshots (a pending stats copy is in-place, but
+			// leaves headroom for runtime drift).
+			const budget = 1
+			if allocs := testing.AllocsPerRun(200, run); allocs > budget {
+				t.Fatalf("Observe allocates %.1f times per point, budget %d", allocs, budget)
+			}
+		})
+	}
+}
+
+func TestSlowPathObserveBatchAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		naive bool
+	}{{"generic-erm", false}, {"naive-recompute", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			mech, next := allocMech(t, tc.naive)
+			batch := make([]loss.Point, 32)
+			for i := range batch {
+				batch[i] = next()
+			}
+			run := func() {
+				if err := mech.ObserveBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run()
+			// Whole-batch budget, not per point: the fold loop itself is
+			// allocation-free.
+			const budget = 2
+			if allocs := testing.AllocsPerRun(100, run); allocs > budget {
+				t.Fatalf("ObserveBatch(32) allocates %.1f times per batch, budget %d", allocs, budget)
+			}
+		})
+	}
+}
+
+func TestSlowPathEstimateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		naive bool
+	}{{"generic-erm", false}, {"naive-recompute", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			mech, next := allocMech(t, tc.naive)
+			for i := 0; i < 10; i++ {
+				if err := mech.Observe(next()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := mech.Estimate(); err != nil { // settle any pending solve
+				t.Fatal(err)
+			}
+			run := func() {
+				if _, err := mech.Estimate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// A settled Estimate is one memo clone.
+			const budget = 1
+			if allocs := testing.AllocsPerRun(200, run); allocs > budget {
+				t.Fatalf("settled Estimate allocates %.1f times, budget %d", allocs, budget)
+			}
+		})
+	}
+}

@@ -16,10 +16,11 @@
 //
 // Every mechanism satisfies the Estimator interface: feed the stream one point
 // at a time with Observe and read the current private parameter estimate with
-// Estimate. Estimates are computed lazily — all per-timestep private state is
-// maintained eagerly inside Observe, while Estimate only post-processes that
-// state, so calling it (or not calling it) at any subset of timesteps does not
-// change the privacy guarantee.
+// Estimate. Estimates are computed lazily — per-timestep private state is
+// maintained inside Observe, while any private solve Estimate triggers is a
+// pure function of that state and a counter-derived noise key, so calling it
+// (or not calling it) at any subset of timesteps neither changes the privacy
+// guarantee nor the value any particular estimate takes.
 package core
 
 import (
@@ -194,25 +195,58 @@ func (n *NonPrivateIncremental) Gradient(theta vec.Vector) vec.Vector {
 }
 
 // NaiveRecompute is the naive private mechanism discussed in Section 1: it
-// re-runs a private batch ERM algorithm on the full history at every timestep,
+// re-solves a private batch ERM problem on the full prefix at every timestep,
 // splitting the (ε, δ) budget across all T invocations with advanced
 // composition. Its excess risk therefore carries an extra ≈ √T factor relative
 // to the batch bound, which experiment E5 demonstrates against GenericERM.
+//
+// Like GenericERM, the implementation amortizes: a quadratic loss is folded
+// into O(d²) sufficient statistics instead of a retained history, and the
+// per-timestep solve is deferred behind a dirty flag until the next Estimate.
+// The solve for timestep t is keyed by invocation index t, so its output is a
+// pure function of the prefix — identical whether it runs inside Observe, at
+// a later Estimate, or never (when a newer point supersedes it unread).
 type NaiveRecompute struct {
 	f        loss.Function
 	c        constraint.Set
 	privacy  dp.Params
 	perStep  dp.Params
 	horizon  int
-	history  []loss.Point
-	src      *randx.Source
 	batchOpt erm.PrivateBatchOptions
-	current  vec.Vector
+	key      int64
+	solver   *erm.Solver
+
+	t       int
+	dirty   bool
+	current vec.Vector
+
+	// Quadratic sufficient-statistics path.
+	quad  bool
+	stats *erm.QuadraticStats
+	xbuf  vec.Vector
+
+	// History fallback path.
+	historyCap int
+	history    []loss.Point
+	ring       *pointRing
+	scratch    []loss.Point
+}
+
+// NaiveOptions configures NaiveRecompute.
+type NaiveOptions struct {
+	// Batch configures the private batch ERM solver run at each timestep.
+	Batch erm.PrivateBatchOptions
+	// HistoryCap bounds the retained history for losses without quadratic
+	// sufficient statistics, exactly as GenericOptions.HistoryCap: positive
+	// keeps a ring of the most recent points and solves over that window;
+	// zero or negative retains the full history. Quadratic losses ignore it.
+	HistoryCap int
 }
 
 // NewNaiveRecompute returns the naive recompute-every-step mechanism with
-// stream horizon T.
-func NewNaiveRecompute(f loss.Function, c constraint.Set, p dp.Params, horizon int, src *randx.Source, opts erm.PrivateBatchOptions) (*NaiveRecompute, error) {
+// stream horizon T. The source seeds the mechanism's noise key (derived once;
+// the source is not retained).
+func NewNaiveRecompute(f loss.Function, c constraint.Set, p dp.Params, horizon int, src *randx.Source, opts NaiveOptions) (*NaiveRecompute, error) {
 	if f == nil || c == nil {
 		return nil, errors.New("core: nil loss or constraint set")
 	}
@@ -229,41 +263,60 @@ func NewNaiveRecompute(f loss.Function, c constraint.Set, p dp.Params, horizon i
 	if err != nil {
 		return nil, err
 	}
-	return &NaiveRecompute{
+	d := c.Dim()
+	nr := &NaiveRecompute{
 		f:        f,
 		c:        c,
 		privacy:  p,
 		perStep:  perStep,
 		horizon:  horizon,
-		src:      src,
-		batchOpt: opts,
-		current:  c.Project(vec.NewVector(c.Dim())),
-	}, nil
+		batchOpt: opts.Batch,
+		key:      src.DeriveKey(),
+		solver:   erm.NewSolver(c),
+		current:  c.Project(vec.NewVector(d)),
+	}
+	if _, _, ok := loss.AsQuadratic(f); ok {
+		nr.quad = true
+		nr.stats = erm.NewQuadraticStats(d)
+		nr.xbuf = vec.NewVector(d)
+	} else if opts.HistoryCap > 0 {
+		nr.historyCap = opts.HistoryCap
+		nr.ring = newPointRing(opts.HistoryCap, d)
+		nr.scratch = make([]loss.Point, 0, opts.HistoryCap)
+	}
+	return nr, nil
 }
 
 // Name implements Estimator.
 func (nr *NaiveRecompute) Name() string { return "naive-recompute" }
 
-// Observe implements Estimator: append to the history and immediately re-solve
-// privately with the per-step budget.
+// Observe implements Estimator: fold (or append) the clamped point and mark
+// the estimate dirty. The solve itself is deferred to the next Estimate —
+// because it is keyed by the timestep index, the deferred solve produces
+// exactly what an immediate one would, and solves for timesteps whose
+// estimate is never read are skipped outright.
 func (nr *NaiveRecompute) Observe(p loss.Point) error {
-	if len(nr.history) >= nr.horizon {
+	if nr.t >= nr.horizon {
 		return ErrStreamFull
 	}
-	nr.history = append(nr.history, clampPoint(p))
-	theta, err := erm.PrivateBatch(nr.f, nr.c, nr.history, nr.perStep, nr.src, nr.batchOpt)
-	if err != nil {
-		return err
+	nr.t++
+	switch {
+	case nr.quad:
+		y := clampInto(nr.xbuf, p.X, p.Y)
+		nr.stats.Add(nr.xbuf, y)
+	case nr.ring != nil:
+		nr.ring.push(p)
+	default:
+		nr.history = append(nr.history, clampPoint(p))
 	}
-	nr.current = theta
+	nr.dirty = true
 	return nil
 }
 
-// ObserveBatch implements Estimator: the naive mechanism re-solves at every
-// timestep by definition, so a batch is exactly a scalar loop; only the
-// horizon check is hoisted so an oversized batch is rejected whole.
+// ObserveBatch implements Estimator; the horizon check is hoisted so an
+// oversized batch is rejected whole.
 func (nr *NaiveRecompute) ObserveBatch(ps []loss.Point) error {
-	if len(nr.history)+len(ps) > nr.horizon {
+	if nr.t+len(ps) > nr.horizon {
 		return ErrStreamFull
 	}
 	for _, p := range ps {
@@ -274,11 +327,47 @@ func (nr *NaiveRecompute) ObserveBatch(ps []loss.Point) error {
 	return nil
 }
 
-// Estimate implements Estimator.
-func (nr *NaiveRecompute) Estimate() (vec.Vector, error) { return nr.current.Clone(), nil }
+// Estimate implements Estimator: when dirty, the per-step solve runs over the
+// current prefix (statistics, window, or history) with invocation index t and
+// the result is memoized until the next Observe.
+func (nr *NaiveRecompute) Estimate() (vec.Vector, error) {
+	if nr.dirty {
+		var theta vec.Vector
+		var err error
+		switch {
+		case nr.quad:
+			theta, err = nr.solver.SolveStats(nr.f, nr.stats, nr.perStep, nr.key, uint64(nr.t), nr.batchOpt)
+		case nr.ring != nil:
+			nr.scratch = nr.ring.appendTo(nr.scratch[:0])
+			theta, err = nr.solver.SolveHistory(nr.f, nr.scratch, nr.perStep, nr.key, uint64(nr.t), nr.batchOpt)
+		default:
+			theta, err = nr.solver.SolveHistory(nr.f, nr.history, nr.perStep, nr.key, uint64(nr.t), nr.batchOpt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		nr.current = theta
+		nr.dirty = false
+	}
+	return nr.current.Clone(), nil
+}
 
 // Len implements Estimator.
-func (nr *NaiveRecompute) Len() int { return len(nr.history) }
+func (nr *NaiveRecompute) Len() int { return nr.t }
 
 // Privacy implements Estimator.
 func (nr *NaiveRecompute) Privacy() dp.Params { return nr.privacy }
+
+// StateBytes reports the retained per-stream memory, as GenericERM.StateBytes.
+func (nr *NaiveRecompute) StateBytes() int {
+	b := 8 * len(nr.current)
+	switch {
+	case nr.quad:
+		b += nr.stats.Bytes()
+	case nr.ring != nil:
+		b += nr.ring.bytes()
+	default:
+		b += pointsBytes(nr.history)
+	}
+	return b
+}

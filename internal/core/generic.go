@@ -15,12 +15,35 @@ import (
 
 // GenericERM is Mechanism PRIVINCERM (Section 3): the generic transformation of
 // a private batch ERM algorithm into a private incremental one. The batch
-// algorithm is invoked only every τ timesteps on the full history observed so
-// far, with the per-invocation privacy budget derived from the total (ε, δ)
-// budget by advanced composition over the T/τ invocations (the exact split used
-// in the proof of Theorem 3.1). Between invocations the previous estimate is
+// algorithm is invoked only every τ timesteps on the prefix observed so far,
+// with the per-invocation privacy budget derived from the total (ε, δ) budget
+// by advanced composition over the T/τ invocations (the exact split used in
+// the proof of Theorem 3.1). Between invocations the previous estimate is
 // replayed, trading a staleness term of at most τ·L·‖C‖ against the reduced
 // privacy noise.
+//
+// The implementation amortizes the mechanism in two orthogonal ways:
+//
+//   - Sufficient statistics. When the loss satisfies loss.AsQuadratic (squared
+//     loss, optionally ridge-regularized), the history is never retained:
+//     Observe folds each clamped point into O(d²) moment statistics
+//     (erm.QuadraticStats) with a rank-one update, and each τ-boundary solve
+//     runs over the statistics in O(d²·iterations) — independent of the
+//     stream length. Checkpoints are O(d²) too.
+//   - Lazy boundary solves. A solve scheduled at a τ boundary is deferred to
+//     the next Estimate. The solve noise is counter-keyed (a pure function of
+//     the mechanism key, the invocation index k = t/τ, and the iteration), so
+//     deferral — or outright skipping, when a later boundary supersedes an
+//     unread one — produces the exact estimate sequence eager execution
+//     would. Privacy is unaffected: the adversary observes at most the same
+//     set of solve outputs, each computed on the same prefix with the same
+//     per-call budget.
+//
+// Non-quadratic losses fall back to retained history. Unbounded by default;
+// GenericOptions.HistoryCap bounds retention with a ring buffer over the most
+// recent points, in which case each boundary solve runs eagerly over the
+// window (deferring would let the points it must see get evicted) and
+// approximates the full-prefix solve by a sliding-window solve.
 type GenericERM struct {
 	f       loss.Function
 	c       constraint.Set
@@ -30,10 +53,26 @@ type GenericERM struct {
 	tau     int
 
 	batchOpts erm.PrivateBatchOptions
-	src       *randx.Source
+	key       int64
+	solver    *erm.Solver
 
-	history []loss.Point
+	t       int
 	current vec.Vector
+
+	// Quadratic sufficient-statistics path.
+	quad    bool
+	stats   *erm.QuadraticStats
+	pend    *erm.QuadraticStats
+	pendSet bool
+	pendInv uint64
+	xbuf    vec.Vector
+
+	// History fallback path.
+	historyCap int
+	history    []loss.Point
+	ring       *pointRing
+	scratch    []loss.Point
+	pendN      int
 }
 
 // GenericOptions configures GenericERM.
@@ -43,6 +82,13 @@ type GenericOptions struct {
 	Tau int
 	// Batch configures the private batch ERM black box.
 	Batch erm.PrivateBatchOptions
+	// HistoryCap bounds the retained history for losses without quadratic
+	// sufficient statistics: when positive, only the most recent HistoryCap
+	// clamped points are kept in a ring buffer and each τ-boundary solve runs
+	// over that window instead of the full prefix. Zero or negative retains
+	// the full history. Quadratic losses ignore the cap — they retain O(d²)
+	// statistics and no history at all.
+	HistoryCap int
 }
 
 // TauConvex returns the recomputation period τ = ⌈(Td)^{1/3} / ε^{2/3}⌉ used by
@@ -96,7 +142,9 @@ func TauForLoss(f loss.Function, c constraint.Set, horizon int, p dp.Params) int
 }
 
 // NewGenericERM returns Mechanism PRIVINCERM for the given loss, constraint
-// set, total privacy budget and stream horizon T.
+// set, total privacy budget and stream horizon T. The source seeds the
+// mechanism's noise key (derived once at construction; the source itself is
+// not retained).
 func NewGenericERM(f loss.Function, c constraint.Set, p dp.Params, horizon int, src *randx.Source, opts GenericOptions) (*GenericERM, error) {
 	if f == nil || c == nil {
 		return nil, errors.New("core: nil loss or constraint set")
@@ -123,7 +171,8 @@ func NewGenericERM(f loss.Function, c constraint.Set, p dp.Params, horizon int, 
 	if err != nil {
 		return nil, err
 	}
-	return &GenericERM{
+	d := c.Dim()
+	g := &GenericERM{
 		f:         f,
 		c:         c,
 		privacy:   p,
@@ -131,9 +180,21 @@ func NewGenericERM(f loss.Function, c constraint.Set, p dp.Params, horizon int, 
 		horizon:   horizon,
 		tau:       tau,
 		batchOpts: opts.Batch,
-		src:       src,
-		current:   c.Project(vec.NewVector(c.Dim())),
-	}, nil
+		key:       src.DeriveKey(),
+		solver:    erm.NewSolver(c),
+		current:   c.Project(vec.NewVector(d)),
+	}
+	if _, _, ok := loss.AsQuadratic(f); ok {
+		g.quad = true
+		g.stats = erm.NewQuadraticStats(d)
+		g.pend = erm.NewQuadraticStats(d)
+		g.xbuf = vec.NewVector(d)
+	} else if opts.HistoryCap > 0 {
+		g.historyCap = opts.HistoryCap
+		g.ring = newPointRing(opts.HistoryCap, d)
+		g.scratch = make([]loss.Point, 0, opts.HistoryCap)
+	}
+	return g, nil
 }
 
 // Name implements Estimator.
@@ -145,33 +206,54 @@ func (g *GenericERM) Tau() int { return g.tau }
 // PerCallPrivacy returns the per-invocation budget handed to the batch solver.
 func (g *GenericERM) PerCallPrivacy() dp.Params { return g.perCall }
 
-// Observe implements Estimator. On timesteps that are multiples of τ the
-// private batch ERM black box is re-run on the full history with the per-call
-// budget; on all other timesteps the previous output is retained.
+// Observe implements Estimator. On the quadratic path the point is folded into
+// the sufficient statistics in O(d²) with no allocation; a τ boundary snapshots
+// the statistics and defers the solve to the next Estimate (a later boundary
+// overwrites an unread snapshot, which skips the superseded solve entirely).
+// On the history fallback the point is appended (or pushed into the ring), and
+// a boundary either schedules a lazy prefix solve (uncapped) or solves the
+// window eagerly (capped, since deferral would let window points get evicted).
 func (g *GenericERM) Observe(p loss.Point) error {
-	if len(g.history) >= g.horizon {
+	if g.t >= g.horizon {
 		return ErrStreamFull
 	}
-	g.history = append(g.history, clampPoint(p))
-	t := len(g.history)
-	if t%g.tau != 0 {
-		return nil
+	g.t++
+	switch {
+	case g.quad:
+		y := clampInto(g.xbuf, p.X, p.Y)
+		g.stats.Add(g.xbuf, y)
+		if g.t%g.tau == 0 {
+			g.pend.CopyFrom(g.stats)
+			g.pendInv = uint64(g.t / g.tau)
+			g.pendSet = true
+		}
+	case g.ring != nil:
+		g.ring.push(p)
+		if g.t%g.tau == 0 {
+			g.scratch = g.ring.appendTo(g.scratch[:0])
+			theta, err := g.solver.SolveHistory(g.f, g.scratch, g.perCall, g.key, uint64(g.t/g.tau), g.batchOpts)
+			if err != nil {
+				return err
+			}
+			g.current = theta
+		}
+	default:
+		g.history = append(g.history, clampPoint(p))
+		if g.t%g.tau == 0 {
+			g.pendN = g.t
+			g.pendInv = uint64(g.t / g.tau)
+			g.pendSet = true
+		}
 	}
-	theta, err := erm.PrivateBatch(g.f, g.c, g.history, g.perCall, g.src, g.batchOpts)
-	if err != nil {
-		return err
-	}
-	g.current = theta
 	return nil
 }
 
 // ObserveBatch implements Estimator. The horizon check is hoisted so an
 // oversized batch is rejected whole; each τ-boundary inside the batch still
-// triggers its private batch solve, exactly as a scalar Observe loop would
-// (skipping intermediate solves would change both the published sequence and
-// the randomness stream).
+// schedules (or, on the capped fallback, runs) its solve exactly as a scalar
+// Observe loop would.
 func (g *GenericERM) ObserveBatch(ps []loss.Point) error {
-	if len(g.history)+len(ps) > g.horizon {
+	if g.t+len(ps) > g.horizon {
 		return ErrStreamFull
 	}
 	for _, p := range ps {
@@ -182,14 +264,104 @@ func (g *GenericERM) ObserveBatch(ps []loss.Point) error {
 	return nil
 }
 
-// Estimate implements Estimator.
-func (g *GenericERM) Estimate() (vec.Vector, error) { return g.current.Clone(), nil }
+// Estimate implements Estimator: it runs the deferred boundary solve, if one
+// is pending, and returns the resulting estimate. Because the solve noise is
+// keyed by (mechanism key, invocation index), the result is bit-identical to
+// what an eager solve at the boundary would have produced, regardless of how
+// many timesteps passed in between or how many earlier snapshots were
+// superseded unread.
+func (g *GenericERM) Estimate() (vec.Vector, error) {
+	if g.pendSet {
+		var theta vec.Vector
+		var err error
+		if g.quad {
+			theta, err = g.solver.SolveStats(g.f, g.pend, g.perCall, g.key, g.pendInv, g.batchOpts)
+		} else {
+			theta, err = g.solver.SolveHistory(g.f, g.history[:g.pendN], g.perCall, g.key, g.pendInv, g.batchOpts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		g.current = theta
+		g.pendSet = false
+	}
+	return g.current.Clone(), nil
+}
 
 // Len implements Estimator.
-func (g *GenericERM) Len() int { return len(g.history) }
+func (g *GenericERM) Len() int { return g.t }
 
 // Privacy implements Estimator.
 func (g *GenericERM) Privacy() dp.Params { return g.privacy }
+
+// StateBytes reports the retained per-stream memory of the mechanism: the
+// sufficient statistics (both live and snapshot) on the quadratic path, or the
+// retained history buffers on the fallback path, plus the current estimate.
+// The serving pool surfaces the aggregate in PoolStats.
+func (g *GenericERM) StateBytes() int {
+	b := 8 * len(g.current)
+	switch {
+	case g.quad:
+		b += g.stats.Bytes() + g.pend.Bytes()
+	case g.ring != nil:
+		b += g.ring.bytes()
+	default:
+		b += pointsBytes(g.history)
+	}
+	return b
+}
+
+// pointsBytes approximates the retained memory of a clamped-point slice: one
+// d-vector and one response per point.
+func pointsBytes(pts []loss.Point) int {
+	if len(pts) == 0 {
+		return 0
+	}
+	return len(pts) * (8*len(pts[0].X) + 8)
+}
+
+// pointRing is a fixed-capacity ring of clamped points. Slot vectors are
+// allocated once and reused, so pushing is allocation-free.
+type pointRing struct {
+	slots []loss.Point
+	start int
+	n     int
+}
+
+func newPointRing(capacity, dim int) *pointRing {
+	r := &pointRing{slots: make([]loss.Point, capacity)}
+	for i := range r.slots {
+		r.slots[i].X = vec.NewVector(dim)
+	}
+	return r
+}
+
+// push clamps p into the next slot, evicting the oldest point when full.
+func (r *pointRing) push(p loss.Point) {
+	var slot *loss.Point
+	if r.n < len(r.slots) {
+		slot = &r.slots[(r.start+r.n)%len(r.slots)]
+		r.n++
+	} else {
+		slot = &r.slots[r.start]
+		r.start = (r.start + 1) % len(r.slots)
+	}
+	slot.Y = clampInto(slot.X, p.X, p.Y)
+}
+
+// appendTo appends the window oldest→newest to dst and returns it. The
+// returned points alias the ring slots; they are valid until the next push.
+func (r *pointRing) appendTo(dst []loss.Point) []loss.Point {
+	for i := 0; i < r.n; i++ {
+		dst = append(dst, r.slots[(r.start+i)%len(r.slots)])
+	}
+	return dst
+}
+
+func (r *pointRing) len() int { return r.n }
+
+// bytes reports the allocated slot memory.
+func (r *pointRing) bytes() int { return pointsBytes(r.slots) }
 
 // ExcessRiskBoundConvex returns the leading term of the Theorem 3.1 part 1
 // excess-risk bound (Td)^{1/3}·L‖C‖·log^{5/2}(1/δ)/ε^{2/3}, capped at the

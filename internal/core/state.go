@@ -6,7 +6,6 @@ import (
 
 	"privreg/internal/codec"
 	"privreg/internal/loss"
-	"privreg/internal/randx"
 	"privreg/internal/sketch"
 	"privreg/internal/vec"
 )
@@ -31,15 +30,14 @@ import (
 // version byte rather than misparsed.
 const coreStateVersion = 2
 
-func writeSourceState(w *codec.Writer, src *randx.Source) {
-	st := src.State()
-	w.I64(st.Seed)
-	w.U64(st.Draws)
-}
-
-func readSourceState(r *codec.Reader) randx.State {
-	return randx.State{Seed: r.I64(), Draws: r.U64()}
-}
+// slowStateVersion is the checkpoint format version of the two slow-path
+// mechanisms (GenericERM, NaiveRecompute). Version 3 is the amortized-engine
+// format: a mode byte selects between O(d²) sufficient statistics and
+// retained history, the sequential randomness position is replaced by the
+// mechanism's noise key, and any deferred boundary solve travels as a pending
+// snapshot. Version-2 blobs (full history + source position) are rejected at
+// the version byte rather than misparsed.
+const slowStateVersion = 3
 
 func writeHistory(w *codec.Writer, history []loss.Point) {
 	w.Int(len(history))
@@ -130,89 +128,263 @@ func (n *NonPrivateIncremental) UnmarshalBinary(data []byte) error {
 
 // --- NaiveRecompute ---
 
-// MarshalBinary implements Estimator: the clamped history, the current
-// estimate, and the randomness position.
+// MarshalBinary implements Estimator: the noise key, the observation count,
+// the dirty flag, the memoized estimate, and the prefix representation — an
+// O(d²) statistics blob on the quadratic path, the window on the capped
+// fallback, or the full clamped history otherwise.
 func (nr *NaiveRecompute) MarshalBinary() ([]byte, error) {
 	var w codec.Writer
-	w.Version(coreStateVersion)
+	w.Version(slowStateVersion)
 	w.String(nr.Name())
 	w.Int(nr.c.Dim())
 	w.Int(nr.horizon)
-	writeHistory(&w, nr.history)
+	w.Int(nr.historyCap)
+	w.Bool(nr.quad)
+	w.I64(nr.key)
+	w.Int(nr.t)
+	w.Bool(nr.dirty)
 	w.F64s(nr.current)
-	writeSourceState(&w, nr.src)
+	switch {
+	case nr.quad:
+		blob, err := nr.stats.MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		w.Blob(blob)
+	case nr.ring != nil:
+		writeHistory(&w, nr.ring.appendTo(nil))
+	default:
+		writeHistory(&w, nr.history)
+	}
 	return w.Bytes(), nil
 }
 
-// UnmarshalBinary implements Estimator.
+// UnmarshalBinary implements Estimator. The noise key is restored from the
+// checkpoint (like the sketch spec of ProjectedRegression), so a mechanism
+// restored under a different seed still continues bit-identically.
 func (nr *NaiveRecompute) UnmarshalBinary(data []byte) error {
 	r := codec.NewReader(data)
-	r.Version(coreStateVersion)
+	r.Version(slowStateVersion)
 	r.ExpectString("mechanism", nr.Name())
 	r.ExpectInt("dimension", nr.c.Dim())
 	r.ExpectInt("horizon", nr.horizon)
-	history := readHistory(r, nr.c.Dim(), nr.horizon)
+	r.ExpectInt("history cap", nr.historyCap)
+	quad := r.Bool()
+	key := r.I64()
+	t := r.Int()
+	dirty := r.Bool()
 	current := r.F64s()
-	st := readSourceState(r)
-	if err := r.Finish(); err != nil {
-		return err
+	if r.Err() == nil && quad != nr.quad {
+		return errors.New("core: checkpoint storage mode does not match the configured loss")
 	}
-	if len(current) != nr.c.Dim() {
-		return errors.New("core: corrupt checkpoint estimate")
+	switch {
+	case nr.quad:
+		blob := r.Blob()
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		if t < 0 || t > nr.horizon || len(current) != nr.c.Dim() {
+			return errors.New("core: corrupt checkpoint")
+		}
+		if err := nr.stats.UnmarshalState(blob); err != nil {
+			return err
+		}
+		if nr.stats.Len() != t {
+			return errors.New("core: checkpoint statistics count disagrees with timestep")
+		}
+		nr.key = key
+		nr.t = t
+		nr.dirty = dirty
+		nr.current = vec.Vector(current)
+		return nil
+	case nr.ring != nil:
+		window := readHistory(r, nr.c.Dim(), nr.historyCap)
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		if t < 0 || t > nr.horizon || len(current) != nr.c.Dim() || len(window) != minInt(t, nr.historyCap) {
+			return errors.New("core: corrupt checkpoint")
+		}
+		ring := newPointRing(nr.historyCap, nr.c.Dim())
+		for _, p := range window {
+			ring.push(p)
+		}
+		nr.ring = ring
+		nr.key = key
+		nr.t = t
+		nr.dirty = dirty
+		nr.current = vec.Vector(current)
+		return nil
+	default:
+		history := readHistory(r, nr.c.Dim(), nr.horizon)
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		if t < 0 || t > nr.horizon || len(current) != nr.c.Dim() || len(history) != t {
+			return errors.New("core: corrupt checkpoint")
+		}
+		nr.history = history
+		nr.key = key
+		nr.t = t
+		nr.dirty = dirty
+		nr.current = vec.Vector(current)
+		return nil
 	}
-	src, err := randx.NewSourceAt(st)
-	if err != nil {
-		return err
-	}
-	nr.history = history
-	nr.current = vec.Vector(current)
-	nr.src = src
-	return nil
 }
 
 // --- GenericERM ---
 
-// MarshalBinary implements Estimator: the clamped history, the replayed
-// estimate, and the randomness position. τ and the per-call budget are
-// re-derived at construction and verified.
+// MarshalBinary implements Estimator: the noise key, the observation count,
+// the memoized estimate, the prefix representation (O(d²) statistics blob,
+// window, or full history), and — when a τ-boundary solve is deferred — the
+// pending snapshot it must run on. Serializing the snapshot instead of
+// resolving it keeps Marshal read-only; the restored mechanism runs the solve
+// at its next Estimate with the same key and invocation index, producing the
+// bits the uninterrupted run would.
 func (g *GenericERM) MarshalBinary() ([]byte, error) {
 	var w codec.Writer
-	w.Version(coreStateVersion)
+	w.Version(slowStateVersion)
 	w.String(g.Name())
 	w.Int(g.c.Dim())
 	w.Int(g.horizon)
 	w.Int(g.tau)
-	writeHistory(&w, g.history)
+	w.Int(g.historyCap)
+	w.Bool(g.quad)
+	w.I64(g.key)
+	w.Int(g.t)
 	w.F64s(g.current)
-	writeSourceState(&w, g.src)
+	switch {
+	case g.quad:
+		blob, err := g.stats.MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		w.Blob(blob)
+		w.Bool(g.pendSet)
+		if g.pendSet {
+			w.U64(g.pendInv)
+			pb, err := g.pend.MarshalState()
+			if err != nil {
+				return nil, err
+			}
+			w.Blob(pb)
+		}
+	case g.ring != nil:
+		writeHistory(&w, g.ring.appendTo(nil))
+	default:
+		writeHistory(&w, g.history)
+		w.Bool(g.pendSet)
+		if g.pendSet {
+			w.Int(g.pendN)
+			w.U64(g.pendInv)
+		}
+	}
 	return w.Bytes(), nil
 }
 
-// UnmarshalBinary implements Estimator.
+// UnmarshalBinary implements Estimator. As with NaiveRecompute, the noise key
+// travels in the checkpoint so restore under a different seed still continues
+// bit-identically.
 func (g *GenericERM) UnmarshalBinary(data []byte) error {
 	r := codec.NewReader(data)
-	r.Version(coreStateVersion)
+	r.Version(slowStateVersion)
 	r.ExpectString("mechanism", g.Name())
 	r.ExpectInt("dimension", g.c.Dim())
 	r.ExpectInt("horizon", g.horizon)
 	r.ExpectInt("recomputation period", g.tau)
-	history := readHistory(r, g.c.Dim(), g.horizon)
+	r.ExpectInt("history cap", g.historyCap)
+	quad := r.Bool()
+	key := r.I64()
+	t := r.Int()
 	current := r.F64s()
-	st := readSourceState(r)
-	if err := r.Finish(); err != nil {
-		return err
+	if r.Err() == nil && quad != g.quad {
+		return errors.New("core: checkpoint storage mode does not match the configured loss")
 	}
-	if len(current) != g.c.Dim() {
-		return errors.New("core: corrupt checkpoint estimate")
+	switch {
+	case g.quad:
+		blob := r.Blob()
+		pendSet := r.Bool()
+		var pendInv uint64
+		var pendBlob []byte
+		if r.Err() == nil && pendSet {
+			pendInv = r.U64()
+			pendBlob = r.Blob()
+		}
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		if t < 0 || t > g.horizon || len(current) != g.c.Dim() {
+			return errors.New("core: corrupt checkpoint")
+		}
+		if err := g.stats.UnmarshalState(blob); err != nil {
+			return err
+		}
+		if g.stats.Len() != t {
+			return errors.New("core: checkpoint statistics count disagrees with timestep")
+		}
+		if pendSet {
+			if err := g.pend.UnmarshalState(pendBlob); err != nil {
+				return err
+			}
+		}
+		g.key = key
+		g.t = t
+		g.current = vec.Vector(current)
+		g.pendSet = pendSet
+		g.pendInv = pendInv
+		return nil
+	case g.ring != nil:
+		window := readHistory(r, g.c.Dim(), g.historyCap)
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		if t < 0 || t > g.horizon || len(current) != g.c.Dim() || len(window) != minInt(t, g.historyCap) {
+			return errors.New("core: corrupt checkpoint")
+		}
+		ring := newPointRing(g.historyCap, g.c.Dim())
+		for _, p := range window {
+			ring.push(p)
+		}
+		g.ring = ring
+		g.key = key
+		g.t = t
+		g.current = vec.Vector(current)
+		return nil
+	default:
+		history := readHistory(r, g.c.Dim(), g.horizon)
+		pendSet := r.Bool()
+		var pendN int
+		var pendInv uint64
+		if r.Err() == nil && pendSet {
+			pendN = r.Int()
+			pendInv = r.U64()
+		}
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		if t < 0 || t > g.horizon || len(current) != g.c.Dim() || len(history) != t {
+			return errors.New("core: corrupt checkpoint")
+		}
+		if pendSet && (pendN <= 0 || pendN > t) {
+			return errors.New("core: corrupt checkpoint pending solve")
+		}
+		g.history = history
+		g.key = key
+		g.t = t
+		g.current = vec.Vector(current)
+		g.pendSet = pendSet
+		g.pendN = pendN
+		g.pendInv = pendInv
+		return nil
 	}
-	src, err := randx.NewSourceAt(st)
-	if err != nil {
-		return err
+}
+
+// minInt is the smaller of two ints.
+func minInt(a, b int) int {
+	if a < b {
+		return a
 	}
-	g.history = history
-	g.current = vec.Vector(current)
-	g.src = src
-	return nil
+	return b
 }
 
 // --- GradientRegression ---

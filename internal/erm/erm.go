@@ -285,6 +285,16 @@ type PrivateBatchOptions struct {
 	XBound, YBound float64
 	// Start optionally warm-starts the solver (it is projected onto C first).
 	Start vec.Vector
+	// Tolerance configures the keyed Solver's early stop: the solve ends when
+	// consecutive iterates move less than this in Euclidean norm, returning
+	// the converged final iterate. Zero selects the default (1e-10, the exact
+	// solver's threshold — far below any real privacy-noise scale, so under
+	// genuine budgets the full run executes and the iterate average is
+	// returned); negative disables the stop. The stop decision is a
+	// deterministic function of the solver's inputs, because the keyed noise
+	// — and therefore the whole trajectory — is. PrivateBatch (the
+	// sequential-source variant) ignores this field.
+	Tolerance float64
 }
 
 func (o *PrivateBatchOptions) fill(n int) {

@@ -261,6 +261,10 @@ type metricsSnapshot struct {
 		StoreCap     int    `json:"store_cap"`
 		Evictions    int64  `json:"evictions"`
 		FaultIns     int64  `json:"fault_ins"`
+		// RetainedBytes is the in-memory state held across resident streams
+		// (sufficient statistics or history buffers, for mechanisms that
+		// track it).
+		RetainedBytes int64 `json:"retained_bytes"`
 	} `json:"pool"`
 }
 
@@ -343,6 +347,7 @@ func (m *metrics) snapshot(st privreg.PoolStats) metricsSnapshot {
 	s.Pool.StoreCap = st.StoreCap
 	s.Pool.Evictions = st.Evictions
 	s.Pool.FaultIns = st.FaultIns
+	s.Pool.RetainedBytes = st.RetainedBytes
 	return s
 }
 
@@ -485,6 +490,9 @@ func (m *metrics) writePrometheus(w io.Writer, st privreg.PoolStats) {
 	fmt.Fprintf(w, "# HELP privreg_dirty_streams Streams modified since their last segment write.\n")
 	fmt.Fprintf(w, "# TYPE privreg_dirty_streams gauge\n")
 	fmt.Fprintf(w, "privreg_dirty_streams %d\n", st.DirtyStreams)
+	fmt.Fprintf(w, "# HELP privreg_retained_state_bytes In-memory state retained across resident streams (sufficient statistics or history buffers).\n")
+	fmt.Fprintf(w, "# TYPE privreg_retained_state_bytes gauge\n")
+	fmt.Fprintf(w, "privreg_retained_state_bytes %d\n", st.RetainedBytes)
 	fmt.Fprintf(w, "# HELP privreg_store_cap Resident-estimator bound (0 = unbounded).\n")
 	fmt.Fprintf(w, "# TYPE privreg_store_cap gauge\n")
 	fmt.Fprintf(w, "privreg_store_cap %d\n", st.StoreCap)

@@ -31,9 +31,10 @@ type residentShard struct {
 }
 
 type residentEntry struct {
-	mu  sync.Mutex
-	st  Stream
-	len atomic.Int64
+	mu    sync.Mutex
+	st    Stream
+	len   atomic.Int64
+	bytes atomic.Int64
 }
 
 // NewResident returns an empty fully-resident store building streams with
@@ -97,6 +98,7 @@ func (r *Resident) Update(id string, create bool, fn func(Stream) error) error {
 	defer e.mu.Unlock()
 	err = fn(e.st)
 	e.len.Store(int64(e.st.Len()))
+	e.bytes.Store(streamStateBytes(e.st))
 	return err
 }
 
@@ -151,6 +153,7 @@ func (r *Resident) Keys() []string {
 func (r *Resident) Install(id string, st Stream) {
 	e := &residentEntry{st: st}
 	e.len.Store(int64(st.Len()))
+	e.bytes.Store(streamStateBytes(st))
 	sh := r.shardFor(id)
 	sh.mu.Lock()
 	sh.streams[id] = e
@@ -219,6 +222,7 @@ func (r *Resident) Stats() Stats {
 		s.Streams += len(sh.streams)
 		for _, e := range sh.streams {
 			s.Observations += e.len.Load()
+			s.StateBytes += e.bytes.Load()
 		}
 		sh.mu.RUnlock()
 	}

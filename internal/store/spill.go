@@ -100,6 +100,7 @@ type spillEntry struct {
 	pins       int
 
 	len     atomic.Int64
+	bytes   atomic.Int64 // retained state of the resident estimator (0 while spilled)
 	dirty   atomic.Bool
 	dropped atomic.Bool
 }
@@ -305,6 +306,7 @@ func (s *Spill) access(id string, create, markDirty bool, fn func(Stream) error)
 	if err == nil {
 		err = fn(e.st)
 		e.len.Store(int64(e.st.Len()))
+		e.bytes.Store(streamStateBytes(e.st))
 		if err == nil && markDirty {
 			e.dirty.Store(true)
 		}
@@ -337,6 +339,7 @@ func (s *Spill) materialize(e *spillEntry) error {
 	}
 	e.st = st
 	e.len.Store(int64(st.Len()))
+	e.bytes.Store(streamStateBytes(st))
 	return nil
 }
 
@@ -404,6 +407,7 @@ func (s *Spill) spillOut(sh *spillShard, v *spillEntry) {
 		// and the factory rebuilds it bit-identically. Just release the
 		// memory — read-heavy churn over cap costs no writes.
 		v.st = nil
+		v.bytes.Store(0)
 		v.mu.Unlock()
 		s.evictions.Add(1)
 		return
@@ -423,6 +427,7 @@ func (s *Spill) spillOut(sh *spillShard, v *spillEntry) {
 		return
 	}
 	v.st = nil
+	v.bytes.Store(0)
 	v.dirty.Store(false)
 	v.mu.Unlock()
 	s.evictions.Add(1)
@@ -526,6 +531,7 @@ func (s *Spill) Delete(id string) bool {
 	file := e.file
 	e.file = ""
 	e.st = nil
+	e.bytes.Store(0)
 	e.mu.Unlock()
 	if file != "" {
 		s.fsMu.Lock()
@@ -552,6 +558,7 @@ func (s *Spill) Keys() []string {
 func (s *Spill) Install(id string, st Stream) {
 	e := &spillEntry{id: id, st: st}
 	e.len.Store(int64(st.Len()))
+	e.bytes.Store(streamStateBytes(st))
 	e.dirty.Store(true)
 	sh := s.shardFor(id)
 	var oldFile string
@@ -729,6 +736,7 @@ func (s *Spill) Stats() Stats {
 		st.Resident += sh.resident
 		for _, e := range sh.table {
 			st.Observations += e.len.Load()
+			st.StateBytes += e.bytes.Load()
 			if e.dirty.Load() {
 				st.Dirty++
 			}

@@ -38,6 +38,23 @@ type Stream interface {
 // safe for concurrent use and deterministic per ID.
 type Factory func(id string) (Stream, error)
 
+// StateSizer is an optional Stream capability: streams that can report the
+// bytes of per-stream state they retain in memory (sufficient statistics,
+// history buffers, accumulators). Stores cache the value beside the length so
+// Stats can aggregate it without faulting streams in or taking stream locks.
+type StateSizer interface {
+	StateBytes() int
+}
+
+// streamStateBytes reads a stream's retained-state size, 0 when the stream
+// does not report one.
+func streamStateBytes(st Stream) int64 {
+	if sz, ok := st.(StateSizer); ok {
+		return int64(sz.StateBytes())
+	}
+	return 0
+}
+
 // ErrNotFound is returned by store operations on IDs the store has never
 // seen (or has deleted). Callers match it with errors.Is.
 var ErrNotFound = errors.New("store: unknown stream")
@@ -59,6 +76,10 @@ type Stats struct {
 	// Observations is the total observation count across all streams, from
 	// per-stream cached lengths (no fault-in).
 	Observations int64
+	// StateBytes is the total retained in-memory state across resident
+	// streams, from per-stream cached sizes (see StateSizer; spilled streams
+	// retain no memory and contribute 0).
+	StateBytes int64
 	// Evictions counts resident→disk spills since the store opened.
 	Evictions int64
 	// Faults counts disk→resident fault-ins since the store opened.

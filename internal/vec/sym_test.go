@@ -1,0 +1,126 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+func symTestVectors(d, n int) []Vector {
+	out := make([]Vector, n)
+	s := uint64(12345)
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(int64(s>>11))/float64(1<<52) - 1
+	}
+	for i := range out {
+		v := make(Vector, d)
+		for j := range v {
+			v[j] = next()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestSymMatrixMatchesDenseOuter(t *testing.T) {
+	for _, d := range []int{1, 2, 5, 8, 17} {
+		sym := NewSymMatrix(d)
+		dense := NewMatrix(d, d)
+		xs := symTestVectors(d, 7)
+		for k, x := range xs {
+			alpha := 1 + 0.25*float64(k)
+			sym.AddScaledOuter(alpha, x)
+			dense.AddOuterInPlace(alpha, x)
+		}
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				if math.Abs(sym.At(i, j)-dense.At(i, j)) > 1e-12 {
+					t.Fatalf("d=%d: sym(%d,%d)=%v dense=%v", d, i, j, sym.At(i, j), dense.At(i, j))
+				}
+			}
+		}
+		if math.Abs(sym.Trace()-dense.Trace()) > 1e-12 {
+			t.Fatalf("d=%d: trace %v vs %v", d, sym.Trace(), dense.Trace())
+		}
+		// Mat-vec agrees with the dense product.
+		x := symTestVectors(d, 1)[0]
+		got := make(Vector, d)
+		sym.MulVecTo(got, x)
+		want := dense.MulVec(x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("d=%d: MulVecTo[%d]=%v dense=%v", d, i, got[i], want[i])
+			}
+		}
+		// Round-trip through the dense conversion.
+		back := NewMatrix(d, d)
+		sym.ToDense(back)
+		if !back.Equal(dense, 1e-12) {
+			t.Fatalf("d=%d: ToDense mismatch", d)
+		}
+	}
+}
+
+func TestSymMatrixCopyCloneZero(t *testing.T) {
+	d := 6
+	a := NewSymMatrix(d)
+	xs := symTestVectors(d, 3)
+	for _, x := range xs {
+		a.AddScaledOuter(1, x)
+	}
+	b := a.Clone()
+	c := NewSymMatrix(d)
+	c.CopyFrom(a)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			if b.At(i, j) != a.At(i, j) || c.At(i, j) != a.At(i, j) {
+				t.Fatalf("copy mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Clone is independent storage.
+	b.AddScaledOuter(1, xs[0])
+	if b.At(0, 0) == a.At(0, 0) && xs[0][0] != 0 {
+		t.Fatal("Clone shares storage with the original")
+	}
+	a.Zero()
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatal("Zero left a non-zero entry")
+		}
+	}
+	if len(a.Data()) != d*(d+1)/2 {
+		t.Fatalf("packed storage has %d entries, want %d", len(a.Data()), d*(d+1)/2)
+	}
+}
+
+func TestSymMatrixMulVecDeterministic(t *testing.T) {
+	d := 9
+	a := NewSymMatrix(d)
+	for _, x := range symTestVectors(d, 5) {
+		a.AddScaledOuter(0.7, x)
+	}
+	x := symTestVectors(d, 1)[0]
+	first := make(Vector, d)
+	a.MulVecTo(first, x)
+	for rep := 0; rep < 10; rep++ {
+		got := make(Vector, d)
+		a.MulVecTo(got, x)
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("rep %d: MulVecTo not bit-deterministic at %d", rep, i)
+			}
+		}
+	}
+}
+
+func BenchmarkSymMatrixAddScaledOuter(b *testing.B) {
+	d := 32
+	a := NewSymMatrix(d)
+	x := symTestVectors(d, 1)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AddScaledOuter(1, x)
+	}
+}

@@ -132,6 +132,21 @@ func WithTau(tau int) Option {
 	}
 }
 
+// WithHistoryCap bounds the history the slow-path mechanisms (generic-erm,
+// naive-recompute) retain for losses without quadratic sufficient statistics:
+// only the most recent n points are kept, and each private solve runs over
+// that window instead of the full prefix (0 restores unbounded history).
+// Quadratic losses fold the stream into O(d²) statistics and ignore the cap.
+func WithHistoryCap(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("privreg: WithHistoryCap requires a non-negative count, got %d", n)
+		}
+		s.cfg.HistoryCap = n
+		return nil
+	}
+}
+
 // WithProjectionDim overrides the sketch dimension m of the projected
 // mechanisms (0 restores Gordon's rule).
 func WithProjectionDim(m int) Option {

@@ -95,6 +95,11 @@ type PoolStats struct {
 	// StandbyStreams is the number of streams held as warm replicas for
 	// other cluster nodes (included in Streams; 0 outside a cluster).
 	StandbyStreams int
+	// RetainedBytes is the total in-memory state retained across resident
+	// streams for mechanisms that track it (the slow-path mechanisms report
+	// their sufficient statistics or history buffers; spilled streams
+	// contribute 0). Mechanisms without the accounting report 0.
+	RetainedBytes int64
 }
 
 // FlushStats describes one incremental checkpoint written by Pool.Flush.
@@ -365,6 +370,7 @@ func (p *Pool) Stats() PoolStats {
 	st.DirtyStreams = ss.Dirty
 	st.Evictions = ss.Evictions
 	st.FaultIns = ss.Faults
+	st.RetainedBytes = ss.StateBytes
 	p.standbyMu.Lock()
 	st.StandbyStreams = len(p.standby)
 	p.standbyMu.Unlock()

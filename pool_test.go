@@ -60,6 +60,38 @@ func TestPoolBasics(t *testing.T) {
 	}
 }
 
+func TestPoolRetainedBytesSurfacesSlowPathState(t *testing.T) {
+	// The slow-path mechanisms report their retained sufficient statistics;
+	// the store caches the size per stream and Stats aggregates it.
+	p, err := NewPool("generic-erm", testPoolOptions(9)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().RetainedBytes; got != 0 {
+		t.Fatalf("empty pool RetainedBytes = %d", got)
+	}
+	for i := 0; i < 6; i++ {
+		x, y := syntheticPoint(i, 4)
+		if err := p.Observe(fmt.Sprintf("user-%d", i%2), x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one := p.Stats().RetainedBytes
+	if one <= 0 {
+		t.Fatalf("RetainedBytes = %d, want > 0 for generic-erm streams", one)
+	}
+	// On the sufficient-statistics path the size is per stream, not per point.
+	for i := 0; i < 20; i++ {
+		x, y := syntheticPoint(i, 4)
+		if err := p.Observe("user-0", x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := p.Stats().RetainedBytes; after != one {
+		t.Fatalf("quadratic RetainedBytes grew with stream length: %d -> %d", one, after)
+	}
+}
+
 func TestPoolValidatesTemplateEagerly(t *testing.T) {
 	if _, err := NewPool("gradient", WithHorizon(16)); err == nil {
 		t.Fatal("missing constraint should fail at NewPool, not first use")

@@ -188,6 +188,13 @@ type Config struct {
 	// Tau overrides the recomputation period of NewGenericERM (0 = the paper's
 	// theory-optimal choice).
 	Tau int
+	// HistoryCap bounds the history retained by the slow-path mechanisms
+	// (generic-erm, naive-recompute) for losses without quadratic sufficient
+	// statistics: positive keeps only the most recent HistoryCap points in a
+	// ring buffer and solves over that window; 0 retains the full history.
+	// Quadratic losses (squared, optionally ridge-regularized) never retain
+	// history and ignore the cap.
+	HistoryCap int
 	// ProjectionDim overrides the sketch dimension m of NewProjectedRegression
 	// (0 = Gordon's rule).
 	ProjectionDim int
@@ -294,6 +301,17 @@ func (a *estimatorAdapter) Estimate() ([]float64, error) {
 }
 
 func (a *estimatorAdapter) Len() int { return a.inner.Len() }
+
+// StateBytes reports the estimator's retained in-memory state (sufficient
+// statistics, history buffers) when the underlying mechanism tracks it, and 0
+// otherwise. The pool's store caches the value per stream and aggregates it
+// into PoolStats.RetainedBytes.
+func (a *estimatorAdapter) StateBytes() int {
+	if sz, ok := a.inner.(interface{ StateBytes() int }); ok {
+		return sz.StateBytes()
+	}
+	return 0
+}
 
 // checkpointMagic identifies a privreg estimator checkpoint; the byte after it
 // is the envelope format version. Version 2 marks the counter-keyed lazy

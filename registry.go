@@ -110,8 +110,9 @@ var registry = []*mechanism{
 			}
 			cfg := s.cfg
 			return core.NewGenericERM(f, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), randx.NewSource(cfg.Seed), core.GenericOptions{
-				Tau:   cfg.Tau,
-				Batch: erm.PrivateBatchOptions{Iterations: cfg.MaxIterations},
+				Tau:        cfg.Tau,
+				Batch:      erm.PrivateBatchOptions{Iterations: cfg.MaxIterations},
+				HistoryCap: cfg.HistoryCap,
 			})
 		},
 	},
@@ -132,7 +133,10 @@ var registry = []*mechanism{
 				return nil, err
 			}
 			cfg := s.cfg
-			return core.NewNaiveRecompute(f, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), randx.NewSource(cfg.Seed), erm.PrivateBatchOptions{Iterations: cfg.MaxIterations})
+			return core.NewNaiveRecompute(f, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), randx.NewSource(cfg.Seed), core.NaiveOptions{
+				Batch:      erm.PrivateBatchOptions{Iterations: cfg.MaxIterations},
+				HistoryCap: cfg.HistoryCap,
+			})
 		},
 	},
 	{
