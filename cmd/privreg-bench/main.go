@@ -55,18 +55,37 @@ type jsonTable struct {
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {
-	Seed        int64          `json:"seed"`
-	Trials      int            `json:"trials"`
-	Quick       bool           `json:"quick"`
-	Workers     int            `json:"workers"`
-	Epsilon     float64        `json:"epsilon"`
-	Delta       float64        `json:"delta"`
-	WallSeconds float64        `json:"wall_seconds"`
-	Results     []jsonResult   `json:"results"`
-	Throughput  []probeResult  `json:"throughput,omitempty"`
-	Edge        []edgeResult   `json:"edge,omitempty"`
-	Cluster     *clusterResult `json:"cluster,omitempty"`
-	Error       string         `json:"error,omitempty"`
+	Seed        int64             `json:"seed"`
+	Trials      int               `json:"trials"`
+	Quick       bool              `json:"quick"`
+	Workers     int               `json:"workers"`
+	Epsilon     float64           `json:"epsilon"`
+	Delta       float64           `json:"delta"`
+	WallSeconds float64           `json:"wall_seconds"`
+	Results     []jsonResult      `json:"results"`
+	Throughput  []probeResult     `json:"throughput,omitempty"`
+	MultiProbe  *multiProbeResult `json:"multi_outcome,omitempty"`
+	Edge        []edgeResult      `json:"edge,omitempty"`
+	Cluster     *clusterResult    `json:"cluster,omitempty"`
+	Error       string            `json:"error,omitempty"`
+}
+
+// multiProbeResult is the amortization probe of the multi-outcome engine:
+// the per-point-per-outcome ingest cost of one k-outcome estimator (one
+// shared Gram fold + k O(d) vector folds per point) against k independent
+// generic-erm estimators fed the same covariates (k full O(d²) folds per
+// point). The ratio is the amortization the shared fold buys; CI gates the
+// multi cost like the other ingest metrics.
+type multiProbeResult struct {
+	K                               int     `json:"k"`
+	T                               int     `json:"T"`
+	Dim                             int     `json:"d"`
+	Batch                           int     `json:"batch"`
+	NsPerPointPerOutcome            float64 `json:"ns_per_point_per_outcome"`
+	IndependentNsPerPointPerOutcome float64 `json:"independent_ns_per_point_per_outcome"`
+	AmortizationX                   float64 `json:"amortization_x"`
+	EstimateAllNs                   float64 `json:"estimate_all_ns"`
+	IndependentEstimateAllNs        float64 `json:"independent_estimate_all_ns"`
 }
 
 // probeResult is the machine-readable form of one serving-shaped throughput
@@ -126,6 +145,8 @@ func run() int {
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		mechanism  = flag.String("mechanism", "", "run a throughput probe of one registry mechanism instead of the paper experiments (see privreg-demo -list)")
 		edge       = flag.Bool("edge", false, "run only the edge-throughput probes (HTTP/JSON vs binary wire) and print the rates")
+		multiFl    = flag.Bool("multi", false, "run only the multi-outcome amortization probe (one k-outcome estimator vs k independent generic-erm) and print the per-outcome costs")
+		outcomesFl = flag.Int("outcomes", 8, "multi-outcome probe: outcome-column count k")
 		clusterFl  = flag.Bool("cluster", false, "run only the cluster-throughput probe (3-node ring, binary wire, ring-aware routing) and print the rate")
 		horizon    = flag.Int("T", 1000, "throughput probe: stream length")
 		dim        = flag.Int("d", 32, "throughput probe: covariate dimension")
@@ -156,6 +177,10 @@ func run() int {
 
 	if *edge {
 		return runEdgeCLI(*quick, *seed, *asJSON)
+	}
+
+	if *multiFl {
+		return runMultiCLI(*outcomesFl, *horizon, *dim, *batch, *epsilon, *delta, *seed, *asJSON)
 	}
 
 	if *clusterFl {
@@ -209,6 +234,14 @@ func run() int {
 					break
 				}
 				report.Throughput = append(report.Throughput, *p)
+			}
+		}
+		if runErr == nil {
+			m, err := multiProbe(8, 512, 32, 32, *epsilon, *delta, *seed)
+			if err != nil {
+				runErr = fmt.Errorf("multi-outcome probe: %w", err)
+			} else {
+				report.MultiProbe = m
 			}
 		}
 		if runErr == nil {
@@ -446,4 +479,161 @@ func probe(name string, horizon, dim, batch int, epsilon, delta float64, seed in
 		CheckpointNs:     float64(ckptElapsed.Nanoseconds()),
 		CheckpointBytes:  len(ckpt),
 	}, nil
+}
+
+// multiProbe measures the amortization of the multi-outcome engine: the same
+// T covariates carry k responses each, ingested once through a single
+// k-outcome estimator (one shared O(d²) Gram fold plus k O(d) vector folds
+// per point) and once through k independent generic-erm estimators (k full
+// O(d²) folds per point). Both sides ingest batched through their flat entry
+// points, then solve all k estimates; costs are reported per point per
+// outcome so the two are directly comparable and AmortizationX is their
+// ratio.
+func multiProbe(k, horizon, dim, batch int, epsilon, delta float64, seed int64) (*multiProbeResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("multi-outcome probe needs k >= 2 outcomes, got %d", k)
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	baseOpts := func(seed int64) []privreg.Option {
+		return []privreg.Option{
+			privreg.WithEpsilonDelta(epsilon, delta),
+			privreg.WithHorizon(horizon),
+			privreg.WithConstraint(privreg.L2Constraint(dim, 1)),
+			privreg.WithSeed(seed),
+		}
+	}
+
+	est, err := privreg.New("multi-outcome", append(baseOpts(seed), privreg.WithOutcomes(k))...)
+	if err != nil {
+		return nil, err
+	}
+	multi, ok := est.(privreg.MultiEstimator)
+	if !ok {
+		return nil, fmt.Errorf("multi-outcome estimator does not implement MultiEstimator")
+	}
+	indep := make([]privreg.FlatObserver, k)
+	indepEst := make([]privreg.Estimator, k)
+	for o := 0; o < k; o++ {
+		e, err := privreg.New("generic-erm", baseOpts(seed+int64(o))...)
+		if err != nil {
+			return nil, err
+		}
+		fo, ok := e.(privreg.FlatObserver)
+		if !ok {
+			return nil, fmt.Errorf("generic-erm estimator does not implement FlatObserver")
+		}
+		indep[o], indepEst[o] = fo, e
+	}
+
+	// Deterministic workload, same covariate pattern as probe(); outcome o's
+	// response reads a different coordinate so the k regressions differ.
+	xs := make([]float64, horizon*dim)
+	ys := make([]float64, horizon*k)
+	for i := 0; i < horizon; i++ {
+		row := xs[i*dim : (i+1)*dim]
+		row[i%dim] = 0.8
+		row[(i+1)%dim] = -0.4
+		for o := 0; o < k; o++ {
+			ys[i*k+o] = 0.5 * row[(i+o)%dim]
+		}
+	}
+	cols := make([][]float64, k) // per-outcome response columns for the independents
+	for o := 0; o < k; o++ {
+		col := make([]float64, horizon)
+		for i := 0; i < horizon; i++ {
+			col[i] = ys[i*k+o]
+		}
+		cols[o] = col
+	}
+
+	start := time.Now()
+	for lo := 0; lo < horizon; lo += batch {
+		hi := lo + batch
+		if hi > horizon {
+			hi = horizon
+		}
+		if err := multi.ObserveMultiFlat(dim, xs[lo*dim:hi*dim], ys[lo*k:hi*k]); err != nil {
+			return nil, err
+		}
+	}
+	multiElapsed := time.Since(start)
+
+	start = time.Now()
+	for o := 0; o < k; o++ {
+		for lo := 0; lo < horizon; lo += batch {
+			hi := lo + batch
+			if hi > horizon {
+				hi = horizon
+			}
+			if err := indep[o].ObserveFlat(dim, xs[lo*dim:hi*dim], cols[o][lo:hi]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	indepElapsed := time.Since(start)
+
+	estimateAll, err := timePhase(func() error {
+		for o := 0; o < k; o++ {
+			if _, err := multi.EstimateOutcome(o); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	indepEstimateAll, err := timePhase(func() error {
+		for o := 0; o < k; o++ {
+			if _, err := indepEst[o].Estimate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	perOutcome := float64(multiElapsed.Nanoseconds()) / float64(horizon*k)
+	indepPerOutcome := float64(indepElapsed.Nanoseconds()) / float64(horizon*k)
+	return &multiProbeResult{
+		K:                               k,
+		T:                               horizon,
+		Dim:                             dim,
+		Batch:                           batch,
+		NsPerPointPerOutcome:            perOutcome,
+		IndependentNsPerPointPerOutcome: indepPerOutcome,
+		AmortizationX:                   indepPerOutcome / perOutcome,
+		EstimateAllNs:                   float64(estimateAll.Nanoseconds()),
+		IndependentEstimateAllNs:        float64(indepEstimateAll.Nanoseconds()),
+	}, nil
+}
+
+// runMultiCLI is the -multi CLI entry: run the amortization probe once and
+// print it human-readably, or as a single JSON document with -json.
+func runMultiCLI(k, horizon, dim, batch int, epsilon, delta float64, seed int64, asJSON bool) int {
+	m, err := multiProbe(k, horizon, dim, batch, epsilon, delta, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 2
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("multi-outcome amortization: k=%d T=%d d=%d batch=%d (ε=%g, δ=%g)\n", m.K, m.T, m.Dim, m.Batch, epsilon, delta)
+	fmt.Printf("  shared fold   : %8.0f ns/point/outcome (one estimator, k outcomes)\n", m.NsPerPointPerOutcome)
+	fmt.Printf("  independent   : %8.0f ns/point/outcome (%d generic-erm estimators)\n", m.IndependentNsPerPointPerOutcome, m.K)
+	fmt.Printf("  amortization  : %8.1fx\n", m.AmortizationX)
+	fmt.Printf("  estimate all k: %10s shared, %10s independent\n",
+		time.Duration(m.EstimateAllNs).Round(time.Microsecond), time.Duration(m.IndependentEstimateAllNs).Round(time.Microsecond))
+	return 0
 }

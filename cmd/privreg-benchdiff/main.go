@@ -31,7 +31,8 @@
 // counts) warn on any change, since a change means the code changed shape,
 // not that the runner was noisy. Only the serving-critical ingest and
 // estimate metrics
-// (scalar_ns_per_point, batch_ns_per_point, estimate_ns) gate the -strict
+// (scalar_ns_per_point, batch_ns_per_point, estimate_ns, and the
+// multi-outcome engine's ns_per_point_per_outcome) gate the -strict
 // exit code: they are the hot-path guarantees CI locks in, while whole-sweep
 // wall time, checkpoint latency, and shape facts stay advisory (they move for
 // legitimate reasons — more experiments, fatter checkpoints — and would make
@@ -81,6 +82,11 @@ type rawReport struct {
 		CheckpointNs     float64 `json:"checkpoint_ns"`
 		CheckpointBytes  int     `json:"checkpoint_bytes"`
 	} `json:"throughput"`
+	MultiOutcome *struct {
+		NsPerPointPerOutcome            float64 `json:"ns_per_point_per_outcome"`
+		IndependentNsPerPointPerOutcome float64 `json:"independent_ns_per_point_per_outcome"`
+		EstimateAllNs                   float64 `json:"estimate_all_ns"`
+	} `json:"multi_outcome"`
 	Edge []struct {
 		Proto        string  `json:"proto"`
 		PointsPerSec float64 `json:"points_per_sec"`
@@ -120,6 +126,11 @@ func normalize(raws ...[]byte) (*normalized, error) {
 			one.Metrics["throughput/"+p.Mechanism+"/estimate_ns"] = p.EstimateNs
 			one.Metrics["throughput/"+p.Mechanism+"/checkpoint_ns"] = p.CheckpointNs
 			one.Metrics["throughput/"+p.Mechanism+"/checkpoint_bytes"] = float64(p.CheckpointBytes)
+		}
+		if r.MultiOutcome != nil {
+			one.Metrics["throughput/multi-outcome/ns_per_point_per_outcome"] = r.MultiOutcome.NsPerPointPerOutcome
+			one.Metrics["throughput/multi-outcome/independent_ns_per_point_per_outcome"] = r.MultiOutcome.IndependentNsPerPointPerOutcome
+			one.Metrics["throughput/multi-outcome/estimate_all_ns"] = r.MultiOutcome.EstimateAllNs
 		}
 		for _, e := range r.Edge {
 			one.Metrics["throughput/edge/"+e.Proto+"/points_per_sec"] = e.PointsPerSec
@@ -164,7 +175,8 @@ type finding struct {
 // (ratio-thresholded) as opposed to a deterministic shape fact (any change
 // warns).
 func timingMetric(key string) bool {
-	return strings.HasSuffix(key, "_ns") || strings.HasSuffix(key, "_ns_per_point") || strings.HasSuffix(key, "wall_seconds")
+	return strings.HasSuffix(key, "_ns") || strings.HasSuffix(key, "_ns_per_point") ||
+		strings.HasSuffix(key, "ns_per_point_per_outcome") || strings.HasSuffix(key, "wall_seconds")
 }
 
 // timingFloorNs is the noise floor for nanosecond-denominated metrics: below
@@ -175,7 +187,8 @@ func timingMetric(key string) bool {
 const timingFloorNs = 1000.0
 
 func nsMetric(key string) bool {
-	return strings.HasSuffix(key, "_ns") || strings.HasSuffix(key, "_ns_per_point")
+	return strings.HasSuffix(key, "_ns") || strings.HasSuffix(key, "_ns_per_point") ||
+		strings.HasSuffix(key, "ns_per_point_per_outcome")
 }
 
 // rateMetric reports whether a metric is a throughput rate — higher is
@@ -205,7 +218,8 @@ func sizeMetric(key string) bool {
 func gatedMetric(key string) bool {
 	return strings.HasSuffix(key, "scalar_ns_per_point") ||
 		strings.HasSuffix(key, "batch_ns_per_point") ||
-		strings.HasSuffix(key, "estimate_ns")
+		strings.HasSuffix(key, "estimate_ns") ||
+		key == "throughput/multi-outcome/ns_per_point_per_outcome"
 }
 
 // compare diffs candidate against baseline. Findings are timing metrics whose

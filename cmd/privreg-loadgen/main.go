@@ -104,18 +104,19 @@ func main() {
 
 func run() int {
 	var (
-		addr    = flag.String("addr", "http://127.0.0.1:8080", "base URL of the privreg-server")
-		streams = flag.Int("streams", 8, "number of concurrent streams")
-		points  = flag.Int("points", 64, "points to send per stream this phase")
-		from    = flag.Int("from", 0, "index of the first point to send (later phases of a restart test)")
-		batch   = flag.Int("batch", 8, "points per observe request")
-		rate    = flag.Float64("rate", 0, "target ingest rate in points/sec per stream (0 = unlimited)")
-		verify  = flag.Bool("verify", true, "verify server estimates bit-identically against an in-process shadow pool")
-		prefix  = flag.String("stream-prefix", "load", "stream ID prefix")
-		skew    = flag.Float64("skew", 0, "churn mode: Zipf-like exponent for per-stream point counts (stream i gets ~points/(i+1)^skew; 0 = uniform)")
-		proto   = flag.String("proto", "json", `ingest transport: "json" (HTTP) or "binary" (the wire protocol; requires -wire-addr unless -cluster)`)
-		wireTgt = flag.String("wire-addr", "", "host:port of the server's binary wire listener (used with -proto binary)")
-		useRing = flag.Bool("cluster", false, "ring-aware mode: fetch the ring from -addr and route each stream client-side to its owner node")
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the privreg-server")
+		streams  = flag.Int("streams", 8, "number of concurrent streams")
+		points   = flag.Int("points", 64, "points to send per stream this phase")
+		from     = flag.Int("from", 0, "index of the first point to send (later phases of a restart test)")
+		batch    = flag.Int("batch", 8, "points per observe request")
+		rate     = flag.Float64("rate", 0, "target ingest rate in points/sec per stream (0 = unlimited)")
+		verify   = flag.Bool("verify", true, "verify server estimates bit-identically against an in-process shadow pool")
+		prefix   = flag.String("stream-prefix", "load", "stream ID prefix")
+		skew     = flag.Float64("skew", 0, "churn mode: Zipf-like exponent for per-stream point counts (stream i gets ~points/(i+1)^skew; 0 = uniform)")
+		proto    = flag.String("proto", "json", `ingest transport: "json" (HTTP) or "binary" (the wire protocol; requires -wire-addr unless -cluster)`)
+		wireTgt  = flag.String("wire-addr", "", "host:port of the server's binary wire listener (used with -proto binary)")
+		useRing  = flag.Bool("cluster", false, "ring-aware mode: fetch the ring from -addr and route each stream client-side to its owner node")
+		outcomes = flag.Int("outcomes", 0, "expected outcome-column count k of a multi-outcome pool; 0 takes k from the server's config, any other value must agree with it")
 	)
 	flag.Parse()
 	if *streams < 1 || *points < 1 || *batch < 1 || *from < 0 {
@@ -145,8 +146,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return 1
 	}
-	fmt.Printf("server pool: mechanism=%s d=%d T=%d (ε=%g, δ=%g, seed=%d)\n",
-		spec.Mechanism, spec.Dim, spec.Horizon, spec.Epsilon, spec.Delta, spec.Seed)
+	k := spec.Outcomes
+	if k < 1 {
+		k = 1
+	}
+	if *outcomes > 0 && *outcomes != k {
+		fmt.Fprintf(os.Stderr, "error: -outcomes %d disagrees with the server's config (pool serves %d outcomes)\n", *outcomes, k)
+		return 2
+	}
+	fmt.Printf("server pool: mechanism=%s d=%d k=%d T=%d (ε=%g, δ=%g, seed=%d)\n",
+		spec.Mechanism, spec.Dim, k, spec.Horizon, spec.Epsilon, spec.Delta, spec.Seed)
 
 	// Transports. One target by default; in -cluster mode one per ring
 	// member, with each stream routed to its owner. In binary mode all of a
@@ -163,10 +172,10 @@ func run() int {
 		}
 		// The handshake's pool shape must agree with /v1/config (same
 		// deployment, or the flags point at two different ones).
-		if wc.Dim != spec.Dim || wc.Horizon != spec.Horizon || wc.Mechanism != spec.Mechanism {
+		if wc.Dim != spec.Dim || wc.Horizon != spec.Horizon || wc.Mechanism != spec.Mechanism || wc.Outcomes != k {
 			wc.Close()
-			return nil, fmt.Errorf("wire handshake at %s (mechanism=%s d=%d T=%d) disagrees with /v1/config (mechanism=%s d=%d T=%d)",
-				wireAddr, wc.Mechanism, wc.Dim, wc.Horizon, spec.Mechanism, spec.Dim, spec.Horizon)
+			return nil, fmt.Errorf("wire handshake at %s (mechanism=%s d=%d k=%d T=%d) disagrees with /v1/config (mechanism=%s d=%d k=%d T=%d)",
+				wireAddr, wc.Mechanism, wc.Dim, wc.Outcomes, wc.Horizon, spec.Mechanism, spec.Dim, k, spec.Horizon)
 		}
 		t.wc = wc
 		return t, nil
@@ -258,9 +267,9 @@ func run() int {
 					err     error
 				)
 				if tgt.wc != nil {
-					n, retr, err = sendBatchWire(tgt.wc, id, spec.Dim, lo, hi)
+					n, retr, err = sendBatchWire(tgt.wc, id, spec.Dim, k, lo, hi)
 				} else {
-					n, retr, err = sendBatch(client, tgt.base, id, spec.Dim, lo, hi)
+					n, retr, err = sendBatch(client, tgt.base, id, spec.Dim, k, lo, hi)
 				}
 				if err != nil {
 					errc <- fmt.Errorf("stream %s batch [%d,%d): %w", id, lo, hi, err)
@@ -297,6 +306,14 @@ func run() int {
 	}
 	for i, id := range ids {
 		for j := 0; j < tos[i]; j++ {
+			if k > 1 {
+				x, ys := server.SyntheticPointMulti(id, j, spec.Dim, k)
+				if err := shadow.ObserveMultiFlat(id, spec.Dim, x, ys); err != nil {
+					fmt.Fprintf(os.Stderr, "error: shadow %s point %d: %v\n", id, j, err)
+					return 1
+				}
+				continue
+			}
 			x, y := server.SyntheticPoint(id, j, spec.Dim)
 			if err := shadow.Observe(id, x, y); err != nil {
 				fmt.Fprintf(os.Stderr, "error: shadow %s point %d: %v\n", id, j, err)
@@ -307,43 +324,47 @@ func run() int {
 
 	mismatches := 0
 	for i, id := range ids {
-		var (
-			est []float64
-			n   int
-		)
 		// Estimates ride the same transport (and, in cluster mode, the same
 		// owner node) as ingest, so a binary run verifies the wire protocol's
-		// estimate path too.
+		// estimate path too. On a multi-outcome pool every outcome index is
+		// fetched and compared independently — the whole point of the shared
+		// fold is that all k regressions stay exact simultaneously.
 		tgt := targetFor(id)
-		if tgt.wc != nil {
-			est, n, err = fetchEstimateWire(tgt.wc, id)
-		} else {
-			est, n, err = fetchEstimate(client, tgt.base, id)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			return 1
-		}
-		if n != tos[i] {
-			fmt.Fprintf(os.Stderr, "MISMATCH %s: server len=%d, want %d\n", id, n, tos[i])
-			mismatches++
-			continue
-		}
-		want, err := shadow.Estimate(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			return 1
-		}
-		if !equalVectors(est, want) {
-			fmt.Fprintf(os.Stderr, "MISMATCH %s: server estimate is not bit-identical to the shadow pool\n  server %v\n  shadow %v\n", id, est, want)
-			mismatches++
+		for o := 0; o < k; o++ {
+			var (
+				est []float64
+				n   int
+			)
+			if tgt.wc != nil {
+				est, n, err = fetchEstimateWire(tgt.wc, id, o)
+			} else {
+				est, n, err = fetchEstimate(client, tgt.base, id, o)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return 1
+			}
+			if n != tos[i] {
+				fmt.Fprintf(os.Stderr, "MISMATCH %s outcome %d: server len=%d, want %d\n", id, o, n, tos[i])
+				mismatches++
+				continue
+			}
+			want, err := shadow.EstimateOutcome(id, o)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return 1
+			}
+			if !equalVectors(est, want) {
+				fmt.Fprintf(os.Stderr, "MISMATCH %s outcome %d: server estimate is not bit-identical to the shadow pool\n  server %v\n  shadow %v\n", id, o, est, want)
+				mismatches++
+			}
 		}
 	}
 	if mismatches > 0 {
-		fmt.Fprintf(os.Stderr, "FAIL: %d/%d streams diverged\n", mismatches, len(ids))
+		fmt.Fprintf(os.Stderr, "FAIL: %d/%d streams×outcomes diverged\n", mismatches, len(ids)*k)
 		return 1
 	}
-	fmt.Printf("verified: %d streams bit-identical to the in-process shadow pool at t=%d (hot-stream length)\n", len(ids), tos[0])
+	fmt.Printf("verified: %d streams × %d outcomes bit-identical to the in-process shadow pool at t=%d (hot-stream length)\n", len(ids), k, tos[0])
 	return 0
 }
 
@@ -394,15 +415,27 @@ func fetchSpec(client *http.Client, addr string) (server.Spec, error) {
 // and 503 (rebalance seal / import / drain) with jittered backoff honoring
 // the response's Retry-After. Returns the number of points applied and the
 // number of retries performed.
-func sendBatch(client *http.Client, addr, id string, dim, lo, hi int) (int, int, error) {
+func sendBatch(client *http.Client, addr, id string, dim, k, lo, hi int) (int, int, error) {
 	xs := make([][]float64, 0, hi-lo)
-	ys := make([]float64, 0, hi-lo)
-	for j := lo; j < hi; j++ {
-		x, y := server.SyntheticPoint(id, j, dim)
-		xs = append(xs, x)
-		ys = append(ys, y)
+	payload := map[string]any{"from": lo}
+	if k > 1 {
+		yss := make([][]float64, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			x, yrow := server.SyntheticPointMulti(id, j, dim, k)
+			xs = append(xs, x)
+			yss = append(yss, yrow)
+		}
+		payload["xs"], payload["yss"] = xs, yss
+	} else {
+		ys := make([]float64, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			x, y := server.SyntheticPoint(id, j, dim)
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		payload["xs"], payload["ys"] = xs, ys
 	}
-	body, err := json.Marshal(map[string]any{"xs": xs, "ys": ys, "from": lo})
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -435,10 +468,16 @@ func sendBatch(client *http.Client, addr, id string, dim, lo, hi int) (int, int,
 // the exact same jittered backoff as the HTTP path, honoring the nack's
 // RetryAfter field. Returns the number of points applied and the number of
 // retries performed.
-func sendBatchWire(wc *wire.Client, id string, dim, lo, hi int) (int, int, error) {
+func sendBatchWire(wc *wire.Client, id string, dim, k, lo, hi int) (int, int, error) {
 	xs := make([]float64, 0, (hi-lo)*dim)
-	ys := make([]float64, 0, hi-lo)
+	ys := make([]float64, 0, (hi-lo)*k)
 	for j := lo; j < hi; j++ {
+		if k > 1 {
+			x, yrow := server.SyntheticPointMulti(id, j, dim, k)
+			xs = append(xs, x...)
+			ys = append(ys, yrow...)
+			continue
+		}
 		x, y := server.SyntheticPoint(id, j, dim)
 		xs = append(xs, x...)
 		ys = append(ys, y)
@@ -464,9 +503,13 @@ func sendBatchWire(wc *wire.Client, id string, dim, lo, hi int) (int, int, error
 // fetchEstimate reads one stream's estimate, retrying retryable statuses —
 // an estimate during a rebalance seal, an import window, or a failure-
 // detection suspicion gap is a matter of waiting, not an error.
-func fetchEstimate(client *http.Client, addr, id string) ([]float64, int, error) {
+func fetchEstimate(client *http.Client, addr, id string, outcome int) ([]float64, int, error) {
+	url := fmt.Sprintf("%s/v1/streams/%s/estimate", addr, id)
+	if outcome > 0 {
+		url = fmt.Sprintf("%s?outcome=%d", url, outcome)
+	}
 	for attempt := 1; ; attempt++ {
-		resp, err := client.Get(fmt.Sprintf("%s/v1/streams/%s/estimate", addr, id))
+		resp, err := client.Get(url)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -493,9 +536,9 @@ func fetchEstimate(client *http.Client, addr, id string) ([]float64, int, error)
 }
 
 // fetchEstimateWire is the binary-path twin of fetchEstimate.
-func fetchEstimateWire(wc *wire.Client, id string) ([]float64, int, error) {
+func fetchEstimateWire(wc *wire.Client, id string, outcome int) ([]float64, int, error) {
 	for attempt := 1; ; attempt++ {
-		est, n, err := wc.Estimate(id)
+		est, n, err := wc.EstimateOutcome(id, outcome)
 		if wire.IsRetryable(err) && attempt <= maxSendRetries {
 			hint, _ := wire.RetryAfter(err)
 			retry.Backoff(attempt, hint)

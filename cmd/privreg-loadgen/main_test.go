@@ -50,7 +50,7 @@ func TestSendBatchHonorsRetryAfterHTTP(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	n, retries, err := sendBatch(ts.Client(), ts.URL, "s", 4, 0, 8)
+	n, retries, err := sendBatch(ts.Client(), ts.URL, "s", 4, 1, 0, 8)
 	if err != nil {
 		t.Fatalf("sendBatch: %v", err)
 	}
@@ -134,7 +134,7 @@ func TestSendBatchWireHonorsRetryAfter(t *testing.T) {
 	}
 	defer wc.Close()
 
-	n, retries, err := sendBatchWire(wc, "s", 4, 0, 8)
+	n, retries, err := sendBatchWire(wc, "s", 4, 1, 0, 8)
 	if err != nil {
 		t.Fatalf("sendBatchWire: %v", err)
 	}
@@ -161,7 +161,7 @@ func TestSendBatchWireFatalNack(t *testing.T) {
 	}
 	defer wc.Close()
 
-	if _, _, err := sendBatchWire(wc, "s", 4, 0, 8); err == nil {
+	if _, _, err := sendBatchWire(wc, "s", 4, 1, 0, 8); err == nil {
 		t.Fatal("sendBatchWire succeeded, want stream-full error")
 	}
 	if len(*slept) != 0 {

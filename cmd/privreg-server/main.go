@@ -121,6 +121,7 @@ func run() int {
 		delta        = flag.Float64("delta", 1e-6, "per-stream privacy parameter δ")
 		horizon      = flag.Int("horizon", 100000, "per-stream horizon T")
 		dim          = flag.Int("dim", 16, "covariate dimension d")
+		outcomes     = flag.Int("outcomes", 0, "response columns k per row (requires -mechanism multi-outcome when above 1; 0/1 = single outcome)")
 		radius       = flag.Float64("radius", 1, "L2 constraint-ball radius")
 		seed         = flag.Int64("seed", 42, "pool template seed (per-stream seeds derive from it)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for pool state: per-stream segments + manifest (empty disables persistence)")
@@ -204,6 +205,7 @@ func run() int {
 			Delta:     *delta,
 			Horizon:   *horizon,
 			Dim:       *dim,
+			Outcomes:  *outcomes,
 			Radius:    *radius,
 			Seed:      *seed,
 		},

@@ -34,7 +34,7 @@ func ExampleNew() {
 	// Output:
 	// mechanism: gradient
 	// observations: 2
-	// registry: [gradient projected robust-projected generic-erm naive-recompute nonprivate]
+	// registry: [gradient projected robust-projected generic-erm naive-recompute multi-outcome nonprivate]
 }
 
 // ExampleNewPool demonstrates the multi-stream manager: one private estimator

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"privreg/internal/codec"
+	"privreg/internal/constraint"
+	"privreg/internal/dp"
+	"privreg/internal/erm"
+	"privreg/internal/loss"
+	"privreg/internal/randx"
+	"privreg/internal/vec"
+)
+
+// MultiOutcome is the PRIMO-style multi-outcome engine: one feature stream X
+// serving k least-squares regressions y_1..y_k under a shared privacy budget.
+// The feature-side sufficient statistics — the Gram matrix Σ x xᵀ and the
+// count — are maintained once (erm.MultiStats); each outcome adds only its
+// O(d) cross-moment vector, so ObserveMulti costs one O(d²) rank-one update
+// plus k O(d) vector folds instead of k full estimator updates.
+//
+// Privacy composes per outcome first, then per boundary: the total (ε, δ)
+// budget is split across the k outcomes by advanced composition, and each
+// outcome's share is split across its T/τ boundary solves exactly as
+// GenericERM splits a single-outcome budget. Each outcome's solve noise is
+// keyed by (SubKey(key, outcome), invocation), so per-outcome estimates are
+// lazy and memoized with the same deferral/skip semantics as GenericERM: a
+// boundary snapshots the shared statistics once, and outcome i solves against
+// that snapshot only when EstimateOutcome(i) is called — outcomes nobody
+// reads never solve, and a later boundary supersedes an unread one.
+//
+// The mechanism is least-squares by construction (the shared-Gram
+// factorization is what makes amortization possible), so it rejects
+// configuration with any other loss at the registry layer.
+type MultiOutcome struct {
+	f          loss.Function // loss.Squared{}; fixed
+	c          constraint.Set
+	privacy    dp.Params
+	perOutcome dp.Params
+	perCall    dp.Params
+	horizon    int
+	tau        int
+	k          int
+
+	batchOpts erm.PrivateBatchOptions
+	key       int64
+	solver    *erm.Solver
+
+	t     int
+	stats *erm.MultiStats
+	// pend is the boundary snapshot every outcome solves against. Unlike
+	// GenericERM's pending snapshot it is never "consumed": solving outcome i
+	// must leave the snapshot in place for the other k−1 outcomes, so each
+	// outcome tracks the last invocation it solved (solvedInv) and re-solves
+	// only when the snapshot has moved past it.
+	pend      *erm.MultiStats
+	pendInv   uint64 // invocation index of pend; 0 = no boundary reached yet
+	solvedInv []uint64
+	current   []vec.Vector
+	xbuf      vec.Vector
+	ybuf      []float64
+}
+
+// MultiOptions configures MultiOutcome.
+type MultiOptions struct {
+	// Tau is the recomputation period τ; zero selects TauForLoss on the
+	// squared loss, as GenericERM does.
+	Tau int
+	// Batch configures the private batch ERM solver.
+	Batch erm.PrivateBatchOptions
+}
+
+// NewMultiOutcome returns the multi-outcome engine for k outcomes over
+// constraint set c with total budget p and stream horizon T. The source seeds
+// the mechanism's noise key (derived once; the source is not retained).
+func NewMultiOutcome(c constraint.Set, outcomes int, p dp.Params, horizon int, src *randx.Source, opts MultiOptions) (*MultiOutcome, error) {
+	if c == nil {
+		return nil, errors.New("core: nil constraint set")
+	}
+	if outcomes < 1 {
+		return nil, fmt.Errorf("core: outcome count must be at least 1, got %d", outcomes)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("core: horizon must be positive, got %d", horizon)
+	}
+	if src == nil {
+		return nil, errors.New("core: nil randomness source")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	f := loss.Squared{}
+	perOutcome, err := dp.PerInvocationAdvanced(p, outcomes)
+	if err != nil {
+		return nil, err
+	}
+	tau := opts.Tau
+	if tau <= 0 {
+		tau = TauForLoss(f, c, horizon, perOutcome)
+	}
+	tau = clampTau(tau, horizon)
+	calls := horizon / tau
+	if calls < 1 {
+		calls = 1
+	}
+	perCall, err := dp.PerInvocationAdvanced(perOutcome, calls)
+	if err != nil {
+		return nil, err
+	}
+	d := c.Dim()
+	m := &MultiOutcome{
+		f:          f,
+		c:          c,
+		privacy:    p,
+		perOutcome: perOutcome,
+		perCall:    perCall,
+		horizon:    horizon,
+		tau:        tau,
+		k:          outcomes,
+		batchOpts:  opts.Batch,
+		key:        src.DeriveKey(),
+		solver:     erm.NewSolver(c),
+		stats:      erm.NewMultiStats(d, outcomes),
+		pend:       erm.NewMultiStats(d, outcomes),
+		solvedInv:  make([]uint64, outcomes),
+		current:    make([]vec.Vector, outcomes),
+		xbuf:       vec.NewVector(d),
+		ybuf:       make([]float64, outcomes),
+	}
+	origin := c.Project(vec.NewVector(d))
+	for i := range m.current {
+		m.current[i] = origin.Clone()
+	}
+	return m, nil
+}
+
+// Name implements Estimator.
+func (m *MultiOutcome) Name() string { return "multi-outcome" }
+
+// Outcomes returns k.
+func (m *MultiOutcome) Outcomes() int { return m.k }
+
+// Tau returns the recomputation period in use.
+func (m *MultiOutcome) Tau() int { return m.tau }
+
+// PerOutcomePrivacy returns each outcome's share of the total budget.
+func (m *MultiOutcome) PerOutcomePrivacy() dp.Params { return m.perOutcome }
+
+// PerCallPrivacy returns the per-boundary-solve budget of one outcome.
+func (m *MultiOutcome) PerCallPrivacy() dp.Params { return m.perCall }
+
+// ObserveMulti feeds one row: the covariate x with all k responses. The
+// covariate is clamped into the unit ball once and folded into the shared
+// Gram statistics once; each response is clamped into [-1, 1] and folded into
+// its outcome's O(d) moments. A τ boundary snapshots the statistics and
+// defers every outcome's solve to its next EstimateOutcome.
+func (m *MultiOutcome) ObserveMulti(x vec.Vector, ys []float64) error {
+	if len(ys) != m.k {
+		return fmt.Errorf("core: row carries %d outcomes, mechanism has %d", len(ys), m.k)
+	}
+	if m.t >= m.horizon {
+		return ErrStreamFull
+	}
+	m.t++
+	clampInto(m.xbuf, x, 0)
+	for i, y := range ys {
+		if y > 1 {
+			y = 1
+		} else if y < -1 {
+			y = -1
+		}
+		m.ybuf[i] = y
+	}
+	m.stats.Add(m.xbuf, m.ybuf)
+	if m.t%m.tau == 0 {
+		m.pend.CopyFrom(m.stats)
+		m.pendInv = uint64(m.t / m.tau)
+	}
+	return nil
+}
+
+// ObserveMultiFlat feeds a contiguous run of rows: flat row-major covariates
+// (rows×d) and flat row-major responses (rows×k). Semantically identical to
+// calling ObserveMulti row by row; the horizon check is hoisted so an
+// oversized batch is rejected whole.
+func (m *MultiOutcome) ObserveMultiFlat(xs, ys []float64) error {
+	d := m.c.Dim()
+	if d == 0 || len(xs)%d != 0 {
+		return fmt.Errorf("core: flat batch of %d values is not a multiple of dimension %d", len(xs), d)
+	}
+	rows := len(xs) / d
+	if len(ys) != rows*m.k {
+		return fmt.Errorf("core: flat batch of %d rows carries %d responses, want %d", rows, len(ys), rows*m.k)
+	}
+	if m.t+rows > m.horizon {
+		return ErrStreamFull
+	}
+	for r := 0; r < rows; r++ {
+		if err := m.ObserveMulti(xs[r*d:(r+1)*d], ys[r*m.k:(r+1)*m.k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EstimateOutcome returns outcome i's current private estimate, running the
+// deferred boundary solve for that outcome if its memo is stale. The solve is
+// keyed by (SubKey(key, i), pendInv), so it produces the bits an eager
+// boundary-time solve would, regardless of when — or in what outcome order —
+// the estimates are read.
+func (m *MultiOutcome) EstimateOutcome(i int) (vec.Vector, error) {
+	if i < 0 || i >= m.k {
+		return nil, fmt.Errorf("core: outcome index %d outside [0, %d)", i, m.k)
+	}
+	if m.solvedInv[i] < m.pendInv {
+		theta, err := m.solver.SolveStats(m.f, m.pend.Outcome(i), m.perCall, randx.SubKey(m.key, uint64(i)), m.pendInv, m.batchOpts)
+		if err != nil {
+			return nil, err
+		}
+		m.current[i] = theta
+		m.solvedInv[i] = m.pendInv
+	}
+	return m.current[i].Clone(), nil
+}
+
+// Observe implements Estimator for the k = 1 degenerate case; a multi-outcome
+// mechanism with more outcomes needs the full row and rejects scalar feeds.
+func (m *MultiOutcome) Observe(p loss.Point) error {
+	if m.k != 1 {
+		return fmt.Errorf("core: multi-outcome mechanism with %d outcomes requires ObserveMulti rows", m.k)
+	}
+	m.ybuf[0] = p.Y
+	return m.ObserveMulti(p.X, m.ybuf[:1])
+}
+
+// ObserveBatch implements Estimator; see Observe.
+func (m *MultiOutcome) ObserveBatch(ps []loss.Point) error {
+	if m.k != 1 {
+		return fmt.Errorf("core: multi-outcome mechanism with %d outcomes requires ObserveMulti rows", m.k)
+	}
+	if m.t+len(ps) > m.horizon {
+		return ErrStreamFull
+	}
+	for _, p := range ps {
+		if err := m.Observe(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Estimate implements Estimator: outcome 0's estimate.
+func (m *MultiOutcome) Estimate() (vec.Vector, error) { return m.EstimateOutcome(0) }
+
+// Len implements Estimator: the number of rows observed (each row carries k
+// responses but consumes one timestep of the shared horizon).
+func (m *MultiOutcome) Len() int { return m.t }
+
+// Privacy implements Estimator: the total budget covering all k outcomes.
+func (m *MultiOutcome) Privacy() dp.Params { return m.privacy }
+
+// StateBytes reports the retained per-stream memory: live and snapshot
+// statistics (one shared triangle + k moment vectors each) plus the k
+// memoized estimates.
+func (m *MultiOutcome) StateBytes() int {
+	b := m.stats.Bytes() + m.pend.Bytes()
+	for _, cur := range m.current {
+		b += 8 * len(cur)
+	}
+	return b
+}
+
+// multiOutcomeStateVersion is the MultiOutcome checkpoint format version.
+const multiOutcomeStateVersion = 1
+
+// MarshalBinary implements Estimator: the noise key, the row count, each
+// outcome's memoized estimate and solved-invocation watermark, the live
+// statistics, and — when a boundary has been reached — the pending snapshot.
+// The blob is O(d² + k·d), flat in t.
+func (m *MultiOutcome) MarshalBinary() ([]byte, error) {
+	var w codec.Writer
+	w.Version(multiOutcomeStateVersion)
+	w.String(m.Name())
+	w.Int(m.c.Dim())
+	w.Int(m.horizon)
+	w.Int(m.tau)
+	w.Int(m.k)
+	w.I64(m.key)
+	w.Int(m.t)
+	for i := 0; i < m.k; i++ {
+		w.F64s(m.current[i])
+		w.U64(m.solvedInv[i])
+	}
+	blob, err := m.stats.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	w.Blob(blob)
+	w.U64(m.pendInv)
+	if m.pendInv > 0 {
+		pb, err := m.pend.MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		w.Blob(pb)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary implements Estimator. The noise key travels in the
+// checkpoint, so a mechanism restored under a different seed still continues
+// bit-identically.
+func (m *MultiOutcome) UnmarshalBinary(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(multiOutcomeStateVersion)
+	r.ExpectString("mechanism", m.Name())
+	r.ExpectInt("dimension", m.c.Dim())
+	r.ExpectInt("horizon", m.horizon)
+	r.ExpectInt("recomputation period", m.tau)
+	r.ExpectInt("outcome count", m.k)
+	key := r.I64()
+	t := r.Int()
+	current := make([]vec.Vector, m.k)
+	solved := make([]uint64, m.k)
+	for i := 0; i < m.k; i++ {
+		current[i] = vec.Vector(r.F64s())
+		solved[i] = r.U64()
+	}
+	blob := r.Blob()
+	pendInv := r.U64()
+	var pendBlob []byte
+	if r.Err() == nil && pendInv > 0 {
+		pendBlob = r.Blob()
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if t < 0 || t > m.horizon {
+		return errors.New("core: corrupt checkpoint")
+	}
+	for i := 0; i < m.k; i++ {
+		if len(current[i]) != m.c.Dim() || solved[i] > pendInv {
+			return errors.New("core: corrupt checkpoint")
+		}
+	}
+	if err := m.stats.UnmarshalState(blob); err != nil {
+		return err
+	}
+	if m.stats.Len() != t {
+		return errors.New("core: checkpoint statistics count disagrees with timestep")
+	}
+	if pendInv > 0 {
+		if err := m.pend.UnmarshalState(pendBlob); err != nil {
+			return err
+		}
+	} else {
+		m.pend.Reset()
+	}
+	m.key = key
+	m.t = t
+	m.current = current
+	m.solvedInv = solved
+	m.pendInv = pendInv
+	return nil
+}

@@ -1,0 +1,155 @@
+package erm
+
+import (
+	"errors"
+
+	"privreg/internal/codec"
+	"privreg/internal/vec"
+)
+
+// MultiStats maintains the sufficient statistics of k quadratic empirical
+// risks that share one feature stream (the PRIMO setting: one X, k outcome
+// vectors). The feature-side state — the second-moment matrix A = Σ x xᵀ and
+// the count n — is held once; each outcome i adds only its cross-moment
+// B_i = Σ y_i·x and response energy Σ y_i². Folding a row (x, y_1..y_k) is
+// one O(d²) rank-one update plus k O(d) vector folds, against k·O(d²) for k
+// independent QuadraticStats.
+//
+// Outcome(i) exposes outcome i as a *QuadraticStats whose matrix aliases the
+// shared A, so Solver.SolveStats serves each outcome unchanged.
+type MultiStats struct {
+	a    *vec.SymMatrix
+	n    int
+	bs   []vec.Vector
+	yys  []float64
+	view []QuadraticStats // per-outcome views over the shared a; scalars refreshed on access
+}
+
+// NewMultiStats returns empty statistics for dimension d and k outcomes.
+func NewMultiStats(d, k int) *MultiStats {
+	if k < 1 {
+		panic("erm: MultiStats needs at least one outcome")
+	}
+	m := &MultiStats{
+		a:    vec.NewSymMatrix(d),
+		bs:   make([]vec.Vector, k),
+		yys:  make([]float64, k),
+		view: make([]QuadraticStats, k),
+	}
+	for i := range m.bs {
+		m.bs[i] = vec.NewVector(d)
+		m.view[i] = QuadraticStats{a: m.a, b: m.bs[i]}
+	}
+	return m
+}
+
+// Dim returns the covariate dimension.
+func (m *MultiStats) Dim() int { return m.a.Dim() }
+
+// Outcomes returns k.
+func (m *MultiStats) Outcomes() int { return len(m.bs) }
+
+// Len returns the number of folded rows.
+func (m *MultiStats) Len() int { return m.n }
+
+// Add folds one row into the statistics: the shared matrix once, then each
+// outcome's vector moments in index order. len(ys) must equal Outcomes().
+func (m *MultiStats) Add(x vec.Vector, ys []float64) {
+	if len(x) != m.a.Dim() {
+		panic("erm: MultiStats dimension mismatch")
+	}
+	if len(ys) != len(m.bs) {
+		panic("erm: MultiStats outcome count mismatch")
+	}
+	m.n++
+	m.a.AddScaledOuter(1, x)
+	for i, y := range ys {
+		vec.Axpy(m.bs[i], y, x)
+		m.yys[i] += y * y
+	}
+}
+
+// Outcome returns outcome i's statistics as a QuadraticStats view. The view
+// aliases the shared matrix and the outcome's moment vector — it is valid
+// until the next Add/CopyFrom/Reset/UnmarshalState, and must not be mutated
+// through QuadraticStats methods.
+func (m *MultiStats) Outcome(i int) *QuadraticStats {
+	v := &m.view[i]
+	v.yy = m.yys[i]
+	v.n = m.n
+	return v
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *MultiStats) CopyFrom(src *MultiStats) {
+	if m.a.Dim() != src.a.Dim() || len(m.bs) != len(src.bs) {
+		panic("erm: MultiStats CopyFrom shape mismatch")
+	}
+	m.a.CopyFrom(src.a)
+	for i := range m.bs {
+		m.bs[i].CopyFrom(src.bs[i])
+		m.yys[i] = src.yys[i]
+	}
+	m.n = src.n
+}
+
+// Reset empties the statistics.
+func (m *MultiStats) Reset() {
+	m.a.Zero()
+	for i := range m.bs {
+		for j := range m.bs[i] {
+			m.bs[i][j] = 0
+		}
+		m.yys[i] = 0
+	}
+	m.n = 0
+}
+
+// Bytes returns the retained memory of the statistics: one packed triangle
+// plus k cross-moment vectors (8 bytes per float64).
+func (m *MultiStats) Bytes() int {
+	return 8 * (len(m.a.Data()) + len(m.bs)*m.a.Dim())
+}
+
+// multiStatsVersion is the MultiStats checkpoint format version.
+const multiStatsVersion = 1
+
+// MarshalState serializes the statistics: the shared feature-side state once,
+// then the k per-outcome moments. The blob is O(d² + k·d) regardless of how
+// many rows were folded.
+func (m *MultiStats) MarshalState() ([]byte, error) {
+	var w codec.Writer
+	w.Version(multiStatsVersion)
+	w.Int(m.Dim())
+	w.Int(len(m.bs))
+	w.Int(m.n)
+	w.F64s(m.a.Data())
+	for i := range m.bs {
+		w.F64s(m.bs[i])
+		w.F64(m.yys[i])
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalState restores statistics captured by MarshalState into a receiver
+// of the same shape.
+func (m *MultiStats) UnmarshalState(data []byte) error {
+	r := codec.NewReader(data)
+	r.Version(multiStatsVersion)
+	r.ExpectInt("dimension", m.Dim())
+	r.ExpectInt("outcome count", len(m.bs))
+	n := r.Int()
+	r.F64sInto(m.a.Data())
+	for i := range m.bs {
+		r.F64sInto(m.bs[i])
+		m.yys[i] = r.F64()
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if n < 0 {
+		return errors.New("erm: corrupt checkpoint (negative observation count)")
+	}
+	m.n = n
+	return nil
+}

@@ -44,3 +44,74 @@ func TestObserveHandlerAllocs(t *testing.T) {
 		t.Fatalf("observe handler allocates %.0f times per request, budget %d", allocs, budget)
 	}
 }
+
+// TestWireObserveAllocs is the same guard for the binary front-end, where
+// the whole point of the frame format is zero-copy ingest: one pipelined
+// observe round trip (client encode → TCP → frame decode → pooled row
+// buffers → ingest queue → pool apply → ack encode) has a much tighter
+// budget than the JSON path because nothing on the hot path should allocate
+// besides the per-request bookkeeping on both ends. AllocsPerRun counts
+// process-wide mallocs, so the budget covers client and server together; a
+// jump here means a pooled frame or row buffer stopped being reused.
+func TestWireObserveAllocs(t *testing.T) {
+	spec := testSpec()
+	spec.Horizon = 1 << 20
+	s, _ := newTestServer(t, Config{Spec: spec})
+	c := dialWire(t, startWire(t, s))
+
+	const rows = 4
+	flat := make([]float64, 0, rows*4)
+	ys := make([]float64, 0, rows)
+	for i := 0; i < rows; i++ {
+		x, y := point(i, 4)
+		flat = append(flat, x...)
+		ys = append(ys, y)
+	}
+
+	run := func() {
+		if _, _, err := c.Observe("w1", flat, ys); err != nil {
+			t.Fatalf("wire observe: %v", err)
+		}
+	}
+	run() // warm up: stream creation, connection scratch, pooled buffers
+
+	// Measured ≈ 11 allocs/round-trip on go1.24 linux/amd64; headroom for
+	// Go-version and scheduler drift without masking a lost pooled buffer.
+	const budget = 30
+	if allocs := testing.AllocsPerRun(100, run); allocs > budget {
+		t.Fatalf("wire observe allocates %.0f times per round trip, budget %d", allocs, budget)
+	}
+}
+
+// TestWireObserveMultiAllocs pins the multi-outcome wire path to the same
+// regime: k response columns per row must not change the allocation shape,
+// only the size of the pooled buffers.
+func TestWireObserveMultiAllocs(t *testing.T) {
+	spec := testSpec()
+	spec.Mechanism = "multi-outcome"
+	spec.Outcomes = 4
+	spec.Horizon = 1 << 20
+	s, _ := newTestServer(t, Config{Spec: spec})
+	c := dialWire(t, startWire(t, s))
+
+	const rows = 4
+	flat := make([]float64, 0, rows*4)
+	ys := make([]float64, 0, rows*4)
+	for i := 0; i < rows; i++ {
+		x, yrow := SyntheticPointMulti("w2", i, 4, 4)
+		flat = append(flat, x...)
+		ys = append(ys, yrow...)
+	}
+
+	run := func() {
+		if _, _, err := c.Observe("w2", flat, ys); err != nil {
+			t.Fatalf("wire multi observe: %v", err)
+		}
+	}
+	run()
+
+	const budget = 30
+	if allocs := testing.AllocsPerRun(100, run); allocs > budget {
+		t.Fatalf("wire multi observe allocates %.0f times per round trip, budget %d", allocs, budget)
+	}
+}

@@ -138,9 +138,11 @@ type clusterState struct {
 }
 
 // replayEntry is one owner-applied batch buffered on a standby: the stream
-// length before the batch plus its rows (flat row-major covariates).
+// length before the batch plus its rows (flat row-major covariates; ys holds
+// the pool's outcome count of responses per row).
 type replayEntry struct {
 	start int64
+	rows  int
 	xs    []float64
 	ys    []float64
 }
@@ -278,16 +280,17 @@ func (cs *clusterState) replayInto(id string) int {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].start < entries[j].start })
 	applied := 0
 	for _, e := range entries {
-		cur := int64(cs.s.pool.Len(id))
+		n, _ := cs.s.pool.LenOK(id)
+		cur := int64(n)
 		switch {
-		case e.start+int64(len(e.ys)) <= cur:
+		case e.start+int64(e.rows) <= cur:
 			continue // subsumed by the imported segment
 		case e.start != cur:
 			cs.s.logf("cluster: replay of %q stops at offset %d (next buffered batch starts at %d)", id, cur, e.start)
 			return applied
 		}
-		if err := cs.s.pool.ObserveFlat(id, cs.s.spec.Dim, e.xs, e.ys); err != nil {
-			cs.s.logf("cluster: replaying %d buffered rows into %q failed: %v", len(e.ys), id, err)
+		if err := cs.s.pool.ObserveMultiFlat(id, cs.s.spec.Dim, e.xs, e.ys); err != nil {
+			cs.s.logf("cluster: replaying %d buffered rows into %q failed: %v", e.rows, id, err)
 			return applied
 		}
 		applied++
@@ -405,10 +408,10 @@ func (cs *clusterState) forwardObserve(owner cluster.Node, id string, from int64
 	return applied, length, err
 }
 
-func (cs *clusterState) forwardEstimate(owner cluster.Node, id string) (est []float64, length int, err error) {
+func (cs *clusterState) forwardEstimate(owner cluster.Node, id string, outcome int) (est []float64, length int, err error) {
 	err = cs.withPeer(owner, func(c *wire.Client) error {
 		var e error
-		est, length, e = c.ForwardEstimate(id)
+		est, length, e = c.ForwardEstimate(id, outcome)
 		return e
 	})
 	if err != nil {
@@ -434,7 +437,7 @@ func (cs *clusterState) routeObserve(w http.ResponseWriter, id string, xs [][]fl
 	if owner.ID == cs.self.ID {
 		return false
 	}
-	flat := make([]float64, 0, len(ys)*cs.s.spec.Dim)
+	flat := make([]float64, 0, len(xs)*cs.s.spec.Dim)
 	for _, x := range xs {
 		flat = append(flat, x...)
 	}
@@ -447,8 +450,9 @@ func (cs *clusterState) routeObserve(w http.ResponseWriter, id string, xs [][]fl
 	return true
 }
 
-// routeEstimate is routeObserve for the estimate path.
-func (cs *clusterState) routeEstimate(w http.ResponseWriter, id string) bool {
+// routeObserveFlat is routeObserve for rows already flattened row-major (the
+// multi-outcome HTTP path): ys carries the pool's outcome count per row.
+func (cs *clusterState) routeObserveFlat(w http.ResponseWriter, id string, flatXs, ys []float64, from int64) bool {
 	if cs.importing.Load() > 0 {
 		writeVerdict(w, errImporting)
 		return true
@@ -457,7 +461,26 @@ func (cs *clusterState) routeEstimate(w http.ResponseWriter, id string) bool {
 	if owner.ID == cs.self.ID {
 		return false
 	}
-	est, length, err := cs.forwardEstimate(owner, id)
+	applied, length, err := cs.forwardObserve(owner, id, from, flatXs, ys)
+	if err != nil {
+		cs.writeForwardErr(w, err)
+		return true
+	}
+	writeJSON(w, http.StatusOK, observeResponse{Applied: applied, Len: length})
+	return true
+}
+
+// routeEstimate is routeObserve for the estimate path.
+func (cs *clusterState) routeEstimate(w http.ResponseWriter, id string, outcome int) bool {
+	if cs.importing.Load() > 0 {
+		writeVerdict(w, errImporting)
+		return true
+	}
+	owner := cs.ring.Load().Owner(id)
+	if owner.ID == cs.self.ID {
+		return false
+	}
+	est, length, err := cs.forwardEstimate(owner, id, outcome)
 	if err != nil {
 		cs.writeForwardErr(w, err)
 		return true
@@ -489,7 +512,7 @@ func (cs *clusterState) wireRouteObserve(c *wireCompletion, forwarded bool, from
 }
 
 // wireRouteEstimate is wireRouteObserve for the estimate path.
-func (cs *clusterState) wireRouteEstimate(c *wireCompletion, forwarded bool) bool {
+func (cs *clusterState) wireRouteEstimate(c *wireCompletion, forwarded bool, outcome int) bool {
 	if cs.importing.Load() > 0 {
 		c.err = errImporting
 		return true
@@ -501,7 +524,7 @@ func (cs *clusterState) wireRouteEstimate(c *wireCompletion, forwarded bool) boo
 	if owner.ID == cs.self.ID {
 		return false
 	}
-	c.est, c.length, c.err = cs.forwardEstimate(owner, c.id)
+	c.est, c.length, c.err = cs.forwardEstimate(owner, c.id, outcome)
 	c.err = forwardVerdict(c.err)
 	return true
 }
@@ -582,7 +605,7 @@ func (cs *clusterState) pruneReplay(id string, length int64) {
 	entries := cs.replay[id]
 	kept := entries[:0]
 	for _, e := range entries {
-		if e.start+int64(len(e.ys)) > length {
+		if e.start+int64(e.rows) > length {
 			kept = append(kept, e)
 		}
 	}
@@ -611,10 +634,15 @@ func (cs *clusterState) acceptReplicate(rep wire.Replicate) error {
 		return &wire.NackError{Code: wire.NackBadRequest,
 			Msg: fmt.Sprintf("replicate for stream %q, which this node owns under ring v%d", id, r.Version())}
 	}
+	if k := cs.s.spec.outcomes(); rep.Outcomes != k {
+		return &wire.NackError{Code: wire.NackBadRequest,
+			Msg: fmt.Sprintf("replicate rows for %q carry %d responses, pool serves %d outcomes", id, rep.Outcomes, k)}
+	}
 	e := replayEntry{
 		start: int64(rep.Start),
+		rows:  rep.Rows,
 		xs:    make([]float64, rep.Rows*cs.s.spec.Dim),
-		ys:    make([]float64, rep.Rows),
+		ys:    make([]float64, rep.Rows*rep.Outcomes),
 	}
 	if err := rep.DecodeRows(e.xs, e.ys); err != nil {
 		return err
@@ -647,7 +675,7 @@ func (cs *clusterState) replicateBatch(id string, start int64, r *ingestReq) {
 	if r.dim > 0 {
 		flat = r.flatXs
 	} else {
-		flat = make([]float64, 0, len(r.ys)*cs.s.spec.Dim)
+		flat = make([]float64, 0, r.rows()*cs.s.spec.Dim)
 		for i := 0; i < r.rows(); i++ {
 			flat = append(flat, r.row(i)...)
 		}

@@ -30,3 +30,24 @@ func SyntheticPoint(stream string, j, dim int) (x []float64, y float64) {
 	y = dot / float64(dim*dim)
 	return x, y
 }
+
+// SyntheticPointMulti is SyntheticPoint for a k-outcome pool: the covariate
+// is identical to SyntheticPoint's (the feature stream is shared), and
+// outcome o's response is a different fixed linear function of it — pure
+// arithmetic on (stream, j, o), so server and shadow pool derive the same k
+// response columns from the same inputs.
+func SyntheticPointMulti(stream string, j, dim, outcomes int) (x []float64, ys []float64) {
+	x, y0 := SyntheticPoint(stream, j, dim)
+	ys = make([]float64, outcomes)
+	ys[0] = y0
+	for o := 1; o < outcomes; o++ {
+		var dot float64
+		for k := 0; k < dim; k++ {
+			// Coefficient pattern rotated by the outcome index, so the k
+			// regressions have genuinely distinct targets.
+			dot += x[k] * float64((k+o)%dim+1)
+		}
+		ys[o] = dot / float64(dim*dim)
+	}
+	return x, ys
+}

@@ -127,9 +127,13 @@ func (in *ingester) noteApplied(points int) {
 // until done fires.
 type ingestReq struct {
 	xs     [][]float64
-	ys     []float64
-	flatXs []float64 // row-major len(ys)×dim covariates; used when dim > 0
+	ys     []float64 // responses, rows×outcomes values (outcomes ≤ 1 means one per row)
+	flatXs []float64 // row-major rows×dim covariates; used when dim > 0
 	dim    int
+	// outcomes is the response-column count per row of a multi-outcome
+	// request (0 or 1 is the classic single-outcome layout). Multi-outcome
+	// requests are always flat and are applied per request, never merged.
+	outcomes int
 	// from is the expected stream offset for conditional (exactly-once)
 	// ingest, or -1 for unconditional. A conditional request applies only when
 	// the stream's length equals from; a batch whose rows are already fully
@@ -145,7 +149,12 @@ type ingestReq struct {
 }
 
 // rows is the number of points the request carries in either layout.
-func (r *ingestReq) rows() int { return len(r.ys) }
+func (r *ingestReq) rows() int {
+	if r.outcomes > 1 {
+		return len(r.ys) / r.outcomes
+	}
+	return len(r.ys)
+}
 
 // row returns a view of covariate row i regardless of layout.
 func (r *ingestReq) row(i int) []float64 {
@@ -247,6 +256,27 @@ func (in *ingester) enqueue(id string, xs [][]float64, ys []float64, from int64)
 		return 0, nil
 	}
 	return len(xs), nil
+}
+
+// enqueueFlat is enqueue for a flat multi-outcome request: row-major
+// covariates (rows×dim) with outcomes responses per row. The returned applied
+// count is in rows.
+func (in *ingester) enqueueFlat(id string, dim int, flatXs, ys []float64, outcomes int, from int64) (applied int, err error) {
+	req := &ingestReq{flatXs: flatXs, ys: ys, dim: dim, outcomes: outcomes, from: from, done: make(chan error, 1)}
+	rows := req.rows()
+	if rows == 0 {
+		return 0, nil
+	}
+	if err := in.submit(id, req); err != nil {
+		return 0, err
+	}
+	if err := <-req.done; err != nil {
+		return 0, err
+	}
+	if req.dup {
+		return 0, nil
+	}
+	return rows, nil
 }
 
 // submit places a request in the stream's queue without waiting for
@@ -359,7 +389,8 @@ func (in *ingester) drainQueue(id string, q *streamQueue) {
 // conflict.
 func (in *ingester) applyOne(id string, r *ingestReq) error {
 	if r.from >= 0 {
-		cur := int64(in.pool.Len(id))
+		n, _ := in.pool.LenOK(id)
+		cur := int64(n)
 		switch {
 		case r.from == cur:
 			// Expected offset: fall through and apply.
@@ -373,9 +404,12 @@ func (in *ingester) applyOne(id string, r *ingestReq) error {
 		}
 	}
 	var err error
-	if r.dim > 0 {
+	switch {
+	case r.outcomes > 1:
+		err = in.pool.ObserveMultiFlat(id, r.dim, r.flatXs, r.ys)
+	case r.dim > 0:
 		err = in.pool.ObserveFlat(id, r.dim, r.flatXs, r.ys)
-	} else {
+	default:
 		err = in.pool.ObserveBatch(id, r.xs, r.ys)
 	}
 	return err
@@ -386,7 +420,8 @@ func (in *ingester) applyOne(id string, r *ingestReq) error {
 func (in *ingester) finishOne(id string, r *ingestReq) {
 	var start int64
 	if in.applied != nil {
-		start = int64(in.pool.Len(id))
+		n, _ := in.pool.LenOK(id)
+		start = int64(n)
 	}
 	err := in.applyOne(id, r)
 	if err == nil && !r.dup {
@@ -415,7 +450,9 @@ func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 	}
 	conditional := false
 	for _, r := range batch {
-		if r.from >= 0 {
+		// Multi-outcome requests apply per request like conditional ones:
+		// the nested merge below has no layout for k response columns.
+		if r.from >= 0 || r.outcomes > 1 {
 			conditional = true
 			break
 		}
@@ -431,7 +468,8 @@ func (in *ingester) apply(id string, batch []*ingestReq, points int) {
 		}
 		var start int64
 		if in.applied != nil {
-			start = int64(in.pool.Len(id))
+			n, _ := in.pool.LenOK(id)
+			start = int64(n)
 		}
 		if err := in.pool.ObserveBatch(id, xs, ys); err == nil {
 			in.met.addIngested(points, len(batch))

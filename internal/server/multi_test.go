@@ -1,0 +1,211 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func multiSpec() Spec {
+	sp := testSpec()
+	sp.Mechanism = "multi-outcome"
+	sp.Outcomes = 3
+	return sp
+}
+
+// TestMultiOutcomeHTTPWireShadowBitIdentical is the serving-layer correctness
+// property of the multi-outcome engine: the same k-response rows pushed over
+// HTTP/JSON (mixing the single {"x","ys"} and batch {"xs","yss"} forms), over
+// binary wire frames, and into a directly-constructed shadow pool leave all
+// three in bit-identical states for every outcome index.
+func TestMultiOutcomeHTTPWireShadowBitIdentical(t *testing.T) {
+	spec := multiSpec()
+	_, tsHTTP := newTestServer(t, Config{Spec: spec})
+	sWire, _ := newTestServer(t, Config{Spec: spec})
+	c := dialWire(t, startWire(t, sWire))
+	if c.Outcomes != spec.Outcomes {
+		t.Fatalf("handshake advertises %d outcomes, want %d", c.Outcomes, spec.Outcomes)
+	}
+
+	shadow, err := spec.NewPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const id, n, batch = "m0", 24, 5
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		var (
+			xs   [][]float64
+			yss  [][]float64
+			flat []float64
+			ys   []float64
+		)
+		for j := lo; j < hi; j++ {
+			x, yrow := SyntheticPointMulti(id, j, spec.Dim, spec.Outcomes)
+			xs = append(xs, x)
+			yss = append(yss, yrow)
+			flat = append(flat, x...)
+			ys = append(ys, yrow...)
+		}
+		// HTTP: first batch goes point-by-point through {"x","ys"}, the rest
+		// through {"xs","yss"} — both forms must land identically.
+		if lo == 0 {
+			for j := range xs {
+				body := map[string]any{"x": xs[j], "ys": yss[j]}
+				if code, raw := doJSON(t, "POST", tsHTTP.URL+"/v1/streams/"+id+"/observe", body, nil); code != http.StatusOK {
+					t.Fatalf("http single observe: %d %s", code, raw)
+				}
+			}
+		} else {
+			body := map[string]any{"xs": xs, "yss": yss}
+			if code, raw := doJSON(t, "POST", tsHTTP.URL+"/v1/streams/"+id+"/observe", body, nil); code != http.StatusOK {
+				t.Fatalf("http batch observe: %d %s", code, raw)
+			}
+		}
+		applied, length, err := c.Observe(id, flat, ys)
+		if err != nil {
+			t.Fatalf("wire observe [%d:%d]: %v", lo, hi, err)
+		}
+		if applied != hi-lo || length != hi {
+			t.Fatalf("wire ack: applied %d len %d, want %d %d", applied, length, hi-lo, hi)
+		}
+		if err := shadow.ObserveMultiFlat(id, spec.Dim, flat, ys); err != nil {
+			t.Fatalf("shadow observe: %v", err)
+		}
+	}
+
+	for o := 0; o < spec.Outcomes; o++ {
+		want, err := shadow.EstimateOutcome(id, o)
+		if err != nil {
+			t.Fatalf("shadow estimate outcome %d: %v", o, err)
+		}
+		var httpEst estimateResponse
+		url := fmt.Sprintf("%s/v1/streams/%s/estimate?outcome=%d", tsHTTP.URL, id, o)
+		if code, raw := doJSON(t, "GET", url, nil, &httpEst); code != http.StatusOK {
+			t.Fatalf("http estimate outcome %d: %d %s", o, code, raw)
+		}
+		wireEst, length, err := c.EstimateOutcome(id, o)
+		if err != nil {
+			t.Fatalf("wire estimate outcome %d: %v", o, err)
+		}
+		if length != n || httpEst.Len != n {
+			t.Fatalf("outcome %d: wire len %d http len %d, want %d", o, length, httpEst.Len, n)
+		}
+		if len(want) != spec.Dim || len(httpEst.Estimate) != spec.Dim || len(wireEst) != spec.Dim {
+			t.Fatalf("outcome %d: estimate dims %d/%d/%d", o, len(want), len(httpEst.Estimate), len(wireEst))
+		}
+		for k := range want {
+			if httpEst.Estimate[k] != want[k] {
+				t.Fatalf("outcome %d coord %d: http %v != shadow %v (not bit-identical)", o, k, httpEst.Estimate[k], want[k])
+			}
+			if wireEst[k] != want[k] {
+				t.Fatalf("outcome %d coord %d: wire %v != shadow %v (not bit-identical)", o, k, wireEst[k], want[k])
+			}
+		}
+	}
+
+	// Outcome 0 is the default: a bare estimate must match it exactly.
+	def, _, err := c.Estimate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, _, err := c.EstimateOutcome(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range def {
+		if def[k] != zero[k] {
+			t.Fatalf("coord %d: default estimate %v != outcome-0 estimate %v", k, def[k], zero[k])
+		}
+	}
+}
+
+// TestMultiOutcomeHTTPValidation exercises the admission checks of the
+// multi-outcome JSON forms and the estimate outcome parameter.
+func TestMultiOutcomeHTTPValidation(t *testing.T) {
+	spec := multiSpec()
+	_, ts := newTestServer(t, Config{Spec: spec})
+
+	x, yrow := SyntheticPointMulti("v0", 0, spec.Dim, spec.Outcomes)
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/streams/v0/observe", map[string]any{"x": x, "ys": yrow}, nil); code != http.StatusOK {
+		t.Fatalf("seed observe: %d %s", code, raw)
+	}
+
+	cases := []struct {
+		name string
+		body map[string]any
+	}{
+		{"short ys", map[string]any{"x": x, "ys": yrow[:2]}},
+		{"scalar y on multi pool", map[string]any{"x": x, "y": 0.5}},
+		{"batch ys on multi pool", map[string]any{"xs": [][]float64{x}, "ys": []float64{0.5}}},
+		{"ragged yss", map[string]any{"xs": [][]float64{x}, "yss": [][]float64{yrow[:1]}}},
+		{"row count mismatch", map[string]any{"xs": [][]float64{x, x}, "yss": [][]float64{yrow}}},
+	}
+	for _, tc := range cases {
+		if code, _ := doJSON(t, "POST", ts.URL+"/v1/streams/v0/observe", tc.body, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s: code %d, want 400", tc.name, code)
+		}
+	}
+
+	for _, q := range []string{"outcome=3", "outcome=-1", "outcome=x"} {
+		if code, _ := doJSON(t, "GET", ts.URL+"/v1/streams/v0/estimate?"+q, nil, nil); code != http.StatusBadRequest {
+			t.Fatalf("estimate?%s: code %d, want 400", q, code)
+		}
+	}
+
+	// The single-outcome server must reject the multi forms symmetrically.
+	_, ts1 := newTestServer(t, Config{})
+	if code, _ := doJSON(t, "POST", ts1.URL+"/v1/streams/v1/observe", map[string]any{"xs": [][]float64{x}, "yss": [][]float64{yrow[:1]}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("yss on single-outcome pool: code %d, want 400", code)
+	}
+	if code, _ := doJSON(t, "GET", ts1.URL+"/v1/streams/v1/estimate?outcome=1", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("outcome=1 on single-outcome pool: code %d, want 400", code)
+	}
+}
+
+// TestMultiOutcomeWireValidation checks the binary-path admission: rows whose
+// response-column count disagrees with the pool shape are nacked without
+// killing the connection, and out-of-range outcome indices fail permanently.
+func TestMultiOutcomeWireValidation(t *testing.T) {
+	spec := multiSpec()
+	s, _ := newTestServer(t, Config{Spec: spec})
+	c := dialWire(t, startWire(t, s))
+
+	x, yrow := SyntheticPointMulti("w0", 0, spec.Dim, spec.Outcomes)
+	if _, _, err := c.Observe("w0", x, yrow); err != nil {
+		t.Fatalf("valid observe: %v", err)
+	}
+	// Client-side shape check: a row with the wrong number of responses.
+	if _, _, err := c.Observe("w0", x, yrow[:2]); err == nil {
+		t.Fatal("short response row accepted")
+	}
+	if _, _, err := c.EstimateOutcome("w0", spec.Outcomes); err == nil {
+		t.Fatal("out-of-range outcome accepted")
+	}
+	// The connection must survive the rejected requests.
+	if _, _, err := c.EstimateOutcome("w0", spec.Outcomes-1); err != nil {
+		t.Fatalf("connection dead after rejected requests: %v", err)
+	}
+}
+
+// TestMultiOutcomeSpecValidation pins the config-level guard: outcome counts
+// above 1 require the multi-outcome mechanism.
+func TestMultiOutcomeSpecValidation(t *testing.T) {
+	sp := testSpec()
+	sp.Outcomes = 2
+	if err := sp.Validate(); err == nil {
+		t.Fatal("gradient spec with outcomes=2 validated")
+	}
+	sp = multiSpec()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("multi-outcome spec rejected: %v", err)
+	}
+	sp.Outcomes = -1
+	if err := sp.Validate(); err == nil {
+		t.Fatal("negative outcome count validated")
+	}
+}

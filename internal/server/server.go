@@ -20,6 +20,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,19 @@ type Spec struct {
 	Radius float64 `json:"radius"`
 	// Seed is the pool template seed; per-stream seeds derive from it.
 	Seed int64 `json:"seed"`
+	// Outcomes is the response-column count k of a multi-outcome pool: every
+	// observed row carries k responses, served by k regressions sharing one
+	// feature-side state. 0 or 1 serves a single outcome; values above 1
+	// require a multi-outcome-capable mechanism.
+	Outcomes int `json:"outcomes,omitempty"`
+}
+
+// outcomes is the normalized response-column count (always ≥ 1).
+func (sp Spec) outcomes() int {
+	if sp.Outcomes > 1 {
+		return sp.Outcomes
+	}
+	return 1
 }
 
 // Validate canonicalizes the mechanism name and checks the closed parameter
@@ -76,6 +90,12 @@ func (sp *Spec) Validate() error {
 	if !(sp.Radius > 0) || math.IsInf(sp.Radius, 0) {
 		return fmt.Errorf("server: constraint radius must be a positive finite number, got %v", sp.Radius)
 	}
+	if sp.Outcomes < 0 {
+		return fmt.Errorf("server: outcome count must be non-negative, got %d", sp.Outcomes)
+	}
+	if sp.Outcomes > 1 && !info.MultiOutcome {
+		return fmt.Errorf("server: mechanism %q serves a single outcome; outcomes=%d requires the multi-outcome mechanism", info.Name, sp.Outcomes)
+	}
 	return nil
 }
 
@@ -95,6 +115,9 @@ func (sp Spec) Options() ([]privreg.Option, error) {
 	}
 	if info.NeedsDomain {
 		opts = append(opts, privreg.WithDomain(privreg.UnitBallDomain(sp.Dim)))
+	}
+	if sp.Outcomes > 1 {
+		opts = append(opts, privreg.WithOutcomes(sp.Outcomes))
 	}
 	return opts, nil
 }
@@ -432,10 +455,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // else is a 409 conflict), which makes retries exactly-once across
 // forwarding hops and standby promotion.
 type observeRequest struct {
-	X    []float64   `json:"x,omitempty"`
-	Y    *float64    `json:"y,omitempty"`
-	Xs   [][]float64 `json:"xs,omitempty"`
-	Ys   []float64   `json:"ys,omitempty"`
+	X  []float64   `json:"x,omitempty"`
+	Y  *float64    `json:"y,omitempty"`
+	Xs [][]float64 `json:"xs,omitempty"`
+	Ys []float64   `json:"ys,omitempty"`
+	// Yss carries per-row response vectors for a multi-outcome pool: row i of
+	// a batch pairs Xs[i] with the k responses Yss[i]. On a multi-outcome
+	// pool the single-point form pairs "x" with the k responses "ys".
+	Yss  [][]float64 `json:"yss,omitempty"`
 	From *int64      `json:"from,omitempty"`
 }
 
@@ -457,6 +484,10 @@ type observeScratch struct {
 	req  observeRequest
 	xs1  [1][]float64
 	ys1  [1]float64
+	// flatXs/flatYs are the row-major flattened buffers of the multi-outcome
+	// path, which travels through ObserveMultiFlat instead of nested rows.
+	flatXs []float64
+	flatYs []float64
 }
 
 var observeScratchPool = sync.Pool{New: func() any { return new(observeScratch) }}
@@ -483,6 +514,7 @@ func (s *Server) decodeObserve(sc *observeScratch, r *http.Request) ([][]float64
 	req.Y = nil
 	req.Xs = req.Xs[:0]
 	req.Ys = req.Ys[:0]
+	req.Yss = req.Yss[:0]
 	req.From = nil
 	dec := json.NewDecoder(bytes.NewReader(sc.body.Bytes()))
 	dec.DisallowUnknownFields()
@@ -495,6 +527,9 @@ func (s *Server) decodeObserve(sc *observeScratch, r *http.Request) ([][]float64
 			return nil, nil, -1, fmt.Errorf(`server: "from" must be a non-negative stream offset, got %d`, *req.From)
 		}
 		from = *req.From
+	}
+	if len(req.Yss) > 0 {
+		return nil, nil, -1, errors.New(`server: "yss" is the multi-outcome batch form; this pool serves a single outcome (use "ys")`)
 	}
 	single := len(req.X) > 0 || req.Y != nil
 	batch := len(req.Xs) > 0 || len(req.Ys) > 0
@@ -524,6 +559,76 @@ func (s *Server) decodeObserve(sc *observeScratch, r *http.Request) ([][]float64
 	return xs, ys, from, nil
 }
 
+// decodeObserveMulti is decodeObserve for a k-outcome pool: a single point is
+// {"x", "ys"} (k responses), a batch is {"xs", "yss"} (k responses per row).
+// Rows are flattened into the scratch's row-major buffers, which feed
+// ObserveMultiFlat — multi-outcome rows are flat end to end.
+func (s *Server) decodeObserveMulti(sc *observeScratch, r *http.Request) (flatXs, ys []float64, from int64, err error) {
+	k := s.spec.outcomes()
+	sc.body.Reset()
+	if _, err := sc.body.ReadFrom(r.Body); err != nil {
+		return nil, nil, -1, fmt.Errorf("server: reading observe body: %w", err)
+	}
+	req := &sc.req
+	req.X = req.X[:0]
+	req.Y = nil
+	req.Xs = req.Xs[:0]
+	req.Ys = req.Ys[:0]
+	req.Yss = req.Yss[:0]
+	req.From = nil
+	dec := json.NewDecoder(bytes.NewReader(sc.body.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return nil, nil, -1, fmt.Errorf("server: decoding observe body: %w", err)
+	}
+	from = int64(-1)
+	if req.From != nil {
+		if *req.From < 0 {
+			return nil, nil, -1, fmt.Errorf(`server: "from" must be a non-negative stream offset, got %d`, *req.From)
+		}
+		from = *req.From
+	}
+	if req.Y != nil {
+		return nil, nil, -1, fmt.Errorf(`server: this pool serves %d outcomes per row; send the responses as "ys" (single point) or "yss" (batch)`, k)
+	}
+	single := len(req.X) > 0
+	batch := len(req.Xs) > 0 || len(req.Yss) > 0
+	switch {
+	case single && batch:
+		return nil, nil, -1, errors.New(`server: observe body must set either {"x","ys"} or {"xs","yss"}, not both`)
+	case single:
+		if len(req.X) != s.spec.Dim {
+			return nil, nil, -1, fmt.Errorf("server: covariate has dimension %d, pool dimension is %d", len(req.X), s.spec.Dim)
+		}
+		if len(req.Ys) != k {
+			return nil, nil, -1, fmt.Errorf(`server: single-point observe requires "ys" with %d responses, got %d`, k, len(req.Ys))
+		}
+		return req.X, req.Ys, from, nil
+	case batch:
+		if len(req.Ys) > 0 {
+			return nil, nil, -1, errors.New(`server: multi-outcome batches carry per-row responses in "yss", not "ys"`)
+		}
+		if len(req.Xs) != len(req.Yss) {
+			return nil, nil, -1, fmt.Errorf("server: batch covariate count %d does not match response-row count %d", len(req.Xs), len(req.Yss))
+		}
+		sc.flatXs = sc.flatXs[:0]
+		sc.flatYs = sc.flatYs[:0]
+		for i, x := range req.Xs {
+			if len(x) != s.spec.Dim {
+				return nil, nil, -1, fmt.Errorf("server: covariate %d has dimension %d, pool dimension is %d", i, len(x), s.spec.Dim)
+			}
+			if len(req.Yss[i]) != k {
+				return nil, nil, -1, fmt.Errorf("server: response row %d has %d outcomes, pool serves %d", i, len(req.Yss[i]), k)
+			}
+			sc.flatXs = append(sc.flatXs, x...)
+			sc.flatYs = append(sc.flatYs, req.Yss[i]...)
+		}
+		return sc.flatXs, sc.flatYs, from, nil
+	default:
+		return nil, nil, -1, errors.New(`server: observe body must set {"x","ys"} or {"xs","yss"} with at least one point`)
+	}
+}
+
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if id == "" {
@@ -532,6 +637,30 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	sc := observeScratchPool.Get().(*observeScratch)
 	defer observeScratchPool.Put(sc)
+	if k := s.spec.outcomes(); k > 1 {
+		flatXs, ys, from, err := s.decodeObserveMulti(sc, r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rows := len(flatXs) / s.spec.Dim
+		if rows > s.ing.maxPoints {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("server: batch of %d points exceeds the per-stream queue bound %d; split the batch", rows, s.ing.maxPoints))
+			return
+		}
+		if s.cl != nil && s.cl.routeObserveFlat(w, id, flatXs, ys, from) {
+			return
+		}
+		applied, err := s.ing.enqueueFlat(id, s.spec.Dim, flatXs, ys, k, from)
+		if err != nil {
+			writeVerdict(w, err)
+			return
+		}
+		n, _ := s.pool.LenOK(id)
+		writeJSON(w, http.StatusOK, observeResponse{Applied: applied, Len: n})
+		return
+	}
 	xs, ys, from, err := s.decodeObserve(sc, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -556,7 +685,8 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeVerdict(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, observeResponse{Applied: applied, Len: s.pool.Len(id)})
+	n, _ := s.pool.LenOK(id)
+	writeJSON(w, http.StatusOK, observeResponse{Applied: applied, Len: n})
 }
 
 type estimateResponse struct {
@@ -566,13 +696,27 @@ type estimateResponse struct {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if s.cl != nil && s.cl.routeEstimate(w, id) {
+	outcome := 0
+	if q := r.URL.Query().Get("outcome"); q != "" {
+		i, err := strconv.Atoi(q)
+		if err != nil || i < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: outcome must be a non-negative index, got %q", q))
+			return
+		}
+		if k := s.spec.outcomes(); i >= k {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: outcome index %d out of range; pool serves %d outcomes", i, k))
+			return
+		}
+		outcome = i
+	}
+	if s.cl != nil && s.cl.routeEstimate(w, id, outcome) {
 		return
 	}
-	theta, err := s.pool.Estimate(id)
+	theta, err := s.pool.EstimateOutcome(id, outcome)
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, estimateResponse{Estimate: theta, Len: s.pool.Len(id)})
+		n, _ := s.pool.LenOK(id)
+		writeJSON(w, http.StatusOK, estimateResponse{Estimate: theta, Len: n})
 	case errors.Is(err, privreg.ErrUnknownStream):
 		writeError(w, http.StatusNotFound, err)
 	default:
@@ -587,11 +731,12 @@ type streamStatsResponse struct {
 
 func (s *Server) handleStreamStats(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.pool.Has(id) {
+	n, ok := s.pool.LenOK(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", privreg.ErrUnknownStream, id))
 		return
 	}
-	writeJSON(w, http.StatusOK, streamStatsResponse{ID: id, Len: s.pool.Len(id)})
+	writeJSON(w, http.StatusOK, streamStatsResponse{ID: id, Len: n})
 }
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {

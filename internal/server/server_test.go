@@ -354,7 +354,7 @@ func TestAdminEndpoints(t *testing.T) {
 			Private bool   `json:"Private"`
 		} `json:"mechanisms"`
 	}
-	if code, _ := doJSON(t, "GET", ts.URL+"/v1/mechanisms", nil, &mechs); code != http.StatusOK || len(mechs.Mechanisms) != 6 {
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/mechanisms", nil, &mechs); code != http.StatusOK || len(mechs.Mechanisms) != 7 {
 		t.Fatalf("mechanisms: code=%d got %d entries", code, len(mechs.Mechanisms))
 	}
 	if mechs.Mechanisms[0].Name != "gradient" || !mechs.Mechanisms[0].Private {

@@ -226,6 +226,7 @@ func (s *Server) wireHandshake(conn net.Conn, r *wire.Reader, bw *bufio.Writer) 
 		Horizon:   uint64(s.spec.Horizon),
 		Mechanism: s.spec.Mechanism,
 		Server:    version.Version,
+		Outcomes:  uint16(s.spec.outcomes()),
 	})
 	if _, err := bw.Write(b.Bytes()); err != nil {
 		return err
@@ -263,13 +264,18 @@ func (s *Server) wireReadLoop(r *wire.Reader, completions chan<- *wireCompletion
 				return
 			}
 			c := &wireCompletion{reqID: req.ReqID, route: "wire_estimate", start: time.Now(), id: string(req.ID)}
-			if s.cl != nil && s.cl.wireRouteEstimate(c, req.Forwarded()) {
+			if k := s.spec.outcomes(); req.Outcome >= k {
+				c.err = fmt.Errorf("server: outcome index %d out of range; pool serves %d outcomes", req.Outcome, k)
 				completions <- c
 				continue
 			}
-			c.est, c.err = s.pool.Estimate(c.id)
+			if s.cl != nil && s.cl.wireRouteEstimate(c, req.Forwarded(), req.Outcome) {
+				completions <- c
+				continue
+			}
+			c.est, c.err = s.pool.EstimateOutcome(c.id, req.Outcome)
 			if c.err == nil {
-				c.length = s.pool.Len(c.id)
+				c.length, _ = s.pool.LenOK(c.id)
 			}
 			completions <- c
 		case wire.FrameRing:
@@ -388,15 +394,23 @@ func (s *Server) wireObserve(payload []byte) (*wireCompletion, bool) {
 		c.err = fmt.Errorf("server: batch of %d points exceeds the per-stream queue bound %d; split the batch", h.Rows, s.ing.maxPoints)
 		return c, false
 	}
+	k := s.spec.outcomes()
+	if h.Outcomes != k {
+		// A mis-shaped batch is permanent: the client's view of the pool's
+		// outcome count is wrong, and retrying the same frame cannot succeed.
+		c.err = fmt.Errorf("server: observe rows carry %d responses, pool serves %d outcomes", h.Outcomes, k)
+		return c, false
+	}
 	bufs := wireBufPool.Get().(*wireBufs)
 	need := h.Rows * s.spec.Dim
+	needYs := h.Rows * k
 	if cap(bufs.xs) < need {
 		bufs.xs = make([]float64, need)
 	}
-	if cap(bufs.ys) < h.Rows {
-		bufs.ys = make([]float64, h.Rows)
+	if cap(bufs.ys) < needYs {
+		bufs.ys = make([]float64, needYs)
 	}
-	xs, ys := bufs.xs[:need], bufs.ys[:h.Rows]
+	xs, ys := bufs.xs[:need], bufs.ys[:needYs]
 	if err := h.DecodeRows(xs, ys); err != nil {
 		wireBufPool.Put(bufs)
 		return &wireCompletion{fatal: err}, true
@@ -407,7 +421,7 @@ func (s *Server) wireObserve(payload []byte) (*wireCompletion, bool) {
 		wireBufPool.Put(bufs)
 		return c, false
 	}
-	req := &ingestReq{flatXs: xs, ys: ys, dim: s.spec.Dim, from: h.From, done: make(chan error, 1)}
+	req := &ingestReq{flatXs: xs, ys: ys, dim: s.spec.Dim, outcomes: k, from: h.From, done: make(chan error, 1)}
 	if err := s.ing.submit(c.id, req); err != nil {
 		wireBufPool.Put(bufs)
 		c.err = err
@@ -486,11 +500,12 @@ func (s *Server) appendWireResponse(b *wire.Builder, c *wireCompletion, err erro
 		wire.AppendEstimateAck(b, wire.EstimateAck{ReqID: c.reqID, Len: uint64(c.length), Estimate: c.est})
 		return http.StatusOK
 	case err == nil && c.req != nil:
-		applied := len(c.req.ys)
+		applied := c.req.rows()
 		if c.req.dup {
 			applied = 0 // duplicate conditional batch: acked, nothing applied
 		}
-		wire.AppendAck(b, wire.Ack{ReqID: c.reqID, Applied: uint32(applied), Len: uint64(s.pool.Len(c.id))})
+		length, _ := s.pool.LenOK(c.id)
+		wire.AppendAck(b, wire.Ack{ReqID: c.reqID, Applied: uint32(applied), Len: uint64(length)})
 		return http.StatusOK
 	case err == nil:
 		// Pre-resolved success: a forwarded observe (counts from the owner's

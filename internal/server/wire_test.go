@@ -262,7 +262,7 @@ func TestWireProtocolViolationGetsErrorFrame(t *testing.T) {
 	}
 	// A frame whose CRC is wrong.
 	b.Reset()
-	wire.AppendEstimate(&b, 1, 0, "s")
+	wire.AppendEstimate(&b, 1, 0, "s", 0)
 	bad := b.Bytes()
 	bad[len(bad)-1] ^= 0xff
 	if _, errw := conn.Write(bad); errw != nil {

@@ -72,6 +72,9 @@ type Client struct {
 	Dim       int
 	Horizon   int
 	Mechanism string
+	// Outcomes is the pool's response-column count (1 for single-outcome
+	// pools); observe batches must carry Outcomes responses per row.
+	Outcomes int
 	// Server is the peer's build identifier from the HelloAck ("dev" for
 	// uninjected builds).
 	Server string
@@ -137,6 +140,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	c.Horizon = int(ack.Horizon)
 	c.Mechanism = ack.Mechanism
 	c.Server = ack.Server
+	c.Outcomes = int(ack.Outcomes)
 	go c.readLoop(r)
 	return c, nil
 }
@@ -272,9 +276,9 @@ func (c *Client) await(ch chan response) (response, error) {
 	return resp, nil
 }
 
-// Observe sends one batched observe frame — rows in row-major xs
-// (len(ys)×Dim values) with responses ys — and blocks until the server acks
-// it (the points are applied) or nacks it. Safe to call concurrently.
+// Observe sends one batched observe frame — rows in row-major xs with
+// Outcomes responses per row in ys — and blocks until the server acks it
+// (the points are applied) or nacks it. Safe to call concurrently.
 func (c *Client) Observe(id string, xs, ys []float64) (applied, streamLen int, err error) {
 	return c.observe(0, id, -1, xs, ys)
 }
@@ -297,8 +301,12 @@ func (c *Client) ForwardObserve(id string, from int64, xs, ys []float64) (applie
 }
 
 func (c *Client) observe(flags uint8, id string, from int64, xs, ys []float64) (applied, streamLen int, err error) {
-	if len(xs) != len(ys)*c.Dim {
-		return 0, 0, fmt.Errorf("wire: observe batch %d×%d does not match pool dimension %d", len(ys), len(xs), c.Dim)
+	k := c.Outcomes
+	if k < 1 {
+		k = 1
+	}
+	if len(ys)%k != 0 || len(xs) != (len(ys)/k)*c.Dim {
+		return 0, 0, fmt.Errorf("wire: observe batch %d×%d does not match pool shape dim %d × %d outcomes", len(ys), len(xs), c.Dim, k)
 	}
 	_, ch, err := c.send(func(reqID uint64) { AppendObserve(&c.b, reqID, flags, id, from, c.Dim, xs, ys) })
 	if err != nil {
@@ -314,18 +322,28 @@ func (c *Client) observe(flags uint8, id string, from int64, xs, ys []float64) (
 	return int(resp.ack.Applied), int(resp.ack.Len), nil
 }
 
-// Estimate fetches the stream's current private estimate and length.
+// Estimate fetches the stream's current private estimate (outcome 0) and
+// length.
 func (c *Client) Estimate(id string) ([]float64, int, error) {
-	return c.estimate(0, id)
+	return c.estimate(0, id, 0)
+}
+
+// EstimateOutcome fetches one outcome's estimate from a multi-outcome pool.
+func (c *Client) EstimateOutcome(id string, outcome int) ([]float64, int, error) {
+	return c.estimate(0, id, outcome)
 }
 
 // ForwardEstimate is Estimate with the forwarded flag set; see ForwardObserve.
-func (c *Client) ForwardEstimate(id string) ([]float64, int, error) {
-	return c.estimate(FlagForwarded, id)
+// outcome carries the original request's outcome index through the hop.
+func (c *Client) ForwardEstimate(id string, outcome int) ([]float64, int, error) {
+	return c.estimate(FlagForwarded, id, outcome)
 }
 
-func (c *Client) estimate(flags uint8, id string) ([]float64, int, error) {
-	_, ch, err := c.send(func(reqID uint64) { AppendEstimate(&c.b, reqID, flags, id) })
+func (c *Client) estimate(flags uint8, id string, outcome int) ([]float64, int, error) {
+	if outcome < 0 {
+		return nil, 0, fmt.Errorf("wire: estimate outcome index %d is negative", outcome)
+	}
+	_, ch, err := c.send(func(reqID uint64) { AppendEstimate(&c.b, reqID, flags, id, outcome) })
 	if err != nil {
 		return nil, 0, err
 	}
@@ -460,11 +478,15 @@ func (c *Client) PingReq(from, target string, members []Member, timeout time.Dur
 // stream's length before the batch (start), and the rows, to be buffered for
 // promotion replay. Blocks until the standby acks the buffer write.
 func (c *Client) Replicate(id string, start uint64, ringV uint64, xs, ys []float64) error {
-	if len(xs) != len(ys)*c.Dim {
-		return fmt.Errorf("wire: replicate batch %d×%d does not match pool dimension %d", len(ys), len(xs), c.Dim)
+	k := c.Outcomes
+	if k < 1 {
+		k = 1
+	}
+	if len(ys)%k != 0 || len(xs) != (len(ys)/k)*c.Dim {
+		return fmt.Errorf("wire: replicate batch %d×%d does not match pool shape dim %d × %d outcomes", len(ys), len(xs), c.Dim, k)
 	}
 	_, ch, err := c.send(func(reqID uint64) {
-		AppendReplicate(&c.b, reqID, ringV, id, start, xs, ys)
+		AppendReplicate(&c.b, reqID, ringV, id, start, c.Dim, xs, ys)
 	})
 	if err != nil {
 		return err

@@ -27,7 +27,8 @@ func fuzzSeeds() [][]byte {
 	add(func(b *Builder) {
 		AppendObserve(b, 2, 0, "stream-with-a-longer-name", -1, 1, []float64{0.25}, []float64{1})
 	})
-	add(func(b *Builder) { AppendEstimate(b, 3, 0, "s") })
+	add(func(b *Builder) { AppendEstimate(b, 3, 0, "s", 0) })
+	add(func(b *Builder) { AppendEstimate(b, 3, 0, "s", 5) })
 	add(func(b *Builder) { AppendAck(b, Ack{ReqID: 4, Applied: 8, Len: 64}) })
 	add(func(b *Builder) { AppendEstimateAck(b, EstimateAck{ReqID: 5, Len: 64, Estimate: []float64{1, -1}}) })
 	add(func(b *Builder) { AppendNack(b, Nack{ReqID: 6, Code: NackQueueFull, RetryAfter: 2, Msg: "full"}) })
@@ -39,10 +40,26 @@ func fuzzSeeds() [][]byte {
 	add(func(b *Builder) {
 		AppendSegmentPush(b, SegmentPush{ReqID: 11, RingV: 2, Length: 9, Standby: true, Data: []byte("PRSGxxxx")})
 	})
+	add(func(b *Builder) {
+		AppendPing(b, Ping{ReqID: 12, From: "node-a", Members: []Member{{ID: "node-a", State: 1, Incarnation: 3}}})
+	})
+	add(func(b *Builder) {
+		AppendPingReq(b, PingReq{ReqID: 13, From: "node-a", Target: "node-b", Members: []Member{{ID: "node-c"}}})
+	})
+	add(func(b *Builder) {
+		AppendGossip(b, Gossip{ReqID: 13, OK: true, From: "node-b", Members: []Member{{ID: "node-b", Incarnation: 7}}})
+	})
+	add(func(b *Builder) {
+		AppendReplicate(b, 14, 2, "s", 40, 2, []float64{1, 2, 3, 4}, []float64{0.5, -0.5})
+	})
+	// A multi-outcome observe: 2 rows × (dim 2 + 3 responses).
+	add(func(b *Builder) {
+		AppendObserve(b, 15, 0, "mo", -1, 2, []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4, 5, 6})
+	})
 	// Two frames back to back — the multi-frame stream case.
 	add(func(b *Builder) {
 		AppendObserve(b, 7, FlagForwarded, "a", -1, 2, []float64{1, 2}, []float64{3})
-		AppendEstimate(b, 8, 0, "a")
+		AppendEstimate(b, 8, 0, "a", 0)
 	})
 	return seeds
 }
@@ -105,7 +122,7 @@ func parsePayload(t *testing.T, ft FrameType, payload []byte) {
 				continue
 			}
 			xs := make([]float64, h.Rows*dim)
-			ys := make([]float64, h.Rows)
+			ys := make([]float64, h.Rows*h.Outcomes)
 			if err := h.DecodeRows(xs, ys); err != nil {
 				t.Fatalf("accepted observe header failed DecodeRows: %v", err)
 			}
@@ -126,6 +143,24 @@ func parsePayload(t *testing.T, ft FrameType, payload []byte) {
 		_, _ = ParseRingAck(payload)
 	case FrameSegmentPush:
 		_, _ = ParseSegmentPush(payload)
+	case FramePing:
+		_, _ = ParsePing(payload)
+	case FramePingReq:
+		_, _ = ParsePingReq(payload)
+	case FrameGossip:
+		_, _ = ParseGossip(payload)
+	case FrameReplicate:
+		for _, dim := range []int{1, 4, 8} {
+			rep, err := ParseReplicate(payload, dim)
+			if err != nil {
+				continue
+			}
+			xs := make([]float64, rep.Rows*dim)
+			ys := make([]float64, rep.Rows*rep.Outcomes)
+			if err := rep.DecodeRows(xs, ys); err != nil {
+				t.Fatalf("accepted replicate frame failed DecodeRows: %v", err)
+			}
+		}
 	}
 }
 
@@ -152,8 +187,11 @@ func FuzzObservePayload(f *testing.F) {
 		if h.Rows <= 0 {
 			t.Fatalf("accepted header with %d rows", h.Rows)
 		}
+		if h.Outcomes < 1 {
+			t.Fatalf("accepted header with %d outcomes", h.Outcomes)
+		}
 		xs := make([]float64, h.Rows*dim)
-		ys := make([]float64, h.Rows)
+		ys := make([]float64, h.Rows*h.Outcomes)
 		if err := h.DecodeRows(xs, ys); err != nil {
 			t.Fatalf("accepted observe header failed DecodeRows: %v", err)
 		}

@@ -1,0 +1,76 @@
+//go:build ignore
+
+// Command gen_corpus regenerates the named seed entries in
+// testdata/fuzz/FuzzFrameDecode. Run from this directory:
+//
+//	go run gen_corpus.go
+//
+// Each entry is one well-formed frame of a type the fuzzer should know how
+// to reach without having to invent the envelope (magic, CRC, length) by
+// mutation alone. Hash-named files alongside these are fuzzer-found
+// regressions; never edit those by hand.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"privreg/internal/wire"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrameDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	write := func(name string, build func(b *wire.Builder)) {
+		var b wire.Builder
+		build(&b)
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b.Bytes())) + ")"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote", filepath.Join(dir, name))
+	}
+
+	write("seed-ring-req", func(b *wire.Builder) { wire.AppendRingReq(b, 21) })
+	write("seed-ring-ack", func(b *wire.Builder) {
+		wire.AppendRingAck(b, wire.RingAck{ReqID: 21, Version: 3, Ring: []byte(`{"version":3,"nodes":[{"id":"a"},{"id":"b"}]}`)})
+	})
+	write("seed-segment-push", func(b *wire.Builder) {
+		wire.AppendSegmentPush(b, wire.SegmentPush{ReqID: 22, RingV: 3, Length: 17, Standby: true, Data: []byte("PRSGseedbytes")})
+	})
+	write("seed-ping", func(b *wire.Builder) {
+		wire.AppendPing(b, wire.Ping{ReqID: 23, From: "node-a", Members: []wire.Member{
+			{ID: "node-a", State: 0, Incarnation: 4},
+			{ID: "node-b", State: 1, Incarnation: 2},
+		}})
+	})
+	write("seed-ping-req", func(b *wire.Builder) {
+		wire.AppendPingReq(b, wire.PingReq{ReqID: 24, From: "node-a", Target: "node-c", Members: []wire.Member{
+			{ID: "node-c", State: 1, Incarnation: 9},
+		}})
+	})
+	write("seed-gossip", func(b *wire.Builder) {
+		wire.AppendGossip(b, wire.Gossip{ReqID: 24, OK: true, From: "node-c", Members: []wire.Member{
+			{ID: "node-c", State: 0, Incarnation: 10},
+		}})
+	})
+	write("seed-replicate", func(b *wire.Builder) {
+		wire.AppendReplicate(b, 25, 3, "stream-r", 120, 2,
+			[]float64{0.5, -0.5, 0.25, -0.25}, []float64{1, -1})
+	})
+	write("seed-replicate-multi", func(b *wire.Builder) {
+		wire.AppendReplicate(b, 26, 3, "stream-m", 8, 2,
+			[]float64{0.5, -0.5, 0.25, -0.25}, []float64{1, -1, 2, -2, 3, -3})
+	})
+	write("seed-observe-multi", func(b *wire.Builder) {
+		wire.AppendObserve(b, 27, 0, "stream-m", -1, 2,
+			[]float64{0.5, -0.5, 0.25, -0.25}, []float64{1, -1, 2, -2, 3, -3})
+	})
+	write("seed-estimate-outcome", func(b *wire.Builder) {
+		wire.AppendEstimate(b, 28, 0, "stream-m", 2)
+	})
+}

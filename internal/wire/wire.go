@@ -113,7 +113,17 @@ const (
 	// NackConflict otherwise. This is what makes client retries exactly-once
 	// across an owner crash and standby promotion.
 	FlagOffset uint8 = 1 << 1
+	// FlagOutcome marks an Estimate that carries an outcome index (a u16
+	// after the stream ID) selecting one regression of a multi-outcome pool.
+	// Absent, the request reads outcome 0, which is what keeps single-outcome
+	// clients byte-identical on the wire.
+	FlagOutcome uint8 = 1 << 2
 )
+
+// maxOutcomes bounds the outcome columns a multi-outcome frame may carry; it
+// exists so a hostile frame cannot claim a row shape that makes the server
+// size absurd buffers.
+const maxOutcomes = 1 << 12
 
 func (t FrameType) String() string {
 	switch t {
@@ -475,6 +485,10 @@ type HelloAck struct {
 	// Server is the serving binary's build identifier (ldflags-injected),
 	// so clients and peers can detect mixed-version clusters mid-upgrade.
 	Server string
+	// Outcomes is the pool's outcome-column count (k responses per row); 1
+	// for every single-outcome pool. It trails the frame so acks from older
+	// servers (which omit it) still parse.
+	Outcomes uint16
 }
 
 // AppendHelloAck appends a HelloAck frame.
@@ -485,6 +499,10 @@ func AppendHelloAck(b *Builder, a HelloAck) {
 	b.U64(a.Horizon)
 	b.Str16(a.Mechanism)
 	b.Str16(a.Server)
+	if a.Outcomes == 0 {
+		a.Outcomes = 1
+	}
+	b.U16(a.Outcomes)
 	b.Finish()
 }
 
@@ -497,14 +515,26 @@ func ParseHelloAck(payload []byte) (HelloAck, error) {
 	a.Horizon = p.U64()
 	a.Mechanism = p.Str16()
 	a.Server = p.Str16()
-	return a, p.Finish()
+	a.Outcomes = 1
+	if p.Err() == nil && p.Remaining() > 0 {
+		a.Outcomes = p.U16()
+	}
+	if err := p.Finish(); err != nil {
+		return a, err
+	}
+	if a.Outcomes == 0 || a.Outcomes > maxOutcomes {
+		return a, fmt.Errorf("wire: hello-ack outcome count %d outside [1,%d]", a.Outcomes, maxOutcomes)
+	}
+	return a, nil
 }
 
 // ObserveHeader describes an Observe frame before its row data is decoded:
 // everything needed for admission control (stream, row count) without
 // touching the floats. Rows is validated against the payload length, so a
 // header that parses cleanly guarantees the row region is exactly
-// Rows×(Dim+1) float64s.
+// Rows×(Dim+Outcomes) float64s. The outcome width is not framed explicitly:
+// it is whatever exactly fills the payload after Rows×Dim covariates, which
+// keeps the k=1 encoding bit-identical to the pre-multi-outcome format.
 type ObserveHeader struct {
 	ReqID uint64
 	// Flags carries request flags (FlagForwarded, FlagOffset).
@@ -516,16 +546,20 @@ type ObserveHeader struct {
 	// interns it per connection rather than allocating a string per frame.
 	ID   []byte
 	Rows int
-	rows []byte // raw little-endian row region: Rows×Dim xs then Rows ys
-	dim  int
+	// Outcomes is the response-column count carried per row (k ≥ 1),
+	// inferred from the payload length.
+	Outcomes int
+	rows     []byte // raw little-endian row region: Rows×Dim xs then Rows×Outcomes ys
+	dim      int
 }
 
 // Forwarded reports whether a peer's proxy relayed this request.
 func (h *ObserveHeader) Forwarded() bool { return h.Flags&FlagForwarded != 0 }
 
 // AppendObserve appends an Observe frame: reqID, flags, stream ID, and rows
-// in row-major order — xs is Rows×dim values, ys is Rows values. from is the
-// expected stream offset for conditional ingest, or -1 for unconditional
+// in row-major order — xs is Rows×dim values, ys is Rows×k values for any
+// k ≥ 1 (k=1 reproduces the single-outcome encoding byte for byte). from is
+// the expected stream offset for conditional ingest, or -1 for unconditional
 // (the FlagOffset bit is set or cleared to match).
 func AppendObserve(b *Builder, reqID uint64, flags uint8, id string, from int64, dim int, xs, ys []float64) {
 	b.Begin(FrameObserve)
@@ -540,8 +574,11 @@ func AppendObserve(b *Builder, reqID uint64, flags uint8, id string, from int64,
 		b.U64(uint64(from))
 	}
 	b.Str16(id)
-	b.U32(uint32(len(ys)))
-	_ = dim // the frame format derives the row width from the ack'd pool shape
+	rows := len(ys)
+	if dim > 0 {
+		rows = len(xs) / dim
+	}
+	b.U32(uint32(rows))
 	b.F64s(xs)
 	b.F64s(ys)
 	b.Finish()
@@ -577,21 +614,38 @@ func ParseObserveHeader(payload []byte, dim int) (ObserveHeader, error) {
 	}
 	h.Rows = int(rows)
 	h.dim = dim
-	want := 8 * h.Rows * (dim + 1)
-	if p.Remaining() != want {
-		return h, fmt.Errorf("wire: observe frame carries %d row bytes, want %d (%d rows × dim %d + responses)", p.Remaining(), want, h.Rows, dim)
+	k, err := rowOutcomes(p.Remaining(), h.Rows, dim, "observe")
+	if err != nil {
+		return h, err
 	}
-	h.rows = p.take(want)
+	h.Outcomes = k
+	h.rows = p.take(p.Remaining())
 	return h, p.Finish()
 }
 
-// DecodeRows fills xs (Rows×dim values, row-major) and ys (Rows values)
-// straight from the frame's bit patterns. The caller supplies the
+// rowOutcomes infers the outcome-column count of a row region: the payload
+// must hold exactly Rows×(dim+k) float64s for some 1 ≤ k ≤ maxOutcomes, and
+// k is whatever makes that fit exact. A single-outcome frame (the historic
+// format) infers k=1; anything that does not divide out cleanly is rejected
+// before a single float is touched.
+func rowOutcomes(remaining, rows, dim int, frame string) (int, error) {
+	if remaining%8 == 0 && rows > 0 {
+		if floats := remaining / 8; floats%rows == 0 {
+			if k := floats/rows - dim; k >= 1 && k <= maxOutcomes {
+				return k, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("wire: %s frame carries %d row bytes, want %d rows × (dim %d + k responses) for some k in [1,%d]", frame, remaining, rows, dim, maxOutcomes)
+}
+
+// DecodeRows fills xs (Rows×dim values, row-major) and ys (Rows×Outcomes
+// values) straight from the frame's bit patterns. The caller supplies the
 // destination — in the server that is the pooled flat buffer handed to the
 // estimator, which is what makes the ingest path copy-once end to end.
 func (h *ObserveHeader) DecodeRows(xs, ys []float64) error {
-	if len(xs) != h.Rows*h.dim || len(ys) != h.Rows {
-		return fmt.Errorf("wire: DecodeRows destination %d×%d does not match frame %d×%d", len(ys), len(xs), h.Rows, h.Rows*h.dim)
+	if len(xs) != h.Rows*h.dim || len(ys) != h.Rows*h.Outcomes {
+		return fmt.Errorf("wire: DecodeRows destination %d×%d does not match frame %d×%d", len(ys), len(xs), h.Rows*h.Outcomes, h.Rows*h.dim)
 	}
 	for i := range xs {
 		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(h.rows[8*i:]))
@@ -603,22 +657,34 @@ func (h *ObserveHeader) DecodeRows(xs, ys []float64) error {
 	return nil
 }
 
-// EstimateReq is an Estimate frame: a request ID, flags, and a stream.
+// EstimateReq is an Estimate frame: a request ID, flags, a stream, and the
+// outcome index to read (0 unless FlagOutcome is set).
 type EstimateReq struct {
-	ReqID uint64
-	Flags uint8
-	ID    []byte // aliases the frame buffer
+	ReqID   uint64
+	Flags   uint8
+	ID      []byte // aliases the frame buffer
+	Outcome int
 }
 
 // Forwarded reports whether a peer's proxy relayed this request.
 func (e *EstimateReq) Forwarded() bool { return e.Flags&FlagForwarded != 0 }
 
-// AppendEstimate appends an Estimate frame.
-func AppendEstimate(b *Builder, reqID uint64, flags uint8, id string) {
+// AppendEstimate appends an Estimate frame. A non-zero outcome selects one
+// regression of a multi-outcome pool (the FlagOutcome bit is set or cleared
+// to match); outcome 0 keeps the historic single-outcome encoding.
+func AppendEstimate(b *Builder, reqID uint64, flags uint8, id string, outcome int) {
 	b.Begin(FrameEstimate)
 	b.U64(reqID)
+	if outcome > 0 {
+		flags |= FlagOutcome
+	} else {
+		flags &^= FlagOutcome
+	}
 	b.U8(flags)
 	b.Str16(id)
+	if outcome > 0 {
+		b.U16(uint16(outcome))
+	}
 	b.Finish()
 }
 
@@ -629,11 +695,17 @@ func ParseEstimate(payload []byte) (EstimateReq, error) {
 	e.ReqID = p.U64()
 	e.Flags = p.U8()
 	e.ID = p.Bytes16()
+	if e.Flags&FlagOutcome != 0 {
+		e.Outcome = int(p.U16())
+	}
 	if err := p.Finish(); err != nil {
 		return e, err
 	}
 	if len(e.ID) == 0 || len(e.ID) > maxIDLen {
 		return e, fmt.Errorf("wire: estimate stream id length %d outside [1,%d]", len(e.ID), maxIDLen)
+	}
+	if e.Outcome >= maxOutcomes {
+		return e, fmt.Errorf("wire: estimate outcome index %d outside [0,%d)", e.Outcome, maxOutcomes)
 	}
 	return e, nil
 }
@@ -1039,19 +1111,27 @@ type Replicate struct {
 	Start uint64 // stream length before this batch
 	ID    []byte // aliases the frame buffer
 	Rows  int
-	rows  []byte
-	dim   int
+	// Outcomes is the response-column count per row, inferred from the
+	// payload length exactly like ObserveHeader.Outcomes.
+	Outcomes int
+	rows     []byte
+	dim      int
 }
 
 // AppendReplicate appends a Replicate frame; xs is Rows×dim values
-// (row-major), ys is Rows values.
-func AppendReplicate(b *Builder, reqID, ringV uint64, id string, start uint64, xs, ys []float64) {
+// (row-major), ys is Rows×k values for any k ≥ 1. dim sizes the rows; pass
+// len(ys) rows via a zero dim only in the k=1 legacy shape.
+func AppendReplicate(b *Builder, reqID, ringV uint64, id string, start uint64, dim int, xs, ys []float64) {
 	b.Begin(FrameReplicate)
 	b.U64(reqID)
 	b.U64(ringV)
 	b.U64(start)
 	b.Str16(id)
-	b.U32(uint32(len(ys)))
+	rows := len(ys)
+	if dim > 0 {
+		rows = len(xs) / dim
+	}
+	b.U32(uint32(rows))
 	b.F64s(xs)
 	b.F64s(ys)
 	b.Finish()
@@ -1078,19 +1158,21 @@ func ParseReplicate(payload []byte, dim int) (Replicate, error) {
 	}
 	r.Rows = int(rows)
 	r.dim = dim
-	want := 8 * r.Rows * (dim + 1)
-	if p.Remaining() != want {
-		return r, fmt.Errorf("wire: replicate frame carries %d row bytes, want %d (%d rows × dim %d + responses)", p.Remaining(), want, r.Rows, dim)
+	k, err := rowOutcomes(p.Remaining(), r.Rows, dim, "replicate")
+	if err != nil {
+		return r, err
 	}
-	r.rows = p.take(want)
+	r.Outcomes = k
+	r.rows = p.take(p.Remaining())
 	return r, p.Finish()
 }
 
-// DecodeRows fills xs (Rows×dim values, row-major) and ys (Rows values) from
-// the frame's bit patterns, exactly like ObserveHeader.DecodeRows.
+// DecodeRows fills xs (Rows×dim values, row-major) and ys (Rows×Outcomes
+// values) from the frame's bit patterns, exactly like
+// ObserveHeader.DecodeRows.
 func (r *Replicate) DecodeRows(xs, ys []float64) error {
-	if len(xs) != r.Rows*r.dim || len(ys) != r.Rows {
-		return fmt.Errorf("wire: DecodeRows destination %d×%d does not match frame %d×%d", len(ys), len(xs), r.Rows, r.Rows*r.dim)
+	if len(xs) != r.Rows*r.dim || len(ys) != r.Rows*r.Outcomes {
+		return fmt.Errorf("wire: DecodeRows destination %d×%d does not match frame %d×%d", len(ys), len(xs), r.Rows*r.Outcomes, r.Rows*r.dim)
 	}
 	for i := range xs {
 		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.rows[8*i:]))

@@ -18,7 +18,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	xs := []float64{0.5, -0.25, math.Inf(1), math.Copysign(0, -1), 1e-300, 42, -7, 0.125}
 	ys := []float64{0.75, -0.5}
 	AppendObserve(&b, 7, FlagForwarded, "stream-a", -1, 4, xs, ys)
-	AppendEstimate(&b, 8, 0, "stream-a")
+	AppendEstimate(&b, 8, 0, "stream-a", 0)
 	AppendAck(&b, Ack{ReqID: 7, Applied: 2, Len: 40})
 	AppendEstimateAck(&b, EstimateAck{ReqID: 8, Len: 40, Estimate: []float64{1, -2, 0.5, 0.25}})
 	AppendNack(&b, Nack{ReqID: 9, Code: NackQueueFull, RetryAfter: 3, Msg: "queue full"})

@@ -147,6 +147,21 @@ func WithHistoryCap(n int) Option {
 	}
 }
 
+// WithOutcomes sets the number of outcome columns k of the multi-outcome
+// mechanism: every observed row then carries one covariate and k responses,
+// served by k regressions that share one feature-side state under a split
+// budget. Mechanisms that serve a single outcome reject k > 1. Zero restores
+// the default of one outcome.
+func WithOutcomes(k int) Option {
+	return func(s *settings) error {
+		if k < 0 {
+			return fmt.Errorf("privreg: WithOutcomes requires a non-negative count, got %d", k)
+		}
+		s.cfg.Outcomes = k
+		return nil
+	}
+}
+
 // WithProjectionDim overrides the sketch dimension m of the projected
 // mechanisms (0 restores Gordon's rule).
 func WithProjectionDim(m int) Option {

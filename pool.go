@@ -244,6 +244,75 @@ func (p *Pool) ObserveFlat(id string, dim int, xs []float64, ys []float64) error
 	})
 }
 
+// Outcomes returns the number of outcome columns k each stream of this pool
+// serves: the WithOutcomes value for a multi-outcome pool, 1 otherwise.
+func (p *Pool) Outcomes() int {
+	if k := p.template.cfg.Outcomes; k > 1 && p.mech.info.MultiOutcome {
+		return k
+	}
+	return 1
+}
+
+// ObserveMultiFlat feeds a batch of k-outcome rows packed flat: row-major
+// covariates (rows×dim values) and row-major responses (rows×k values, k =
+// Outcomes()). On a single-outcome pool it is ObserveFlat. Like ObserveFlat
+// the pool does not retain xs or ys after the call returns, so transport
+// decoders can hand their receive buffers over directly.
+func (p *Pool) ObserveMultiFlat(id string, dim int, xs []float64, ys []float64) error {
+	k := p.Outcomes()
+	if k == 1 {
+		return p.ObserveFlat(id, dim, xs, ys)
+	}
+	if dim <= 0 {
+		return fmt.Errorf("privreg: flat batch dimension must be positive, got %d", dim)
+	}
+	if len(xs)%dim != 0 {
+		return fmt.Errorf("privreg: flat batch of %d covariate values is not a multiple of dim %d", len(xs), dim)
+	}
+	if rows := len(xs) / dim; len(ys) != rows*k {
+		return fmt.Errorf("privreg: flat batch of %d rows carries %d responses, want %d (k=%d)", rows, len(ys), rows*k, k)
+	}
+	return p.store.Update(id, true, func(st store.Stream) error {
+		me, ok := st.(MultiEstimator)
+		if !ok {
+			return fmt.Errorf("privreg: stream %q estimator does not serve multiple outcomes", id)
+		}
+		return me.ObserveMultiFlat(dim, xs, ys)
+	})
+}
+
+// EstimateOutcome returns outcome i's current private estimate for the given
+// stream; outcome 0 of a single-outcome pool is its Estimate. Unknown streams
+// are an error, and the access pattern (read-only unless WithWarmStart)
+// matches Estimate.
+func (p *Pool) EstimateOutcome(id string, i int) ([]float64, error) {
+	access := p.store.Read
+	if p.template.cfg.WarmStart {
+		access = func(id string, fn func(store.Stream) error) error {
+			return p.store.Update(id, false, fn)
+		}
+	}
+	var theta []float64
+	err := access(id, func(st store.Stream) error {
+		me, ok := st.(MultiEstimator)
+		if !ok {
+			if i == 0 {
+				var err error
+				theta, err = st.(Estimator).Estimate()
+				return err
+			}
+			return fmt.Errorf("privreg: stream %q estimator serves a single outcome, index %d out of range", id, i)
+		}
+		var err error
+		theta, err = me.EstimateOutcome(i)
+		return err
+	})
+	if err != nil {
+		return nil, wrapUnknown(err, id)
+	}
+	return theta, nil
+}
+
 // Estimate returns the current private estimate for the given stream. Unknown
 // streams are an error (an estimate for a stream that never observed anything
 // is almost always a caller bug; create streams by observing).

@@ -154,6 +154,40 @@ type FlatObserver interface {
 	ObserveFlat(dim int, xs []float64, ys []float64) error
 }
 
+// MultiEstimator is the k-outcome extension of Estimator, implemented by
+// estimators of the "multi-outcome" mechanism (privreg.New("multi-outcome",
+// WithOutcomes(k), ...)): each observed row carries one covariate and k
+// responses, folded into a single shared feature-side state plus k per-outcome
+// moment vectors, and each outcome's estimate is a lazy memoized solve under
+// its share of the split budget.
+//
+// Every estimator returned by New implements the interface; on single-outcome
+// mechanisms the methods degrade gracefully (Outcomes reports 1, the k = 1 row
+// shapes delegate to Observe/Estimate, and wider rows are rejected).
+type MultiEstimator interface {
+	Estimator
+	// Outcomes returns the number of outcome columns k.
+	Outcomes() int
+	// ObserveMulti feeds one row: a covariate with all k responses.
+	ObserveMulti(x []float64, ys []float64) error
+	// ObserveMultiFlat feeds rows packed flat: row-major covariates
+	// (rows×dim values) and row-major responses (rows×k values). Validation
+	// and horizon semantics match ObserveBatch (all-or-nothing); xs and ys may
+	// be reused the moment the call returns.
+	ObserveMultiFlat(dim int, xs []float64, ys []float64) error
+	// EstimateOutcome returns outcome i's current estimate θ_t ∈ C.
+	EstimateOutcome(i int) ([]float64, error)
+}
+
+// multiCore is the internal capability the adapter detects on a mechanism to
+// serve MultiEstimator natively.
+type multiCore interface {
+	Outcomes() int
+	ObserveMulti(x vec.Vector, ys []float64) error
+	ObserveMultiFlat(xs, ys []float64) error
+	EstimateOutcome(i int) (vec.Vector, error)
+}
+
 // Config is the common configuration of the deprecated estimator
 // constructors. New code should construct estimators with New and functional
 // options (WithPrivacy, WithHorizon, WithConstraint, …), which validate at the
@@ -202,6 +236,10 @@ type Config struct {
 	// NewProjectedRegression: the dense Gaussian matrix (default), the
 	// O(d log d) SRHT fast path, or automatic selection by dimension.
 	SketchBackend Sketch
+	// Outcomes is the number of outcome columns k of the multi-outcome
+	// mechanism (0 means 1). Mechanisms that serve a single outcome reject
+	// values above 1.
+	Outcomes int
 }
 
 func (cfg Config) validate(needDomain bool) error {
@@ -290,6 +328,63 @@ func (a *estimatorAdapter) ObserveFlat(dim int, xs []float64, ys []float64) erro
 		ps[i].X = nil
 	}
 	return err
+}
+
+// Outcomes implements MultiEstimator: the mechanism's outcome count, 1 for
+// single-outcome mechanisms.
+func (a *estimatorAdapter) Outcomes() int {
+	if m, ok := a.inner.(multiCore); ok {
+		return m.Outcomes()
+	}
+	return 1
+}
+
+// ObserveMulti implements MultiEstimator. On single-outcome mechanisms a
+// one-response row delegates to Observe; wider rows are rejected.
+func (a *estimatorAdapter) ObserveMulti(x []float64, ys []float64) error {
+	if m, ok := a.inner.(multiCore); ok {
+		return m.ObserveMulti(vec.Vector(x), ys)
+	}
+	if len(ys) != 1 {
+		return fmt.Errorf("privreg: mechanism %q serves a single outcome, row carries %d", a.mechanism, len(ys))
+	}
+	return a.Observe(x, ys[0])
+}
+
+// ObserveMultiFlat implements MultiEstimator; see ObserveMulti. It is the
+// zero-copy ingest path of the multi-outcome mechanism: rows flow straight
+// from a decoded wire frame into the shared statistics fold.
+func (a *estimatorAdapter) ObserveMultiFlat(dim int, xs []float64, ys []float64) error {
+	if dim <= 0 {
+		return fmt.Errorf("privreg: flat batch dimension must be positive, got %d", dim)
+	}
+	if len(xs)%dim != 0 {
+		return fmt.Errorf("privreg: flat batch of %d covariate values is not a multiple of dim %d", len(xs), dim)
+	}
+	if m, ok := a.inner.(multiCore); ok {
+		k := m.Outcomes()
+		if rows := len(xs) / dim; len(ys) != rows*k {
+			return fmt.Errorf("privreg: flat batch of %d rows carries %d responses, want %d (k=%d)", rows, len(ys), rows*k, k)
+		}
+		return m.ObserveMultiFlat(xs, ys)
+	}
+	return a.ObserveFlat(dim, xs, ys)
+}
+
+// EstimateOutcome implements MultiEstimator. Outcome 0 of a single-outcome
+// mechanism is its Estimate; other indices are rejected.
+func (a *estimatorAdapter) EstimateOutcome(i int) ([]float64, error) {
+	if m, ok := a.inner.(multiCore); ok {
+		theta, err := m.EstimateOutcome(i)
+		if err != nil {
+			return nil, err
+		}
+		return []float64(theta), nil
+	}
+	if i != 0 {
+		return nil, fmt.Errorf("privreg: mechanism %q serves a single outcome, index %d out of range", a.mechanism, i)
+	}
+	return a.Estimate()
 }
 
 func (a *estimatorAdapter) Estimate() ([]float64, error) {

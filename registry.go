@@ -28,6 +28,9 @@ type MechanismInfo struct {
 	NeedsOracle bool
 	// AcceptsLoss reports whether WithLoss is honored.
 	AcceptsLoss bool
+	// MultiOutcome reports whether WithOutcomes(k > 1) is honored: the
+	// mechanism serves k regressions over one shared feature stream.
+	MultiOutcome bool
 }
 
 // mechanism is a registry entry: public metadata plus the construction hook.
@@ -136,6 +139,29 @@ var registry = []*mechanism{
 			return core.NewNaiveRecompute(f, cfg.Constraint.set, cfg.Privacy.params(), cfg.horizonOrDefault(), randx.NewSource(cfg.Seed), core.NaiveOptions{
 				Batch:      erm.PrivateBatchOptions{Iterations: cfg.MaxIterations},
 				HistoryCap: cfg.HistoryCap,
+			})
+		},
+	},
+	{
+		info: MechanismInfo{
+			Name:         "multi-outcome",
+			Aliases:      []string{"primo", "multi"},
+			Summary:      "PRIMO-style engine: one shared Gram fold serves k least-squares regressions under a split budget",
+			Private:      true,
+			MultiOutcome: true,
+		},
+		build: func(s *settings) (core.Estimator, error) {
+			if err := rejectLossAndOracle(s, "multi-outcome"); err != nil {
+				return nil, err
+			}
+			cfg := s.cfg
+			k := cfg.Outcomes
+			if k == 0 {
+				k = 1
+			}
+			return core.NewMultiOutcome(cfg.Constraint.set, k, cfg.Privacy.params(), cfg.horizonOrDefault(), randx.NewSource(cfg.Seed), core.MultiOptions{
+				Tau:   cfg.Tau,
+				Batch: erm.PrivateBatchOptions{Iterations: cfg.MaxIterations},
 			})
 		},
 	},
@@ -276,6 +302,9 @@ func buildEstimator(m *mechanism, s *settings) (Estimator, error) {
 		if err := validatePrivacy(s.cfg.Privacy); err != nil {
 			return nil, err
 		}
+	}
+	if s.cfg.Outcomes > 1 && !m.info.MultiOutcome {
+		return nil, fmt.Errorf("privreg: mechanism %q serves a single outcome; WithOutcomes(%d) requires the multi-outcome mechanism", m.info.Name, s.cfg.Outcomes)
 	}
 	if err := s.cfg.validate(m.info.NeedsDomain); err != nil {
 		return nil, err

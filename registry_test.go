@@ -7,7 +7,7 @@ import (
 
 func TestMechanismsRegistry(t *testing.T) {
 	names := Mechanisms()
-	want := []string{"gradient", "projected", "robust-projected", "generic-erm", "naive-recompute", "nonprivate"}
+	want := []string{"gradient", "projected", "robust-projected", "generic-erm", "naive-recompute", "multi-outcome", "nonprivate"}
 	if len(names) != len(want) {
 		t.Fatalf("Mechanisms() = %v", names)
 	}

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Refresh the committed bench baseline (BENCH_baseline.json) after an
+# intentional perf change — the recipe from docs/PERFORMANCE.md, encoded:
+# two full quick-sweep runs, normalized to the per-run minimum (maximum for
+# rate metrics) so the committed document is the run least disturbed by the
+# machine.
+#
+# Usage:
+#
+#	scripts/bench_record.sh [output]       # default output: BENCH_baseline.json
+#
+# Run from the repository root, on hardware no faster than the CI runner
+# class (see docs/PERFORMANCE.md: a baseline recorded on a fast machine
+# makes the 1.5x CI gate fail on every PR), and note the hardware in the PR
+# description when committing the result.
+set -eu
+
+out=${1:-BENCH_baseline.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench_record: run 1/2 ..." >&2
+go run ./cmd/privreg-bench -json -quick > "$tmp/bench_1.json"
+echo "bench_record: run 2/2 ..." >&2
+go run ./cmd/privreg-bench -json -quick > "$tmp/bench_2.json"
+go run ./cmd/privreg-benchdiff -normalize "$tmp/bench_1.json,$tmp/bench_2.json" > "$out"
+echo "bench_record: wrote $out" >&2
